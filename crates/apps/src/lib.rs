@@ -1,0 +1,17 @@
+//! # ech-apps — examples and integration tests host
+//!
+//! This crate exists to anchor the repository-root `examples/` and
+//! `tests/` directories to the workspace (Cargo targets must belong to a
+//! package). It re-exports the workspace crates so examples can be read
+//! top-to-bottom without a pile of `use` lines.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub use ech_cluster as cluster;
+pub use ech_core as core;
+pub use ech_kvstore as kvstore;
+pub use ech_sim as sim;
+pub use ech_traces as traces;
+pub use ech_workload as workload;

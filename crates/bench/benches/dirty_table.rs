@@ -1,0 +1,60 @@
+//! Dirty-table throughput: the write logger inserts one entry per dirty
+//! object write, so insertion must be far cheaper than the write itself.
+//! Compares the in-memory reference table against the Redis-like
+//! kv-backed table the live cluster uses.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ech_cluster::KvDirtyTable;
+use ech_core::dirty::{DirtyEntry, DirtyTable, InMemoryDirtyTable};
+use ech_core::ids::{ObjectId, VersionId};
+use ech_kvstore::KvStore;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_table<T: DirtyTable>(c: &mut Criterion, name: &str, mut make: impl FnMut() -> T) {
+    let mut g = c.benchmark_group(format!("dirty_table/{name}"));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_back", |b| {
+        let mut t = make();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            t.push_back(DirtyEntry::new(ObjectId(k), VersionId(1 + k % 50)));
+        });
+    });
+    g.bench_function("get_cursor_scan", |b| {
+        let mut t = make();
+        for k in 0..10_000u64 {
+            t.push_back(DirtyEntry::new(ObjectId(k), VersionId(1 + k % 50)));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(t.get(i))
+        });
+    });
+    g.bench_function("pop_front_refill", |b| {
+        let mut t = make();
+        let mut k = 0u64;
+        b.iter(|| {
+            if t.is_empty() {
+                for _ in 0..1024 {
+                    k += 1;
+                    t.push_back(DirtyEntry::new(ObjectId(k), VersionId(1)));
+                }
+            }
+            black_box(t.pop_front())
+        });
+    });
+    g.finish();
+}
+
+fn dirty_tables(c: &mut Criterion) {
+    bench_table(c, "in_memory", InMemoryDirtyTable::new);
+    bench_table(c, "kv_backed", || {
+        KvDirtyTable::new(Arc::new(KvStore::new(8)))
+    });
+}
+
+criterion_group!(benches, dirty_tables);
+criterion_main!(benches);

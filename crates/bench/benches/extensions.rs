@@ -1,0 +1,99 @@
+//! Micro-benchmarks for the extension modules: virtual-disk I/O path,
+//! write-balancer decisions, controller evaluation, and the DES latency
+//! model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ech_cluster::{Cluster, ClusterConfig, VirtualDisk};
+use ech_core::writebalance::{relayout_fraction, WriteBalancer};
+use ech_sim::controller::{evaluate, ReactiveController, SizerConfig};
+use ech_sim::des::{read_latency_under_reintegration, DesConfig, MigrationLoad};
+use ech_workload::series::generate;
+use std::hint::black_box;
+
+fn vdi_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vdi");
+    for &chunk in &[4usize * 1024, 64 * 1024] {
+        let cluster = Cluster::new(ClusterConfig::paper());
+        let disk = VirtualDisk::create(cluster, 1, 1 << 30, 64 * 1024);
+        let data = vec![0xABu8; chunk];
+        g.throughput(Throughput::Bytes(chunk as u64));
+        g.bench_with_input(BenchmarkId::new("write_at", chunk), &chunk, |b, _| {
+            let mut off = 0u64;
+            b.iter(|| {
+                off = (off + chunk as u64) % ((1 << 30) - chunk as u64);
+                disk.write_at(off, &data).unwrap();
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("read_at", chunk), &chunk, |b, _| {
+            let mut off = 0u64;
+            b.iter(|| {
+                off = (off + chunk as u64) % ((1 << 30) - chunk as u64);
+                black_box(disk.read_at(off, chunk).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn write_balancer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("writebalance");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("observe", |b| {
+        let mut bal = WriteBalancer::new(100, 2, 30.0e6, 5);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(bal.observe(((k * 37) % 500) as f64 * 1e6))
+        });
+    });
+    g.bench_function("relayout_fraction_n100", |b| {
+        b.iter(|| black_box(relayout_fraction(100, 100_000, 14, 20)));
+    });
+    g.finish();
+}
+
+fn controller_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller");
+    g.sample_size(20);
+    let series = generate::bursty(10_000, 60.0, 50.0e6, 0.04, 6.0, 0.7, 0.05, 3);
+    let cfg = SizerConfig {
+        per_server_rate: 10.0e6,
+        min: 2,
+        max: 50,
+        headroom: 0.2,
+    };
+    g.bench_function("evaluate_10k_bins", |b| {
+        b.iter(|| {
+            let mut ctl = ReactiveController::new(cfg, 5, 3);
+            black_box(evaluate(&mut ctl, &series, cfg, 5).machine_hours)
+        });
+    });
+    g.finish();
+}
+
+fn des_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.sample_size(10);
+    g.bench_function("latency_60s_run", |b| {
+        b.iter(|| {
+            black_box(
+                read_latency_under_reintegration(
+                    DesConfig::paper(),
+                    6,
+                    4_000,
+                    2_000,
+                    40.0,
+                    60.0,
+                    MigrationLoad::RateLimited {
+                        bytes_per_sec: 40.0e6,
+                    },
+                )
+                .p99,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, vdi_io, write_balancer, controller_eval, des_run);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Key-value store operation throughput (the paper's future-work section
+//! asks whether the dirty-table store adds meaningful overhead; these
+//! numbers answer it for our substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ech_kvstore::KvStore;
+use std::hint::black_box;
+
+fn string_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore/string");
+    g.throughput(Throughput::Elements(1));
+    for &shards in &[1usize, 8, 64] {
+        let kv = KvStore::new(shards);
+        g.bench_with_input(BenchmarkId::new("set", shards), &shards, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                kv.set(&format!("key:{}", k % 100_000), "value");
+            });
+        });
+        let kv = KvStore::new(shards);
+        for k in 0..100_000u64 {
+            kv.set(&format!("key:{k}"), "value");
+        }
+        g.bench_with_input(BenchmarkId::new("get", shards), &shards, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                black_box(kv.get(&format!("key:{}", k % 100_000)).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn list_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore/list");
+    g.throughput(Throughput::Elements(1));
+    let kv = KvStore::new(8);
+    g.bench_function("rpush", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(kv.rpush("queue", format!("{k}:1")).unwrap())
+        });
+    });
+    g.bench_function("lindex_mid", |b| {
+        let kv = KvStore::new(8);
+        for k in 0..50_000u64 {
+            kv.rpush("queue", format!("{k}:1")).unwrap();
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 50_000;
+            black_box(kv.lindex("queue", i).unwrap())
+        });
+    });
+    g.bench_function("lpop_refill", |b| {
+        let kv = KvStore::new(8);
+        let mut k = 0u64;
+        b.iter(|| {
+            if kv.llen("queue").unwrap() == 0 {
+                for _ in 0..1024 {
+                    k += 1;
+                    kv.rpush("queue", format!("{k}:1")).unwrap();
+                }
+            }
+            black_box(kv.lpop("queue").unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn hash_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore/hash");
+    g.throughput(Throughput::Elements(1));
+    let kv = KvStore::new(8);
+    g.bench_function("hset", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(
+                kv.hset("headers", &(k % 100_000).to_string(), "9:1")
+                    .unwrap(),
+            )
+        });
+    });
+    g.bench_function("hget", |b| {
+        for k in 0..100_000u64 {
+            kv.hset("headers", &k.to_string(), "9:1").unwrap();
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(kv.hget("headers", &(k % 100_000).to_string()).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, string_ops, list_ops, hash_ops);
+criterion_main!(benches);

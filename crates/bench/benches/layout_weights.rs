@@ -1,0 +1,43 @@
+//! Equal-work weight assignment and capacity planning cost across
+//! cluster sizes — resize-time operations that must stay cheap because an
+//! elastic cluster re-plans often.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ech_core::layout::{CapacityPlan, Layout};
+use std::hint::black_box;
+
+fn weights(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_weights");
+    for &n in &[10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("equal_work", n), &n, |b, &n| {
+            b.iter(|| black_box(Layout::equal_work(n, n as u32 * 100)));
+        });
+        g.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, &n| {
+            b.iter(|| black_box(Layout::uniform(n, n as u32 * 100)));
+        });
+    }
+    g.finish();
+}
+
+fn capacity_plan(c: &mut Criterion) {
+    const GB: u64 = 1 << 30;
+    let tiers = [
+        2000 * GB,
+        1500 * GB,
+        1000 * GB,
+        750 * GB,
+        500 * GB,
+        320 * GB,
+    ];
+    let mut g = c.benchmark_group("capacity_plan");
+    for &n in &[10usize, 100, 1000] {
+        let layout = Layout::equal_work(n, n as u32 * 100);
+        g.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| black_box(CapacityPlan::fit(&layout, &tiers, 5000 * GB, 0.2)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, weights, capacity_plan);
+criterion_main!(benches);

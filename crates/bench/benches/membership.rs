@@ -1,0 +1,50 @@
+//! Membership versioning cost: recording resize events and resolving
+//! historical placements (`locate_ser(OID, Ver)`), which the
+//! re-integration engine calls per dirty entry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ech_core::ids::{ObjectId, VersionId};
+use ech_core::layout::Layout;
+use ech_core::membership::{MembershipHistory, MembershipTable};
+use ech_core::placement::Strategy;
+use ech_core::view::ClusterView;
+use std::hint::black_box;
+
+fn record_versions(c: &mut Criterion) {
+    c.bench_function("membership/record_1000_versions", |b| {
+        b.iter(|| {
+            let mut h = MembershipHistory::new(MembershipTable::full_power(100));
+            for i in 0..1000usize {
+                h.record(MembershipTable::active_prefix(100, (i % 99) + 1));
+            }
+            black_box(h.len())
+        });
+    });
+}
+
+fn historical_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("membership/place_at");
+    g.throughput(Throughput::Elements(1));
+    for &versions in &[10u64, 100, 1000] {
+        let mut view = ClusterView::new(Layout::equal_work(50, 10_000), Strategy::Primary, 2);
+        for i in 0..versions {
+            view.resize(((i as usize) % 48) + 2);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("random_version", versions),
+            &versions,
+            |b, &versions| {
+                let mut k = 0u64;
+                b.iter(|| {
+                    k = k.wrapping_add(1);
+                    let ver = VersionId((k % versions) + 1);
+                    black_box(view.place_at(ObjectId(k), ver).unwrap())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, record_versions, historical_placement);
+criterion_main!(benches);

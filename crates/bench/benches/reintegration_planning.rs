@@ -1,0 +1,69 @@
+//! Re-integration planning throughput: how fast Algorithm 2 walks the
+//! dirty table and produces migration tasks. Planning must outpace the
+//! (rate-limited) data movement by orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ech_core::dirty::{DirtyEntry, DirtyTable, InMemoryDirtyTable, NoHeaders};
+use ech_core::ids::ObjectId;
+use ech_core::layout::Layout;
+use ech_core::placement::Strategy;
+use ech_core::reintegration::Reintegrator;
+use ech_core::view::ClusterView;
+use std::hint::black_box;
+
+fn make_scenario(n: usize, entries: u64) -> (ClusterView, InMemoryDirtyTable) {
+    let mut view = ClusterView::new(Layout::equal_work(n, n as u32 * 200), Strategy::Primary, 2);
+    view.resize(n / 2);
+    let ver = view.current_version();
+    let mut dirty = InMemoryDirtyTable::new();
+    for k in 0..entries {
+        dirty.push_back(DirtyEntry::new(ObjectId(k), ver));
+    }
+    view.resize(n);
+    (view, dirty)
+}
+
+fn drain_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reintegration/drain");
+    for &entries in &[1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(entries));
+        g.bench_with_input(
+            BenchmarkId::new("n10_full_power", entries),
+            &entries,
+            |b, &entries| {
+                b.iter_batched(
+                    || make_scenario(10, entries),
+                    |(view, mut dirty)| {
+                        let mut engine = Reintegrator::new();
+                        black_box(engine.drain(&view, &mut dirty, &NoHeaders).len())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn next_task_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reintegration/next_task");
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("n100", |b| {
+        b.iter_batched(
+            || make_scenario(100, 100_000),
+            |(view, mut dirty)| {
+                let mut engine = Reintegrator::new();
+                // Plan 100 tasks.
+                for _ in 0..100 {
+                    let _ = black_box(engine.next_task(&view, &mut dirty, &NoHeaders));
+                }
+                dirty.len()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, drain_throughput, next_task_latency);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ring construction and successor-lookup cost as the virtual-node count
+//! grows. Backs the paper's implicit claim that weighting the ring (the
+//! equal-work layout needs many vnodes for fairness) keeps lookups cheap:
+//! a lookup is one binary search over the sorted vnode array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ech_core::hash::object_position;
+use ech_core::ids::ObjectId;
+use ech_core::layout::Layout;
+use std::hint::black_box;
+
+fn ring_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_build");
+    for &base in &[1_000u32, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("equal_work_n100", base), &base, |b, &base| {
+            let layout = Layout::equal_work(100, base);
+            b.iter(|| black_box(layout.build_ring()));
+        });
+    }
+    g.finish();
+}
+
+fn ring_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_lookup");
+    for &base in &[1_000u32, 10_000, 100_000] {
+        let ring = Layout::equal_work(100, base).build_ring();
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("successor", base), &base, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                black_box(ring.successor_index(object_position(ObjectId(k))))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn distinct_server_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distinct_server_walk");
+    for &n in &[10usize, 100, 1000] {
+        let ring = Layout::uniform(n, (n as u32) * 100).build_ring();
+        g.bench_with_input(BenchmarkId::new("first_3", n), &n, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                let pos = object_position(ObjectId(k));
+                black_box(ring.distinct_servers_from(pos).take(3).count())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ring_build, ring_lookup, distinct_server_walk);
+criterion_main!(benches);

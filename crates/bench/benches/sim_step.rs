@@ -1,0 +1,55 @@
+//! Simulator step rate and whole-trace policy analysis cost: the
+//! per-figure harnesses run hundreds of simulated minutes, so steps must
+//! be microseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ech_sim::{ClusterSim, ElasticityMode, SimConfig};
+use ech_workload::three_phase::Workload;
+use std::hint::black_box;
+
+fn step_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/step");
+    g.throughput(Throughput::Elements(1));
+    for mode in [
+        ElasticityMode::NoResizing,
+        ElasticityMode::OriginalCh,
+        ElasticityMode::PrimarySelective,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("idle_10srv", mode.label()),
+            &mode,
+            |b, &mode| {
+                let mut sim = ClusterSim::new(SimConfig::paper_testbed(mode));
+                sim.preload_objects(2_000);
+                b.iter(|| black_box(sim.step()));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("under_load", mode.label()),
+            &mode,
+            |b, &mode| {
+                let mut sim = ClusterSim::new(SimConfig::paper_testbed(mode));
+                sim.start_workload(&Workload::three_phase_paper());
+                b.iter(|| black_box(sim.step()));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn policy_analysis(c: &mut Criterion) {
+    // Whole-trace policy runs (43k bins) — the Table II workload.
+    let mut g = c.benchmark_group("sim/policy_analysis");
+    g.sample_size(10);
+    let trace = ech_traces::synth::cc_a();
+    let params = ech_traces::PolicyParams::for_trace(&trace);
+    for kind in ech_traces::PolicyKind::all() {
+        g.bench_with_input(BenchmarkId::new("cc_a", kind.label()), &kind, |b, &kind| {
+            b.iter(|| black_box(ech_traces::simulate(&trace, &params, kind).machine_hours));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, step_rate, policy_analysis);
+criterion_main!(benches);

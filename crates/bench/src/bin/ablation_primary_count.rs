@@ -1,0 +1,58 @@
+//! Ablation — number of primaries `p` vs minimum power state and write
+//! capacity.
+//!
+//! The paper fixes `p = ceil(n/e²)` (the equal-work optimum) and notes
+//! that the small primary set limits write throughput — the reason
+//! SpringFS-style systems vary it. This sweep makes the trade concrete
+//! using the library's explicit-p layout: smaller `p` → lower power floor
+//! but a tighter write bottleneck (every object writes exactly one
+//! replica into the primary set).
+
+use ech_bench::{banner, row};
+use ech_core::ids::ObjectId;
+use ech_core::layout::{primary_count, Layout};
+use ech_core::membership::MembershipTable;
+use ech_core::placement::place_primary;
+
+fn main() {
+    banner(
+        "Ablation",
+        "primary count p: power floor vs primary-set write load (n=10, r=2)",
+    );
+    let n = 10usize;
+    let base = 40_000u32;
+    let objects = 40_000u64;
+
+    println!(
+        "paper's choice for n={n}: p = ceil(n/e^2) = {}",
+        primary_count(n)
+    );
+    println!();
+    row(&["p", "floor(W)%", "prim-write%", "prim/srv%"]);
+    let membership = MembershipTable::full_power(n);
+    for p in 1..=5usize {
+        let layout = Layout::equal_work_with_primaries(n, base, p);
+        let ring = layout.build_ring();
+        let mut on_primary = 0u64;
+        let mut total = 0u64;
+        for k in 0..objects {
+            let placement = place_primary(&ring, &layout, &membership, ObjectId(k), 2)
+                .expect("full power places");
+            total += placement.len() as u64;
+            on_primary += placement.primary_replicas(&layout).count() as u64;
+        }
+        row(&[
+            p.to_string(),
+            format!("{:.0}", 100.0 * p as f64 / n as f64),
+            format!("{:.1}", 100.0 * on_primary as f64 / total as f64),
+            format!(
+                "{:.1}",
+                100.0 * on_primary as f64 / total as f64 / p as f64
+            ),
+        ]);
+    }
+    println!();
+    println!("expected: the primary set always absorbs ~50% of replicas (one of");
+    println!("r=2), so each primary's share of the write load scales as 1/(2p):");
+    println!("fewer primaries = lower possible power floor but hotter primaries.");
+}

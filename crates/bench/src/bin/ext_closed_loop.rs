@@ -1,0 +1,71 @@
+//! Extension — the complete closed-loop system: controller + elastic
+//! mechanisms + fluid cluster, end to end.
+//!
+//! A bursty offered-load series drives the paper-testbed cluster in
+//! Primary+selective mode under three controllers; the table shows the
+//! power/delivery trade plus how much data the selective engine had to
+//! re-integrate along the way.
+
+use ech_bench::{banner, row};
+use ech_sim::closed_loop::run_closed_loop;
+use ech_sim::controller::{
+    MovingAverageController, ReactiveController, ResizeController, SizerConfig, TrendController,
+};
+use ech_sim::{ElasticityMode, SimConfig};
+use ech_workload::series::generate;
+
+fn main() {
+    banner(
+        "Extension",
+        "closed loop: controller + elastic cluster on a bursty profile",
+    );
+    // 40 minutes of bursty load at 10 s bins against the 10-node testbed.
+    let series = generate::bursty(240, 10.0, 60.0e6, 0.04, 4.0, 0.75, 0.05, 33);
+    let sizer = SizerConfig {
+        per_server_rate: 40.0e6,
+        min: 2,
+        max: 10,
+        headroom: 0.25,
+    };
+
+    let mut controllers: Vec<Box<dyn ResizeController>> = vec![
+        Box::new(ReactiveController::new(sizer, 1, 1)),
+        Box::new(ReactiveController::new(sizer, 4, 2)),
+        Box::new(MovingAverageController::new(sizer, 6, 4, 2)),
+        Box::new(TrendController::new(sizer, 6, 4)),
+    ];
+
+    let full_power_ms = 10.0 * series.duration_seconds();
+    row(&[
+        "controller",
+        "mach-sec",
+        "saved%",
+        "delivery%",
+        "migrated MB",
+        "peak dirty",
+    ]);
+    for ctl in controllers.iter_mut() {
+        let run = run_closed_loop(
+            SimConfig::paper_testbed(ElasticityMode::PrimarySelective),
+            &series,
+            0.3,
+            ctl.as_mut(),
+        );
+        row(&[
+            run.controller.clone(),
+            format!("{:.0}", run.machine_seconds),
+            format!(
+                "{:.1}",
+                100.0 * (1.0 - run.machine_seconds / full_power_ms)
+            ),
+            format!("{:.1}", 100.0 * run.delivery_ratio()),
+            format!("{:.1}", run.migrated_bytes / 1e6),
+            run.peak_dirty.to_string(),
+        ]);
+    }
+    println!();
+    println!("expected: every controller saves double-digit power vs pinning all");
+    println!("10 servers on, at >90% delivery; eager reaction saves the most but");
+    println!("delivers the least during burst onsets; selective re-integration");
+    println!("quietly moves the offloaded writes back after every size-up.");
+}

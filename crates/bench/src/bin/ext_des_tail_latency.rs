@@ -1,0 +1,55 @@
+//! Extension — per-request read-latency tails during re-integration.
+//!
+//! The paper's Figures 3/7 show *throughput*; this harness uses the
+//! request-level queue model (`ech_sim::des`) to expose the latency side
+//! of the same phenomenon: un-throttled migration inflates the read tail
+//! by an order of magnitude, while the selective design's rate limit
+//! keeps p99 near the uncontended baseline.
+
+use ech_bench::{banner, row};
+use ech_sim::des::{read_latency_under_reintegration, DesConfig, MigrationLoad};
+
+fn main() {
+    banner(
+        "Extension",
+        "read-latency tail under re-integration (4 MB reads @160 MB/s offered)",
+    );
+    let cfg = DesConfig::paper();
+    let cases = [
+        ("no migration", MigrationLoad::None),
+        (
+            "selective 20 MB/s",
+            MigrationLoad::RateLimited {
+                bytes_per_sec: 20.0e6,
+            },
+        ),
+        (
+            "selective 40 MB/s",
+            MigrationLoad::RateLimited {
+                bytes_per_sec: 40.0e6,
+            },
+        ),
+        (
+            "selective 80 MB/s",
+            MigrationLoad::RateLimited {
+                bytes_per_sec: 80.0e6,
+            },
+        ),
+        ("unthrottled (orig.)", MigrationLoad::Unthrottled),
+    ];
+
+    row(&["case", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)"]);
+    for (label, migration) in cases {
+        let s = read_latency_under_reintegration(cfg, 6, 4_000, 2_000, 40.0, 120.0, migration);
+        row(&[
+            label.to_owned(),
+            format!("{:.1}", s.p50 * 1e3),
+            format!("{:.1}", s.p90 * 1e3),
+            format!("{:.1}", s.p99 * 1e3),
+            format!("{:.1}", s.max * 1e3),
+        ]);
+    }
+    println!();
+    println!("expected: p99 grows with the migration rate and explodes when");
+    println!("unthrottled — the latency-side view of Figure 7's throughput dip.");
+}

@@ -1,0 +1,50 @@
+//! Figure 2 — "Resizing a consistent hashing based distributed storage
+//! system": the desired schedule removes 2 servers every 30 s down to 2,
+//! then adds 2 back every 30 s; original CH lags on the way down (each
+//! departure must wait for re-replication) and catches up on the way up.
+//!
+//! Output: one row per 5 s with the ideal and actual server counts, plus
+//! the mean lag. An `elastic` column shows the same schedule under the
+//! paper's primary/equal-work design for contrast.
+
+use ech_bench::{banner, row};
+use ech_sim::experiments::{fig2_schedule, resize_agility};
+use ech_sim::ElasticityMode;
+
+fn main() {
+    banner(
+        "Figure 2",
+        "resize agility: ideal schedule vs consistent hashing",
+    );
+    let schedule = fig2_schedule();
+    let orig = resize_agility(ElasticityMode::OriginalCh, &schedule, 330.0, 3500);
+    let elastic = resize_agility(ElasticityMode::PrimarySelective, &schedule, 330.0, 3500);
+
+    row(&["t(s)", "ideal", "original CH", "elastic"]);
+    for (i, &t) in orig.times.iter().enumerate() {
+        if (t * 10.0).round() as i64 % 50 != 0 {
+            continue; // print every 5 s
+        }
+        row(&[
+            format!("{t:.0}"),
+            orig.ideal[i].to_string(),
+            orig.actual[i].to_string(),
+            elastic.actual[i].to_string(),
+        ]);
+    }
+
+    println!();
+    println!(
+        "mean |actual - ideal|: original CH {:.2} servers, elastic {:.2} servers",
+        orig.mean_gap(),
+        elastic.mean_gap()
+    );
+    println!(
+        "excess machine-seconds vs ideal: original CH {:.0}, elastic {:.0}",
+        orig.excess_machine_seconds(0.5),
+        elastic.excess_machine_seconds(0.5)
+    );
+    println!();
+    println!("paper's shape: original CH 'lags behind when sizing down the cluster");
+    println!("... but catches up when sizing up' — compare the t=120..180 rows.");
+}

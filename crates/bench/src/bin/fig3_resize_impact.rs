@@ -1,0 +1,62 @@
+//! Figure 3 — "Performance impact of resizing": the 3-phase workload
+//! under original consistent hashing, with resizing (4 servers off during
+//! the valley) vs without. The resizing run's throughput collapses after
+//! phase 2 while the assume-empty migration consumes disk bandwidth.
+
+use ech_bench::{banner, mbps, row};
+use ech_sim::experiments::three_phase;
+use ech_sim::ElasticityMode;
+
+fn main() {
+    banner(
+        "Figure 3",
+        "3-phase workload: original CH with resizing vs no resizing",
+    );
+    let phase2 = 120.0;
+    let none = three_phase(ElasticityMode::NoResizing, phase2, 1500.0);
+    let orig = three_phase(ElasticityMode::OriginalCh, phase2, 1500.0);
+
+    row(&["t(s)", "no-resize", "with-resize", "(MB/s)"]);
+    let max_t = orig
+        .samples
+        .last()
+        .map(|s| s.time)
+        .unwrap_or(0.0)
+        .max(none.samples.last().map(|s| s.time).unwrap_or(0.0));
+    let mut t = 0.0;
+    while t <= max_t {
+        let at = |r: &ech_sim::experiments::ThreePhaseRun| {
+            r.samples
+                .iter()
+                .find(|s| s.time >= t)
+                .map(|s| s.client_throughput)
+                .unwrap_or(0.0)
+        };
+        row(&[
+            format!("{t:.0}"),
+            mbps(at(&none)),
+            mbps(at(&orig)),
+            String::new(),
+        ]);
+        t += 10.0;
+    }
+
+    println!();
+    for r in [&none, &orig] {
+        println!(
+            "{:<12} phase ends at {:?}s, recovery delay (80% of peak): {:.1}s, \
+             migrated {:.1} GB, machine-seconds {:.0}",
+            r.mode_label,
+            r.phase_ends
+                .iter()
+                .map(|t| t.round() as i64)
+                .collect::<Vec<_>>(),
+            r.recovery_delay(0.8).unwrap_or(0.0),
+            r.migrated_bytes / 1e9,
+            r.machine_seconds
+        );
+    }
+    println!();
+    println!("paper's shape: throughput 'significantly affected when we added 4");
+    println!("servers back to the cluster (between phase 2 and 3)'.");
+}

@@ -1,0 +1,45 @@
+//! Figure 8 — "CC-a Trace": servers over time for the Ideal, Original
+//! CH, Primary+full and Primary+selective policies over the synthetic
+//! CC-a trace (calibrated to Table I's envelope). Shows the same
+//! 250-minute window as the paper's plot.
+
+use ech_bench::{banner, row};
+use ech_traces::{analyze, synth, PolicyKind, PolicyParams};
+
+fn main() {
+    banner("Figure 8", "CC-a trace: servers needed under four policies");
+    let trace = synth::cc_a();
+    let params = PolicyParams::for_trace(&trace);
+    let a = analyze(&trace, &params);
+
+    row(&["t(min)", "ideal", "orig CH", "prim+full", "prim+sel"]);
+    for minute in (0..=250).step_by(5) {
+        let idx = minute.min(trace.load.len() - 1);
+        let cells: Vec<String> = std::iter::once(minute.to_string())
+            .chain(
+                PolicyKind::all()
+                    .iter()
+                    .map(|&k| a.result(k).servers[idx].to_string()),
+            )
+            .collect();
+        row(&cells);
+    }
+
+    println!();
+    println!("whole-trace machine-hours (ratio to ideal):");
+    for k in PolicyKind::all() {
+        println!(
+            "  {:<18} {:>12.0} h   ({:.2}x)",
+            k.label(),
+            a.result(k).machine_hours,
+            a.relative_machine_hours(k)
+        );
+    }
+    println!();
+    println!(
+        "savings vs original CH: primary+full {:.1}%, primary+selective {:.1}% \
+         (paper: 6.3% and 8.5%)",
+        100.0 * a.savings_vs_original(PolicyKind::PrimaryFull),
+        100.0 * a.savings_vs_original(PolicyKind::PrimarySelective)
+    );
+}

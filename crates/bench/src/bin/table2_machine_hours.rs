@@ -1,0 +1,45 @@
+//! Table II — "Relative machine hour usage relative to the ideal case":
+//! both traces, all three non-ideal policies, side by side with the
+//! paper's reported ratios.
+
+use ech_bench::{banner, row};
+use ech_traces::{analyze, synth, PolicyKind, PolicyParams};
+
+fn main() {
+    banner("Table II", "machine-hour usage relative to the ideal case");
+    // Paper's values for the comparison columns.
+    let paper = [
+        ("CC-a", [1.32, 1.24, 1.21]),
+        ("CC-b", [1.51, 1.37, 1.33]),
+    ];
+
+    row(&[
+        "Trace",
+        "OriginalCH",
+        "(paper)",
+        "Prim+full",
+        "(paper)",
+        "Prim+sel",
+        "(paper)",
+    ]);
+    for (trace, (name, expect)) in [synth::cc_a(), synth::cc_b()].into_iter().zip(paper) {
+        let params = PolicyParams::for_trace(&trace);
+        let a = analyze(&trace, &params);
+        let got = [
+            a.relative_machine_hours(PolicyKind::OriginalCh),
+            a.relative_machine_hours(PolicyKind::PrimaryFull),
+            a.relative_machine_hours(PolicyKind::PrimarySelective),
+        ];
+        row(&[
+            name.to_string(),
+            format!("{:.2}", got[0]),
+            format!("{:.2}", expect[0]),
+            format!("{:.2}", got[1]),
+            format!("{:.2}", expect[1]),
+            format!("{:.2}", got[2]),
+            format!("{:.2}", expect[2]),
+        ]);
+    }
+    println!();
+    println!("ordering to verify: original CH > primary+full > primary+selective > 1.0");
+}

@@ -1,0 +1,132 @@
+//! Minimal flag parser (std-only, keeping the dependency set tight).
+//!
+//! Supports `--key value` pairs and bare subcommands. Unknown flags are
+//! errors so typos fail loudly rather than silently using defaults.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional token.
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: HashMap<String, String>,
+}
+
+/// Parse errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a token stream (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ParseError> {
+    let mut it = tokens.into_iter();
+    let command = it
+        .next()
+        .ok_or_else(|| ParseError("missing subcommand; try `ech help`".into()))?;
+    if command.starts_with("--") {
+        return Err(ParseError(format!(
+            "expected a subcommand before flags, found {command}"
+        )));
+    }
+    let mut options = HashMap::new();
+    while let Some(tok) = it.next() {
+        let Some(key) = tok.strip_prefix("--") else {
+            return Err(ParseError(format!("unexpected positional argument {tok}")));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("flag --{key} needs a value")))?;
+        if options.insert(key.to_owned(), value).is_some() {
+            return Err(ParseError(format!("flag --{key} given twice")));
+        }
+    }
+    Ok(Args { command, options })
+}
+
+impl Args {
+    /// Fetch an option parsed as `T`, or the default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| ParseError(format!("invalid value for --{key}: {raw}"))),
+        }
+    }
+
+    /// Fetch a string option or a default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Fail on options outside the allowed set (catches typos).
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<(), ParseError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ParseError(format!(
+                    "unknown flag --{key} for `{}` (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(toks("layout --servers 10 --base 1000")).unwrap();
+        assert_eq!(a.command, "layout");
+        assert_eq!(a.get_or("servers", 0usize).unwrap(), 10);
+        assert_eq!(a.get_or("base", 0u32).unwrap(), 1000);
+        assert_eq!(a.get_or("missing", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(parse(toks("place --oid")).is_err());
+        assert!(parse(toks("place --oid 1 --oid 2")).is_err());
+        assert!(parse(toks("--servers 10")).is_err());
+        assert!(parse(Vec::new()).is_err());
+        assert!(parse(toks("place stray")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values_and_unknown_flags() {
+        let a = parse(toks("layout --servers banana")).unwrap();
+        assert!(a.get_or("servers", 0usize).is_err());
+        let a = parse(toks("layout --nope 1")).unwrap();
+        assert!(a.allow_only(&["servers", "base"]).is_err());
+        let a = parse(toks("layout --servers 3")).unwrap();
+        assert!(a.allow_only(&["servers", "base"]).is_ok());
+    }
+
+    #[test]
+    fn str_or_defaults() {
+        let a = parse(toks("trace --name cc-b")).unwrap();
+        assert_eq!(a.str_or("name", "cc-a"), "cc-b");
+        assert_eq!(a.str_or("policy", "all"), "all");
+    }
+}

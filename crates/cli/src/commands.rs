@@ -1,0 +1,386 @@
+//! Subcommand implementations. Each returns its output as a `String` so
+//! tests can assert on it without capturing stdout.
+
+use crate::args::{Args, ParseError};
+use ech_core::ids::ObjectId;
+use ech_core::layout::{CapacityPlan, Layout};
+use ech_core::membership::MembershipTable;
+use ech_core::placement::{place, Strategy};
+use ech_sim::experiments::{fig2_schedule, resize_agility, three_phase};
+use ech_sim::ElasticityMode;
+use ech_traces::{analyze, synth, PolicyKind, PolicyParams};
+use std::fmt::Write as _;
+
+/// Run a parsed command, returning its printable output.
+pub fn run(args: &Args) -> Result<String, ParseError> {
+    match args.command.as_str() {
+        "help" => Ok(help()),
+        "layout" => layout(args),
+        "place" => place_cmd(args),
+        "three-phase" => three_phase_cmd(args),
+        "resize-agility" => resize_agility_cmd(args),
+        "trace" => trace_cmd(args),
+        "latency" => latency_cmd(args),
+        other => Err(ParseError(format!(
+            "unknown subcommand `{other}`; try `ech help`"
+        ))),
+    }
+}
+
+fn help() -> String {
+    "\
+ech — elastic consistent hashing toolkit
+
+USAGE: ech <command> [--flag value]...
+
+COMMANDS:
+  layout          print equal-work weights and the capacity plan
+                  [--servers N] [--base B] [--primaries P] [--data-gb G]
+  place           compute replica placement for an object
+                  [--servers N] [--oid K] [--replicas R] [--active A]
+                  [--strategy primary|original]
+  three-phase     run the §V-A 3-phase simulation, CSV to stdout
+                  [--mode no-resizing|original|full|selective] [--valley S]
+  resize-agility  run the Figure 2 schedule, CSV to stdout
+                  [--mode original|selective] [--objects N]
+  trace           trace-driven policy analysis (Table II style)
+                  [--name cc-a|cc-b|cc-c|cc-d|cc-e]
+  latency         read-latency tail during re-integration (queue model)
+                  [--migration none|selective|unthrottled] [--rate MBps]
+  help            this text
+"
+    .to_owned()
+}
+
+fn layout(args: &Args) -> Result<String, ParseError> {
+    args.allow_only(&["servers", "base", "primaries", "data-gb"])?;
+    let n: usize = args.get_or("servers", 10)?;
+    if n == 0 {
+        return Err(ParseError("--servers must be at least 1".into()));
+    }
+    let base: u32 = args.get_or("base", 10_000)?;
+    let p: usize = args.get_or("primaries", ech_core::layout::primary_count(n))?;
+    let data_gb: u64 = args.get_or("data-gb", 1_000)?;
+    if p == 0 || p > n || (base as usize) < n {
+        return Err(ParseError(format!(
+            "invalid layout: servers {n}, primaries {p}, base {base}"
+        )));
+    }
+    let layout = Layout::equal_work_with_primaries(n, base, p);
+    const GB: u64 = 1 << 30;
+    let tiers = [
+        2000 * GB,
+        1500 * GB,
+        1000 * GB,
+        750 * GB,
+        500 * GB,
+        320 * GB,
+    ];
+    let plan = CapacityPlan::fit(&layout, &tiers, data_gb * GB, 0.2);
+    let mut out = String::new();
+    writeln!(out, "rank,role,vnodes,share,capacity_gb").expect("write to string");
+    for (i, (&w, f)) in layout
+        .weights()
+        .iter()
+        .zip(layout.expected_fractions())
+        .enumerate()
+    {
+        let server = ech_core::ids::ServerId(i as u32);
+        writeln!(
+            out,
+            "{},{},{},{:.4},{}",
+            i + 1,
+            if layout.is_primary(server) {
+                "primary"
+            } else {
+                "secondary"
+            },
+            w,
+            f,
+            plan.capacity(server) / GB
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+fn place_cmd(args: &Args) -> Result<String, ParseError> {
+    args.allow_only(&["servers", "oid", "replicas", "active", "strategy", "base"])?;
+    let n: usize = args.get_or("servers", 10)?;
+    let oid: u64 = args.get_or("oid", 0)?;
+    let r: usize = args.get_or("replicas", 2)?;
+    let active: usize = args.get_or("active", n)?;
+    let base: u32 = args.get_or("base", 10_000)?;
+    let strategy = match args.str_or("strategy", "primary") {
+        "primary" => Strategy::Primary,
+        "original" => Strategy::Original,
+        other => return Err(ParseError(format!("unknown strategy {other}"))),
+    };
+    if active == 0 || active > n {
+        return Err(ParseError(format!("--active {active} out of 1..={n}")));
+    }
+    let layout = match strategy {
+        Strategy::Primary => Layout::equal_work(n, base),
+        Strategy::Original => Layout::uniform(n, base),
+    };
+    let ring = layout.build_ring();
+    let membership = MembershipTable::active_prefix(n, active);
+    let placement = place(strategy, &ring, &layout, &membership, ObjectId(oid), r)
+        .map_err(|e| ParseError(format!("placement failed: {e}")))?;
+    let mut out = String::new();
+    writeln!(out, "oid,replica,server,role").expect("write to string");
+    for (i, &s) in placement.servers().iter().enumerate() {
+        writeln!(
+            out,
+            "{},{},{},{}",
+            oid,
+            i + 1,
+            s.index() + 1,
+            if layout.is_primary(s) {
+                "primary"
+            } else {
+                "secondary"
+            }
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+fn parse_mode(s: &str) -> Result<ElasticityMode, ParseError> {
+    Ok(match s {
+        "no-resizing" => ElasticityMode::NoResizing,
+        "original" => ElasticityMode::OriginalCh,
+        "full" => ElasticityMode::PrimaryFull,
+        "selective" => ElasticityMode::PrimarySelective,
+        other => return Err(ParseError(format!("unknown mode {other}"))),
+    })
+}
+
+fn three_phase_cmd(args: &Args) -> Result<String, ParseError> {
+    args.allow_only(&["mode", "valley"])?;
+    let mode = parse_mode(args.str_or("mode", "selective"))?;
+    let valley: f64 = args.get_or("valley", 120.0)?;
+    if !(1.0..=3600.0).contains(&valley) {
+        return Err(ParseError("--valley must be within 1..=3600 seconds".into()));
+    }
+    let run = three_phase(mode, valley, 2_000.0);
+    let mut out = String::new();
+    writeln!(out, "time_s,throughput_mbps,active,powered,phase").expect("write to string");
+    for s in run.samples.iter().step_by(4) {
+        writeln!(
+            out,
+            "{:.1},{:.1},{},{},{}",
+            s.time,
+            s.client_throughput / 1e6,
+            s.active,
+            s.powered,
+            s.phase
+        )
+        .expect("write to string");
+    }
+    writeln!(
+        out,
+        "# recovery_delay_s={:.1} migrated_gb={:.2} machine_seconds={:.0}",
+        run.recovery_delay(0.8).unwrap_or(0.0),
+        run.migrated_bytes / 1e9,
+        run.machine_seconds
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
+fn resize_agility_cmd(args: &Args) -> Result<String, ParseError> {
+    args.allow_only(&["mode", "objects"])?;
+    let mode = parse_mode(args.str_or("mode", "original"))?;
+    let objects: usize = args.get_or("objects", 3_500)?;
+    let run = resize_agility(mode, &fig2_schedule(), 330.0, objects);
+    let mut out = String::new();
+    writeln!(out, "time_s,ideal,actual").expect("write to string");
+    for i in (0..run.times.len()).step_by(10) {
+        writeln!(out, "{:.1},{},{}", run.times[i], run.ideal[i], run.actual[i])
+            .expect("write to string");
+    }
+    writeln!(out, "# mean_gap={:.2}", run.mean_gap()).expect("write to string");
+    Ok(out)
+}
+
+fn trace_cmd(args: &Args) -> Result<String, ParseError> {
+    args.allow_only(&["name"])?;
+    let trace = match args.str_or("name", "cc-a") {
+        "cc-a" => synth::cc_a(),
+        "cc-b" => synth::cc_b(),
+        "cc-c" => synth::cc_c(),
+        "cc-d" => synth::cc_d(),
+        "cc-e" => synth::cc_e(),
+        other => return Err(ParseError(format!("unknown trace {other}"))),
+    };
+    let params = PolicyParams::for_trace(&trace);
+    let analysis = analyze(&trace, &params);
+    let mut out = String::new();
+    writeln!(out, "policy,machine_hours,relative_to_ideal").expect("write to string");
+    for k in PolicyKind::all() {
+        writeln!(
+            out,
+            "{},{:.0},{:.3}",
+            k.label(),
+            analysis.result(k).machine_hours,
+            analysis.relative_machine_hours(k)
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+fn latency_cmd(args: &Args) -> Result<String, ParseError> {
+    use ech_sim::des::{read_latency_under_reintegration, DesConfig, MigrationLoad};
+    args.allow_only(&["migration", "rate"])?;
+    let rate: f64 = args.get_or("rate", 40.0)?;
+    if rate <= 0.0 {
+        return Err(ParseError("--rate must be positive".into()));
+    }
+    let migration = match args.str_or("migration", "selective") {
+        "none" => MigrationLoad::None,
+        "selective" => MigrationLoad::RateLimited {
+            bytes_per_sec: rate * 1e6,
+        },
+        "unthrottled" => MigrationLoad::Unthrottled,
+        other => return Err(ParseError(format!("unknown migration mode {other}"))),
+    };
+    let s = read_latency_under_reintegration(
+        DesConfig::paper(),
+        6,
+        4_000,
+        2_000,
+        40.0,
+        120.0,
+        migration,
+    );
+    let mut out = String::new();
+    writeln!(out, "metric,milliseconds").expect("write to string");
+    for (name, v) in [
+        ("mean", s.mean),
+        ("p50", s.p50),
+        ("p90", s.p90),
+        ("p99", s.p99),
+        ("max", s.max),
+    ] {
+        writeln!(out, "{},{:.2}", name, v * 1e3).expect("write to string");
+    }
+    writeln!(out, "# requests={}", s.count).expect("write to string");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_line(line: &str) -> Result<String, ParseError> {
+        run(&parse(line.split_whitespace().map(str::to_owned)).unwrap())
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let h = run_line("help").unwrap();
+        for cmd in ["layout", "place", "three-phase", "resize-agility", "trace"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn layout_prints_all_ranks() {
+        let out = run_line("layout --servers 10 --base 1000").unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 11); // header + 10 ranks
+        assert!(lines[1].starts_with("1,primary,500,"));
+        assert!(lines[10].starts_with("10,secondary,100,"));
+    }
+
+    #[test]
+    fn layout_rejects_bad_shapes() {
+        assert!(run_line("layout --servers 0").is_err());
+        assert!(run_line("layout --servers 10 --primaries 11").is_err());
+        assert!(run_line("layout --servers 10 --base 5").is_err());
+    }
+
+    #[test]
+    fn place_outputs_r_rows_with_one_primary() {
+        let out = run_line("place --servers 10 --oid 10010 --replicas 2").unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let primaries = lines[1..]
+            .iter()
+            .filter(|l| l.ends_with("primary"))
+            .count();
+        assert_eq!(primaries, 1);
+    }
+
+    #[test]
+    fn place_respects_active_prefix() {
+        let out = run_line("place --servers 10 --oid 7 --active 4").unwrap();
+        for line in out.lines().skip(1) {
+            let server: usize = line.split(',').nth(2).unwrap().parse().unwrap();
+            assert!(server <= 4, "placed on inactive server: {line}");
+        }
+        assert!(run_line("place --servers 10 --active 0").is_err());
+    }
+
+    #[test]
+    fn place_original_strategy_works() {
+        let out = run_line("place --strategy original --oid 5").unwrap();
+        assert_eq!(out.lines().count(), 3);
+        assert!(run_line("place --strategy bogus").is_err());
+    }
+
+    #[test]
+    fn trace_emits_four_policies() {
+        // Use the smaller CC-b? Both are fast in release; in debug the
+        // CC-a run is ~1 s, acceptable for a test.
+        let out = run_line("trace --name cc-a").unwrap();
+        assert_eq!(out.lines().count(), 5);
+        assert!(out.contains("Primary+selective"));
+        assert!(run_line("trace --name bogus").is_err());
+    }
+
+    #[test]
+    fn three_phase_csv_has_expected_columns() {
+        let out = run_line("three-phase --mode no-resizing --valley 30").unwrap();
+        let header = out.lines().next().unwrap();
+        assert_eq!(header, "time_s,throughput_mbps,active,powered,phase");
+        assert!(out.lines().last().unwrap().starts_with("# recovery_delay_s="));
+        assert!(run_line("three-phase --valley 0").is_err());
+        assert!(run_line("three-phase --mode warp").is_err());
+    }
+
+    #[test]
+    fn resize_agility_csv() {
+        let out = run_line("resize-agility --mode selective --objects 500").unwrap();
+        assert!(out.starts_with("time_s,ideal,actual"));
+        assert!(out.contains("# mean_gap="));
+    }
+
+    #[test]
+    fn latency_outputs_percentiles() {
+        let out = run_line("latency --migration none").unwrap();
+        assert!(out.starts_with("metric,milliseconds"));
+        assert_eq!(out.lines().count(), 7);
+        assert!(run_line("latency --migration warp").is_err());
+        assert!(run_line("latency --rate 0").is_err());
+    }
+
+    #[test]
+    fn trace_knows_the_whole_family() {
+        // Parsing-level check: unknown names rejected, known ones parse
+        // (cc-d is the cheapest full run).
+        assert!(run_line("trace --name cc-f").is_err());
+        let out = run_line("trace --name cc-d").unwrap();
+        assert_eq!(out.lines().count(), 5);
+    }
+
+    #[test]
+    fn unknown_command_and_flags_error() {
+        assert!(run_line("frobnicate").is_err());
+        assert!(run_line("layout --bogus 3").is_err());
+    }
+}

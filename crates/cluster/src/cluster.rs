@@ -1,0 +1,790 @@
+//! The cluster coordinator: an in-process, multi-threaded elastic object
+//! store.
+//!
+//! This is the executable counterpart of the paper's modified Sheepdog
+//! deployment: real object bytes on [`StorageNode`]s, placement by
+//! `ech-core` (Algorithm 1 or original CH), membership versioning on
+//! every resize, write-availability offloading for free (placement skips
+//! powered-off nodes), dirty tracking in the Redis-like store, and
+//! selective re-integration executing actual replica copies.
+//!
+//! All operations take `&self`; the coordinator is safe to share across
+//! client threads (`Arc<Cluster>`).
+
+use crate::dirty_store::{KvDirtyTable, KvHeaderStore};
+use crate::node::{NodeError, StorageNode};
+use bytes::Bytes;
+use ech_core::dirty::{DirtyEntry, DirtyTable, HeaderSource};
+use ech_core::ids::{ObjectId, ServerId, VersionId};
+use ech_core::layout::Layout;
+use ech_core::placement::{Placement, PlacementError, Strategy};
+use ech_core::reintegration::{Idle, Reintegrator};
+use ech_core::view::ClusterView;
+use ech_kvstore::KvStore;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of storage nodes.
+    pub servers: usize,
+    /// Replication factor.
+    pub replicas: usize,
+    /// Virtual-node fairness base `B`.
+    pub layout_base: u32,
+    /// Placement algorithm (Primary = the paper's elastic design).
+    pub strategy: Strategy,
+    /// Shards of the backing key-value store.
+    pub kv_shards: usize,
+    /// Optional per-node disk capacities (§III-D tiered provisioning);
+    /// `None` = unlimited disks.
+    pub capacity_plan: Option<ech_core::layout::CapacityPlan>,
+}
+
+impl ClusterConfig {
+    /// The paper's deployment shape: 10 nodes, 2-way replication,
+    /// primary placement over the equal-work layout.
+    pub fn paper() -> Self {
+        ClusterConfig {
+            servers: 10,
+            replicas: 2,
+            layout_base: 10_000,
+            strategy: Strategy::Primary,
+            kv_shards: 10,
+            capacity_plan: None,
+        }
+    }
+}
+
+/// Cluster-level operation errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Placement failed (not enough active servers).
+    Placement(PlacementError),
+    /// All candidate replicas failed to serve the read.
+    NotFound,
+    /// A node rejected an operation (unexpected power race).
+    Node(NodeError),
+}
+
+impl From<PlacementError> for ClusterError {
+    fn from(e: PlacementError) -> Self {
+        ClusterError::Placement(e)
+    }
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Placement(e) => write!(f, "placement failed: {e}"),
+            ClusterError::NotFound => write!(f, "object not found on any replica"),
+            ClusterError::Node(e) => write!(f, "node error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Statistics from a re-integration pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReintegrationStats {
+    /// Tasks (objects) migrated.
+    pub tasks: usize,
+    /// Individual replica moves executed.
+    pub moves: usize,
+    /// Payload bytes copied.
+    pub bytes: u64,
+}
+
+/// How reads pick among an object's replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPolicy {
+    /// Always try the first replica first (simple, but hot-spots it).
+    #[default]
+    FirstReplica,
+    /// Rotate the starting replica round-robin, spreading read load
+    /// across all holders — the equal-work layout then makes read work
+    /// proportional to data stored ("read performance proportionality",
+    /// §III-C).
+    Balanced,
+}
+
+/// The elastic object-store cluster.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    nodes: Vec<Arc<StorageNode>>,
+    view: RwLock<ClusterView>,
+    kv: Arc<KvStore>,
+    dirty: Mutex<KvDirtyTable>,
+    headers: KvHeaderStore,
+    engine: Mutex<Reintegrator>,
+    stop_worker: AtomicBool,
+    migrated_bytes: AtomicU64,
+    read_rr: AtomicU64,
+}
+
+impl Cluster {
+    /// Build a cluster at full power.
+    pub fn new(cfg: ClusterConfig) -> Arc<Self> {
+        let layout = match cfg.strategy {
+            Strategy::Primary => Layout::equal_work(cfg.servers, cfg.layout_base),
+            Strategy::Original => Layout::uniform(cfg.servers, cfg.layout_base),
+        };
+        let view = ClusterView::new(layout, cfg.strategy, cfg.replicas);
+        let kv = Arc::new(KvStore::new(cfg.kv_shards));
+        let nodes = (0..cfg.servers)
+            .map(|i| {
+                let id = ServerId(i as u32);
+                let capacity = cfg
+                    .capacity_plan
+                    .as_ref()
+                    .map(|p| p.capacity(id))
+                    .unwrap_or(u64::MAX);
+                Arc::new(StorageNode::with_capacity(id, capacity))
+            })
+            .collect();
+        Arc::new(Cluster {
+            nodes,
+            view: RwLock::new(view),
+            dirty: Mutex::new(KvDirtyTable::new(kv.clone())),
+            headers: KvHeaderStore::new(kv.clone()),
+            engine: Mutex::new(Reintegrator::new()),
+            stop_worker: AtomicBool::new(false),
+            migrated_bytes: AtomicU64::new(0),
+            read_rr: AtomicU64::new(0),
+            kv,
+            cfg,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The node handles (for inspection in tests/examples).
+    pub fn nodes(&self) -> &[Arc<StorageNode>] {
+        &self.nodes
+    }
+
+    /// The backing key-value store.
+    pub fn kv(&self) -> &Arc<KvStore> {
+        &self.kv
+    }
+
+    /// Simulate a coordinator restart: metadata (membership history,
+    /// dirty table, object headers) is recovered from a snapshot of the
+    /// key-value store, node disks keep their contents, and the
+    /// re-integration engine starts fresh — which is exactly Algorithm
+    /// 2's own rule (a new scan restarts from the table head), so resumed
+    /// re-integration is correct by construction.
+    pub fn restart(&self) -> Arc<Cluster> {
+        let view = self.view.read().clone();
+        let kv = Arc::new(KvStore::restore(self.kv.dump(), self.cfg.kv_shards));
+        Arc::new(Cluster {
+            cfg: self.cfg.clone(),
+            nodes: self.nodes.clone(),
+            view: RwLock::new(view),
+            dirty: Mutex::new(KvDirtyTable::new(kv.clone())),
+            headers: KvHeaderStore::new(kv.clone()),
+            engine: Mutex::new(Reintegrator::new()),
+            stop_worker: AtomicBool::new(false),
+            migrated_bytes: AtomicU64::new(0),
+            read_rr: AtomicU64::new(0),
+            kv,
+        })
+    }
+
+    /// Write access to the cluster view (crate-internal: used by the
+    /// repair module to record irregular memberships).
+    pub(crate) fn view_mut(&self) -> parking_lot::RwLockWriteGuard<'_, ClusterView> {
+        self.view.write()
+    }
+
+    /// The header store (crate-internal: repair scans enumerate it).
+    pub(crate) fn headers(&self) -> &KvHeaderStore {
+        &self.headers
+    }
+
+    /// Current membership version.
+    pub fn current_version(&self) -> VersionId {
+        self.view.read().current_version()
+    }
+
+    /// Number of active (placement-eligible) servers.
+    pub fn active_count(&self) -> usize {
+        self.view.read().current_membership().active_count()
+    }
+
+    /// Dirty-table length.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.lock().len()
+    }
+
+    /// Total payload bytes moved by re-integration so far.
+    pub fn migrated_bytes(&self) -> u64 {
+        self.migrated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Where `oid`'s replicas should live right now.
+    pub fn locate(&self, oid: ObjectId) -> Result<Placement, ClusterError> {
+        Ok(self.view.read().place_current(oid)?)
+    }
+
+    /// Write an object: place at the current version, store on every
+    /// replica node, record the header, and log a dirty entry when the
+    /// cluster is not at full power.
+    pub fn put(&self, oid: ObjectId, data: Bytes) -> Result<Placement, ClusterError> {
+        // Snapshot placement and version under the read lock, then do the
+        // node I/O outside it.
+        let (placement, version, is_dirty) = {
+            let view = self.view.read();
+            let p = view.place_current(oid)?;
+            (p, view.current_version(), view.write_is_dirty())
+        };
+        for &server in placement.servers() {
+            self.nodes[server.index()]
+                .put(oid, data.clone(), version, is_dirty)
+                .map_err(ClusterError::Node)?;
+        }
+        self.headers.record_write(oid, version, is_dirty);
+        if is_dirty {
+            self.dirty
+                .lock()
+                .push_back(DirtyEntry::new(oid, version));
+        }
+        Ok(placement)
+    }
+
+    /// Read an object from any live replica.
+    ///
+    /// First tries the current placement; if the object has not been
+    /// re-integrated yet, falls back to the placement at its header's
+    /// write version — "as long as the last version it is written is
+    /// known, it is able to accurately find the servers that contain the
+    /// latest replicas" (§III-E1).
+    pub fn get(&self, oid: ObjectId) -> Result<Bytes, ClusterError> {
+        self.get_with(oid, ReadPolicy::FirstReplica)
+    }
+
+    /// Read an object, choosing the starting replica per `policy`.
+    ///
+    /// Replicas carry the version they were written at; an object
+    /// rewritten at a newer membership version may leave *stale* copies
+    /// at its older placements until re-integration/repair collects them.
+    /// Reads therefore accept only copies whose stored version matches
+    /// the authoritative header (§III-E2: the header lets the system
+    /// "identify the latest data version and avoid stale data").
+    pub fn get_with(&self, oid: ObjectId, policy: ReadPolicy) -> Result<Bytes, ClusterError> {
+        let expected = self.headers.header(oid).map(|h| h.version);
+        let view = self.view.read();
+        let mut candidates: Vec<ServerId> = Vec::new();
+        if let Ok(p) = view.place_current(oid) {
+            candidates.extend_from_slice(p.servers());
+        }
+        if let Some(ver) = expected {
+            if let Ok(p) = view.place_at(oid, ver) {
+                for &s in p.servers() {
+                    if !candidates.contains(&s) {
+                        candidates.push(s);
+                    }
+                }
+            }
+        }
+        drop(view);
+        if candidates.is_empty() {
+            return Err(ClusterError::NotFound);
+        }
+        let start = match policy {
+            ReadPolicy::FirstReplica => 0,
+            ReadPolicy::Balanced => {
+                self.read_rr.fetch_add(1, Ordering::Relaxed) as usize % candidates.len()
+            }
+        };
+        // A copy is acceptable when its stamp is at least the header
+        // version we read: stale (superseded) copies are always strictly
+        // older than the header, while a concurrent re-integration may
+        // restamp fresh copies *past* the header snapshot we took.
+        let acceptable = |stamp: ech_core::ids::VersionId| expected.is_none_or(|v| stamp >= v);
+        for i in 0..candidates.len() {
+            let server = candidates[(start + i) % candidates.len()];
+            if let Ok(obj) = self.nodes[server.index()].get(oid) {
+                if acceptable(obj.header.version) {
+                    return Ok(obj.data);
+                }
+            }
+        }
+        // Placement-guided candidates failed (e.g. the fresh copy sits on
+        // a server an intermediate re-integration chose); sweep all
+        // powered nodes for a version-matching copy before giving up.
+        for node in &self.nodes {
+            if let Ok(obj) = node.get(oid) {
+                if acceptable(obj.header.version) {
+                    return Ok(obj.data);
+                }
+            }
+        }
+        Err(ClusterError::NotFound)
+    }
+
+    /// Resize to `active` servers (an expansion-chain prefix): records a
+    /// new membership version and flips node power states. Elastic
+    /// placement needs no clean-up before power-down — that is the point.
+    ///
+    /// # Panics
+    /// Panics if `active` is outside `1..=n`.
+    pub fn resize(&self, active: usize) -> VersionId {
+        let mut view = self.view.write();
+        let version = view.resize(active);
+        for (i, node) in self.nodes.iter().enumerate() {
+            node.set_powered(i < active);
+        }
+        version
+    }
+
+    /// Execute one selective re-integration task. Returns the stats of
+    /// the task, or the idle reason.
+    pub fn reintegrate_step(&self) -> Result<ReintegrationStats, Idle> {
+        // Plan under the engine lock with a view snapshot.
+        let task = {
+            let view = self.view.read();
+            let mut dirty = self.dirty.lock();
+            let mut engine = self.engine.lock();
+            engine.next_task(&view, &mut *dirty, &self.headers)?
+        };
+        let mut stats = ReintegrationStats {
+            tasks: 1,
+            ..Default::default()
+        };
+        for m in &task.moves {
+            let src = &self.nodes[m.from.index()];
+            let dst = &self.nodes[m.to.index()];
+            match src.get(task.oid) {
+                Ok(obj) => {
+                    let bytes = obj.data.len() as u64;
+                    // The destination is active at the target version by
+                    // construction; a put failure here means a racing
+                    // resize, in which case the entry will be re-planned.
+                    if dst
+                        .put(task.oid, obj.data, task.target_version, obj.header.dirty)
+                        .is_ok()
+                    {
+                        src.remove(task.oid);
+                        stats.moves += 1;
+                        stats.bytes += bytes;
+                    }
+                }
+                Err(_) => {
+                    // Replica already moved or source raced off: skip.
+                }
+            }
+        }
+        // Advance the object header to the re-integration target (see
+        // Figure 6: the header version moves with every migration); the
+        // dirty bit clears only at full power. Every replica of the
+        // object is restamped, not just the moved ones — otherwise the
+        // untouched siblings would look stale next to the new header.
+        // A concurrent rewrite may have advanced the header beyond the
+        // task's target; never downgrade it.
+        let full_power = {
+            let view = self.view.read();
+            view.current_membership().is_full_power()
+        };
+        let still_dirty = !full_power;
+        let superseded = self
+            .headers
+            .header(task.oid)
+            .is_some_and(|h| h.version > task.target_version);
+        if !superseded {
+            if full_power {
+                self.headers.mark_clean(task.oid, task.target_version);
+            } else {
+                self.headers
+                    .record_write(task.oid, task.target_version, true);
+            }
+            for &server in task.to.servers() {
+                self.nodes[server.index()].restamp(task.oid, task.target_version, still_dirty);
+            }
+        }
+        self.migrated_bytes
+            .fetch_add(stats.bytes, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    /// Run re-integration until nothing more qualifies at the current
+    /// version. Returns the accumulated stats.
+    pub fn reintegrate_all(&self) -> ReintegrationStats {
+        let mut total = ReintegrationStats::default();
+        loop {
+            match self.reintegrate_step() {
+                Ok(s) => {
+                    total.tasks += s.tasks;
+                    total.moves += s.moves;
+                    total.bytes += s.bytes;
+                }
+                Err(_) => return total,
+            }
+        }
+    }
+
+    /// Spawn a background re-integration worker that repeatedly calls
+    /// [`Cluster::reintegrate_step`], sleeping `idle_wait` when idle.
+    /// Stop it with [`Cluster::stop_background_worker`]; join the handle
+    /// afterwards.
+    pub fn start_background_worker(
+        self: &Arc<Self>,
+        idle_wait: std::time::Duration,
+    ) -> std::thread::JoinHandle<()> {
+        let me = Arc::clone(self);
+        me.stop_worker.store(false, Ordering::Release);
+        std::thread::spawn(move || {
+            while !me.stop_worker.load(Ordering::Acquire) {
+                match me.reintegrate_step() {
+                    Ok(_) => {}
+                    Err(_) => std::thread::sleep(idle_wait),
+                }
+            }
+        })
+    }
+
+    /// Signal the background worker to exit.
+    pub fn stop_background_worker(&self) {
+        self.stop_worker.store(true, Ordering::Release);
+    }
+
+    /// Check that every replica of `oid` required by the current
+    /// placement is physically present (used by integrity tests).
+    pub fn is_fully_placed(&self, oid: ObjectId) -> bool {
+        match self.locate(oid) {
+            Ok(p) => p
+                .servers()
+                .iter()
+                .all(|s| self.nodes[s.index()].holds(oid)),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(oid: u64) -> Bytes {
+        Bytes::from(format!("object-{oid}-payload"))
+    }
+
+    fn cluster() -> Arc<Cluster> {
+        Cluster::new(ClusterConfig::paper())
+    }
+
+    #[test]
+    fn put_replicates_r_ways() {
+        let c = cluster();
+        let p = c.put(ObjectId(7), payload(7)).unwrap();
+        assert_eq!(p.len(), 2);
+        let holders = c
+            .nodes()
+            .iter()
+            .filter(|n| n.holds(ObjectId(7)))
+            .count();
+        assert_eq!(holders, 2);
+        assert_eq!(c.get(ObjectId(7)).unwrap(), payload(7));
+    }
+
+    #[test]
+    fn data_available_with_only_primaries_active() {
+        let c = cluster();
+        for i in 0..200u64 {
+            c.put(ObjectId(i), payload(i)).unwrap();
+        }
+        // Scale down to the 2 primaries — no cleanup, no re-replication.
+        c.resize(2);
+        for i in 0..200u64 {
+            assert_eq!(
+                c.get(ObjectId(i)).unwrap(),
+                payload(i),
+                "object {i} lost at minimal power"
+            );
+        }
+    }
+
+    #[test]
+    fn writes_at_partial_power_are_dirty_and_offloaded() {
+        let c = cluster();
+        c.resize(5);
+        for i in 0..50u64 {
+            let p = c.put(ObjectId(i), payload(i)).unwrap();
+            for s in p.servers() {
+                assert!(s.index() < 5, "placed on inactive server {s}");
+            }
+        }
+        assert_eq!(c.dirty_len(), 50);
+        // Readable immediately.
+        for i in 0..50u64 {
+            assert_eq!(c.get(ObjectId(i)).unwrap(), payload(i));
+        }
+    }
+
+    #[test]
+    fn full_power_writes_are_clean() {
+        let c = cluster();
+        c.put(ObjectId(1), payload(1)).unwrap();
+        assert_eq!(c.dirty_len(), 0);
+    }
+
+    #[test]
+    fn reintegration_moves_offloaded_data_home() {
+        let c = cluster();
+        c.resize(5);
+        for i in 0..100u64 {
+            c.put(ObjectId(i), payload(i)).unwrap();
+        }
+        c.resize(10);
+        let stats = c.reintegrate_all();
+        assert!(stats.tasks > 0, "some objects must have been offloaded");
+        assert_eq!(c.dirty_len(), 0, "full power clears the dirty table");
+        for i in 0..100u64 {
+            assert!(
+                c.is_fully_placed(ObjectId(i)),
+                "object {i} not at its full-power home"
+            );
+            assert_eq!(c.get(ObjectId(i)).unwrap(), payload(i));
+        }
+        assert!(c.migrated_bytes() > 0);
+    }
+
+    #[test]
+    fn partial_size_up_keeps_dirty_entries() {
+        let c = cluster();
+        c.resize(4);
+        for i in 0..60u64 {
+            c.put(ObjectId(i), payload(i)).unwrap();
+        }
+        c.resize(7);
+        let stats = c.reintegrate_all();
+        // Data moved toward v3 placement but entries survive for the
+        // eventual full-power pass.
+        assert_eq!(c.dirty_len(), 60);
+        assert!(stats.tasks > 0);
+        // All data still correct.
+        for i in 0..60u64 {
+            assert_eq!(c.get(ObjectId(i)).unwrap(), payload(i));
+        }
+    }
+
+    #[test]
+    fn reads_fall_back_to_write_version_placement() {
+        let c = cluster();
+        c.resize(3);
+        c.put(ObjectId(42), payload(42)).unwrap();
+        // Size up WITHOUT re-integrating: current placement may name
+        // servers that do not hold the object yet.
+        c.resize(10);
+        assert_eq!(c.get(ObjectId(42)).unwrap(), payload(42));
+    }
+
+    #[test]
+    fn rewrite_at_newer_version_wins() {
+        let c = cluster();
+        c.resize(5);
+        c.put(ObjectId(9), Bytes::from("old")).unwrap();
+        c.resize(6);
+        c.put(ObjectId(9), Bytes::from("new")).unwrap();
+        c.resize(10);
+        c.reintegrate_all();
+        assert_eq!(c.get(ObjectId(9)).unwrap(), Bytes::from("new"));
+    }
+
+    #[test]
+    fn original_strategy_cluster_works_too() {
+        let mut cfg = ClusterConfig::paper();
+        cfg.strategy = Strategy::Original;
+        let c = Cluster::new(cfg);
+        for i in 0..50u64 {
+            c.put(ObjectId(i), payload(i)).unwrap();
+        }
+        for i in 0..50u64 {
+            assert_eq!(c.get(ObjectId(i)).unwrap(), payload(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_and_reintegration() {
+        let c = cluster();
+        c.resize(5);
+        // Preload some dirty data.
+        for i in 0..100u64 {
+            c.put(ObjectId(i), payload(i)).unwrap();
+        }
+        c.resize(10);
+        let worker = c.start_background_worker(std::time::Duration::from_millis(1));
+        // Writers race with the background re-integration.
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                s.spawn(move |_| {
+                    for i in 0..200u64 {
+                        let oid = ObjectId(1000 + t * 1000 + i);
+                        c.put(oid, payload(oid.raw())).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Wait for the table to drain.
+        let mut spins = 0;
+        while c.dirty_len() > 0 && spins < 5000 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            spins += 1;
+        }
+        c.stop_background_worker();
+        worker.join().unwrap();
+        assert_eq!(c.dirty_len(), 0);
+        // Everything readable and fully placed.
+        for i in 0..100u64 {
+            assert!(c.is_fully_placed(ObjectId(i)));
+        }
+        for t in 0..4u64 {
+            for i in 0..200u64 {
+                let oid = ObjectId(1000 + t * 1000 + i);
+                assert_eq!(c.get(oid).unwrap(), payload(oid.raw()));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_reads_track_the_equal_work_layout() {
+        // With reads spread round-robin over replicas, each server's read
+        // count is proportional to the data it stores — the layout's read
+        // performance proportionality claim (§III-C).
+        let c = cluster();
+        let objects = 4_000u64;
+        for i in 0..objects {
+            c.put(ObjectId(i), payload(i)).unwrap();
+        }
+        let writes_baseline: Vec<u64> =
+            c.nodes().iter().map(|n| n.op_counts().0).collect();
+        for round in 0..4u64 {
+            for i in 0..objects {
+                let _ = c
+                    .get_with(ObjectId((i + round * 7) % objects), ReadPolicy::Balanced)
+                    .unwrap();
+            }
+        }
+        let stored: Vec<f64> = c
+            .nodes()
+            .iter()
+            .map(|n| n.object_count() as f64)
+            .collect();
+        let reads: Vec<f64> = c
+            .nodes()
+            .iter()
+            .zip(&writes_baseline)
+            .map(|(n, &base)| (n.op_counts().0 - base) as f64)
+            .collect();
+        let total_stored: f64 = stored.iter().sum();
+        let total_reads: f64 = reads.iter().sum();
+        for i in 0..10 {
+            let stored_frac = stored[i] / total_stored;
+            let read_frac = reads[i] / total_reads;
+            assert!(
+                (stored_frac - read_frac).abs() < 0.05,
+                "server {}: stores {:.3} of data but serves {:.3} of reads",
+                i + 1,
+                stored_frac,
+                read_frac
+            );
+        }
+    }
+
+    #[test]
+    fn first_replica_policy_is_more_skewed_than_balanced() {
+        let skew = |policy: ReadPolicy| -> f64 {
+            let c = cluster();
+            for i in 0..2_000u64 {
+                c.put(ObjectId(i), payload(i)).unwrap();
+            }
+            let base: Vec<u64> = c.nodes().iter().map(|n| n.op_counts().0).collect();
+            for i in 0..2_000u64 {
+                let _ = c.get_with(ObjectId(i), policy).unwrap();
+            }
+            let reads: Vec<f64> = c
+                .nodes()
+                .iter()
+                .zip(&base)
+                .map(|(n, &b)| (n.op_counts().0 - b) as f64)
+                .collect();
+            let stored: Vec<f64> = c.nodes().iter().map(|n| n.object_count() as f64).collect();
+            // Sum of absolute deviation between read share and data share.
+            let tr: f64 = reads.iter().sum();
+            let ts: f64 = stored.iter().sum();
+            reads
+                .iter()
+                .zip(&stored)
+                .map(|(r, s)| (r / tr - s / ts).abs())
+                .sum()
+        };
+        assert!(
+            skew(ReadPolicy::Balanced) < skew(ReadPolicy::FirstReplica),
+            "balanced reads should track the data distribution more closely"
+        );
+    }
+
+    #[test]
+    fn coordinator_restart_resumes_reintegration() {
+        let c = cluster();
+        c.resize(5);
+        for i in 0..150u64 {
+            c.put(ObjectId(i), payload(i)).unwrap();
+        }
+        // Coordinator dies mid-flight; a new one recovers from the
+        // metadata store. Node disks are untouched.
+        let c2 = c.restart();
+        assert_eq!(c2.dirty_len(), 150);
+        assert_eq!(c2.current_version(), c.current_version());
+        for i in 0..150u64 {
+            assert_eq!(c2.get(ObjectId(i)).unwrap(), payload(i));
+        }
+        // The restarted coordinator finishes the elastic cycle.
+        c2.resize(10);
+        let stats = c2.reintegrate_all();
+        assert!(stats.tasks > 0);
+        assert_eq!(c2.dirty_len(), 0);
+        for i in 0..150u64 {
+            assert!(c2.is_fully_placed(ObjectId(i)));
+            assert_eq!(c2.get(ObjectId(i)).unwrap(), payload(i));
+        }
+    }
+
+    #[test]
+    fn restart_mid_reintegration_loses_no_work() {
+        let c = cluster();
+        c.resize(4);
+        for i in 0..200u64 {
+            c.put(ObjectId(i), payload(i)).unwrap();
+        }
+        c.resize(10);
+        // Process only part of the backlog, then "crash" the coordinator.
+        for _ in 0..40 {
+            let _ = c.reintegrate_step();
+        }
+        let c2 = c.restart();
+        c2.reintegrate_all();
+        assert_eq!(c2.dirty_len(), 0);
+        for i in 0..200u64 {
+            assert!(c2.is_fully_placed(ObjectId(i)), "object {i}");
+        }
+    }
+
+    #[test]
+    fn resize_validates_bounds() {
+        let c = cluster();
+        let v = c.resize(6);
+        assert_eq!(v, VersionId(2));
+        assert_eq!(c.active_count(), 6);
+        assert!(!c.nodes()[9].is_powered());
+        assert!(c.nodes()[5].is_powered());
+    }
+}

@@ -1,0 +1,225 @@
+//! The distributed dirty table and header store, backed by `ech-kvstore`.
+//!
+//! §IV: "we use Redis, an in-memory key-value store, for managing the
+//! dirty table. The dirty table is managed using the LIST data type...
+//! Each dirty data entry is inserted using RPUSH... a LRANGE command is
+//! used to fetch the (OID, version) pair... a LPOP command is used to
+//! remove" it. This module is that wiring, with object headers kept in a
+//! HASH alongside.
+
+use ech_core::dirty::{DirtyEntry, DirtyTable, HeaderSource, ObjectHeader};
+use ech_core::ids::{ObjectId, VersionId};
+use ech_kvstore::KvStore;
+use std::sync::Arc;
+
+/// Key of the dirty-table LIST.
+const DIRTY_KEY: &str = "ech:dirty";
+/// Key of the object-header HASH.
+const HEADER_KEY: &str = "ech:headers";
+
+/// Serialize a dirty entry as `oid:version` (the value RPUSHed).
+fn encode_entry(e: &DirtyEntry) -> String {
+    format!("{}:{}", e.oid.raw(), e.version.raw())
+}
+
+/// Parse an `oid:version` pair.
+fn decode_entry(bytes: &[u8]) -> Option<DirtyEntry> {
+    let s = std::str::from_utf8(bytes).ok()?;
+    let (oid, ver) = s.split_once(':')?;
+    Some(DirtyEntry {
+        oid: ObjectId(oid.parse().ok()?),
+        version: VersionId(ver.parse().ok()?),
+    })
+}
+
+/// Dirty table living in the shared key-value store.
+///
+/// Clones share the same underlying store, so the write path (logger) and
+/// the re-integration engine can hold their own handles.
+#[derive(Debug, Clone)]
+pub struct KvDirtyTable {
+    kv: Arc<KvStore>,
+}
+
+impl KvDirtyTable {
+    /// Wrap a store.
+    pub fn new(kv: Arc<KvStore>) -> Self {
+        KvDirtyTable { kv }
+    }
+}
+
+impl DirtyTable for KvDirtyTable {
+    fn push_back(&mut self, entry: DirtyEntry) {
+        self.kv
+            .rpush(DIRTY_KEY, encode_entry(&entry))
+            .expect("dirty key holds a list");
+    }
+
+    fn get(&self, index: usize) -> Option<DirtyEntry> {
+        self.kv
+            .lindex(DIRTY_KEY, index)
+            .expect("dirty key holds a list")
+            .and_then(|b| decode_entry(&b))
+    }
+
+    fn pop_front(&mut self) -> Option<DirtyEntry> {
+        self.kv
+            .lpop(DIRTY_KEY)
+            .expect("dirty key holds a list")
+            .and_then(|b| decode_entry(&b))
+    }
+
+    fn len(&self) -> usize {
+        self.kv.llen(DIRTY_KEY).expect("dirty key holds a list")
+    }
+}
+
+/// Object-header map in the shared key-value store (HSET/HGET on one
+/// hash keyed by OID; values are `version:dirty-bit`).
+#[derive(Debug, Clone)]
+pub struct KvHeaderStore {
+    kv: Arc<KvStore>,
+}
+
+impl KvHeaderStore {
+    /// Wrap a store.
+    pub fn new(kv: Arc<KvStore>) -> Self {
+        KvHeaderStore { kv }
+    }
+
+    /// Record a write of `oid` at `version` with the given dirty bit.
+    pub fn record_write(&self, oid: ObjectId, version: VersionId, dirty: bool) {
+        self.kv
+            .hset(
+                HEADER_KEY,
+                &oid.raw().to_string(),
+                format!("{}:{}", version.raw(), u8::from(dirty)),
+            )
+            .expect("header key holds a hash");
+    }
+
+    /// Clear the dirty bit after re-integration to a full-power version.
+    pub fn mark_clean(&self, oid: ObjectId, version: VersionId) {
+        self.kv
+            .hset(
+                HEADER_KEY,
+                &oid.raw().to_string(),
+                format!("{}:0", version.raw()),
+            )
+            .expect("header key holds a hash");
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.kv.hlen(HEADER_KEY).expect("header key holds a hash")
+    }
+
+    /// All tracked object ids (order unspecified). Repair scans use this
+    /// to enumerate the object population.
+    pub fn all_objects(&self) -> Vec<ObjectId> {
+        self.kv
+            .hkeys(HEADER_KEY)
+            .expect("header key holds a hash")
+            .into_iter()
+            .filter_map(|k| k.parse::<u64>().ok().map(ObjectId))
+            .collect()
+    }
+
+    /// True when no headers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl HeaderSource for KvHeaderStore {
+    fn header(&self, oid: ObjectId) -> Option<ObjectHeader> {
+        let raw = self
+            .kv
+            .hget(HEADER_KEY, &oid.raw().to_string())
+            .expect("header key holds a hash")?;
+        let s = std::str::from_utf8(&raw).ok()?;
+        let (ver, dirty) = s.split_once(':')?;
+        Some(ObjectHeader {
+            version: VersionId(ver.parse().ok()?),
+            dirty: dirty == "1",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (KvDirtyTable, KvHeaderStore) {
+        let kv = Arc::new(KvStore::new(4));
+        (KvDirtyTable::new(kv.clone()), KvHeaderStore::new(kv))
+    }
+
+    #[test]
+    fn dirty_table_round_trips_through_redis_ops() {
+        let (mut t, _) = table();
+        assert!(t.is_empty());
+        for (oid, ver) in [(100u64, 8u64), (200, 8), (10010, 9)] {
+            t.push_back(DirtyEntry::new(ObjectId(oid), VersionId(ver)));
+        }
+        assert_eq!(t.len(), 3);
+        // LRANGE-style positional fetch does not consume.
+        assert_eq!(t.get(0).unwrap().oid, ObjectId(100));
+        assert_eq!(t.get(2).unwrap().version, VersionId(9));
+        assert_eq!(t.len(), 3);
+        // LPOP consumes from the head.
+        assert_eq!(t.pop_front().unwrap().oid, ObjectId(100));
+        assert_eq!(t.len(), 2);
+        assert!(t.get(5).is_none());
+    }
+
+    #[test]
+    fn header_store_tracks_latest_version_and_dirty_bit() {
+        let (_, h) = table();
+        assert!(h.header(ObjectId(1)).is_none());
+        h.record_write(ObjectId(1), VersionId(9), true);
+        let hdr = h.header(ObjectId(1)).unwrap();
+        assert_eq!(hdr.version, VersionId(9));
+        assert!(hdr.dirty);
+        h.record_write(ObjectId(1), VersionId(10), true);
+        assert_eq!(h.header(ObjectId(1)).unwrap().version, VersionId(10));
+        h.mark_clean(ObjectId(1), VersionId(11));
+        let hdr = h.header(ObjectId(1)).unwrap();
+        assert!(!hdr.dirty);
+        assert_eq!(hdr.version, VersionId(11));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn all_objects_enumerates_headers() {
+        let (_, h) = table();
+        for oid in [5u64, 9, 10010] {
+            h.record_write(ObjectId(oid), VersionId(3), true);
+        }
+        let mut oids = h.all_objects();
+        oids.sort();
+        assert_eq!(oids, vec![ObjectId(5), ObjectId(9), ObjectId(10010)]);
+    }
+
+    #[test]
+    fn malformed_entries_decode_to_none() {
+        assert!(decode_entry(b"garbage").is_none());
+        assert!(decode_entry(b"1:2:3").is_none());
+        assert!(decode_entry(b"x:1").is_none());
+        assert!(decode_entry(&[0xff, 0xfe]).is_none());
+        assert_eq!(
+            decode_entry(b"10010:9"),
+            Some(DirtyEntry::new(ObjectId(10010), VersionId(9)))
+        );
+    }
+
+    #[test]
+    fn clones_share_the_same_table() {
+        let (mut a, _) = table();
+        let mut b = a.clone();
+        a.push_back(DirtyEntry::new(ObjectId(5), VersionId(2)));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.pop_front().unwrap().oid, ObjectId(5));
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! A storage node: one simulated server process holding object replicas.
+//!
+//! Nodes keep their data when powered off — the elastic design's central
+//! assumption ("the servers in the cluster never leave the cluster when
+//! they are turned down", §IV). Powering a node off only flips its state;
+//! reads/writes against an off node are rejected, but its disk contents
+//! survive for the moment it rejoins.
+
+use bytes::Bytes;
+use ech_core::dirty::ObjectHeader;
+use ech_core::ids::{ObjectId, ServerId, VersionId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One stored replica: payload plus the paper's object header (last
+/// written version + dirty bit, §III-E2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredObject {
+    /// Object payload.
+    pub data: Bytes,
+    /// Version/dirty header.
+    pub header: ObjectHeader,
+}
+
+/// Errors from node-level operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeError {
+    /// The node is powered off.
+    PoweredOff,
+    /// The object is not stored on this node.
+    NotFound,
+    /// The write would exceed the node's configured capacity (§III-D:
+    /// the skewed layout over-fills small disks unless capacities are
+    /// provisioned to match the weights).
+    DiskFull {
+        /// Configured capacity in bytes.
+        capacity: u64,
+        /// Bytes that would be stored after the write.
+        needed: u64,
+    },
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::PoweredOff => write!(f, "node is powered off"),
+            NodeError::NotFound => write!(f, "object not found on node"),
+            NodeError::DiskFull { capacity, needed } => {
+                write!(f, "disk full: capacity {capacity} bytes, write needs {needed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// A thread-safe storage node.
+#[derive(Debug)]
+pub struct StorageNode {
+    id: ServerId,
+    powered: AtomicBool,
+    objects: RwLock<HashMap<ObjectId, StoredObject>>,
+    bytes_stored: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    /// Disk capacity in bytes; `u64::MAX` = unlimited.
+    capacity: u64,
+}
+
+impl StorageNode {
+    /// A powered-on, empty node with unlimited capacity.
+    pub fn new(id: ServerId) -> Self {
+        Self::with_capacity(id, u64::MAX)
+    }
+
+    /// A powered-on, empty node with `capacity` bytes of disk.
+    pub fn with_capacity(id: ServerId, capacity: u64) -> Self {
+        StorageNode {
+            id,
+            powered: AtomicBool::new(true),
+            objects: RwLock::new(HashMap::new()),
+            bytes_stored: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Configured disk capacity in bytes (`u64::MAX` = unlimited).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// This node's server id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Is the node powered on?
+    pub fn is_powered(&self) -> bool {
+        self.powered.load(Ordering::Acquire)
+    }
+
+    /// Power the node on or off. Data is retained either way.
+    pub fn set_powered(&self, on: bool) {
+        self.powered.store(on, Ordering::Release);
+    }
+
+    /// Store a replica. Fails when powered off.
+    pub fn put(
+        &self,
+        oid: ObjectId,
+        data: Bytes,
+        version: VersionId,
+        dirty: bool,
+    ) -> Result<(), NodeError> {
+        if !self.is_powered() {
+            return Err(NodeError::PoweredOff);
+        }
+        let obj = StoredObject {
+            data,
+            header: ObjectHeader { version, dirty },
+        };
+        let mut map = self.objects.write();
+        let old_len = map.get(&oid).map(|o| o.data.len() as u64).unwrap_or(0);
+        let needed = self.bytes_stored.load(Ordering::Relaxed) - old_len + obj.data.len() as u64;
+        if needed > self.capacity {
+            return Err(NodeError::DiskFull {
+                capacity: self.capacity,
+                needed,
+            });
+        }
+        self.bytes_stored
+            .fetch_add(obj.data.len() as u64, Ordering::Relaxed);
+        self.bytes_stored.fetch_sub(old_len, Ordering::Relaxed);
+        map.insert(oid, obj);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Read a replica. Fails when powered off or missing.
+    pub fn get(&self, oid: ObjectId) -> Result<StoredObject, NodeError> {
+        if !self.is_powered() {
+            return Err(NodeError::PoweredOff);
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.objects
+            .read()
+            .get(&oid)
+            .cloned()
+            .ok_or(NodeError::NotFound)
+    }
+
+    /// Drop a replica (after it migrated away). Succeeds even when the
+    /// node is off — the coordinator may reconcile state lazily; a real
+    /// system would queue the delete until power-on.
+    pub fn remove(&self, oid: ObjectId) -> bool {
+        let mut map = self.objects.write();
+        if let Some(obj) = map.remove(&oid) {
+            self.bytes_stored
+                .fetch_sub(obj.data.len() as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advance the stored header of `oid` to `version` (never
+    /// downgrading), e.g. after a re-integration confirmed this replica's
+    /// placement at the new version. Returns true when the header was
+    /// updated.
+    pub fn restamp(&self, oid: ObjectId, version: VersionId, dirty: bool) -> bool {
+        let mut map = self.objects.write();
+        match map.get_mut(&oid) {
+            Some(obj) if obj.header.version <= version => {
+                obj.header = ObjectHeader { version, dirty };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Simulate a disk-losing crash: all replicas on this node vanish and
+    /// the node goes dark. Returns how many objects were lost locally.
+    pub fn crash(&self) -> usize {
+        self.set_powered(false);
+        let mut map = self.objects.write();
+        let lost = map.len();
+        map.clear();
+        self.bytes_stored.store(0, Ordering::Relaxed);
+        lost
+    }
+
+    /// Does this node hold `oid` (regardless of power state)?
+    pub fn holds(&self, oid: ObjectId) -> bool {
+        self.objects.read().contains_key(&oid)
+    }
+
+    /// Number of replicas stored.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Bytes stored.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored.load(Ordering::Relaxed)
+    }
+
+    /// (reads, writes) op counters.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> StorageNode {
+        StorageNode::new(ServerId(3))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let n = node();
+        n.put(ObjectId(1), Bytes::from("payload"), VersionId(2), true)
+            .unwrap();
+        let got = n.get(ObjectId(1)).unwrap();
+        assert_eq!(&got.data[..], b"payload");
+        assert_eq!(got.header.version, VersionId(2));
+        assert!(got.header.dirty);
+        assert_eq!(n.object_count(), 1);
+        assert_eq!(n.bytes_stored(), 7);
+    }
+
+    #[test]
+    fn powered_off_rejects_io_but_keeps_data() {
+        let n = node();
+        n.put(ObjectId(1), Bytes::from("x"), VersionId(1), false)
+            .unwrap();
+        n.set_powered(false);
+        assert_eq!(n.get(ObjectId(1)), Err(NodeError::PoweredOff));
+        assert_eq!(
+            n.put(ObjectId(2), Bytes::from("y"), VersionId(1), false),
+            Err(NodeError::PoweredOff)
+        );
+        assert!(n.holds(ObjectId(1)), "data survives power-off");
+        n.set_powered(true);
+        assert_eq!(&n.get(ObjectId(1)).unwrap().data[..], b"x");
+    }
+
+    #[test]
+    fn overwrite_updates_byte_accounting() {
+        let n = node();
+        n.put(ObjectId(1), Bytes::from("aaaa"), VersionId(1), false)
+            .unwrap();
+        n.put(ObjectId(1), Bytes::from("bb"), VersionId(2), true)
+            .unwrap();
+        assert_eq!(n.bytes_stored(), 2);
+        assert_eq!(n.object_count(), 1);
+        assert_eq!(n.get(ObjectId(1)).unwrap().header.version, VersionId(2));
+    }
+
+    #[test]
+    fn remove_frees_bytes() {
+        let n = node();
+        n.put(ObjectId(1), Bytes::from("abc"), VersionId(1), false)
+            .unwrap();
+        assert!(n.remove(ObjectId(1)));
+        assert!(!n.remove(ObjectId(1)));
+        assert_eq!(n.bytes_stored(), 0);
+        assert_eq!(n.get(ObjectId(1)), Err(NodeError::NotFound));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let n = StorageNode::with_capacity(ServerId(0), 10);
+        n.put(ObjectId(1), Bytes::from("12345678"), VersionId(1), false)
+            .unwrap();
+        // 8 + 8 > 10: rejected.
+        assert!(matches!(
+            n.put(ObjectId(2), Bytes::from("12345678"), VersionId(1), false),
+            Err(NodeError::DiskFull { capacity: 10, .. })
+        ));
+        // Overwriting the same object within budget is fine.
+        n.put(ObjectId(1), Bytes::from("123456789a"), VersionId(2), false)
+            .unwrap();
+        assert_eq!(n.bytes_stored(), 10);
+        // Removing frees room.
+        n.remove(ObjectId(1));
+        n.put(ObjectId(2), Bytes::from("xy"), VersionId(2), false)
+            .unwrap();
+    }
+
+    #[test]
+    fn restamp_never_downgrades() {
+        let n = node();
+        n.put(ObjectId(1), Bytes::from("x"), VersionId(5), true)
+            .unwrap();
+        assert!(n.restamp(ObjectId(1), VersionId(7), false));
+        assert_eq!(n.get(ObjectId(1)).unwrap().header.version, VersionId(7));
+        assert!(!n.get(ObjectId(1)).unwrap().header.dirty);
+        // Older stamp is refused.
+        assert!(!n.restamp(ObjectId(1), VersionId(6), true));
+        assert_eq!(n.get(ObjectId(1)).unwrap().header.version, VersionId(7));
+        // Missing object: no-op.
+        assert!(!n.restamp(ObjectId(9), VersionId(1), false));
+    }
+
+    #[test]
+    fn crash_loses_data_and_powers_off() {
+        let n = node();
+        n.put(ObjectId(1), Bytes::from("x"), VersionId(1), false)
+            .unwrap();
+        assert_eq!(n.crash(), 1);
+        assert!(!n.is_powered());
+        assert!(!n.holds(ObjectId(1)));
+        assert_eq!(n.bytes_stored(), 0);
+        // Power back on: disk replaced, still empty.
+        n.set_powered(true);
+        assert_eq!(n.get(ObjectId(1)), Err(NodeError::NotFound));
+    }
+
+    #[test]
+    fn missing_object_is_not_found() {
+        let n = node();
+        assert_eq!(n.get(ObjectId(9)), Err(NodeError::NotFound));
+    }
+}

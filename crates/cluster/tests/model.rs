@@ -1,0 +1,99 @@
+//! Model-based property test for the live cluster: under any sequence of
+//! puts, overwrites, resizes, re-integration steps and repairs, a read
+//! must always return the latest written value — the storage system's
+//! fundamental contract, which no amount of elasticity may break.
+
+use bytes::Bytes;
+use ech_cluster::{Cluster, ClusterConfig};
+use ech_core::ids::ObjectId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write object `oid % population` with a fresh generation stamp.
+    Put(u16),
+    /// Read an object and compare against the model.
+    Get(u16),
+    /// Resize to `1 + (k % 10)` active servers (clamped to >= r).
+    Resize(u8),
+    /// Run re-integration to quiescence at the current version.
+    Reintegrate,
+    /// Run a repair scan (should be a no-op without crashes).
+    Repair,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u16..200).prop_map(Op::Put),
+        4 => (0u16..200).prop_map(Op::Get),
+        1 => (0u8..255).prop_map(Op::Resize),
+        1 => Just(Op::Reintegrate),
+        1 => Just(Op::Repair),
+    ]
+}
+
+fn value(oid: u16, generation: u32) -> Bytes {
+    Bytes::from(format!("oid{oid}gen{generation}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reads_always_return_the_latest_write(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let cluster = Cluster::new(ClusterConfig::paper());
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        let mut generation = 0u32;
+
+        for op in ops {
+            match op {
+                Op::Put(oid) => {
+                    generation += 1;
+                    cluster.put(ObjectId(oid as u64), value(oid, generation)).unwrap();
+                    model.insert(oid, generation);
+                }
+                Op::Get(oid) => {
+                    let got = cluster.get(ObjectId(oid as u64));
+                    match model.get(&oid) {
+                        None => prop_assert!(got.is_err(), "read of never-written {oid} succeeded"),
+                        Some(&gen) => {
+                            prop_assert_eq!(got.unwrap(), value(oid, gen), "stale read of {}", oid);
+                        }
+                    }
+                }
+                Op::Resize(k) => {
+                    let active = 2 + (k as usize % 9); // 2..=10
+                    cluster.resize(active);
+                }
+                Op::Reintegrate => {
+                    cluster.reintegrate_all();
+                }
+                Op::Repair => {
+                    let stats = cluster.repair();
+                    prop_assert_eq!(stats.unrecoverable, 0, "no crashes => nothing lost");
+                }
+            }
+        }
+
+        // Final sweep: every written object readable with its last value.
+        for (&oid, &gen) in &model {
+            prop_assert_eq!(
+                cluster.get(ObjectId(oid as u64)).unwrap(),
+                value(oid, gen),
+                "final read of {}", oid
+            );
+        }
+
+        // Return to full power, drain, and check full placement.
+        cluster.resize(10);
+        cluster.reintegrate_all();
+        prop_assert_eq!(cluster.dirty_len(), 0);
+        for &oid in model.keys() {
+            prop_assert!(
+                cluster.is_fully_placed(ObjectId(oid as u64)),
+                "object {} not fully placed after final drain", oid
+            );
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Cluster membership versioning (§III-E1).
+//!
+//! Every resize produces a new *version* (epoch) with an associated
+//! *membership table* recording each server's power state. Keeping the full
+//! history lets the re-integration engine resolve, for any historically
+//! written object, exactly which servers held its replicas at write time —
+//! "no matter how many versions have passed".
+
+use crate::ids::{ServerId, VersionId};
+use serde::{Deserialize, Serialize};
+
+/// Power state of one server in one membership version.
+///
+/// The elastic design keeps powered-down servers *in* the cluster (they
+/// "never leave the cluster when they are turned down", §IV); `Off` is a
+/// placement-visible state, not a departure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Active: serves I/O and receives placements.
+    On,
+    /// Powered down: skipped by elastic placement, its data intact.
+    Off,
+}
+
+/// The power state of every server at one version.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MembershipTable {
+    states: Vec<PowerState>,
+}
+
+impl MembershipTable {
+    /// All `n` servers on (a *full-power* table).
+    pub fn full_power(n: usize) -> Self {
+        assert!(n > 0, "cluster must have at least one server");
+        MembershipTable {
+            states: vec![PowerState::On; n],
+        }
+    }
+
+    /// The expansion-chain state with ranks `1..=active` on and the rest
+    /// off. This is the only membership shape the elastic power controller
+    /// produces (servers turn off from the tail of the chain).
+    ///
+    /// # Panics
+    /// Panics if `active == 0` or `active > n`.
+    pub fn active_prefix(n: usize, active: usize) -> Self {
+        assert!(
+            (1..=n).contains(&active),
+            "active count {active} out of range 1..={n}"
+        );
+        let mut states = vec![PowerState::On; active];
+        states.resize(n, PowerState::Off);
+        MembershipTable { states }
+    }
+
+    /// Build from an explicit state vector (for irregular states in tests
+    /// and failure-injection scenarios).
+    pub fn from_states(states: Vec<PowerState>) -> Self {
+        assert!(!states.is_empty(), "cluster must have at least one server");
+        MembershipTable { states }
+    }
+
+    /// Number of servers in the cluster (on or off).
+    #[inline]
+    pub fn server_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Power state of `server`.
+    #[inline]
+    pub fn state(&self, server: ServerId) -> PowerState {
+        self.states[server.index()]
+    }
+
+    /// True when `server` is on.
+    #[inline]
+    pub fn is_active(&self, server: ServerId) -> bool {
+        self.states[server.index()] == PowerState::On
+    }
+
+    /// Number of active servers.
+    pub fn active_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|&&s| s == PowerState::On)
+            .count()
+    }
+
+    /// True when every server is on. Re-integration completing under a
+    /// full-power version is what allows dirty entries to be dropped
+    /// (Algorithm 2, lines 11–13).
+    pub fn is_full_power(&self) -> bool {
+        self.states.iter().all(|&s| s == PowerState::On)
+    }
+
+    /// Iterator over active servers in rank order.
+    pub fn active_servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == PowerState::On)
+            .map(|(i, _)| ServerId(i as u32))
+    }
+
+    /// Copy of this table with `server` set to `state`.
+    pub fn with_state(&self, server: ServerId, state: PowerState) -> Self {
+        let mut t = self.clone();
+        t.states[server.index()] = state;
+        t
+    }
+}
+
+/// Append-only history of membership tables, one per version.
+///
+/// Versions start at [`VersionId::FIRST`] and increase by one per recorded
+/// table, mirroring Sheepdog's epoch counter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MembershipHistory {
+    tables: Vec<MembershipTable>,
+}
+
+impl MembershipHistory {
+    /// Start a history at version 1 with `initial` membership.
+    pub fn new(initial: MembershipTable) -> Self {
+        MembershipHistory {
+            tables: vec![initial],
+        }
+    }
+
+    /// Record a new membership table, returning its version.
+    ///
+    /// # Panics
+    /// Panics if the server count differs from the history's — elastic
+    /// clusters resize by powering servers on/off, never by changing `n`.
+    pub fn record(&mut self, table: MembershipTable) -> VersionId {
+        assert_eq!(
+            table.server_count(),
+            self.tables[0].server_count(),
+            "membership history is for a fixed server set"
+        );
+        self.tables.push(table);
+        self.current_version()
+    }
+
+    /// The newest version.
+    #[inline]
+    pub fn current_version(&self) -> VersionId {
+        VersionId(self.tables.len() as u64)
+    }
+
+    /// The newest membership table.
+    #[inline]
+    pub fn current(&self) -> &MembershipTable {
+        self.tables.last().expect("history is never empty")
+    }
+
+    /// Membership table at `version`, if recorded.
+    pub fn get(&self, version: VersionId) -> Option<&MembershipTable> {
+        if version.0 == 0 {
+            return None;
+        }
+        self.tables.get(version.0 as usize - 1)
+    }
+
+    /// Number of active servers at `version` (`num_ser` in Algorithm 2).
+    ///
+    /// # Panics
+    /// Panics on an unknown version — callers must only hold versions the
+    /// history issued.
+    pub fn active_count(&self, version: VersionId) -> usize {
+        self.get(version)
+            .unwrap_or_else(|| panic!("unknown membership version {version}"))
+            .active_count()
+    }
+
+    /// Number of versions recorded so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Histories are never empty; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_power_table() {
+        let t = MembershipTable::full_power(10);
+        assert!(t.is_full_power());
+        assert_eq!(t.active_count(), 10);
+        assert_eq!(t.server_count(), 10);
+    }
+
+    #[test]
+    fn active_prefix_shapes() {
+        let t = MembershipTable::active_prefix(10, 6);
+        assert_eq!(t.active_count(), 6);
+        assert!(!t.is_full_power());
+        assert!(t.is_active(ServerId(5)));
+        assert!(!t.is_active(ServerId(6)));
+        let active: Vec<_> = t.active_servers().collect();
+        assert_eq!(active.len(), 6);
+        assert_eq!(active[0], ServerId(0));
+        assert_eq!(active[5], ServerId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_active_prefix_panics() {
+        MembershipTable::active_prefix(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_active_prefix_panics() {
+        MembershipTable::active_prefix(10, 11);
+    }
+
+    #[test]
+    fn with_state_does_not_mutate_original() {
+        let t = MembershipTable::full_power(4);
+        let t2 = t.with_state(ServerId(3), PowerState::Off);
+        assert!(t.is_full_power());
+        assert!(!t2.is_full_power());
+        assert_eq!(t2.active_count(), 3);
+    }
+
+    #[test]
+    fn history_versions_are_sequential() {
+        let mut h = MembershipHistory::new(MembershipTable::full_power(10));
+        assert_eq!(h.current_version(), VersionId(1));
+        let v2 = h.record(MembershipTable::active_prefix(10, 8));
+        assert_eq!(v2, VersionId(2));
+        let v3 = h.record(MembershipTable::full_power(10));
+        assert_eq!(v3, VersionId(3));
+        assert_eq!(h.active_count(VersionId(1)), 10);
+        assert_eq!(h.active_count(VersionId(2)), 8);
+        assert_eq!(h.active_count(VersionId(3)), 10);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn history_lookup_unknown_version() {
+        let h = MembershipHistory::new(MembershipTable::full_power(3));
+        assert!(h.get(VersionId(0)).is_none());
+        assert!(h.get(VersionId(2)).is_none());
+        assert!(h.get(VersionId(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed server set")]
+    fn history_rejects_resized_tables() {
+        let mut h = MembershipHistory::new(MembershipTable::full_power(3));
+        h.record(MembershipTable::full_power(4));
+    }
+}

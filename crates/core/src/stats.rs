@@ -1,0 +1,181 @@
+//! Data-distribution analysis helpers.
+//!
+//! These back the equal-work layout validation (Figure 5's per-rank block
+//! counts) and the disruption analyses (how many replicas move between two
+//! membership versions). Sweeps run in parallel with Rayon — a layout
+//! analysis touches 10⁵–10⁷ objects.
+
+use crate::ids::{ObjectId, VersionId};
+use crate::view::ClusterView;
+use rayon::prelude::*;
+
+/// Replica count per server (index = server index) for `oids` placed at
+/// `version`.
+///
+/// Unplaceable objects (placement error) are skipped; for well-formed
+/// views every object places.
+pub fn replica_distribution(view: &ClusterView, oids: &[ObjectId], version: VersionId) -> Vec<u64> {
+    let n = view.server_count();
+    oids.par_iter()
+        .fold(
+            || vec![0u64; n],
+            |mut acc, &oid| {
+                if let Ok(p) = view.place_at(oid, version) {
+                    for s in p.servers() {
+                        acc[s.index()] += 1;
+                    }
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![0u64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Number of replicas whose server changes between two versions — the
+/// migration volume a *full* (non-selective) re-integration would incur,
+/// in replica units.
+pub fn moved_replicas(
+    view: &ClusterView,
+    oids: &[ObjectId],
+    from_version: VersionId,
+    to_version: VersionId,
+) -> u64 {
+    oids.par_iter()
+        .map(|&oid| {
+            match (
+                view.place_at(oid, from_version),
+                view.place_at(oid, to_version),
+            ) {
+                (Ok(a), Ok(b)) => b
+                    .servers()
+                    .iter()
+                    .filter(|s| !a.contains(**s))
+                    .count() as u64,
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+/// Max/mean ratio of a per-server count vector (1.0 = perfectly even).
+/// Servers with zero expected share are excluded by passing a mask.
+pub fn imbalance(counts: &[u64]) -> f64 {
+    let nonzero: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+    if nonzero.is_empty() {
+        return 1.0;
+    }
+    let mean = nonzero.iter().sum::<u64>() as f64 / nonzero.len() as f64;
+    let max = *nonzero.iter().max().expect("nonempty") as f64;
+    max / mean
+}
+
+/// Chi-square-like divergence between an observed count vector and
+/// expected fractions: `sum((obs_i - exp_i)^2 / exp_i)` over servers with
+/// nonzero expectation, normalised by total count. Smaller is closer.
+pub fn divergence_from_expected(counts: &[u64], expected_fractions: &[f64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut d = 0.0;
+    for (&c, &f) in counts.iter().zip(expected_fractions) {
+        if f <= 0.0 {
+            continue;
+        }
+        let e = f * total as f64;
+        let diff = c as f64 - e;
+        d += diff * diff / e;
+    }
+    d / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use crate::placement::Strategy;
+
+    fn oids(n: u64) -> Vec<ObjectId> {
+        (0..n).map(ObjectId).collect()
+    }
+
+    #[test]
+    fn distribution_counts_every_replica() {
+        let view = ClusterView::new(Layout::equal_work(10, 10_000), Strategy::Primary, 2);
+        let objs = oids(5_000);
+        let d = replica_distribution(&view, &objs, VersionId(1));
+        assert_eq!(d.iter().sum::<u64>(), 2 * 5_000);
+    }
+
+    #[test]
+    fn equal_work_distribution_is_rank_skewed() {
+        let view = ClusterView::new(Layout::equal_work(10, 40_000), Strategy::Primary, 2);
+        let objs = oids(50_000);
+        let d = replica_distribution(&view, &objs, VersionId(1));
+        // Secondaries follow ~B/i: rank 3 stores more than rank 9.
+        assert!(d[2] > d[8], "rank 3 {} !> rank 9 {}", d[2], d[8]);
+        // Tail monotonicity (within sampling noise): compare rank 4 vs 10.
+        assert!(d[3] > d[9]);
+    }
+
+    #[test]
+    fn uniform_distribution_is_flat() {
+        let view = ClusterView::new(Layout::uniform(10, 10_000), Strategy::Original, 2);
+        let objs = oids(50_000);
+        let d = replica_distribution(&view, &objs, VersionId(1));
+        assert!(
+            imbalance(&d) < 1.15,
+            "uniform layout imbalance {}",
+            imbalance(&d)
+        );
+    }
+
+    #[test]
+    fn moved_replicas_zero_for_same_version() {
+        let view = ClusterView::new(Layout::equal_work(10, 10_000), Strategy::Primary, 2);
+        let objs = oids(1_000);
+        assert_eq!(moved_replicas(&view, &objs, VersionId(1), VersionId(1)), 0);
+    }
+
+    #[test]
+    fn moved_replicas_detects_resize_disruption() {
+        let mut view = ClusterView::new(Layout::equal_work(10, 10_000), Strategy::Primary, 2);
+        view.resize(6);
+        let objs = oids(2_000);
+        let moved = moved_replicas(&view, &objs, VersionId(1), VersionId(2));
+        assert!(moved > 0);
+        // Far fewer than all replicas move.
+        assert!(moved < 2 * 2_000);
+    }
+
+    #[test]
+    fn imbalance_edge_cases() {
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0, 0]), 1.0);
+        assert!((imbalance(&[5, 5, 5]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&[10, 5]) - (10.0 / 7.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_is_zero_for_exact_match() {
+        let counts = [250u64, 250, 250, 250];
+        let exp = [0.25f64; 4];
+        assert!(divergence_from_expected(&counts, &exp) < 1e-12);
+    }
+
+    #[test]
+    fn divergence_grows_with_skew() {
+        let exp = [0.25f64; 4];
+        let near = divergence_from_expected(&[260, 240, 255, 245], &exp);
+        let far = divergence_from_expected(&[700, 100, 100, 100], &exp);
+        assert!(far > near * 10.0);
+    }
+}

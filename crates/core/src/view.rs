@@ -1,0 +1,187 @@
+//! A versioned view of the cluster: ring + layout + membership history.
+//!
+//! `ClusterView` bundles everything needed to answer "where do the
+//! replicas of object X live at version V?" — the question at the heart of
+//! both write-availability offloading and selective re-integration
+//! (Algorithm 2's `locate_ser(OID, Ver)`).
+
+use crate::ids::{ObjectId, VersionId};
+use crate::layout::Layout;
+use crate::membership::{MembershipHistory, MembershipTable};
+use crate::placement::{place, Placement, PlacementError, Strategy};
+use crate::ring::HashRing;
+use serde::{Deserialize, Serialize};
+
+/// Immutable topology plus evolving membership, with versioned placement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterView {
+    ring: HashRing,
+    layout: Layout,
+    history: MembershipHistory,
+    strategy: Strategy,
+    replicas: usize,
+}
+
+impl ClusterView {
+    /// Build a view from a layout, starting at full power (version 1).
+    pub fn new(layout: Layout, strategy: Strategy, replicas: usize) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        assert!(
+            replicas <= layout.server_count(),
+            "replication factor exceeds cluster size"
+        );
+        let ring = layout.build_ring();
+        let history = MembershipHistory::new(MembershipTable::full_power(layout.server_count()));
+        ClusterView {
+            ring,
+            layout,
+            history,
+            strategy,
+            replicas,
+        }
+    }
+
+    /// The hash ring.
+    #[inline]
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The weight layout.
+    #[inline]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The membership history.
+    #[inline]
+    pub fn history(&self) -> &MembershipHistory {
+        &self.history
+    }
+
+    /// The placement strategy in use.
+    #[inline]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Replication factor `r`.
+    #[inline]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Total number of servers `n`.
+    #[inline]
+    pub fn server_count(&self) -> usize {
+        self.layout.server_count()
+    }
+
+    /// Current (newest) membership version.
+    #[inline]
+    pub fn current_version(&self) -> VersionId {
+        self.history.current_version()
+    }
+
+    /// Current membership table.
+    #[inline]
+    pub fn current_membership(&self) -> &MembershipTable {
+        self.history.current()
+    }
+
+    /// Resize the cluster to `active` servers (an expansion-chain prefix),
+    /// recording and returning the new version.
+    pub fn resize(&mut self, active: usize) -> VersionId {
+        let table = MembershipTable::active_prefix(self.server_count(), active);
+        self.history.record(table)
+    }
+
+    /// Record an arbitrary membership table (failure injection etc.).
+    pub fn record_membership(&mut self, table: MembershipTable) -> VersionId {
+        self.history.record(table)
+    }
+
+    /// Replica locations of `oid` under the membership at `version`.
+    ///
+    /// # Panics
+    /// Panics if `version` was never recorded.
+    pub fn place_at(&self, oid: ObjectId, version: VersionId) -> Result<Placement, PlacementError> {
+        let membership = self
+            .history
+            .get(version)
+            .unwrap_or_else(|| panic!("unknown membership version {version}"));
+        place(
+            self.strategy,
+            &self.ring,
+            &self.layout,
+            membership,
+            oid,
+            self.replicas,
+        )
+    }
+
+    /// Replica locations of `oid` under the current membership.
+    pub fn place_current(&self, oid: ObjectId) -> Result<Placement, PlacementError> {
+        self.place_at(oid, self.current_version())
+    }
+
+    /// True when a write at the current version is *dirty* (§III-E2):
+    /// any version that is not full power offloads at least potentially.
+    pub fn write_is_dirty(&self) -> bool {
+        !self.current_membership().is_full_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> ClusterView {
+        ClusterView::new(Layout::equal_work(10, 10_000), Strategy::Primary, 2)
+    }
+
+    #[test]
+    fn starts_at_full_power_version_one() {
+        let v = view();
+        assert_eq!(v.current_version(), VersionId(1));
+        assert!(v.current_membership().is_full_power());
+        assert!(!v.write_is_dirty());
+    }
+
+    #[test]
+    fn resize_records_versions() {
+        let mut v = view();
+        let v2 = v.resize(8);
+        assert_eq!(v2, VersionId(2));
+        assert_eq!(v.current_membership().active_count(), 8);
+        assert!(v.write_is_dirty());
+        let v3 = v.resize(10);
+        assert_eq!(v3, VersionId(3));
+        assert!(!v.write_is_dirty());
+    }
+
+    #[test]
+    fn historical_placement_stays_resolvable() {
+        let mut v = view();
+        let full = v.place_at(ObjectId(10010), VersionId(1)).unwrap();
+        v.resize(5);
+        let small = v.place_current(ObjectId(10010)).unwrap();
+        v.resize(10);
+        // The version-1 placement must still be answerable and identical.
+        assert_eq!(v.place_at(ObjectId(10010), VersionId(1)).unwrap(), full);
+        assert_eq!(v.place_at(ObjectId(10010), VersionId(2)).unwrap(), small);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown membership version")]
+    fn unknown_version_panics() {
+        let v = view();
+        let _ = v.place_at(ObjectId(1), VersionId(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor exceeds")]
+    fn oversized_replication_panics() {
+        ClusterView::new(Layout::equal_work(3, 300), Strategy::Primary, 4);
+    }
+}

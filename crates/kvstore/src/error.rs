@@ -1,0 +1,35 @@
+//! Error type for key-value operations.
+
+use std::fmt;
+
+/// Failure of a key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// The key exists but holds a different type (Redis's `WRONGTYPE`).
+    WrongType {
+        /// What the operation expected.
+        expected: &'static str,
+        /// What the key actually holds.
+        found: &'static str,
+    },
+    /// A string value could not be parsed as an integer (for `INCR`).
+    NotAnInteger,
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::WrongType { expected, found } => write!(
+                f,
+                "WRONGTYPE operation against a key holding the wrong kind of value \
+                 (expected {expected}, found {found})"
+            ),
+            KvError::NotAnInteger => write!(f, "value is not an integer or out of range"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Convenience result alias.
+pub type KvResult<T> = Result<T, KvError>;

@@ -1,0 +1,45 @@
+//! # ech-kvstore — a Redis-like sharded in-memory key-value store
+//!
+//! The paper stores its dirty table in Redis, "an in-memory key-value
+//! store", using the LIST data type: `RPUSH` to insert dirty entries,
+//! `LRANGE` to fetch without removal at partial-power versions, and
+//! `LPOP` to consume entries at full power (§IV). The table itself "is
+//! maintained in a distributed key-value store across the storage servers
+//! to balance the storage usage and the lookup load" (§III-E2).
+//!
+//! This crate is that substrate, built from scratch:
+//!
+//! * **Sharded** — keys are routed to shards by the same consistent-
+//!   hashing ring the data path uses, so storage and lookup load spread
+//!   across shards like objects across servers.
+//! * **Thread-safe** — each shard holds its own `RwLock`; disjoint keys
+//!   never contend. Share as `Arc<KvStore>`.
+//! * **Redis-flavoured API** — STRING (`GET`/`SET`/`INCR`), LIST
+//!   (`RPUSH`/`LPUSH`/`LPOP`/`RPOP`/`LRANGE`/`LINDEX`/`LLEN`) and HASH
+//!   (`HSET`/`HGET`/`HDEL`/`HLEN`) with Redis's `WRONGTYPE` error
+//!   semantics.
+//!
+//! `ech-cluster` layers the distributed dirty table on top of this store.
+//!
+//! ```
+//! use ech_kvstore::KvStore;
+//!
+//! let kv = KvStore::new(8);
+//! kv.rpush("dirty", "10010:9").unwrap();
+//! kv.rpush("dirty", "20400:9").unwrap();
+//! assert_eq!(kv.llen("dirty").unwrap(), 2);
+//! let head = kv.lpop("dirty").unwrap().unwrap();
+//! assert_eq!(&head[..], b"10010:9");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+mod error;
+mod store;
+mod value;
+
+pub use error::{KvError, KvResult};
+pub use store::{KvStore, Snapshot};
+pub use value::Value;

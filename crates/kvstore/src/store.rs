@@ -1,0 +1,563 @@
+//! The sharded, thread-safe key-value store.
+//!
+//! §III-E2: "The dirty table is maintained in a distributed key-value
+//! store across the storage servers to balance the storage usage and the
+//! lookup load." We model that distribution with a consistent-hashing
+//! ring over the store's shards — the same ring machinery the data path
+//! uses — so keys spread across shards exactly the way objects spread
+//! across servers. Each shard is an independently locked hash map, so
+//! disjoint keys never contend.
+
+use crate::error::{KvError, KvResult};
+use crate::value::Value;
+use bytes::Bytes;
+use ech_core::ids::ServerId;
+use ech_core::ring::HashRing;
+use parking_lot::RwLock;
+use std::collections::{HashMap, VecDeque};
+
+/// One shard: a lock around a key space slice.
+#[derive(Debug, Default)]
+struct Shard {
+    map: RwLock<HashMap<String, Value>>,
+}
+
+/// A serializable point-in-time copy of a store's contents.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Key/value pairs sorted by key.
+    entries: Vec<(String, Value)>,
+}
+
+impl Snapshot {
+    /// Number of keys captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the snapshot captured nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A sharded in-memory key-value store with Redis-flavoured operations.
+///
+/// All operations take `&self`; interior locks make the store safe to
+/// share across threads (`Arc<KvStore>` is the intended usage).
+#[derive(Debug)]
+pub struct KvStore {
+    shards: Vec<Shard>,
+    ring: HashRing,
+}
+
+impl KvStore {
+    /// A store spread over `shards` shards (one per storage server in the
+    /// paper's deployment). 128 virtual nodes per shard keeps key load
+    /// within a few percent of even.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        KvStore {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            ring: HashRing::build(&vec![128u32; shards]),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key lives on (exposed for balance tests/metrics).
+    pub fn shard_of(&self, key: &str) -> usize {
+        let pos = ech_core::hash::mix64(ech_core::hash::fnv1a64(key.as_bytes()));
+        self.ring
+            .distinct_servers_from(pos)
+            .next()
+            .map(ServerId::index)
+            .expect("ring is never empty")
+    }
+
+    fn shard(&self, key: &str) -> &Shard {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Number of keys per shard (load-balance metric).
+    pub fn keys_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.map.read().len()).collect()
+    }
+
+    /// Total number of keys.
+    pub fn len(&self) -> usize {
+        self.keys_per_shard().iter().sum()
+    }
+
+    /// True when the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ----- persistence ---------------------------------------------------
+
+    /// Snapshot the entire store (the RDB analogue): a consistent-enough
+    /// copy taken shard by shard. Writers racing the dump land wholly in
+    /// or wholly out per key.
+    pub fn dump(&self) -> Snapshot {
+        let mut entries = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for (k, v) in shard.map.read().iter() {
+                entries.push((k.clone(), v.clone()));
+            }
+        }
+        // Deterministic output regardless of shard iteration order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { entries }
+    }
+
+    /// Rebuild a store from a snapshot, re-sharding over `shards` shards
+    /// (the shard count may differ from the dumping store's).
+    pub fn restore(snapshot: Snapshot, shards: usize) -> Self {
+        let store = KvStore::new(shards);
+        for (k, v) in snapshot.entries {
+            store.shard(&k).map.write().insert(k, v);
+        }
+        store
+    }
+
+    // ----- generic key operations -------------------------------------
+
+    /// `EXISTS key`.
+    pub fn exists(&self, key: &str) -> bool {
+        self.shard(key).map.read().contains_key(key)
+    }
+
+    /// `DEL key` — returns true when a key was removed.
+    pub fn del(&self, key: &str) -> bool {
+        self.shard(key).map.write().remove(key).is_some()
+    }
+
+    /// `TYPE key` — the stored value's type name, if present.
+    pub fn value_type(&self, key: &str) -> Option<&'static str> {
+        self.shard(key).map.read().get(key).map(Value::type_name)
+    }
+
+    // ----- STRING ------------------------------------------------------
+
+    /// `SET key value`.
+    pub fn set(&self, key: &str, value: impl Into<Bytes>) {
+        self.shard(key)
+            .map
+            .write()
+            .insert(key.to_owned(), Value::Str(value.into()));
+    }
+
+    /// `GET key` — `Err(WrongType)` when the key holds a non-string.
+    pub fn get(&self, key: &str) -> KvResult<Option<Bytes>> {
+        match self.shard(key).map.read().get(key) {
+            None => Ok(None),
+            Some(Value::Str(b)) => Ok(Some(b.clone())),
+            Some(v) => Err(KvError::WrongType {
+                expected: "string",
+                found: v.type_name(),
+            }),
+        }
+    }
+
+    /// `INCR key` — increments an integer-encoded string, creating it at 0.
+    pub fn incr(&self, key: &str) -> KvResult<i64> {
+        let mut map = self.shard(key).map.write();
+        let cur = match map.get(key) {
+            None => 0i64,
+            Some(Value::Str(b)) => std::str::from_utf8(b)
+                .ok()
+                .and_then(|s| s.parse::<i64>().ok())
+                .ok_or(KvError::NotAnInteger)?,
+            Some(v) => {
+                return Err(KvError::WrongType {
+                    expected: "string",
+                    found: v.type_name(),
+                })
+            }
+        };
+        let next = cur + 1;
+        map.insert(key.to_owned(), Value::Str(next.to_string().into()));
+        Ok(next)
+    }
+
+    // ----- LIST --------------------------------------------------------
+
+    fn with_list<R>(
+        &self,
+        key: &str,
+        create: bool,
+        f: impl FnOnce(Option<&mut VecDeque<Bytes>>) -> R,
+    ) -> KvResult<R> {
+        let mut map = self.shard(key).map.write();
+        match map.get_mut(key) {
+            Some(Value::List(list)) => Ok(f(Some(list))),
+            Some(v) => Err(KvError::WrongType {
+                expected: "list",
+                found: v.type_name(),
+            }),
+            None if create => {
+                let entry = map
+                    .entry(key.to_owned())
+                    .or_insert_with(|| Value::List(VecDeque::new()));
+                match entry {
+                    Value::List(list) => Ok(f(Some(list))),
+                    _ => unreachable!("just inserted a list"),
+                }
+            }
+            None => Ok(f(None)),
+        }
+    }
+
+    /// `RPUSH key value` — appends, returning the new length. This is how
+    /// the write logger inserts dirty entries (§IV).
+    pub fn rpush(&self, key: &str, value: impl Into<Bytes>) -> KvResult<usize> {
+        let value = value.into();
+        self.with_list(key, true, |list| {
+            let list = list.expect("created");
+            list.push_back(value);
+            list.len()
+        })
+    }
+
+    /// `LPUSH key value` — prepends, returning the new length.
+    pub fn lpush(&self, key: &str, value: impl Into<Bytes>) -> KvResult<usize> {
+        let value = value.into();
+        self.with_list(key, true, |list| {
+            let list = list.expect("created");
+            list.push_front(value);
+            list.len()
+        })
+    }
+
+    /// `LPOP key` — removes and returns the head. Used when a dirty entry
+    /// is consumed at a full-power version (§IV).
+    pub fn lpop(&self, key: &str) -> KvResult<Option<Bytes>> {
+        self.with_list(key, false, |list| list.and_then(VecDeque::pop_front))
+    }
+
+    /// `RPOP key` — removes and returns the tail.
+    pub fn rpop(&self, key: &str) -> KvResult<Option<Bytes>> {
+        self.with_list(key, false, |list| list.and_then(VecDeque::pop_back))
+    }
+
+    /// `LLEN key`.
+    pub fn llen(&self, key: &str) -> KvResult<usize> {
+        self.with_list(key, false, |list| list.map_or(0, |l| l.len()))
+    }
+
+    /// `LINDEX key index` — positional read (a one-element LRANGE); used
+    /// by the re-integration cursor when entries must *not* be removed.
+    pub fn lindex(&self, key: &str, index: usize) -> KvResult<Option<Bytes>> {
+        self.with_list(key, false, |list| {
+            list.and_then(|l| l.get(index).cloned())
+        })
+    }
+
+    /// `LRANGE key start stop` (inclusive stop, saturating, no negative
+    /// indices — the dirty-table reader only scans forward).
+    pub fn lrange(&self, key: &str, start: usize, stop: usize) -> KvResult<Vec<Bytes>> {
+        self.with_list(key, false, |list| match list {
+            None => Vec::new(),
+            Some(l) => l
+                .iter()
+                .skip(start)
+                .take(stop.saturating_sub(start).saturating_add(1))
+                .cloned()
+                .collect(),
+        })
+    }
+
+    // ----- HASH --------------------------------------------------------
+
+    /// `HSET key field value` — returns true when the field is new.
+    pub fn hset(&self, key: &str, field: &str, value: impl Into<Bytes>) -> KvResult<bool> {
+        let value = value.into();
+        let mut map = self.shard(key).map.write();
+        match map
+            .entry(key.to_owned())
+            .or_insert_with(|| Value::Hash(HashMap::new()))
+        {
+            Value::Hash(h) => Ok(h.insert(field.to_owned(), value).is_none()),
+            v => Err(KvError::WrongType {
+                expected: "hash",
+                found: v.type_name(),
+            }),
+        }
+    }
+
+    /// `HGET key field`.
+    pub fn hget(&self, key: &str, field: &str) -> KvResult<Option<Bytes>> {
+        match self.shard(key).map.read().get(key) {
+            None => Ok(None),
+            Some(Value::Hash(h)) => Ok(h.get(field).cloned()),
+            Some(v) => Err(KvError::WrongType {
+                expected: "hash",
+                found: v.type_name(),
+            }),
+        }
+    }
+
+    /// `HDEL key field` — returns true when the field existed.
+    pub fn hdel(&self, key: &str, field: &str) -> KvResult<bool> {
+        let mut map = self.shard(key).map.write();
+        match map.get_mut(key) {
+            None => Ok(false),
+            Some(Value::Hash(h)) => Ok(h.remove(field).is_some()),
+            Some(v) => Err(KvError::WrongType {
+                expected: "hash",
+                found: v.type_name(),
+            }),
+        }
+    }
+
+    /// `HKEYS key` — all field names (order unspecified). Used by repair
+    /// scans that must enumerate every tracked object.
+    pub fn hkeys(&self, key: &str) -> KvResult<Vec<String>> {
+        match self.shard(key).map.read().get(key) {
+            None => Ok(Vec::new()),
+            Some(Value::Hash(h)) => Ok(h.keys().cloned().collect()),
+            Some(v) => Err(KvError::WrongType {
+                expected: "hash",
+                found: v.type_name(),
+            }),
+        }
+    }
+
+    /// `HLEN key`.
+    pub fn hlen(&self, key: &str) -> KvResult<usize> {
+        match self.shard(key).map.read().get(key) {
+            None => Ok(0),
+            Some(Value::Hash(h)) => Ok(h.len()),
+            Some(v) => Err(KvError::WrongType {
+                expected: "hash",
+                found: v.type_name(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn string_roundtrip() {
+        let kv = KvStore::new(4);
+        assert_eq!(kv.get("a").unwrap(), None);
+        kv.set("a", "hello");
+        assert_eq!(kv.get("a").unwrap().unwrap(), Bytes::from("hello"));
+        assert!(kv.exists("a"));
+        assert!(kv.del("a"));
+        assert!(!kv.exists("a"));
+        assert!(!kv.del("a"));
+    }
+
+    #[test]
+    fn list_fifo_matches_redis_semantics() {
+        let kv = KvStore::new(4);
+        assert_eq!(kv.rpush("q", "1").unwrap(), 1);
+        assert_eq!(kv.rpush("q", "2").unwrap(), 2);
+        assert_eq!(kv.rpush("q", "3").unwrap(), 3);
+        assert_eq!(kv.llen("q").unwrap(), 3);
+        assert_eq!(
+            kv.lrange("q", 0, 1).unwrap(),
+            vec![Bytes::from("1"), Bytes::from("2")]
+        );
+        assert_eq!(kv.lindex("q", 2).unwrap().unwrap(), Bytes::from("3"));
+        assert_eq!(kv.lpop("q").unwrap().unwrap(), Bytes::from("1"));
+        assert_eq!(kv.rpop("q").unwrap().unwrap(), Bytes::from("3"));
+        assert_eq!(kv.llen("q").unwrap(), 1);
+    }
+
+    #[test]
+    fn lpush_prepends() {
+        let kv = KvStore::new(2);
+        kv.rpush("l", "b").unwrap();
+        kv.lpush("l", "a").unwrap();
+        assert_eq!(
+            kv.lrange("l", 0, 10).unwrap(),
+            vec![Bytes::from("a"), Bytes::from("b")]
+        );
+    }
+
+    #[test]
+    fn lrange_bounds() {
+        let kv = KvStore::new(2);
+        for i in 0..5 {
+            kv.rpush("l", i.to_string()).unwrap();
+        }
+        assert_eq!(kv.lrange("l", 3, 100).unwrap().len(), 2);
+        assert_eq!(kv.lrange("l", 10, 20).unwrap().len(), 0);
+        assert_eq!(kv.lrange("missing", 0, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn wrong_type_errors() {
+        let kv = KvStore::new(4);
+        kv.set("s", "x");
+        assert!(matches!(kv.rpush("s", "y"), Err(KvError::WrongType { .. })));
+        assert!(matches!(kv.hget("s", "f"), Err(KvError::WrongType { .. })));
+        kv.rpush("l", "y").unwrap();
+        assert!(matches!(kv.get("l"), Err(KvError::WrongType { .. })));
+        assert!(matches!(kv.incr("l"), Err(KvError::WrongType { .. })));
+    }
+
+    #[test]
+    fn hash_operations() {
+        let kv = KvStore::new(4);
+        assert!(kv.hset("h", "f1", "v1").unwrap());
+        assert!(!kv.hset("h", "f1", "v2").unwrap());
+        assert_eq!(kv.hget("h", "f1").unwrap().unwrap(), Bytes::from("v2"));
+        assert_eq!(kv.hlen("h").unwrap(), 1);
+        assert!(kv.hdel("h", "f1").unwrap());
+        assert!(!kv.hdel("h", "f1").unwrap());
+        assert_eq!(kv.hget("missing", "f").unwrap(), None);
+    }
+
+    #[test]
+    fn hkeys_enumerates_fields() {
+        let kv = KvStore::new(4);
+        assert!(kv.hkeys("h").unwrap().is_empty());
+        for f in ["a", "b", "c"] {
+            kv.hset("h", f, "v").unwrap();
+        }
+        let mut keys = kv.hkeys("h").unwrap();
+        keys.sort();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+        kv.set("s", "x");
+        assert!(matches!(kv.hkeys("s"), Err(KvError::WrongType { .. })));
+    }
+
+    #[test]
+    fn incr_counts() {
+        let kv = KvStore::new(4);
+        assert_eq!(kv.incr("c").unwrap(), 1);
+        assert_eq!(kv.incr("c").unwrap(), 2);
+        kv.set("bad", "not a number");
+        assert_eq!(kv.incr("bad"), Err(KvError::NotAnInteger));
+    }
+
+    #[test]
+    fn keys_balance_across_shards() {
+        let kv = KvStore::new(8);
+        for i in 0..8000 {
+            kv.set(&format!("key:{i}"), "v");
+        }
+        let per = kv.keys_per_shard();
+        assert_eq!(per.iter().sum::<usize>(), 8000);
+        let mean = 1000.0;
+        for (i, &c) in per.iter().enumerate() {
+            assert!(
+                (c as f64 - mean).abs() < mean * 0.5,
+                "shard {i} holds {c} keys (mean {mean})"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_across_shard_counts() {
+        let kv = KvStore::new(4);
+        kv.set("s", "string-value");
+        for i in 0..10 {
+            kv.rpush("list", format!("item-{i}")).unwrap();
+        }
+        kv.hset("hash", "field", "val").unwrap();
+        let snap = kv.dump();
+        assert_eq!(snap.len(), 3);
+
+        // Restore with a different shard count: contents identical.
+        let restored = KvStore::restore(snap.clone(), 9);
+        assert_eq!(restored.len(), 3);
+        assert_eq!(
+            restored.get("s").unwrap().unwrap(),
+            Bytes::from("string-value")
+        );
+        assert_eq!(restored.llen("list").unwrap(), 10);
+        assert_eq!(
+            restored.lindex("list", 3).unwrap().unwrap(),
+            Bytes::from("item-3")
+        );
+        assert_eq!(
+            restored.hget("hash", "field").unwrap().unwrap(),
+            Bytes::from("val")
+        );
+        // And the restored store dumps back to the same snapshot.
+        assert_eq!(restored.dump(), snap);
+    }
+
+    #[test]
+    fn snapshot_is_json_serializable() {
+        let kv = KvStore::new(2);
+        kv.rpush("dirty", "10010:9").unwrap();
+        let json = serde_json::to_string(&kv.dump()).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        let restored = KvStore::restore(back, 2);
+        assert_eq!(
+            restored.lpop("dirty").unwrap().unwrap(),
+            Bytes::from("10010:9")
+        );
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let kv = KvStore::new(3);
+        let snap = kv.dump();
+        assert!(snap.is_empty());
+        let restored = KvStore::restore(snap, 1);
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn shard_of_is_stable() {
+        let kv = KvStore::new(8);
+        for i in 0..100 {
+            let k = format!("key:{i}");
+            assert_eq!(kv.shard_of(&k), kv.shard_of(&k));
+        }
+    }
+
+    #[test]
+    fn concurrent_rpush_lpop_preserves_all_items() {
+        // 8 producers push 1000 items each; 4 consumers pop until they have
+        // seen all 8000. No item may be lost or duplicated.
+        let kv = Arc::new(KvStore::new(4));
+        let produced = 8 * 1000;
+        let popped = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        crossbeam::scope(|s| {
+            for t in 0..8 {
+                let kv = kv.clone();
+                s.spawn(move |_| {
+                    for i in 0..1000 {
+                        kv.rpush("q", format!("{t}:{i}")).unwrap();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let kv = kv.clone();
+                let popped = popped.clone();
+                s.spawn(move |_| loop {
+                    match kv.lpop("q").unwrap() {
+                        Some(item) => popped.lock().push(item),
+                        None => {
+                            if popped.lock().len() >= produced {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut items = popped.lock().clone();
+        assert_eq!(items.len(), produced);
+        items.sort();
+        items.dedup();
+        assert_eq!(items.len(), produced, "duplicate items popped");
+    }
+}

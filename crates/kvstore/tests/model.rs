@@ -1,0 +1,208 @@
+//! Model-based property test: the sharded store must behave exactly like
+//! a single flat map of Redis values under any operation sequence.
+
+use bytes::Bytes;
+use ech_kvstore::{KvError, KvStore};
+use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u8, String),
+    Get(u8),
+    Del(u8),
+    Rpush(u8, String),
+    Lpush(u8, String),
+    Lpop(u8),
+    Rpop(u8),
+    Llen(u8),
+    Lindex(u8, usize),
+    Hset(u8, u8, String),
+    Hget(u8, u8),
+    Hdel(u8, u8),
+    Incr(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0u8..6; // few keys => lots of cross-type collisions
+    let val = "[a-z]{0,6}";
+    prop_oneof![
+        (key.clone(), val).prop_map(|(k, v)| Op::Set(k, v)),
+        key.clone().prop_map(Op::Get),
+        key.clone().prop_map(Op::Del),
+        (key.clone(), val).prop_map(|(k, v)| Op::Rpush(k, v)),
+        (key.clone(), val).prop_map(|(k, v)| Op::Lpush(k, v)),
+        key.clone().prop_map(Op::Lpop),
+        key.clone().prop_map(Op::Rpop),
+        key.clone().prop_map(Op::Llen),
+        (key.clone(), 0usize..8).prop_map(|(k, i)| Op::Lindex(k, i)),
+        (key.clone(), 0u8..4, val).prop_map(|(k, f, v)| Op::Hset(k, f, v)),
+        (key.clone(), 0u8..4).prop_map(|(k, f)| Op::Hget(k, f)),
+        (key.clone(), 0u8..4).prop_map(|(k, f)| Op::Hdel(k, f)),
+        key.prop_map(Op::Incr),
+    ]
+}
+
+/// Reference model of one key's value.
+#[derive(Debug, Clone, PartialEq)]
+enum Model {
+    Str(Bytes),
+    List(VecDeque<Bytes>),
+    Hash(HashMap<String, Bytes>),
+}
+
+fn is_wrong_type<T>(r: &Result<T, KvError>) -> bool {
+    matches!(r, Err(KvError::WrongType { .. }))
+}
+
+fn key(k: u8) -> String {
+    format!("key-{k}")
+}
+
+fn field(f: u8) -> String {
+    format!("field-{f}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn store_matches_flat_model(ops in proptest::collection::vec(op_strategy(), 1..120), shards in 1usize..9) {
+        let kv = KvStore::new(shards);
+        let mut model: HashMap<String, Model> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Set(k, v) => {
+                    kv.set(&key(k), v.clone());
+                    model.insert(key(k), Model::Str(Bytes::from(v)));
+                }
+                Op::Get(k) => {
+                    let got = kv.get(&key(k));
+                    match model.get(&key(k)) {
+                        None => prop_assert_eq!(got.unwrap(), None),
+                        Some(Model::Str(b)) => prop_assert_eq!(got.unwrap(), Some(b.clone())),
+                        Some(_) => prop_assert!(is_wrong_type(&got)),
+                    }
+                }
+                Op::Del(k) => {
+                    let got = kv.del(&key(k));
+                    prop_assert_eq!(got, model.remove(&key(k)).is_some());
+                }
+                Op::Rpush(k, v) => {
+                    let got = kv.rpush(&key(k), v.clone());
+                    match model.entry(key(k)).or_insert_with(|| Model::List(VecDeque::new())) {
+                        Model::List(l) => {
+                            l.push_back(Bytes::from(v));
+                            prop_assert_eq!(got.unwrap(), l.len());
+                        }
+                        _ => {
+                            prop_assert!(is_wrong_type(&got));
+                        }
+                    }
+                }
+                Op::Lpush(k, v) => {
+                    let got = kv.lpush(&key(k), v.clone());
+                    match model.entry(key(k)).or_insert_with(|| Model::List(VecDeque::new())) {
+                        Model::List(l) => {
+                            l.push_front(Bytes::from(v));
+                            prop_assert_eq!(got.unwrap(), l.len());
+                        }
+                        _ => {
+                            prop_assert!(is_wrong_type(&got));
+                        }
+                    }
+                }
+                Op::Lpop(k) => {
+                    let got = kv.lpop(&key(k));
+                    match model.get_mut(&key(k)) {
+                        None => prop_assert_eq!(got.unwrap(), None),
+                        Some(Model::List(l)) => prop_assert_eq!(got.unwrap(), l.pop_front()),
+                        Some(_) => prop_assert!(is_wrong_type(&got)),
+                    }
+                }
+                Op::Rpop(k) => {
+                    let got = kv.rpop(&key(k));
+                    match model.get_mut(&key(k)) {
+                        None => prop_assert_eq!(got.unwrap(), None),
+                        Some(Model::List(l)) => prop_assert_eq!(got.unwrap(), l.pop_back()),
+                        Some(_) => prop_assert!(is_wrong_type(&got)),
+                    }
+                }
+                Op::Llen(k) => {
+                    let got = kv.llen(&key(k));
+                    match model.get(&key(k)) {
+                        None => prop_assert_eq!(got.unwrap(), 0),
+                        Some(Model::List(l)) => prop_assert_eq!(got.unwrap(), l.len()),
+                        Some(_) => prop_assert!(is_wrong_type(&got)),
+                    }
+                }
+                Op::Lindex(k, i) => {
+                    let got = kv.lindex(&key(k), i);
+                    match model.get(&key(k)) {
+                        None => prop_assert_eq!(got.unwrap(), None),
+                        Some(Model::List(l)) => prop_assert_eq!(got.unwrap(), l.get(i).cloned()),
+                        Some(_) => prop_assert!(is_wrong_type(&got)),
+                    }
+                }
+                Op::Hset(k, f, v) => {
+                    let got = kv.hset(&key(k), &field(f), v.clone());
+                    match model.entry(key(k)).or_insert_with(|| Model::Hash(HashMap::new())) {
+                        Model::Hash(h) => {
+                            let fresh = h.insert(field(f), Bytes::from(v)).is_none();
+                            prop_assert_eq!(got.unwrap(), fresh);
+                        }
+                        _ => {
+                            prop_assert!(is_wrong_type(&got));
+                        }
+                    }
+                }
+                Op::Hget(k, f) => {
+                    let got = kv.hget(&key(k), &field(f));
+                    match model.get(&key(k)) {
+                        None => prop_assert_eq!(got.unwrap(), None),
+                        Some(Model::Hash(h)) => {
+                            prop_assert_eq!(got.unwrap(), h.get(&field(f)).cloned())
+                        }
+                        Some(_) => prop_assert!(is_wrong_type(&got)),
+                    }
+                }
+                Op::Hdel(k, f) => {
+                    let got = kv.hdel(&key(k), &field(f));
+                    match model.get_mut(&key(k)) {
+                        None => prop_assert_eq!(got.unwrap(), false),
+                        Some(Model::Hash(h)) => {
+                            prop_assert_eq!(got.unwrap(), h.remove(&field(f)).is_some())
+                        }
+                        Some(_) => prop_assert!(is_wrong_type(&got)),
+                    }
+                }
+                Op::Incr(k) => {
+                    let got = kv.incr(&key(k));
+                    match model.get(&key(k)).cloned() {
+                        None => {
+                            prop_assert_eq!(got.unwrap(), 1);
+                            model.insert(key(k), Model::Str(Bytes::from("1")));
+                        }
+                        Some(Model::Str(b)) => {
+                            match std::str::from_utf8(&b).ok().and_then(|s| s.parse::<i64>().ok()) {
+                                Some(cur) => {
+                                    prop_assert_eq!(got.unwrap(), cur + 1);
+                                    model.insert(
+                                        key(k),
+                                        Model::Str(Bytes::from((cur + 1).to_string())),
+                                    );
+                                }
+                                None => prop_assert_eq!(got, Err(KvError::NotAnInteger)),
+                            }
+                        }
+                        Some(_) => prop_assert!(is_wrong_type(&got)),
+                    }
+                }
+            }
+        }
+
+        // Final state: key count agrees.
+        prop_assert_eq!(kv.len(), model.len());
+    }
+}

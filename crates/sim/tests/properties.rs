@@ -1,0 +1,151 @@
+//! Property tests over the fluid simulator: structural invariants that
+//! must hold for any resize schedule or workload.
+
+use ech_sim::{ClusterSim, ElasticityMode, SimConfig};
+use ech_workload::three_phase::{PhaseSpec, Workload};
+use proptest::prelude::*;
+
+fn modes() -> impl Strategy<Value = ElasticityMode> {
+    prop_oneof![
+        Just(ElasticityMode::OriginalCh),
+        Just(ElasticityMode::PrimaryFull),
+        Just(ElasticityMode::PrimarySelective),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn power_counts_stay_in_bounds(
+        mode in modes(),
+        targets in proptest::collection::vec(1usize..12, 1..12),
+        preload in 0usize..2_000,
+    ) {
+        let cfg = SimConfig::paper_testbed(mode);
+        let min = cfg.min_active();
+        let n = cfg.servers;
+        let mut sim = ClusterSim::new(cfg);
+        sim.preload_objects(preload);
+        for &t in &targets {
+            sim.set_target(t);
+            for _ in 0..40 {
+                sim.step();
+                prop_assert!(sim.powered_count() <= n);
+                prop_assert!(sim.active_count() >= 1);
+                prop_assert!(sim.target() >= min && sim.target() <= n);
+                // Placement-eligible servers are always a subset of the
+                // powered set.
+                prop_assert!(sim.active_count() <= sim.powered_count());
+            }
+        }
+    }
+
+    #[test]
+    fn machine_seconds_are_monotone_and_bounded(
+        mode in modes(),
+        targets in proptest::collection::vec(2usize..11, 1..8),
+    ) {
+        let cfg = SimConfig::paper_testbed(mode);
+        let dt = cfg.dt;
+        let n = cfg.servers as f64;
+        let mut sim = ClusterSim::new(cfg);
+        let mut last = 0.0;
+        let mut ticks = 0u64;
+        for &t in &targets {
+            sim.set_target(t);
+            for _ in 0..20 {
+                sim.step();
+                ticks += 1;
+                let ms = sim.machine_seconds();
+                prop_assert!(ms >= last, "machine-seconds went backwards");
+                prop_assert!(ms <= n * dt * ticks as f64 + 1e-9, "more power than n servers");
+                last = ms;
+            }
+        }
+    }
+
+    #[test]
+    fn membership_active_equals_sim_active_after_settling(
+        mode in modes(),
+        target in 2usize..10,
+    ) {
+        let cfg = SimConfig::paper_testbed(mode);
+        let min = cfg.min_active();
+        let mut sim = ClusterSim::new(cfg);
+        sim.preload_objects(200);
+        sim.set_target(target);
+        // Step long enough for boots, shutdowns and (original CH)
+        // re-replication gating to settle.
+        for _ in 0..4_000 {
+            sim.step();
+        }
+        let want = target.max(min);
+        prop_assert_eq!(sim.active_count(), want);
+        prop_assert_eq!(
+            sim.view().current_membership().active_count(),
+            want
+        );
+        prop_assert_eq!(sim.powered_count(), want);
+    }
+
+    #[test]
+    fn workload_bytes_are_conserved(
+        mode in modes(),
+        write_gb in 1u64..6,
+        read_gb in 0u64..4,
+    ) {
+        let gb = 1_000_000_000u64;
+        let w = Workload {
+            name: "prop".into(),
+            phases: vec![PhaseSpec {
+                read_bytes: read_gb * gb,
+                write_bytes: write_gb * gb,
+                offered_rate: None,
+            }],
+        };
+        let cfg = SimConfig::paper_testbed(mode);
+        let dt = cfg.dt;
+        let mut sim = ClusterSim::new(cfg);
+        sim.start_workload(&w);
+        let mut transferred = 0.0;
+        for _ in 0..1_000_000 {
+            let ev = sim.step();
+            transferred += sim.sample().client_throughput * dt;
+            if ev.workload_done {
+                break;
+            }
+        }
+        let expect = (write_gb + read_gb) as f64 * gb as f64;
+        prop_assert!(
+            (transferred - expect).abs() / expect < 0.01,
+            "transferred {} of {}", transferred, expect
+        );
+    }
+
+    #[test]
+    fn selective_dirty_table_never_grows_at_full_power(
+        targets in proptest::collection::vec(3usize..10, 1..6),
+    ) {
+        let cfg = SimConfig::paper_testbed(ElasticityMode::PrimarySelective);
+        let mut sim = ClusterSim::new(cfg);
+        for &t in &targets {
+            sim.set_target(t);
+            for _ in 0..30 {
+                sim.step();
+            }
+            sim.preload_objects(100);
+        }
+        // Return to full power and run until the table drains.
+        sim.set_target(10);
+        let mut spins = 0;
+        while sim.dirty_len() > 0 && spins < 100_000 {
+            sim.step();
+            spins += 1;
+        }
+        prop_assert_eq!(sim.dirty_len(), 0, "dirty table failed to drain");
+        // At full power, new writes are clean.
+        sim.preload_objects(50);
+        prop_assert_eq!(sim.dirty_len(), 0);
+    }
+}

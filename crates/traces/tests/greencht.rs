@@ -1,0 +1,55 @@
+//! GreenCHT baseline tests: the tier-granular related-work scheme must
+//! respect its tier structure and lose to the paper's one-server-granular
+//! elastic design — the comparison §VI makes qualitatively.
+
+use ech_traces::{simulate, synth, PolicyKind, PolicyParams};
+
+#[test]
+fn greencht_only_runs_at_tier_multiples() {
+    let trace = synth::cc_a();
+    let params = PolicyParams::for_trace(&trace);
+    let tier = params.max_servers.div_ceil(params.greencht_tiers);
+    let r = simulate(&trace, &params, PolicyKind::GreenCht);
+    for &s in &r.servers {
+        let s = s as usize;
+        assert!(
+            s % tier == 0 || s == params.max_servers,
+            "server count {s} is not a tier multiple (tier {tier})"
+        );
+        assert!(s >= tier, "below the always-on tier");
+    }
+}
+
+#[test]
+fn one_server_granularity_beats_tiers() {
+    // The finer the resizing unit, the closer to ideal: selective (unit 1)
+    // < GreenCHT with 8 tiers < GreenCHT with 2 tiers.
+    let trace = synth::cc_a();
+    let base = PolicyParams::for_trace(&trace);
+    let ideal = simulate(&trace, &base, PolicyKind::Ideal).machine_hours;
+
+    let sel = simulate(&trace, &base, PolicyKind::PrimarySelective).machine_hours / ideal;
+
+    let mut fine = base;
+    fine.greencht_tiers = 8;
+    let g8 = simulate(&trace, &fine, PolicyKind::GreenCht).machine_hours / ideal;
+
+    let mut coarse = base;
+    coarse.greencht_tiers = 2;
+    let g2 = simulate(&trace, &coarse, PolicyKind::GreenCht).machine_hours / ideal;
+
+    assert!(
+        sel < g8 && g8 < g2,
+        "granularity ordering violated: selective {sel:.3}, 8-tier {g8:.3}, 2-tier {g2:.3}"
+    );
+}
+
+#[test]
+fn greencht_label_and_default_tiers() {
+    assert_eq!(PolicyKind::GreenCht.label(), "GreenCHT (tiered)");
+    let trace = synth::cc_a();
+    let params = PolicyParams::for_trace(&trace);
+    assert_eq!(params.greencht_tiers, 4);
+    // GreenCht is an extension, not part of the paper's four cases.
+    assert!(!PolicyKind::all().contains(&PolicyKind::GreenCht));
+}

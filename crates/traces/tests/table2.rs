@@ -1,0 +1,84 @@
+//! Table II regression tests: the calibrated policy analysis must stay
+//! within a tolerance of the paper's relative machine-hour ratios and
+//! reproduce §V-B's headline savings percentages.
+//!
+//! | Trace | Original CH | Primary+full | Primary+selective |
+//! |-------|-------------|--------------|-------------------|
+//! | CC-a  | 1.32        | 1.24         | 1.21              |
+//! | CC-b  | 1.51        | 1.37         | 1.33              |
+
+use ech_traces::{analyze, synth, PolicyKind, PolicyParams};
+
+const TOL: f64 = 0.06;
+
+fn check(trace: ech_traces::Trace, expect: [f64; 3]) {
+    let params = PolicyParams::for_trace(&trace);
+    let a = analyze(&trace, &params);
+    let got = [
+        a.relative_machine_hours(PolicyKind::OriginalCh),
+        a.relative_machine_hours(PolicyKind::PrimaryFull),
+        a.relative_machine_hours(PolicyKind::PrimarySelective),
+    ];
+    for ((g, e), label) in got
+        .iter()
+        .zip(expect)
+        .zip(["Original CH", "Primary+full", "Primary+selective"])
+    {
+        assert!(
+            (g - e).abs() < TOL,
+            "{}: {label} ratio {g:.3} deviates from paper {e:.2} by more than {TOL}",
+            a.trace_name
+        );
+    }
+    // Ordering must hold strictly regardless of tolerance.
+    assert!(got[0] > got[1] && got[1] > got[2] && got[2] > 1.0);
+}
+
+#[test]
+fn cc_a_matches_paper_table2() {
+    check(synth::cc_a(), [1.32, 1.24, 1.21]);
+}
+
+#[test]
+fn cc_b_matches_paper_table2() {
+    check(synth::cc_b(), [1.51, 1.37, 1.33]);
+}
+
+#[test]
+fn cc_a_savings_vs_original_match_section_v_b() {
+    // Paper: primary+full saves 6.3%, primary+selective 8.5% vs original.
+    let trace = synth::cc_a();
+    let a = analyze(&trace, &PolicyParams::for_trace(&trace));
+    let full = a.savings_vs_original(PolicyKind::PrimaryFull);
+    let sel = a.savings_vs_original(PolicyKind::PrimarySelective);
+    assert!((full - 0.063).abs() < 0.03, "full savings {full:.3}");
+    assert!((sel - 0.085).abs() < 0.03, "selective savings {sel:.3}");
+    assert!(sel > full);
+}
+
+#[test]
+fn cc_b_savings_vs_original_match_section_v_b() {
+    // Paper: primary+full saves 9.3%, primary+selective 12.1% vs original.
+    let trace = synth::cc_b();
+    let a = analyze(&trace, &PolicyParams::for_trace(&trace));
+    let full = a.savings_vs_original(PolicyKind::PrimaryFull);
+    let sel = a.savings_vs_original(PolicyKind::PrimarySelective);
+    assert!((full - 0.093).abs() < 0.04, "full savings {full:.3}");
+    assert!((sel - 0.121).abs() < 0.04, "selective savings {sel:.3}");
+    assert!(sel > full);
+}
+
+#[test]
+fn cc_a_improves_more_than_cc_b_in_relative_terms() {
+    // §V-B: "CC-a trace has significantly higher resizing frequency. It
+    // explains why our techniques are able to achieve more percentage of
+    // improvement" — selective's *ratio to ideal* is better on CC-a.
+    let a_trace = synth::cc_a();
+    let b_trace = synth::cc_b();
+    let a = analyze(&a_trace, &PolicyParams::for_trace(&a_trace));
+    let b = analyze(&b_trace, &PolicyParams::for_trace(&b_trace));
+    assert!(
+        a.relative_machine_hours(PolicyKind::PrimarySelective)
+            < b.relative_machine_hours(PolicyKind::PrimarySelective)
+    );
+}

@@ -1,0 +1,81 @@
+//! §III-D in practice: planning tiered disk capacities for the skewed
+//! equal-work layout, and what happens when you don't.
+//!
+//! Run with: `cargo run -p ech-apps --example capacity_planning`
+
+use bytes::Bytes;
+use ech_cluster::{Cluster, ClusterConfig, ClusterError};
+use ech_core::ids::ObjectId;
+use ech_core::layout::{CapacityPlan, Layout};
+
+const GB: u64 = 1 << 30;
+
+fn main() {
+    // 1. The plan: 100 servers, 200 TB of data, the paper's six tiers.
+    let layout = Layout::equal_work(100, 100_000);
+    let tiers = [
+        2000 * GB,
+        1500 * GB,
+        1000 * GB,
+        750 * GB,
+        500 * GB,
+        320 * GB,
+    ];
+    let plan = CapacityPlan::fit(&layout, &tiers, 60_000 * GB, 0.2);
+    println!("capacity plan for 100 servers / 60 TB (20% headroom):");
+    let mut start = 0usize;
+    for tier in 0..plan.tier_sizes().len() {
+        let count = (0..100)
+            .filter(|&i| plan.tier(ech_core::ids::ServerId(i)) == tier)
+            .count();
+        if count == 0 {
+            continue;
+        }
+        println!(
+            "  ranks {:>3}..{:>3}  {:>5} GB x {count}",
+            start + 1,
+            start + count,
+            plan.tier_sizes()[tier] / GB
+        );
+        start += count;
+    }
+    println!(
+        "total provisioned: {} TB for 60 TB of replica data",
+        plan.total_capacity() / GB / 1024
+    );
+    let worst = plan
+        .utilization(&layout, 60_000 * GB)
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    println!("worst-case utilisation at plan load: {:.0}%", worst * 100.0);
+
+    // 2. The failure mode: identical small disks on a live cluster.
+    println!("\nnow the anti-pattern — identical disks under the skewed layout:");
+    let objects = 2_000u64;
+    let obj_bytes = 8 * 1024usize;
+    let per_node = (objects * obj_bytes as u64 * 2) / 10 * 14 / 10; // 1.4x avg share
+    let mut cfg = ClusterConfig::paper();
+    cfg.capacity_plan = Some(CapacityPlan::uniform(10, per_node));
+    let c = Cluster::new(cfg);
+    let mut full_errors = 0u64;
+    for i in 0..objects {
+        match c.put(ObjectId(i), Bytes::from(vec![0u8; obj_bytes])) {
+            Ok(_) => {}
+            Err(ClusterError::Node(ech_cluster::NodeError::DiskFull { .. })) => full_errors += 1,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    println!(
+        "  wrote {} of {objects} objects; {full_errors} writes hit DiskFull",
+        objects - full_errors
+    );
+    for (i, n) in c.nodes().iter().enumerate().take(3) {
+        println!(
+            "  rank {}: {} / {} bytes used",
+            i + 1,
+            n.bytes_stored(),
+            n.capacity()
+        );
+    }
+    println!("  (rank 1 fills first — it owns the largest keyspace share)");
+}

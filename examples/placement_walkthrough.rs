@@ -1,0 +1,68 @@
+//! Walkthrough of Figures 1 and 4: how consistent hashing places data,
+//! and how the primary-server placement changes it.
+//!
+//! Run with: `cargo run -p ech-apps --example placement_walkthrough`
+
+use ech_core::prelude::*;
+
+fn main() {
+    figure1_minimal_disruption();
+    figure4_primary_placement();
+}
+
+/// Figure 1: adding a server moves only the keys on its new arcs.
+fn figure1_minimal_disruption() {
+    println!("=== Figure 1: consistent hashing, minimal disruption ===");
+    let before = Layout::uniform(2, 600).build_ring();
+    let after = Layout::uniform(3, 900).build_ring();
+    let m2 = MembershipTable::full_power(2);
+    let m3 = MembershipTable::full_power(3);
+
+    let keys = 10_000u64;
+    let mut moved = 0;
+    for k in 0..keys {
+        let a = place_original(&before, &m2, ObjectId(k), 2).unwrap();
+        let b = place_original(&after, &m3, ObjectId(k), 2).unwrap();
+        moved += b.servers().iter().filter(|s| !a.contains(**s)).count();
+    }
+    println!(
+        "adding server 3 to a 2-server ring moved {moved} of {} replicas ({:.1}%)\n",
+        2 * keys,
+        100.0 * moved as f64 / (2 * keys) as f64
+    );
+}
+
+/// Figure 4: 10 servers, 2 primaries (1, 2), servers 9 and 10 inactive.
+/// Every object gets exactly one replica on a primary; inactive servers
+/// are skipped (write offloading).
+fn figure4_primary_placement() {
+    println!("=== Figure 4: primary server data placement ===");
+    let layout = Layout::equal_work(10, 10_000);
+    let ring = layout.build_ring();
+    let membership = MembershipTable::active_prefix(10, 8); // 9, 10 off
+
+    println!(
+        "primaries: servers 1..={}; servers 9, 10 inactive",
+        layout.primary_count()
+    );
+    for k in 1u64..=8 {
+        let oid = ObjectId(k * 1111);
+        let p = place_primary(&ring, &layout, &membership, oid, 2).unwrap();
+        let roles: Vec<String> = p
+            .servers()
+            .iter()
+            .map(|&s| {
+                if layout.is_primary(s) {
+                    format!("{s} (primary)")
+                } else {
+                    format!("{s} (secondary)")
+                }
+            })
+            .collect();
+        println!("D{k} ({oid}) -> [{}]", roles.join(", "));
+        assert_eq!(p.primary_replicas(&layout).count(), 1);
+        assert!(p.servers().iter().all(|&s| membership.is_active(s)));
+    }
+
+    println!("\nevery placement: exactly 1 primary replica, inactive servers skipped");
+}

@@ -1,0 +1,63 @@
+//! The §V-A 3-phase workload experiment in miniature (Figures 3 and 7):
+//! compares client throughput over time for no-resizing, original CH,
+//! and primary+selective while the cluster powers 4 of 10 servers down
+//! for the middle phase.
+//!
+//! Run with: `cargo run -p ech-apps --example three_phase --release`
+
+use ech_sim::experiments::three_phase;
+use ech_sim::ElasticityMode;
+
+fn main() {
+    let phase2 = 120.0; // seconds of light-load valley
+    let modes = [
+        ElasticityMode::NoResizing,
+        ElasticityMode::OriginalCh,
+        ElasticityMode::PrimarySelective,
+    ];
+
+    let runs: Vec<_> = modes
+        .iter()
+        .map(|&m| three_phase(m, phase2, 1500.0))
+        .collect();
+
+    // Print a coarse time series: throughput (MB/s) every 10 seconds.
+    println!(
+        "{:>6}  {:>14} {:>14} {:>14}",
+        "t(s)", "no-resizing", "original CH", "selective"
+    );
+    let max_t = runs
+        .iter()
+        .map(|r| r.samples.last().map(|s| s.time).unwrap_or(0.0))
+        .fold(0.0, f64::max);
+    let mut t = 0.0;
+    while t <= max_t {
+        let row: Vec<f64> = runs
+            .iter()
+            .map(|r| {
+                r.samples
+                    .iter()
+                    .find(|s| s.time >= t)
+                    .map(|s| s.client_throughput / 1e6)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        println!(
+            "{:>6.0}  {:>14.1} {:>14.1} {:>14.1}",
+            t, row[0], row[1], row[2]
+        );
+        t += 20.0;
+    }
+
+    println!("\nrecovery delay after phase 2 (time to regain 80% of peak):");
+    for r in &runs {
+        match r.recovery_delay(0.8) {
+            Some(d) => println!("  {:<14} {:>6.1}s", r.mode_label, d),
+            None => println!("  {:<14} never (within the run)", r.mode_label),
+        }
+    }
+    println!("\nmachine-seconds consumed:");
+    for r in &runs {
+        println!("  {:<14} {:>10.0}", r.mode_label, r.machine_seconds);
+    }
+}

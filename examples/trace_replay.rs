@@ -1,0 +1,57 @@
+//! Trace replay: synthesize the CC-a trace, run the four elasticity
+//! policies over it, and print the Figure 8 window plus the Table II
+//! machine-hour ratios.
+//!
+//! Run with: `cargo run -p ech-apps --example trace_replay --release`
+
+use ech_traces::{analyze, synth, PolicyKind, PolicyParams};
+
+fn main() {
+    let trace = synth::cc_a();
+    println!(
+        "trace {}: {} bins of {}s, {:.0} TB processed, peak {:.0} MB/s",
+        trace.spec.name,
+        trace.load.len(),
+        trace.load.bin_seconds,
+        trace.load.total_bytes() / 1e12,
+        trace.load.peak() / 1e6
+    );
+
+    let params = PolicyParams::for_trace(&trace);
+    let analysis = analyze(&trace, &params);
+
+    // A 250-minute window like Figure 8, subsampled every 10 minutes.
+    println!(
+        "\n{:>7}  {:>6} {:>12} {:>13} {:>18}",
+        "t(min)", "ideal", "original CH", "primary+full", "primary+selective"
+    );
+    for minute in (0..=250).step_by(10) {
+        let idx = minute.min(trace.load.len() - 1);
+        let row: Vec<u32> = PolicyKind::all()
+            .iter()
+            .map(|&k| analysis.result(k).servers[idx])
+            .collect();
+        println!(
+            "{:>7}  {:>6} {:>12} {:>13} {:>18}",
+            minute, row[0], row[1], row[2], row[3]
+        );
+    }
+
+    println!("\nmachine-hours relative to ideal (Table II row CC-a):");
+    for k in [
+        PolicyKind::OriginalCh,
+        PolicyKind::PrimaryFull,
+        PolicyKind::PrimarySelective,
+    ] {
+        println!(
+            "  {:<18} {:.2}",
+            k.label(),
+            analysis.relative_machine_hours(k)
+        );
+    }
+    println!(
+        "\nmachine-hours saved vs original CH: full {:.1}%, selective {:.1}%",
+        100.0 * analysis.savings_vs_original(PolicyKind::PrimaryFull),
+        100.0 * analysis.savings_vs_original(PolicyKind::PrimarySelective)
+    );
+}

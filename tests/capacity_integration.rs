@@ -1,0 +1,91 @@
+//! §III-D end to end on the live cluster: the equal-work layout
+//! over-fills uniformly provisioned small disks, while the tiered
+//! capacity plan fitted to the weights absorbs the same data without a
+//! single DiskFull.
+
+use bytes::Bytes;
+use ech_cluster::{Cluster, ClusterConfig, ClusterError};
+use ech_core::ids::ObjectId;
+use ech_core::layout::{CapacityPlan, Layout};
+use ech_core::placement::Strategy;
+
+const OBJ: usize = 4 * 1024; // 4 KB objects keep the test light
+const OBJECTS: u64 = 3_000;
+
+fn payload() -> Bytes {
+    Bytes::from(vec![0x5Au8; OBJ])
+}
+
+fn write_all(c: &std::sync::Arc<Cluster>) -> (u64, u64) {
+    let mut ok = 0u64;
+    let mut full = 0u64;
+    for i in 0..OBJECTS {
+        match c.put(ObjectId(i), payload()) {
+            Ok(_) => ok += 1,
+            Err(ClusterError::Node(ech_cluster::NodeError::DiskFull { .. })) => full += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    (ok, full)
+}
+
+/// Total bytes the test writes (per replica set).
+fn total_bytes() -> u64 {
+    OBJECTS * OBJ as u64 * 2 // 2-way replication
+}
+
+#[test]
+fn uniform_small_disks_overflow_under_equal_work() {
+    // Give every node the same capacity, sized so the *average* fits
+    // easily but rank 1 (which carries ~25% of all replicas) does not.
+    let per_node = total_bytes() / 10 * 15 / 10; // 1.5x the average share
+    let mut cfg = ClusterConfig::paper();
+    cfg.capacity_plan = Some(CapacityPlan::uniform(10, per_node));
+    let c = Cluster::new(cfg);
+    let (_, full) = write_all(&c);
+    assert!(
+        full > 0,
+        "uniform provisioning should hit DiskFull on the high ranks"
+    );
+    // The overflowing node is a primary (rank 1 or 2) — the heavy end.
+    let fullest = c
+        .nodes()
+        .iter()
+        .max_by_key(|n| n.bytes_stored())
+        .expect("nodes exist");
+    assert!(fullest.id().index() < 2, "heaviest node should be a primary");
+}
+
+#[test]
+fn fitted_tier_plan_absorbs_everything() {
+    // Tiers fitted to the layout's expected fractions with 30% headroom.
+    let layout = Layout::equal_work(10, 10_000);
+    let avg = total_bytes() / 10;
+    let tiers = [avg * 8, avg * 4, avg * 2, avg];
+    let plan = CapacityPlan::fit(&layout, &tiers, total_bytes(), 0.3);
+    assert!(plan.is_rank_contiguous());
+    let mut cfg = ClusterConfig::paper();
+    cfg.capacity_plan = Some(plan);
+    let c = Cluster::new(cfg);
+    let (ok, full) = write_all(&c);
+    assert_eq!(full, 0, "fitted plan must not overflow");
+    assert_eq!(ok, OBJECTS);
+    // And the data is all there.
+    for i in 0..OBJECTS {
+        assert_eq!(c.get(ObjectId(i)).unwrap(), payload());
+    }
+}
+
+#[test]
+fn original_ch_is_happy_with_uniform_disks() {
+    // The flip side: the uniform layout + original CH spreads evenly, so
+    // identical disks sized a little above the average share suffice.
+    let per_node = total_bytes() / 10 * 15 / 10;
+    let mut cfg = ClusterConfig::paper();
+    cfg.strategy = Strategy::Original;
+    cfg.capacity_plan = Some(CapacityPlan::uniform(10, per_node));
+    let c = Cluster::new(cfg);
+    let (ok, full) = write_all(&c);
+    assert_eq!(full, 0, "uniform layout fits uniform disks");
+    assert_eq!(ok, OBJECTS);
+}

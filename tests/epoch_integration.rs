@@ -1,0 +1,89 @@
+//! Epoch-service integration: resize decisions flow through the
+//! totally-ordered membership service before touching the data path,
+//! the way Sheepdog routes membership through corosync. Contending
+//! controllers coordinate with compare-and-swap; a watcher applies
+//! committed epochs to the live cluster in order.
+
+use bytes::Bytes;
+use ech_cluster::{Cluster, ClusterConfig};
+use ech_core::ids::ObjectId;
+use ech_core::membership::MembershipTable;
+use ech_epoch::{EpochService, ProposeError};
+use std::sync::Arc;
+
+#[test]
+fn committed_epochs_drive_the_cluster_in_order() {
+    let svc = Arc::new(EpochService::new(10));
+    let cluster = Cluster::new(ClusterConfig::paper());
+    let rx = svc.subscribe();
+
+    for i in 0..200u64 {
+        cluster
+            .put(ObjectId(i), Bytes::from(format!("v{i}")))
+            .unwrap();
+    }
+
+    // Two controllers race resize decisions through CAS.
+    crossbeam::scope(|s| {
+        for t in 0..2u64 {
+            let svc = svc.clone();
+            s.spawn(move |_| {
+                let targets = if t == 0 { [8usize, 5, 7] } else { [6usize, 9, 4] };
+                for k in targets {
+                    loop {
+                        let (cur, _) = svc.current();
+                        match svc.propose_cas(cur, MembershipTable::active_prefix(10, k)) {
+                            Ok(_) => break,
+                            Err(ProposeError::Conflict { .. }) => continue,
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // The watcher applies every committed epoch to the data path, in
+    // order. (In a deployment this runs continuously on every node.)
+    let mut applied = 0;
+    for event in rx.try_iter() {
+        cluster.resize(event.table.active_count());
+        applied += 1;
+        // Data remains available at every committed epoch.
+        for i in (0..200u64).step_by(20) {
+            assert!(cluster.get(ObjectId(i)).is_ok(), "object {i} lost");
+        }
+    }
+    assert_eq!(applied, 6, "all six commits observed exactly once");
+    // Cluster version: 1 (initial) + 6 applied epochs.
+    assert_eq!(cluster.current_version().raw(), 7);
+
+    // Finish the elastic cycle.
+    let (cur, _) = svc.current();
+    svc.propose_cas(cur, MembershipTable::full_power(10)).unwrap();
+    let event = rx.try_iter().next().expect("full-power commit");
+    cluster.resize(event.table.active_count());
+    cluster.reintegrate_all();
+    assert_eq!(cluster.dirty_len(), 0);
+    for i in 0..200u64 {
+        assert_eq!(cluster.get(ObjectId(i)).unwrap(), Bytes::from(format!("v{i}")));
+    }
+}
+
+#[test]
+fn fencing_rejects_stale_epoch_holders() {
+    let svc = EpochService::new(10);
+    let (old, _) = svc.current();
+    svc.propose(MembershipTable::active_prefix(10, 6)).unwrap();
+    // A straggler still holding the old epoch must be fenced.
+    assert!(!svc.is_current(old));
+    let (fresh, table) = svc.current();
+    assert!(svc.is_current(fresh));
+    assert_eq!(table.active_count(), 6);
+    // Its stale CAS proposal is rejected outright.
+    let err = svc
+        .propose_cas(old, MembershipTable::full_power(10))
+        .unwrap_err();
+    assert!(matches!(err, ProposeError::Conflict { .. }));
+}

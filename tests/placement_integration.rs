@@ -1,0 +1,120 @@
+//! Cross-crate placement integration: layout + ring + placement +
+//! membership all agree on the paper's invariants at realistic scale.
+
+use ech_core::prelude::*;
+use ech_core::stats;
+
+#[test]
+fn equal_work_layout_produces_rabbit_shaped_distribution() {
+    // Figure 5's version-1 curve: with all 10 servers on, per-rank
+    // replica counts must decrease with rank for secondaries and the two
+    // primaries must hold roughly B/p each.
+    let view = ClusterView::new(Layout::equal_work(10, 40_000), Strategy::Primary, 2);
+    let oids: Vec<ObjectId> = (0..50_000).map(ObjectId).collect();
+    let d = stats::replica_distribution(&view, &oids, VersionId(1));
+    assert_eq!(d.iter().sum::<u64>(), 100_000);
+
+    // Primaries (ranks 1, 2) hold one full copy between them: 50k total.
+    let on_primaries = d[0] + d[1];
+    assert!(
+        (on_primaries as f64 - 50_000.0).abs() < 1_500.0,
+        "primaries hold {on_primaries}, expected ~50000"
+    );
+    // Primaries split their copy roughly evenly.
+    let ratio = d[0] as f64 / d[1] as f64;
+    assert!((0.9..1.1).contains(&ratio), "primary skew {ratio:.3}");
+
+    // Secondary tail decays with rank (Equation 2): compare ranks 3 and
+    // 10 with a generous margin.
+    assert!(
+        d[2] as f64 > 1.8 * d[9] as f64,
+        "rank 3 ({}) should dwarf rank 10 ({})",
+        d[2],
+        d[9]
+    );
+}
+
+#[test]
+fn scaling_down_one_server_at_a_time_never_loses_availability() {
+    // Walk the expansion chain down from 10 to p = 2 one server at a
+    // time; at every step, every object must still resolve to r active
+    // replicas — the "resizing granularity of one server" claim (§III-E).
+    let mut view = ClusterView::new(Layout::equal_work(10, 10_000), Strategy::Primary, 2);
+    let oids: Vec<ObjectId> = (0..2_000).map(ObjectId).collect();
+    for active in (2..=9).rev() {
+        view.resize(active);
+        for &oid in &oids {
+            let p = view.place_current(oid).unwrap();
+            assert_eq!(p.len(), 2);
+            for &s in p.servers() {
+                assert!(
+                    view.current_membership().is_active(s),
+                    "active={active}: {oid} placed on inactive {s}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn original_ch_disruption_is_proportional_to_departed_fraction() {
+    // Removing the tail k servers from a uniform ring relocates roughly
+    // the departed share of replicas, not the whole keyspace.
+    let mut view = ClusterView::new(Layout::uniform(20, 20_000), Strategy::Original, 3);
+    let oids: Vec<ObjectId> = (0..10_000).map(ObjectId).collect();
+    view.resize(15); // 25% of servers leave
+    let moved = stats::moved_replicas(&view, &oids, VersionId(1), VersionId(2));
+    let frac = moved as f64 / (3.0 * 10_000.0);
+    assert!(
+        (0.15..0.45).contains(&frac),
+        "expected roughly a quarter of replicas to move, got {:.1}%",
+        frac * 100.0
+    );
+}
+
+#[test]
+fn primary_and_original_strategies_share_the_same_view_api() {
+    for (layout, strategy) in [
+        (Layout::equal_work(10, 10_000), Strategy::Primary),
+        (Layout::uniform(10, 10_000), Strategy::Original),
+    ] {
+        let mut view = ClusterView::new(layout, strategy, 2);
+        view.resize(6);
+        view.resize(10);
+        for k in 0..100u64 {
+            let p = view.place_current(ObjectId(k)).unwrap();
+            assert_eq!(p.len(), 2);
+            // All three versions resolve.
+            for v in 1..=3u64 {
+                view.place_at(ObjectId(k), VersionId(v)).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn capacity_plan_prevents_overflow_at_scale() {
+    // §III-D: provisioning tiered capacities proportional to the
+    // equal-work weights keeps every server under 100% utilisation for
+    // the planned data volume, at a 100-server scale.
+    const GB: u64 = 1 << 30;
+    let layout = Layout::equal_work(100, 100_000);
+    let tiers = [
+        2000 * GB,
+        1500 * GB,
+        1000 * GB,
+        750 * GB,
+        500 * GB,
+        320 * GB,
+    ];
+    let plan = CapacityPlan::fit(&layout, &tiers, 20_000 * GB, 0.15);
+    assert!(plan.is_rank_contiguous());
+    let util = plan.utilization(&layout, 20_000 * GB);
+    for (i, u) in util.iter().enumerate() {
+        assert!(*u <= 1.0, "rank {} util {u:.2}", i + 1);
+    }
+    // The uniform plan with the smallest tier would overflow rank 1.
+    let uniform = CapacityPlan::uniform(100, 320 * GB);
+    let u0 = uniform.utilization(&layout, 20_000 * GB)[0];
+    assert!(u0 > 1.0, "uniform small-disk plan should overflow, got {u0:.2}");
+}

@@ -1,0 +1,151 @@
+//! Simulator integration: the figure-level phenomena must reproduce with
+//! the default paper-testbed configuration.
+
+use ech_sim::experiments::{fig2_schedule, resize_agility, three_phase};
+use ech_sim::{ClusterSim, ElasticityMode, SimConfig};
+use ech_workload::three_phase::Workload;
+
+#[test]
+fn figure2_shape_original_lags_down_catches_up() {
+    let r = resize_agility(ElasticityMode::OriginalCh, &fig2_schedule(), 330.0, 3500);
+    // Down phase (t in [30, 150)): actual must exceed ideal somewhere by
+    // several servers (the re-replication gate).
+    let down_gap: f64 = r
+        .times
+        .iter()
+        .zip(r.ideal.iter().zip(&r.actual))
+        .filter(|(t, _)| (30.0..150.0).contains(*t))
+        .map(|(_, (&i, &a))| a as f64 - i as f64)
+        .fold(0.0, f64::max);
+    assert!(down_gap >= 2.0, "down-phase lag {down_gap}");
+    // Up phase: by t=310 the system caught up to 10.
+    let last = *r.actual.last().unwrap();
+    assert_eq!(last, 10, "should catch up on size-up");
+}
+
+#[test]
+fn figure2_elastic_design_tracks_ideal() {
+    let e = resize_agility(
+        ElasticityMode::PrimarySelective,
+        &fig2_schedule(),
+        330.0,
+        3500,
+    );
+    // Mean gap dominated only by shutdown/boot latencies.
+    assert!(e.mean_gap() < 1.5, "elastic mean gap {}", e.mean_gap());
+    assert!(e.excess_machine_seconds(0.5) < 1_000.0);
+}
+
+#[test]
+fn figure3_resizing_hurts_original_ch_after_the_valley() {
+    let none = three_phase(ElasticityMode::NoResizing, 120.0, 1500.0);
+    let orig = three_phase(ElasticityMode::OriginalCh, 120.0, 1500.0);
+    // Same peak for both (the paper: "little difference in the peak IO
+    // throughput").
+    let peak = |r: &ech_sim::experiments::ThreePhaseRun| {
+        r.samples
+            .iter()
+            .map(|s| s.client_throughput)
+            .fold(0.0, f64::max)
+    };
+    let p_none = peak(&none);
+    let p_orig = peak(&orig);
+    assert!(
+        (p_none - p_orig).abs() < 0.1 * p_none,
+        "peaks differ: {p_none} vs {p_orig}"
+    );
+    // But original CH recovers throughput later than no-resizing
+    // (which never dips).
+    let d_orig = orig.recovery_delay(0.8).expect("phase 2 ended");
+    let d_none = none.recovery_delay(0.8).unwrap_or(0.0);
+    assert!(
+        d_orig > d_none + 20.0,
+        "original CH delay {d_orig}s vs no-resizing {d_none}s"
+    );
+    // The dip is deep: once the returning servers boot (30 s), original
+    // CH's assume-empty migration starves the client well below its own
+    // peak, while no-resizing holds its peak through phase 3.
+    let t0 = orig.phase_ends[1];
+    let dip = orig.mean_throughput(t0 + 35.0, t0 + 65.0);
+    assert!(
+        dip < 0.7 * p_orig,
+        "migration window throughput {dip:.3e} vs peak {p_orig:.3e}"
+    );
+    let t0n = none.phase_ends[1];
+    let steady = none.mean_throughput(t0n + 5.0, t0n + 35.0);
+    assert!(
+        steady > 0.9 * p_none,
+        "no-resizing phase 3 should hold its peak: {steady:.3e} vs {p_none:.3e}"
+    );
+    // And saves machine time for it.
+    assert!(orig.machine_seconds < none.machine_seconds);
+}
+
+#[test]
+fn figure7_selective_beats_original_on_recovery_delay() {
+    let orig = three_phase(ElasticityMode::OriginalCh, 120.0, 1500.0);
+    let sel = three_phase(ElasticityMode::PrimarySelective, 120.0, 1500.0);
+    let d_orig = orig.recovery_delay(0.8).unwrap();
+    let d_sel = sel.recovery_delay(0.8).unwrap();
+    assert!(
+        d_sel * 2.0 < d_orig,
+        "selective delay {d_sel}s should be well under half of original {d_orig}s"
+    );
+    // Selective also moves far fewer bytes.
+    assert!(
+        sel.migrated_bytes * 2.0 < orig.migrated_bytes,
+        "selective moved {:.1e}, original {:.1e}",
+        sel.migrated_bytes,
+        orig.migrated_bytes
+    );
+}
+
+#[test]
+fn no_resizing_throughput_is_flat_at_phase_level() {
+    let r = three_phase(ElasticityMode::NoResizing, 60.0, 1200.0);
+    // During phase 2 throughput equals the offered 20 MB/s.
+    let p2 = r.mean_throughput(r.phase_ends[0] + 5.0, r.phase_ends[1] - 5.0);
+    assert!(
+        (p2 - 20.0e6).abs() < 2.0e6,
+        "phase-2 throughput {p2} != 20 MB/s"
+    );
+}
+
+#[test]
+fn machine_time_ordering_matches_power_savings() {
+    // Resizing saves machine-seconds; selective keeps performance while
+    // saving as much as the other resizing modes.
+    let none = three_phase(ElasticityMode::NoResizing, 120.0, 1500.0);
+    let sel = three_phase(ElasticityMode::PrimarySelective, 120.0, 1500.0);
+    assert!(
+        sel.machine_seconds < 0.9 * none.machine_seconds,
+        "selective {} vs no-resizing {}",
+        sel.machine_seconds,
+        none.machine_seconds
+    );
+}
+
+#[test]
+fn simulator_conserves_workload_bytes() {
+    // The client must end up having transferred exactly the workload's
+    // bytes (no creation or loss in the fluid accounting).
+    let mut sim = ClusterSim::new(SimConfig::paper_testbed(ElasticityMode::NoResizing));
+    let w = Workload::three_phase_figure(60.0);
+    sim.start_workload(&w);
+    let mut transferred = 0.0;
+    let mut guard = 0u32;
+    loop {
+        let ev = sim.step();
+        transferred += sim.sample().client_throughput * sim.config().dt;
+        if ev.workload_done {
+            break;
+        }
+        guard += 1;
+        assert!(guard < 1_000_000, "workload never finished");
+    }
+    let expect = w.total_bytes() as f64;
+    assert!(
+        (transferred - expect).abs() / expect < 0.01,
+        "transferred {transferred:.3e} vs workload {expect:.3e}"
+    );
+}
