@@ -22,17 +22,13 @@ fn placement(c: &mut Criterion) {
             let ering = equal.build_ring();
             let full = MembershipTable::full_power(n);
 
-            g.bench_with_input(
-                BenchmarkId::new(format!("original_r{r}"), n),
-                &n,
-                |b, _| {
-                    let mut k = 0u64;
-                    b.iter(|| {
-                        k = k.wrapping_add(1);
-                        black_box(place_original(&uring, &full, ObjectId(k), r).unwrap())
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("original_r{r}"), n), &n, |b, _| {
+                let mut k = 0u64;
+                b.iter(|| {
+                    k = k.wrapping_add(1);
+                    black_box(place_original(&uring, &full, ObjectId(k), r).unwrap())
+                });
+            });
             g.bench_with_input(BenchmarkId::new(format!("primary_r{r}"), n), &n, |b, _| {
                 let mut k = 0u64;
                 b.iter(|| {
@@ -49,9 +45,7 @@ fn placement(c: &mut Criterion) {
                     let mut k = 0u64;
                     b.iter(|| {
                         k = k.wrapping_add(1);
-                        black_box(
-                            place_primary(&ering, &equal, &partial, ObjectId(k), r).unwrap(),
-                        )
+                        black_box(place_primary(&ering, &equal, &partial, ObjectId(k), r).unwrap())
                     });
                 },
             );

@@ -12,10 +12,14 @@ use std::hint::black_box;
 fn ring_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("ring_build");
     for &base in &[1_000u32, 10_000, 100_000] {
-        g.bench_with_input(BenchmarkId::new("equal_work_n100", base), &base, |b, &base| {
-            let layout = Layout::equal_work(100, base);
-            b.iter(|| black_box(layout.build_ring()));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("equal_work_n100", base),
+            &base,
+            |b, &base| {
+                let layout = Layout::equal_work(100, base);
+                b.iter(|| black_box(layout.build_ring()));
+            },
+        );
     }
     g.finish();
 }

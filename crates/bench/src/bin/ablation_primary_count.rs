@@ -45,10 +45,7 @@ fn main() {
             p.to_string(),
             format!("{:.0}", 100.0 * p as f64 / n as f64),
             format!("{:.1}", 100.0 * on_primary as f64 / total as f64),
-            format!(
-                "{:.1}",
-                100.0 * on_primary as f64 / total as f64 / p as f64
-            ),
+            format!("{:.1}", 100.0 * on_primary as f64 / total as f64 / p as f64),
         ]);
     }
     println!();

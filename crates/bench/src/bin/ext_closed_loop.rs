@@ -54,10 +54,7 @@ fn main() {
         row(&[
             run.controller.clone(),
             format!("{:.0}", run.machine_seconds),
-            format!(
-                "{:.1}",
-                100.0 * (1.0 - run.machine_seconds / full_power_ms)
-            ),
+            format!("{:.1}", 100.0 * (1.0 - run.machine_seconds / full_power_ms)),
             format!("{:.1}", 100.0 * run.delivery_ratio()),
             format!("{:.1}", run.migrated_bytes / 1e6),
             run.peak_dirty.to_string(),

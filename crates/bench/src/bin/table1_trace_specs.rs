@@ -6,7 +6,10 @@ use ech_bench::{banner, row};
 use ech_traces::synth;
 
 fn main() {
-    banner("Table I", "trace specifications (synthetic, Table-I calibrated)");
+    banner(
+        "Table I",
+        "trace specifications (synthetic, Table-I calibrated)",
+    );
     row(&["Trace", "Machines", "Length", "Bytes"]);
     for trace in [synth::cc_a(), synth::cc_b()] {
         let (name, machines, length, bytes) = trace.table1_row();

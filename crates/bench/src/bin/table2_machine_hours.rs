@@ -8,10 +8,7 @@ use ech_traces::{analyze, synth, PolicyKind, PolicyParams};
 fn main() {
     banner("Table II", "machine-hour usage relative to the ideal case");
     // Paper's values for the comparison columns.
-    let paper = [
-        ("CC-a", [1.32, 1.24, 1.21]),
-        ("CC-b", [1.51, 1.37, 1.33]),
-    ];
+    let paper = [("CC-a", [1.32, 1.24, 1.21]), ("CC-b", [1.51, 1.37, 1.33])];
 
     row(&[
         "Trace",

@@ -21,6 +21,7 @@ pub fn run(args: &Args) -> Result<String, ParseError> {
         "resize-agility" => resize_agility_cmd(args),
         "trace" => trace_cmd(args),
         "latency" => latency_cmd(args),
+        "chaos" => chaos_cmd(args),
         other => Err(ParseError(format!(
             "unknown subcommand `{other}`; try `ech help`"
         ))),
@@ -47,6 +48,10 @@ COMMANDS:
                   [--name cc-a|cc-b|cc-c|cc-d|cc-e]
   latency         read-latency tail during re-integration (queue model)
                   [--migration none|selective|unthrottled] [--rate MBps]
+  chaos           run a deterministic fault-injection survival drill on a
+                  live cluster and print the report
+                  [--seed S] [--objects N] [--error-rate P]
+                  [--crash1 OP] [--crash2 OP] [--servers N] [--replicas R]
   help            this text
 "
     .to_owned()
@@ -162,7 +167,9 @@ fn three_phase_cmd(args: &Args) -> Result<String, ParseError> {
     let mode = parse_mode(args.str_or("mode", "selective"))?;
     let valley: f64 = args.get_or("valley", 120.0)?;
     if !(1.0..=3600.0).contains(&valley) {
-        return Err(ParseError("--valley must be within 1..=3600 seconds".into()));
+        return Err(ParseError(
+            "--valley must be within 1..=3600 seconds".into(),
+        ));
     }
     let run = three_phase(mode, valley, 2_000.0);
     let mut out = String::new();
@@ -198,8 +205,12 @@ fn resize_agility_cmd(args: &Args) -> Result<String, ParseError> {
     let mut out = String::new();
     writeln!(out, "time_s,ideal,actual").expect("write to string");
     for i in (0..run.times.len()).step_by(10) {
-        writeln!(out, "{:.1},{},{}", run.times[i], run.ideal[i], run.actual[i])
-            .expect("write to string");
+        writeln!(
+            out,
+            "{:.1},{},{}",
+            run.times[i], run.ideal[i], run.actual[i]
+        )
+        .expect("write to string");
     }
     writeln!(out, "# mean_gap={:.2}", run.mean_gap()).expect("write to string");
     Ok(out)
@@ -271,6 +282,157 @@ fn latency_cmd(args: &Args) -> Result<String, ParseError> {
     Ok(out)
 }
 
+fn chaos_cmd(args: &Args) -> Result<String, ParseError> {
+    use bytes::Bytes;
+    use ech_cluster::fault::splitmix64;
+    use ech_cluster::{Cluster, ClusterConfig, FaultPlan};
+    args.allow_only(&[
+        "seed",
+        "objects",
+        "error-rate",
+        "crash1",
+        "crash2",
+        "servers",
+        "replicas",
+    ])?;
+    let seed: u64 = args.get_or("seed", 0xEC0_5EED)?;
+    let objects: u64 = args.get_or("objects", 200)?;
+    let servers: usize = args.get_or("servers", 10)?;
+    let replicas: usize = args.get_or("replicas", 3)?;
+    let rate: f64 = args.get_or("error-rate", 0.08)?;
+    let crash1: u64 = args.get_or("crash1", 12)?;
+    let crash2: u64 = args.get_or("crash2", 25)?;
+    if servers < 2 {
+        return Err(ParseError("--servers must be at least 2".into()));
+    }
+    if replicas == 0 || replicas > servers {
+        return Err(ParseError(format!(
+            "--replicas {replicas} out of 1..={servers}"
+        )));
+    }
+    if !(0.0..1.0).contains(&rate) {
+        return Err(ParseError("--error-rate must be within [0, 1)".into()));
+    }
+    if objects == 0 {
+        return Err(ParseError("--objects must be at least 1".into()));
+    }
+
+    // Transient-error windows must outlive both crash events so every
+    // planned fault provably fires before the convergence phase.
+    let window = 150u64.max(crash1.max(crash2) + 1);
+    let node_a = (splitmix64(seed) % servers as u64) as usize;
+    let node_b = ((node_a as u64 + 1 + splitmix64(seed ^ 1) % (servers as u64 - 1))
+        % servers as u64) as usize;
+    let mut plan = FaultPlan::uniform_io_errors(servers, seed, rate);
+    for spec in &mut plan.node_faults {
+        spec.io_error_until_op = window;
+    }
+    plan.node_faults[node_a].crash_at_op = Some(crash1);
+    plan.node_faults[node_b].crash_at_op = Some(crash2);
+
+    let mut cfg = ClusterConfig::paper();
+    cfg.servers = servers;
+    cfg.replicas = replicas;
+    let c = Cluster::with_faults(cfg, plan);
+    let value = |i: u64| Bytes::from(format!("chaos-object-{i}"));
+
+    // Write phase under fire, with power resizes at the quarter marks.
+    let mut acked: Vec<u64> = Vec::new();
+    for i in 0..objects {
+        if objects >= 8 {
+            if i == objects / 4 {
+                c.resize(replicas.max(servers / 2));
+            } else if i == objects / 2 {
+                c.resize(replicas.max(3 * servers / 4));
+            } else if i == 3 * objects / 4 {
+                c.resize(servers);
+            }
+        }
+        let oid = ObjectId(i);
+        let mut ok = false;
+        for attempt in 0..3 {
+            match c.put(oid, value(i)) {
+                Ok(_) => {
+                    ok = true;
+                    break;
+                }
+                Err(_) if attempt < 2 => {
+                    // A failed write may mean a silent crash: fix the
+                    // membership, re-replicate, and try again.
+                    c.detect_and_mark_crashed();
+                    c.repair();
+                }
+                Err(_) => {}
+            }
+        }
+        if ok {
+            acked.push(i);
+        }
+        if !c.detect_and_mark_crashed().is_empty() {
+            c.repair();
+        }
+    }
+
+    // Exhaust every node's fault window (op counters are the fault
+    // clock), firing any crash the workload did not reach.
+    let inj = c.fault_injector().expect("chaos cluster has an injector");
+    for (i, node) in c.nodes().iter().enumerate() {
+        while inj.node_ops(i) < window {
+            let _ = node.get(ObjectId(u64::MAX));
+        }
+    }
+
+    // Converge: fix membership, re-replicate, return to full power, heal
+    // degraded writes and drain the dirty table.
+    c.detect_and_mark_crashed();
+    c.repair();
+    c.resize(servers);
+    c.repair();
+    c.reintegrate_all();
+    c.repair();
+
+    let readable = acked
+        .iter()
+        .filter(|&&i| c.get(ObjectId(i)).map(|v| v == value(i)).unwrap_or(false))
+        .count();
+    let lost = acked.len() - readable;
+    let faults = c.fault_stats().expect("chaos cluster has fault stats");
+    let path = c.counters();
+    let mut out = String::new();
+    writeln!(out, "metric,value").expect("write to string");
+    for (name, v) in [
+        ("writes_attempted", objects),
+        ("writes_acked", acked.len() as u64),
+        ("io_errors_injected", faults.io_errors),
+        ("crashes_injected", faults.crashes),
+        ("delays_injected", faults.delays),
+        ("kv_unavailable_injected", faults.kv_unavailable),
+        ("retries", path.retries),
+        ("quorum_degraded_acks", path.quorum_acks),
+        ("replicas_missed", path.replicas_missed),
+        ("hedged_reads", path.hedged_reads),
+        ("unavailable_errors", path.unavailable_errors),
+        ("under_replicated", c.under_replicated() as u64),
+        ("dirty_entries", c.dirty_len() as u64),
+        ("acked_readable", readable as u64),
+    ] {
+        writeln!(out, "{name},{v}").expect("write to string");
+    }
+    let verdict = if lost == 0 {
+        "SURVIVED".to_owned()
+    } else {
+        format!("LOST {lost}")
+    };
+    writeln!(
+        out,
+        "# verdict={verdict} seed={seed} crash_nodes={},{}",
+        node_a + 1,
+        node_b + 1
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,7 +445,15 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let h = run_line("help").unwrap();
-        for cmd in ["layout", "place", "three-phase", "resize-agility", "trace"] {
+        for cmd in [
+            "layout",
+            "place",
+            "three-phase",
+            "resize-agility",
+            "trace",
+            "latency",
+            "chaos",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
     }
@@ -309,10 +479,7 @@ mod tests {
         let out = run_line("place --servers 10 --oid 10010 --replicas 2").unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);
-        let primaries = lines[1..]
-            .iter()
-            .filter(|l| l.ends_with("primary"))
-            .count();
+        let primaries = lines[1..].iter().filter(|l| l.ends_with("primary")).count();
         assert_eq!(primaries, 1);
     }
 
@@ -348,7 +515,11 @@ mod tests {
         let out = run_line("three-phase --mode no-resizing --valley 30").unwrap();
         let header = out.lines().next().unwrap();
         assert_eq!(header, "time_s,throughput_mbps,active,powered,phase");
-        assert!(out.lines().last().unwrap().starts_with("# recovery_delay_s="));
+        assert!(out
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with("# recovery_delay_s="));
         assert!(run_line("three-phase --valley 0").is_err());
         assert!(run_line("three-phase --mode warp").is_err());
     }
@@ -376,6 +547,35 @@ mod tests {
         assert!(run_line("trace --name cc-f").is_err());
         let out = run_line("trace --name cc-d").unwrap();
         assert_eq!(out.lines().count(), 5);
+    }
+
+    #[test]
+    fn chaos_survival_report() {
+        let out = run_line("chaos --objects 40 --seed 7 --error-rate 0.06").unwrap();
+        assert!(out.starts_with("metric,value"));
+        for metric in [
+            "writes_attempted,40",
+            "crashes_injected,2",
+            "under_replicated,0",
+            "dirty_entries,0",
+        ] {
+            assert!(out.contains(metric), "report missing `{metric}`:\n{out}");
+        }
+        assert!(out.contains("# verdict=SURVIVED"), "report:\n{out}");
+        // Same seed, same drill, byte-identical report.
+        assert_eq!(
+            out,
+            run_line("chaos --objects 40 --seed 7 --error-rate 0.06").unwrap()
+        );
+    }
+
+    #[test]
+    fn chaos_rejects_bad_shapes() {
+        assert!(run_line("chaos --servers 1").is_err());
+        assert!(run_line("chaos --replicas 0").is_err());
+        assert!(run_line("chaos --servers 4 --replicas 5").is_err());
+        assert!(run_line("chaos --error-rate 1.5").is_err());
+        assert!(run_line("chaos --objects 0").is_err());
     }
 
     #[test]

@@ -12,15 +12,19 @@
 //! client threads (`Arc<Cluster>`).
 
 use crate::dirty_store::{KvDirtyTable, KvHeaderStore};
+use crate::fault::{FaultInjector, FaultPlan, FaultStatsSnapshot};
 use crate::node::{NodeError, StorageNode};
+use crate::repair::RepairStats;
+use crate::retry::RetryPolicy;
 use bytes::Bytes;
 use ech_core::dirty::{DirtyEntry, DirtyTable, HeaderSource};
 use ech_core::ids::{ObjectId, ServerId, VersionId};
 use ech_core::layout::Layout;
 use ech_core::placement::{Placement, PlacementError, Strategy};
 use ech_core::reintegration::{Idle, Reintegrator};
+use ech_core::stats::{PathCounters, PathSnapshot};
 use ech_core::view::ClusterView;
-use ech_kvstore::KvStore;
+use ech_kvstore::{KvStore, ShardFaultHook};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +45,10 @@ pub struct ClusterConfig {
     /// Optional per-node disk capacities (§III-D tiered provisioning);
     /// `None` = unlimited disks.
     pub capacity_plan: Option<ech_core::layout::CapacityPlan>,
+    /// Replica acknowledgements a write needs before it is acked.
+    pub write_quorum: WriteQuorum,
+    /// Retry budget applied to transiently-failing node operations.
+    pub retry: RetryPolicy,
 }
 
 impl ClusterConfig {
@@ -54,6 +62,39 @@ impl ClusterConfig {
             strategy: Strategy::Primary,
             kv_shards: 10,
             capacity_plan: None,
+            write_quorum: WriteQuorum::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// How many replica writes must succeed before a put is acknowledged.
+///
+/// The primary replica is always mandatory — it anchors the header-version
+/// placement that degraded reads and healing rely on. Secondaries that
+/// fail below the quorum are recorded as dirty-table entries and healed by
+/// [`Cluster::heal_dirty`] / repair, so an acked write converges back to
+/// full replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteQuorum {
+    /// Every replica must succeed (strictest, least available).
+    All,
+    /// The primary plus a majority of the `r - 1` secondaries:
+    /// `1 + ceil((r - 1) / 2)` acks. At `r = 2` this equals [`WriteQuorum::All`].
+    #[default]
+    PrimaryPlusMajority,
+    /// A fixed ack count, clamped to `1..=r`. The primary still counts
+    /// toward — and is required by — the quorum.
+    AtLeast(usize),
+}
+
+impl WriteQuorum {
+    /// Acks required at replication factor `replicas`.
+    pub fn required(&self, replicas: usize) -> usize {
+        match *self {
+            WriteQuorum::All => replicas,
+            WriteQuorum::PrimaryPlusMajority => 1 + replicas.saturating_sub(1).div_ceil(2),
+            WriteQuorum::AtLeast(n) => n.clamp(1, replicas.max(1)),
         }
     }
 }
@@ -63,10 +104,32 @@ impl ClusterConfig {
 pub enum ClusterError {
     /// Placement failed (not enough active servers).
     Placement(PlacementError),
-    /// All candidate replicas failed to serve the read.
+    /// No replica holds the object (an authoritative miss — retrying
+    /// cannot help).
     NotFound,
+    /// Candidate replicas exist but all attempts hit transient faults;
+    /// the object may well be there. Retryable.
+    Unavailable,
+    /// Fewer replicas acknowledged the write than the configured quorum
+    /// requires. Retryable (the failures may be transient).
+    QuorumNotReached {
+        /// Replicas that acknowledged.
+        written: usize,
+        /// Acks the quorum required.
+        required: usize,
+    },
     /// A node rejected an operation (unexpected power race).
     Node(NodeError),
+}
+
+impl ClusterError {
+    /// True when the operation may succeed if simply retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClusterError::Unavailable | ClusterError::QuorumNotReached { .. }
+        )
+    }
 }
 
 impl From<PlacementError> for ClusterError {
@@ -80,6 +143,13 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::Placement(e) => write!(f, "placement failed: {e}"),
             ClusterError::NotFound => write!(f, "object not found on any replica"),
+            ClusterError::Unavailable => {
+                write!(f, "replicas temporarily unavailable (transient faults)")
+            }
+            ClusterError::QuorumNotReached { written, required } => write!(
+                f,
+                "write quorum not reached ({written} of {required} required acks)"
+            ),
             ClusterError::Node(e) => write!(f, "node error: {e}"),
         }
     }
@@ -109,6 +179,13 @@ pub enum ReadPolicy {
     /// proportional to data stored ("read performance proportionality",
     /// §III-C).
     Balanced,
+    /// Probe the first replica, and if it has not answered within the
+    /// threshold, race a second candidate against it (tail-latency
+    /// hedging against slow replicas).
+    Hedged {
+        /// How long to wait for the first candidate before hedging.
+        threshold: std::time::Duration,
+    },
 }
 
 /// The elastic object-store cluster.
@@ -123,17 +200,34 @@ pub struct Cluster {
     stop_worker: AtomicBool,
     migrated_bytes: AtomicU64,
     read_rr: AtomicU64,
+    fault: Option<Arc<FaultInjector>>,
+    counters: PathCounters,
 }
 
 impl Cluster {
     /// Build a cluster at full power.
     pub fn new(cfg: ClusterConfig) -> Arc<Self> {
+        Self::build(cfg, None)
+    }
+
+    /// Build a cluster running a deterministic [`FaultPlan`]: the
+    /// injector is threaded through every node's data path and installed
+    /// as the key-value store's shard-fault hook.
+    pub fn with_faults(cfg: ClusterConfig, plan: FaultPlan) -> Arc<Self> {
+        let injector = Arc::new(FaultInjector::new(cfg.servers, plan));
+        Self::build(cfg, Some(injector))
+    }
+
+    fn build(cfg: ClusterConfig, fault: Option<Arc<FaultInjector>>) -> Arc<Self> {
         let layout = match cfg.strategy {
             Strategy::Primary => Layout::equal_work(cfg.servers, cfg.layout_base),
             Strategy::Original => Layout::uniform(cfg.servers, cfg.layout_base),
         };
         let view = ClusterView::new(layout, cfg.strategy, cfg.replicas);
         let kv = Arc::new(KvStore::new(cfg.kv_shards));
+        if let Some(inj) = &fault {
+            kv.set_fault_hook(Some(inj.clone() as Arc<dyn ShardFaultHook>));
+        }
         let nodes = (0..cfg.servers)
             .map(|i| {
                 let id = ServerId(i as u32);
@@ -142,7 +236,11 @@ impl Cluster {
                     .as_ref()
                     .map(|p| p.capacity(id))
                     .unwrap_or(u64::MAX);
-                Arc::new(StorageNode::with_capacity(id, capacity))
+                Arc::new(StorageNode::with_capacity_and_faults(
+                    id,
+                    capacity,
+                    fault.clone(),
+                ))
             })
             .collect();
         Arc::new(Cluster {
@@ -156,6 +254,8 @@ impl Cluster {
             read_rr: AtomicU64::new(0),
             kv,
             cfg,
+            fault,
+            counters: PathCounters::default(),
         })
     }
 
@@ -183,6 +283,9 @@ impl Cluster {
     pub fn restart(&self) -> Arc<Cluster> {
         let view = self.view.read().clone();
         let kv = Arc::new(KvStore::restore(self.kv.dump(), self.cfg.kv_shards));
+        if let Some(inj) = &self.fault {
+            kv.set_fault_hook(Some(inj.clone() as Arc<dyn ShardFaultHook>));
+        }
         Arc::new(Cluster {
             cfg: self.cfg.clone(),
             nodes: self.nodes.clone(),
@@ -193,6 +296,8 @@ impl Cluster {
             stop_worker: AtomicBool::new(false),
             migrated_bytes: AtomicU64::new(0),
             read_rr: AtomicU64::new(0),
+            fault: self.fault.clone(),
+            counters: PathCounters::default(),
             kv,
         })
     }
@@ -228,32 +333,95 @@ impl Cluster {
         self.migrated_bytes.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of the degraded-path counters (retries, quorum acks,
+    /// missed replicas, hedged reads, unavailable errors).
+    pub fn counters(&self) -> PathSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// The fault injector, when the cluster runs under a [`FaultPlan`].
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.fault.as_ref()
+    }
+
+    /// Counters of injected faults, when running under a [`FaultPlan`].
+    pub fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
+        self.fault.as_ref().map(|f| f.stats())
+    }
+
     /// Where `oid`'s replicas should live right now.
     pub fn locate(&self, oid: ObjectId) -> Result<Placement, ClusterError> {
         Ok(self.view.read().place_current(oid)?)
     }
 
-    /// Write an object: place at the current version, store on every
-    /// replica node, record the header, and log a dirty entry when the
+    /// Write an object: place at the current version, store on the
+    /// replica nodes, record the header, and log a dirty entry when the
     /// cluster is not at full power.
+    ///
+    /// The write is acknowledged once the configured [`WriteQuorum`] is
+    /// met. The primary replica is mandatory; transiently-failing nodes
+    /// are retried under the configured [`RetryPolicy`]. Secondaries
+    /// still missing after retries are recorded in the dirty table —
+    /// exactly like power-offloaded writes — so [`Cluster::heal_dirty`]
+    /// and repair converge the object back to full replication.
     pub fn put(&self, oid: ObjectId, data: Bytes) -> Result<Placement, ClusterError> {
         // Snapshot placement and version under the read lock, then do the
         // node I/O outside it.
-        let (placement, version, is_dirty) = {
+        let (placement, version, power_dirty) = {
             let view = self.view.read();
             let p = view.place_current(oid)?;
             (p, view.current_version(), view.write_is_dirty())
         };
-        for &server in placement.servers() {
-            self.nodes[server.index()]
-                .put(oid, data.clone(), version, is_dirty)
-                .map_err(ClusterError::Node)?;
+        let servers = placement.servers();
+        let required = self.cfg.write_quorum.required(servers.len());
+        let mut written = 0usize;
+        let mut missed = 0usize;
+        let mut permanent: Option<NodeError> = None;
+        for (rank, &server) in servers.iter().enumerate() {
+            let token = oid.raw() ^ ((server.index() as u64) << 48) ^ version.raw();
+            let (result, retries) =
+                self.cfg
+                    .retry
+                    .run_counted(token, NodeError::is_transient, || {
+                        self.nodes[server.index()].put(oid, data.clone(), version, power_dirty)
+                    });
+            self.counters.add_retries(retries as u64);
+            match result {
+                Ok(()) => written += 1,
+                Err(e) if rank == 0 => {
+                    // The primary anchors the header-version placement
+                    // that degraded reads and healing rely on; a write
+                    // that misses it is not acknowledged.
+                    return Err(match e {
+                        NodeError::Io => ClusterError::Unavailable,
+                        other => ClusterError::Node(other),
+                    });
+                }
+                Err(e) => {
+                    if !e.is_transient() && permanent.is_none() {
+                        permanent = Some(e);
+                    }
+                    missed += 1;
+                }
+            }
         }
+        if written < required {
+            // A permanent secondary failure (e.g. DiskFull) that cost the
+            // quorum is more actionable than a generic shortfall — no
+            // amount of retrying will reach the quorum.
+            if let Some(e) = permanent {
+                return Err(ClusterError::Node(e));
+            }
+            return Err(ClusterError::QuorumNotReached { written, required });
+        }
+        let is_dirty = power_dirty || missed > 0;
         self.headers.record_write(oid, version, is_dirty);
         if is_dirty {
-            self.dirty
-                .lock()
-                .push_back(DirtyEntry::new(oid, version));
+            self.dirty.lock().push_back(DirtyEntry::new(oid, version));
+        }
+        if missed > 0 {
+            self.counters.inc_quorum_acks();
+            self.counters.add_replicas_missed(missed as u64);
         }
         Ok(placement)
     }
@@ -266,7 +434,11 @@ impl Cluster {
     /// known, it is able to accurately find the servers that contain the
     /// latest replicas" (§III-E1).
     pub fn get(&self, oid: ObjectId) -> Result<Bytes, ClusterError> {
-        self.get_with(oid, ReadPolicy::FirstReplica)
+        self.cfg
+            .retry
+            .run(oid.raw(), ClusterError::is_retryable, || {
+                self.get_with(oid, ReadPolicy::FirstReplica)
+            })
     }
 
     /// Read an object, choosing the starting replica per `policy`.
@@ -298,7 +470,7 @@ impl Cluster {
             return Err(ClusterError::NotFound);
         }
         let start = match policy {
-            ReadPolicy::FirstReplica => 0,
+            ReadPolicy::FirstReplica | ReadPolicy::Hedged { .. } => 0,
             ReadPolicy::Balanced => {
                 self.read_rr.fetch_add(1, Ordering::Relaxed) as usize % candidates.len()
             }
@@ -308,25 +480,85 @@ impl Cluster {
         // older than the header, while a concurrent re-integration may
         // restamp fresh copies *past* the header snapshot we took.
         let acceptable = |stamp: ech_core::ids::VersionId| expected.is_none_or(|v| stamp >= v);
+        if let ReadPolicy::Hedged { threshold } = policy {
+            if let Some(data) = self.hedged_get(oid, &candidates, &acceptable, threshold) {
+                return Ok(data);
+            }
+        }
+        // Transient failures must not masquerade as authoritative misses:
+        // track them and report `Unavailable` (retryable) instead of
+        // `NotFound` when every failure could have been a fault.
+        let mut saw_transient = false;
         for i in 0..candidates.len() {
             let server = candidates[(start + i) % candidates.len()];
-            if let Ok(obj) = self.nodes[server.index()].get(oid) {
-                if acceptable(obj.header.version) {
-                    return Ok(obj.data);
-                }
+            match self.nodes[server.index()].get(oid) {
+                Ok(obj) if acceptable(obj.header.version) => return Ok(obj.data),
+                Ok(_) => {}
+                Err(e) => saw_transient |= e.is_transient(),
             }
         }
         // Placement-guided candidates failed (e.g. the fresh copy sits on
         // a server an intermediate re-integration chose); sweep all
         // powered nodes for a version-matching copy before giving up.
         for node in &self.nodes {
-            if let Ok(obj) = node.get(oid) {
+            match node.get(oid) {
+                Ok(obj) if acceptable(obj.header.version) => return Ok(obj.data),
+                Ok(_) => {}
+                Err(e) => saw_transient |= e.is_transient(),
+            }
+        }
+        if saw_transient {
+            self.counters.inc_unavailable();
+            Err(ClusterError::Unavailable)
+        } else {
+            Err(ClusterError::NotFound)
+        }
+    }
+
+    /// Race the first candidate against a hedge: probe it on a helper
+    /// thread, and when it has not answered within `threshold`, try the
+    /// remaining candidates while it keeps running. Whoever returns an
+    /// acceptable copy first wins; as a last resort the slow original is
+    /// awaited. `None` falls back to the caller's sequential sweep.
+    fn hedged_get(
+        &self,
+        oid: ObjectId,
+        candidates: &[ServerId],
+        acceptable: &impl Fn(VersionId) -> bool,
+        threshold: std::time::Duration,
+    ) -> Option<Bytes> {
+        let first = self.nodes[candidates[0].index()].clone();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(first.get(oid));
+        });
+        let first_result = rx.recv_timeout(threshold).ok();
+        if let Some(Ok(obj)) = &first_result {
+            if acceptable(obj.header.version) {
+                return Some(obj.data.clone());
+            }
+        }
+        if first_result.is_none() {
+            // The first replica is slow — fire the hedge.
+            self.counters.inc_hedged_reads();
+        }
+        for &s in &candidates[1..] {
+            if let Ok(obj) = self.nodes[s.index()].get(oid) {
                 if acceptable(obj.header.version) {
-                    return Ok(obj.data);
+                    return Some(obj.data);
                 }
             }
         }
-        Err(ClusterError::NotFound)
+        if first_result.is_none() {
+            // The hedge lost too; wait out the slow original rather than
+            // abandoning a probe that may still succeed.
+            if let Ok(Ok(obj)) = rx.recv() {
+                if acceptable(obj.header.version) {
+                    return Some(obj.data);
+                }
+            }
+        }
+        None
     }
 
     /// Resize to `active` servers (an expansion-chain prefix): records a
@@ -361,16 +593,28 @@ impl Cluster {
         for m in &task.moves {
             let src = &self.nodes[m.from.index()];
             let dst = &self.nodes[m.to.index()];
-            match src.get(task.oid) {
+            let src_token = task.oid.raw() ^ ((m.from.index() as u64) << 48);
+            let got = self
+                .cfg
+                .retry
+                .run(src_token, NodeError::is_transient, || src.get(task.oid));
+            match got {
                 Ok(obj) => {
                     let bytes = obj.data.len() as u64;
                     // The destination is active at the target version by
-                    // construction; a put failure here means a racing
-                    // resize, in which case the entry will be re-planned.
-                    if dst
-                        .put(task.oid, obj.data, task.target_version, obj.header.dirty)
-                        .is_ok()
-                    {
+                    // construction; a put failure here (after transient
+                    // retries) means a racing resize, in which case the
+                    // entry will be re-planned.
+                    let dst_token = task.oid.raw() ^ ((m.to.index() as u64) << 48);
+                    let put = self.cfg.retry.run(dst_token, NodeError::is_transient, || {
+                        dst.put(
+                            task.oid,
+                            obj.data.clone(),
+                            task.target_version,
+                            obj.header.dirty,
+                        )
+                    });
+                    if put.is_ok() {
                         src.remove(task.oid);
                         stats.moves += 1;
                         stats.bytes += bytes;
@@ -415,7 +659,14 @@ impl Cluster {
 
     /// Run re-integration until nothing more qualifies at the current
     /// version. Returns the accumulated stats.
+    ///
+    /// Healing runs first: quorum writes may have acked with replicas
+    /// missing, and at full power Algorithm 2 pops such entries without
+    /// moving anything (nothing "qualifies" when the entry's version has
+    /// the same active count as the current one) — the missed replicas
+    /// must be re-created before the table drains.
     pub fn reintegrate_all(&self) -> ReintegrationStats {
+        self.heal_dirty();
         let mut total = ReintegrationStats::default();
         loop {
             match self.reintegrate_step() {
@@ -454,14 +705,111 @@ impl Cluster {
         self.stop_worker.store(true, Ordering::Release);
     }
 
+    /// Heal replicas missed by degraded (quorum) writes: for every dirty
+    /// object, re-create the replicas its *header-version* placement
+    /// names but no node physically holds, copying from any fresh
+    /// replica. Entries logged purely for power offloading are no-ops
+    /// here (all their replicas exist) and are left to the
+    /// re-integration engine, which owns the actual migrations.
+    ///
+    /// Healing targets the header-version placement — where the write
+    /// intended its replicas — rather than the current one, so it never
+    /// duplicates the engine's migration work. At full power, objects
+    /// that end up fully placed get their dirty bit cleared.
+    pub fn heal_dirty(&self) -> RepairStats {
+        let entries: Vec<DirtyEntry> = {
+            let dirty = self.dirty.lock();
+            (0..dirty.len()).filter_map(|i| dirty.get(i)).collect()
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut stats = RepairStats::default();
+        for entry in entries {
+            let oid = entry.oid;
+            if !seen.insert(oid) {
+                continue;
+            }
+            stats.scanned += 1;
+            let Some(h) = self.headers.header(oid) else {
+                continue;
+            };
+            let Ok(placement) = self.view.read().place_at(oid, h.version) else {
+                continue;
+            };
+            // Find a fresh source, retrying transient probe failures so
+            // an injected fault cannot make a healthy replica invisible.
+            let mut source = None;
+            for (i, n) in self.nodes.iter().enumerate() {
+                if !n.is_powered() {
+                    continue;
+                }
+                let token = oid.raw() ^ ((i as u64) << 48) ^ 0x6EA1_0001;
+                let got = self
+                    .cfg
+                    .retry
+                    .run(token, NodeError::is_transient, || n.get(oid));
+                if let Ok(obj) = got {
+                    if obj.header.version >= h.version {
+                        source = Some(obj);
+                        break;
+                    }
+                }
+            }
+            let Some(obj) = source else { continue };
+            for &target in placement.servers() {
+                let node = &self.nodes[target.index()];
+                if node.holds(oid) {
+                    continue;
+                }
+                let token = oid.raw() ^ ((target.index() as u64) << 48) ^ 0x6EA1_0002;
+                let put = self.cfg.retry.run(token, NodeError::is_transient, || {
+                    node.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty)
+                });
+                if put.is_ok() {
+                    stats.recreated += 1;
+                    stats.bytes += obj.data.len() as u64;
+                }
+            }
+            let full_power = self.view.read().current_membership().is_full_power();
+            if full_power && self.is_fully_placed(oid) {
+                self.headers.mark_clean(oid, h.version);
+                for &server in placement.servers() {
+                    self.nodes[server.index()].restamp(oid, h.version, false);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Scan for nodes that crashed *silently* (an injected crash powers
+    /// the node off without telling the coordinator) and record a
+    /// membership version excluding them, so placement stops targeting
+    /// dead disks and repair can re-replicate. Returns the newly-marked
+    /// servers.
+    pub fn detect_and_mark_crashed(&self) -> Vec<ServerId> {
+        let mut view = self.view.write();
+        let dark: Vec<ServerId> = (0..self.cfg.servers as u32)
+            .map(ServerId)
+            .filter(|&s| {
+                view.current_membership().is_active(s) && !self.nodes[s.index()].is_powered()
+            })
+            .collect();
+        if let Some((&head, tail)) = dark.split_first() {
+            let mut table = view
+                .current_membership()
+                .with_state(head, ech_core::membership::PowerState::Off);
+            for &s in tail {
+                table = table.with_state(s, ech_core::membership::PowerState::Off);
+            }
+            view.record_membership(table);
+        }
+        dark
+    }
+
     /// Check that every replica of `oid` required by the current
     /// placement is physically present (used by integrity tests).
     pub fn is_fully_placed(&self, oid: ObjectId) -> bool {
         match self.locate(oid) {
-            Ok(p) => p
-                .servers()
-                .iter()
-                .all(|s| self.nodes[s.index()].holds(oid)),
+            Ok(p) => p.servers().iter().all(|s| self.nodes[s.index()].holds(oid)),
             Err(_) => false,
         }
     }
@@ -484,11 +832,7 @@ mod tests {
         let c = cluster();
         let p = c.put(ObjectId(7), payload(7)).unwrap();
         assert_eq!(p.len(), 2);
-        let holders = c
-            .nodes()
-            .iter()
-            .filter(|n| n.holds(ObjectId(7)))
-            .count();
+        let holders = c.nodes().iter().filter(|n| n.holds(ObjectId(7))).count();
         assert_eq!(holders, 2);
         assert_eq!(c.get(ObjectId(7)).unwrap(), payload(7));
     }
@@ -664,8 +1008,7 @@ mod tests {
         for i in 0..objects {
             c.put(ObjectId(i), payload(i)).unwrap();
         }
-        let writes_baseline: Vec<u64> =
-            c.nodes().iter().map(|n| n.op_counts().0).collect();
+        let writes_baseline: Vec<u64> = c.nodes().iter().map(|n| n.op_counts().0).collect();
         for round in 0..4u64 {
             for i in 0..objects {
                 let _ = c
@@ -673,11 +1016,7 @@ mod tests {
                     .unwrap();
             }
         }
-        let stored: Vec<f64> = c
-            .nodes()
-            .iter()
-            .map(|n| n.object_count() as f64)
-            .collect();
+        let stored: Vec<f64> = c.nodes().iter().map(|n| n.object_count() as f64).collect();
         let reads: Vec<f64> = c
             .nodes()
             .iter()
@@ -776,6 +1115,193 @@ mod tests {
         for i in 0..200u64 {
             assert!(c2.is_fully_placed(ObjectId(i)), "object {i}");
         }
+    }
+
+    /// Placement is deterministic per config, so an unfaulted twin
+    /// cluster tells a fault-plan test which servers an object lands on.
+    fn placement_of(cfg: &ClusterConfig, oid: ObjectId) -> Vec<ServerId> {
+        let c = Cluster::new(cfg.clone());
+        c.locate(oid).unwrap().servers().to_vec()
+    }
+
+    #[test]
+    fn write_quorum_required_counts() {
+        assert_eq!(WriteQuorum::All.required(3), 3);
+        assert_eq!(WriteQuorum::PrimaryPlusMajority.required(2), 2);
+        assert_eq!(WriteQuorum::PrimaryPlusMajority.required(3), 2);
+        assert_eq!(WriteQuorum::PrimaryPlusMajority.required(5), 3);
+        assert_eq!(WriteQuorum::PrimaryPlusMajority.required(1), 1);
+        assert_eq!(WriteQuorum::AtLeast(0).required(3), 1);
+        assert_eq!(WriteQuorum::AtLeast(9).required(3), 3);
+    }
+
+    #[test]
+    fn degraded_write_acks_at_quorum_and_heals() {
+        use crate::fault::{FaultPlan, NodeFaultSpec};
+        let mut cfg = ClusterConfig::paper();
+        cfg.replicas = 3;
+        let oid = ObjectId(77);
+        let servers = placement_of(&cfg, oid);
+        // One secondary fails every attempt of the put (the retry budget
+        // is 4 attempts; the error window covers exactly its first 4
+        // ops), then recovers — deterministic by construction.
+        let mut plan = FaultPlan::default();
+        plan.set_node(
+            servers[1].index(),
+            NodeFaultSpec {
+                io_error_prob: 1.0,
+                io_error_until_op: cfg.retry.max_attempts as u64,
+                ..NodeFaultSpec::default()
+            },
+        );
+        let c = Cluster::with_faults(cfg, plan);
+        c.put(oid, payload(77)).unwrap();
+        assert!(!c.is_fully_placed(oid), "one replica must be missing");
+        assert_eq!(c.dirty_len(), 1, "degraded ack logs a dirty entry");
+        let snap = c.counters();
+        assert_eq!(snap.quorum_acks, 1);
+        assert_eq!(snap.replicas_missed, 1);
+        assert_eq!(snap.retries, 3);
+        // Readable from the surviving replicas meanwhile.
+        assert_eq!(c.get(oid).unwrap(), payload(77));
+        // Healing (run first by reintegrate_all) restores the replica
+        // and the table drains at full power.
+        c.reintegrate_all();
+        assert!(c.is_fully_placed(oid));
+        assert_eq!(c.dirty_len(), 0);
+        assert_eq!(c.fault_stats().unwrap().io_errors, 4);
+    }
+
+    #[test]
+    fn quorum_failure_rejects_the_write() {
+        use crate::fault::{FaultPlan, NodeFaultSpec};
+        let mut cfg = ClusterConfig::paper();
+        cfg.replicas = 3;
+        let oid = ObjectId(321);
+        let servers = placement_of(&cfg, oid);
+        let mut plan = FaultPlan::default();
+        for &s in &servers[1..] {
+            plan.set_node(
+                s.index(),
+                NodeFaultSpec {
+                    io_error_prob: 1.0,
+                    ..NodeFaultSpec::default()
+                },
+            );
+        }
+        let c = Cluster::with_faults(cfg, plan);
+        let err = c.put(oid, payload(321)).unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::QuorumNotReached {
+                written: 1,
+                required: 2
+            }
+        );
+        assert!(err.is_retryable());
+        // The write was not acknowledged: no header, no dirty entry.
+        assert_eq!(c.dirty_len(), 0);
+        assert!(c.headers().header(oid).is_none());
+    }
+
+    #[test]
+    fn transient_failures_surface_as_unavailable_not_notfound() {
+        use crate::fault::{FaultPlan, NodeFaultSpec};
+        // Unfaulted: a missing object is an authoritative NotFound.
+        let c = cluster();
+        assert_eq!(c.get(ObjectId(404)), Err(ClusterError::NotFound));
+
+        // Faulted: the secondary errors on every op and the primary goes
+        // dark — every probe failure could be transient, so the read
+        // must report a retryable Unavailable, not NotFound.
+        let mut cfg = ClusterConfig::paper();
+        cfg.servers = 2;
+        cfg.replicas = 2;
+        cfg.kv_shards = 2;
+        cfg.write_quorum = WriteQuorum::AtLeast(1);
+        let oid = ObjectId(5);
+        let servers = placement_of(&cfg, oid);
+        let mut plan = FaultPlan::default();
+        plan.set_node(
+            servers[1].index(),
+            NodeFaultSpec {
+                io_error_prob: 1.0,
+                ..NodeFaultSpec::default()
+            },
+        );
+        let c = Cluster::with_faults(cfg, plan);
+        c.put(oid, payload(5)).unwrap();
+        assert_eq!(c.counters().replicas_missed, 1);
+        c.nodes()[servers[0].index()].set_powered(false);
+        assert_eq!(
+            c.get_with(oid, ReadPolicy::FirstReplica),
+            Err(ClusterError::Unavailable)
+        );
+        assert!(ClusterError::Unavailable.is_retryable());
+        assert!(c.counters().unavailable_errors >= 1);
+    }
+
+    #[test]
+    fn silent_crashes_are_detected_and_excluded() {
+        use crate::fault::{FaultPlan, NodeFaultSpec};
+        let mut plan = FaultPlan::default();
+        plan.set_node(
+            2,
+            NodeFaultSpec {
+                crash_at_op: Some(0),
+                ..NodeFaultSpec::default()
+            },
+        );
+        let c = Cluster::with_faults(ClusterConfig::paper(), plan);
+        assert!(c.detect_and_mark_crashed().is_empty());
+        // Any op on node 2 fires the injected crash; the coordinator is
+        // not told (that is what makes it silent).
+        assert!(c.nodes()[2].get(ObjectId(1)).is_err());
+        assert!(!c.nodes()[2].is_powered());
+        assert_eq!(c.active_count(), 10);
+        assert_eq!(c.detect_and_mark_crashed(), vec![ServerId(2)]);
+        assert_eq!(c.active_count(), 9);
+        // New writes no longer target the dead disk.
+        for i in 100..160u64 {
+            let p = c.put(ObjectId(i), payload(i)).unwrap();
+            assert!(!p.contains(ServerId(2)));
+        }
+        // Idempotent: nothing newly dark on a second scan.
+        assert!(c.detect_and_mark_crashed().is_empty());
+    }
+
+    #[test]
+    fn hedged_reads_dodge_a_slow_replica() {
+        use crate::fault::{FaultPlan, NodeFaultSpec};
+        use std::time::{Duration, Instant};
+        let cfg = ClusterConfig::paper();
+        let oid = ObjectId(9000);
+        let servers = placement_of(&cfg, oid);
+        let mut plan = FaultPlan::default();
+        plan.set_node(
+            servers[0].index(),
+            NodeFaultSpec {
+                delay: Some(Duration::from_millis(150)),
+                ..NodeFaultSpec::default()
+            },
+        );
+        let c = Cluster::with_faults(cfg, plan);
+        c.put(oid, payload(9000)).unwrap();
+        let t0 = Instant::now();
+        let data = c
+            .get_with(
+                oid,
+                ReadPolicy::Hedged {
+                    threshold: Duration::from_millis(2),
+                },
+            )
+            .unwrap();
+        assert_eq!(data, payload(9000));
+        assert!(c.counters().hedged_reads >= 1, "the hedge must have fired");
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "the hedge answered without waiting out the slow replica"
+        );
     }
 
     #[test]

@@ -9,13 +9,33 @@
 
 use ech_core::dirty::{DirtyEntry, DirtyTable, HeaderSource, ObjectHeader};
 use ech_core::ids::{ObjectId, VersionId};
-use ech_kvstore::KvStore;
+use ech_kvstore::{KvError, KvStore};
 use std::sync::Arc;
 
 /// Key of the dirty-table LIST.
 const DIRTY_KEY: &str = "ech:dirty";
 /// Key of the object-header HASH.
 const HEADER_KEY: &str = "ech:headers";
+
+/// Run a kv operation through transient shard outages. Outage windows
+/// live in kv-op-count space and every attempt advances the counter, so
+/// retrying always exits a finite window; the budget only guards against
+/// a misconfigured fault plan. Metadata must not be silently dropped, so
+/// anything else (type confusion, exhausted budget) still panics.
+fn kv_retry<T>(what: &str, op: impl Fn() -> Result<T, KvError>) -> T {
+    let mut last = None;
+    for _ in 0..256 {
+        match op() {
+            Ok(v) => return v,
+            Err(e @ KvError::Unavailable { .. }) => {
+                last = Some(e);
+                std::thread::sleep(std::time::Duration::from_micros(20));
+            }
+            Err(e) => panic!("{what}: {e}"),
+        }
+    }
+    panic!("{what}: {}", last.expect("loop only exits with an error"));
+}
 
 /// Serialize a dirty entry as `oid:version` (the value RPUSHed).
 fn encode_entry(e: &DirtyEntry) -> String {
@@ -50,27 +70,22 @@ impl KvDirtyTable {
 
 impl DirtyTable for KvDirtyTable {
     fn push_back(&mut self, entry: DirtyEntry) {
-        self.kv
-            .rpush(DIRTY_KEY, encode_entry(&entry))
-            .expect("dirty key holds a list");
+        kv_retry("RPUSH dirty entry", || {
+            self.kv.rpush(DIRTY_KEY, encode_entry(&entry))
+        });
     }
 
     fn get(&self, index: usize) -> Option<DirtyEntry> {
-        self.kv
-            .lindex(DIRTY_KEY, index)
-            .expect("dirty key holds a list")
+        kv_retry("LINDEX dirty entry", || self.kv.lindex(DIRTY_KEY, index))
             .and_then(|b| decode_entry(&b))
     }
 
     fn pop_front(&mut self) -> Option<DirtyEntry> {
-        self.kv
-            .lpop(DIRTY_KEY)
-            .expect("dirty key holds a list")
-            .and_then(|b| decode_entry(&b))
+        kv_retry("LPOP dirty entry", || self.kv.lpop(DIRTY_KEY)).and_then(|b| decode_entry(&b))
     }
 
     fn len(&self) -> usize {
-        self.kv.llen(DIRTY_KEY).expect("dirty key holds a list")
+        kv_retry("LLEN dirty table", || self.kv.llen(DIRTY_KEY))
     }
 }
 
@@ -89,37 +104,35 @@ impl KvHeaderStore {
 
     /// Record a write of `oid` at `version` with the given dirty bit.
     pub fn record_write(&self, oid: ObjectId, version: VersionId, dirty: bool) {
-        self.kv
-            .hset(
+        kv_retry("HSET object header", || {
+            self.kv.hset(
                 HEADER_KEY,
                 &oid.raw().to_string(),
                 format!("{}:{}", version.raw(), u8::from(dirty)),
             )
-            .expect("header key holds a hash");
+        });
     }
 
     /// Clear the dirty bit after re-integration to a full-power version.
     pub fn mark_clean(&self, oid: ObjectId, version: VersionId) {
-        self.kv
-            .hset(
+        kv_retry("HSET clean header", || {
+            self.kv.hset(
                 HEADER_KEY,
                 &oid.raw().to_string(),
                 format!("{}:0", version.raw()),
             )
-            .expect("header key holds a hash");
+        });
     }
 
     /// Number of tracked objects.
     pub fn len(&self) -> usize {
-        self.kv.hlen(HEADER_KEY).expect("header key holds a hash")
+        kv_retry("HLEN header store", || self.kv.hlen(HEADER_KEY))
     }
 
     /// All tracked object ids (order unspecified). Repair scans use this
     /// to enumerate the object population.
     pub fn all_objects(&self) -> Vec<ObjectId> {
-        self.kv
-            .hkeys(HEADER_KEY)
-            .expect("header key holds a hash")
+        kv_retry("HKEYS header store", || self.kv.hkeys(HEADER_KEY))
             .into_iter()
             .filter_map(|k| k.parse::<u64>().ok().map(ObjectId))
             .collect()
@@ -133,10 +146,9 @@ impl KvHeaderStore {
 
 impl HeaderSource for KvHeaderStore {
     fn header(&self, oid: ObjectId) -> Option<ObjectHeader> {
-        let raw = self
-            .kv
-            .hget(HEADER_KEY, &oid.raw().to_string())
-            .expect("header key holds a hash")?;
+        let raw = kv_retry("HGET object header", || {
+            self.kv.hget(HEADER_KEY, &oid.raw().to_string())
+        })?;
         let s = std::str::from_utf8(&raw).ok()?;
         let (ver, dirty) = s.split_once(':')?;
         Some(ObjectHeader {

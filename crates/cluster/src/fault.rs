@@ -1,0 +1,360 @@
+//! Deterministic fault injection for the live cluster.
+//!
+//! A [`FaultPlan`] declares, per node, a transient I/O error probability
+//! (optionally limited to an op-count window), a crash-at-op-N event and a
+//! slow-replica latency class, plus shard-unavailability windows for the
+//! backing key-value store. A [`FaultInjector`] executes the plan with no
+//! wall-clock or global RNG state: every decision is a pure hash of
+//! `(seed, node, op-counter)`, so a run with the same plan and the same
+//! operation order injects exactly the same faults.
+//!
+//! The injector is threaded through [`crate::node::StorageNode`] and
+//! (via [`ech_kvstore::ShardFaultHook`]) through the key-value store. Both
+//! hold it as an `Option<Arc<FaultInjector>>`-shaped hook, so the default
+//! fault-free path pays only a branch on a pointer.
+
+use ech_kvstore::ShardFaultHook;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// SplitMix64: the one-shot mixer used for all fault decisions (and for
+/// retry jitter, see [`crate::retry`]). Passes BigCrush as a stream; as
+/// used here it is simply a high-quality hash of its input.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to a uniform sample in `[0, 1)`.
+fn unit(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Fault behaviour of one storage node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFaultSpec {
+    /// Probability that an op fails with a transient I/O error.
+    pub io_error_prob: f64,
+    /// I/O errors are only injected while the node's op counter is below
+    /// this bound (`u64::MAX` = forever). A bounded window models a
+    /// transient brown-out that ends, letting healing converge.
+    pub io_error_until_op: u64,
+    /// Crash the node (disk loss + power-off) when its op counter reaches
+    /// this value.
+    pub crash_at_op: Option<u64>,
+    /// Slow-replica latency class: added to every op on this node.
+    pub delay: Option<Duration>,
+}
+
+impl Default for NodeFaultSpec {
+    fn default() -> Self {
+        NodeFaultSpec {
+            io_error_prob: 0.0,
+            io_error_until_op: u64::MAX,
+            crash_at_op: None,
+            delay: None,
+        }
+    }
+}
+
+/// An unavailability window of one key-value shard, in kv-op-count space
+/// (every checked kv operation advances the counter, so retrying through
+/// a window is guaranteed to exit it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOutage {
+    /// The shard index that goes dark.
+    pub shard: usize,
+    /// First kv-op count at which the shard is unavailable.
+    pub from_op: u64,
+    /// First kv-op count at which the shard is available again.
+    pub until_op: u64,
+}
+
+/// A declarative fault schedule for a whole cluster.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of the decision hash; same seed + same op order = same faults.
+    pub seed: u64,
+    /// Per-node fault behaviour, indexed by server index. Nodes beyond
+    /// the vector's length are fault-free.
+    pub node_faults: Vec<NodeFaultSpec>,
+    /// Shard-unavailability windows of the backing key-value store.
+    pub kv_outages: Vec<ShardOutage>,
+}
+
+impl FaultPlan {
+    /// A plan injecting transient I/O errors with probability `prob` on
+    /// every one of `nodes` nodes (no crashes, no outages).
+    pub fn uniform_io_errors(nodes: usize, seed: u64, prob: f64) -> Self {
+        FaultPlan {
+            seed,
+            node_faults: vec![
+                NodeFaultSpec {
+                    io_error_prob: prob,
+                    ..NodeFaultSpec::default()
+                };
+                nodes
+            ],
+            kv_outages: Vec::new(),
+        }
+    }
+
+    /// Mutate node `index`'s spec (growing the vector as needed).
+    pub fn set_node(&mut self, index: usize, spec: NodeFaultSpec) -> &mut Self {
+        if self.node_faults.len() <= index {
+            self.node_faults.resize(index + 1, NodeFaultSpec::default());
+        }
+        self.node_faults[index] = spec;
+        self
+    }
+}
+
+/// What the injector decided about one node operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Fail this op with a transient I/O error.
+    Io,
+    /// Crash the node: its disk contents vanish and it powers off.
+    Crash,
+}
+
+/// Live counters of injected faults (relaxed atomics; shared by `&`).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    io_errors: AtomicU64,
+    crashes: AtomicU64,
+    delays: AtomicU64,
+    kv_unavailable: AtomicU64,
+}
+
+/// Plain-value copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStatsSnapshot {
+    /// Transient I/O errors injected into node ops.
+    pub io_errors: u64,
+    /// Node crashes triggered.
+    pub crashes: u64,
+    /// Slow-replica delays applied.
+    pub delays: u64,
+    /// Key-value operations rejected as shard-unavailable.
+    pub kv_unavailable: u64,
+}
+
+/// Executes a [`FaultPlan`] deterministically.
+///
+/// Decisions are pure functions of `(seed, node, per-node op counter)`;
+/// the counters are lock-free atomics, so concurrent clients perturb only
+/// the interleaving of op numbers, never the decision for a given number.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    node_ops: Vec<AtomicU64>,
+    kv_ops: AtomicU64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector for `nodes` nodes running `plan`.
+    pub fn new(nodes: usize, plan: FaultPlan) -> Self {
+        FaultInjector {
+            node_ops: (0..nodes.max(plan.node_faults.len()))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            kv_ops: AtomicU64::new(0),
+            stats: FaultStats::default(),
+            plan,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            io_errors: self.stats.io_errors.load(Ordering::Relaxed),
+            crashes: self.stats.crashes.load(Ordering::Relaxed),
+            delays: self.stats.delays.load(Ordering::Relaxed),
+            kv_unavailable: self.stats.kv_unavailable.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Ops observed on node `index` so far.
+    pub fn node_ops(&self, index: usize) -> u64 {
+        self.node_ops
+            .get(index)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Decide the fate of the next op on node `index`: an optional
+    /// slow-replica delay to apply, or an injected fault. Advances the
+    /// node's op counter.
+    pub fn before_node_op(&self, index: usize) -> Result<Option<Duration>, InjectedFault> {
+        let Some(spec) = self.plan.node_faults.get(index) else {
+            return Ok(None);
+        };
+        let Some(counter) = self.node_ops.get(index) else {
+            return Ok(None);
+        };
+        let op = counter.fetch_add(1, Ordering::Relaxed);
+        if spec.crash_at_op == Some(op) {
+            self.stats.crashes.fetch_add(1, Ordering::Relaxed);
+            return Err(InjectedFault::Crash);
+        }
+        if spec.io_error_prob > 0.0 && op < spec.io_error_until_op {
+            // Pre-mix (seed, node) into a lane, then step the lane by the
+            // golden-gamma Weyl increment — the standard SplitMix64
+            // stream. Folding the raw op in directly (XOR or +1 steps)
+            // leaves consecutive-counter structure in the mixer input,
+            // which both collapses scenario diversity across nearby seeds
+            // and under-disperses the error counts.
+            let lane = splitmix64(self.plan.seed ^ ((index as u64) << 40));
+            let stream = lane.wrapping_add(op.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let roll = unit(splitmix64(stream));
+            if roll < spec.io_error_prob {
+                self.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(InjectedFault::Io);
+            }
+        }
+        if let Some(d) = spec.delay {
+            self.stats.delays.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(d));
+        }
+        Ok(None)
+    }
+}
+
+impl ShardFaultHook for FaultInjector {
+    fn shard_available(&self, shard: usize) -> bool {
+        if self.plan.kv_outages.is_empty() {
+            return true;
+        }
+        let op = self.kv_ops.fetch_add(1, Ordering::Relaxed);
+        let down = self
+            .plan
+            .kv_outages
+            .iter()
+            .any(|o| o.shard == shard && (o.from_op..o.until_op).contains(&op));
+        if down {
+            self.stats.kv_unavailable.fetch_add(1, Ordering::Relaxed);
+        }
+        !down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_op_number() {
+        let plan = FaultPlan::uniform_io_errors(4, 42, 0.3);
+        let a = FaultInjector::new(4, plan.clone());
+        let b = FaultInjector::new(4, plan);
+        let run = |inj: &FaultInjector| -> Vec<bool> {
+            (0..200).map(|_| inj.before_node_op(2).is_err()).collect()
+        };
+        assert_eq!(run(&a), run(&b));
+        assert!(a.stats().io_errors > 0, "0.3 over 200 ops must fire");
+        assert!(a.stats().io_errors < 200);
+    }
+
+    #[test]
+    fn error_rate_tracks_probability() {
+        let inj = FaultInjector::new(1, FaultPlan::uniform_io_errors(1, 7, 0.10));
+        let n = 20_000;
+        let errors = (0..n).filter(|_| inj.before_node_op(0).is_err()).count();
+        let rate = errors as f64 / n as f64;
+        assert!((rate - 0.10).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    fn crash_fires_exactly_once_at_its_op() {
+        let mut plan = FaultPlan::default();
+        plan.set_node(
+            1,
+            NodeFaultSpec {
+                crash_at_op: Some(5),
+                ..NodeFaultSpec::default()
+            },
+        );
+        let inj = FaultInjector::new(3, plan);
+        for op in 0..20 {
+            let r = inj.before_node_op(1);
+            if op == 5 {
+                assert_eq!(r, Err(InjectedFault::Crash));
+            } else {
+                assert_eq!(r, Ok(None));
+            }
+        }
+        assert_eq!(inj.stats().crashes, 1);
+    }
+
+    #[test]
+    fn io_window_expires() {
+        let mut plan = FaultPlan {
+            seed: 3,
+            ..FaultPlan::default()
+        };
+        plan.set_node(
+            0,
+            NodeFaultSpec {
+                io_error_prob: 1.0,
+                io_error_until_op: 4,
+                ..NodeFaultSpec::default()
+            },
+        );
+        let inj = FaultInjector::new(1, plan);
+        for _ in 0..4 {
+            assert_eq!(inj.before_node_op(0), Err(InjectedFault::Io));
+        }
+        for _ in 0..10 {
+            assert_eq!(inj.before_node_op(0), Ok(None));
+        }
+    }
+
+    #[test]
+    fn delays_and_outside_plan_nodes() {
+        let mut plan = FaultPlan::default();
+        plan.set_node(
+            0,
+            NodeFaultSpec {
+                delay: Some(Duration::from_micros(50)),
+                ..NodeFaultSpec::default()
+            },
+        );
+        let inj = FaultInjector::new(2, plan);
+        assert_eq!(inj.before_node_op(0), Ok(Some(Duration::from_micros(50))));
+        // Node 1 has no spec; node 7 is outside the vector entirely.
+        assert_eq!(inj.before_node_op(1), Ok(None));
+        assert_eq!(inj.before_node_op(7), Ok(None));
+        assert_eq!(inj.stats().delays, 1);
+    }
+
+    #[test]
+    fn kv_outage_window_closes_as_ops_flow() {
+        let plan = FaultPlan {
+            seed: 0,
+            node_faults: Vec::new(),
+            kv_outages: vec![ShardOutage {
+                shard: 2,
+                from_op: 3,
+                until_op: 6,
+            }],
+        };
+        let inj = FaultInjector::new(0, plan);
+        let outcomes: Vec<bool> = (0..10).map(|_| inj.shard_available(2)).collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, false, false, true, true, true, true]
+        );
+        // Other shards are never affected (their checks advance the same
+        // global counter).
+        assert!(inj.shard_available(0));
+        assert_eq!(inj.stats().kv_unavailable, 3);
+    }
+}

@@ -30,12 +30,20 @@
 
 pub mod cluster;
 pub mod dirty_store;
+pub mod fault;
 pub mod node;
 pub mod repair;
+pub mod retry;
 pub mod vdi;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterError, ReadPolicy, ReintegrationStats};
-pub use repair::RepairStats;
-pub use vdi::{VdiError, VirtualDisk};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterError, ReadPolicy, ReintegrationStats, WriteQuorum,
+};
 pub use dirty_store::{KvDirtyTable, KvHeaderStore};
+pub use fault::{
+    FaultInjector, FaultPlan, FaultStatsSnapshot, InjectedFault, NodeFaultSpec, ShardOutage,
+};
 pub use node::{NodeError, StorageNode, StoredObject};
+pub use repair::RepairStats;
+pub use retry::RetryPolicy;
+pub use vdi::{VdiError, VirtualDisk};

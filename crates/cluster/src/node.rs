@@ -6,12 +6,14 @@
 //! reads/writes against an off node are rejected, but its disk contents
 //! survive for the moment it rejoins.
 
+use crate::fault::{FaultInjector, InjectedFault};
 use bytes::Bytes;
 use ech_core::dirty::ObjectHeader;
 use ech_core::ids::{ObjectId, ServerId, VersionId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One stored replica: payload plus the paper's object header (last
 /// written version + dirty bit, §III-E2).
@@ -39,6 +41,17 @@ pub enum NodeError {
         /// Bytes that would be stored after the write.
         needed: u64,
     },
+    /// A transient I/O error (injected by a fault plan). Unlike the
+    /// other variants this one is worth retrying: the next attempt rolls
+    /// a fresh fault decision.
+    Io,
+}
+
+impl NodeError {
+    /// Is this error transient (a retry may succeed)?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NodeError::Io)
+    }
 }
 
 impl std::fmt::Display for NodeError {
@@ -47,8 +60,12 @@ impl std::fmt::Display for NodeError {
             NodeError::PoweredOff => write!(f, "node is powered off"),
             NodeError::NotFound => write!(f, "object not found on node"),
             NodeError::DiskFull { capacity, needed } => {
-                write!(f, "disk full: capacity {capacity} bytes, write needs {needed}")
+                write!(
+                    f,
+                    "disk full: capacity {capacity} bytes, write needs {needed}"
+                )
             }
+            NodeError::Io => write!(f, "transient i/o error"),
         }
     }
 }
@@ -66,6 +83,9 @@ pub struct StorageNode {
     writes: AtomicU64,
     /// Disk capacity in bytes; `u64::MAX` = unlimited.
     capacity: u64,
+    /// Optional fault injector; `None` keeps the data path fault-free at
+    /// the cost of one branch on a pointer.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl StorageNode {
@@ -76,6 +96,16 @@ impl StorageNode {
 
     /// A powered-on, empty node with `capacity` bytes of disk.
     pub fn with_capacity(id: ServerId, capacity: u64) -> Self {
+        Self::with_capacity_and_faults(id, capacity, None)
+    }
+
+    /// A powered-on, empty node with `capacity` bytes of disk, running
+    /// `fault`'s schedule on every put/get.
+    pub fn with_capacity_and_faults(
+        id: ServerId,
+        capacity: u64,
+        fault: Option<Arc<FaultInjector>>,
+    ) -> Self {
         StorageNode {
             id,
             powered: AtomicBool::new(true),
@@ -84,7 +114,26 @@ impl StorageNode {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             capacity,
+            fault,
         }
+    }
+
+    /// Consult the fault plan before serving an op: sleep through a
+    /// slow-replica delay, fail with [`NodeError::Io`] on an injected
+    /// error, or crash (losing the disk) on a crash-at-op event.
+    fn fault_gate(&self) -> Result<(), NodeError> {
+        if let Some(inj) = &self.fault {
+            match inj.before_node_op(self.id.index()) {
+                Ok(None) => {}
+                Ok(Some(delay)) => std::thread::sleep(delay),
+                Err(InjectedFault::Io) => return Err(NodeError::Io),
+                Err(InjectedFault::Crash) => {
+                    self.crash();
+                    return Err(NodeError::Io);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Configured disk capacity in bytes (`u64::MAX` = unlimited).
@@ -115,6 +164,7 @@ impl StorageNode {
         version: VersionId,
         dirty: bool,
     ) -> Result<(), NodeError> {
+        self.fault_gate()?;
         if !self.is_powered() {
             return Err(NodeError::PoweredOff);
         }
@@ -141,6 +191,7 @@ impl StorageNode {
 
     /// Read a replica. Fails when powered off or missing.
     pub fn get(&self, oid: ObjectId) -> Result<StoredObject, NodeError> {
+        self.fault_gate()?;
         if !self.is_powered() {
             return Err(NodeError::PoweredOff);
         }
@@ -323,6 +374,40 @@ mod tests {
         // Power back on: disk replaced, still empty.
         n.set_powered(true);
         assert_eq!(n.get(ObjectId(1)), Err(NodeError::NotFound));
+    }
+
+    #[test]
+    fn fault_gate_injects_errors_then_crashes() {
+        use crate::fault::{FaultInjector, FaultPlan, NodeFaultSpec};
+        let mut plan = FaultPlan::default();
+        plan.set_node(
+            3,
+            NodeFaultSpec {
+                io_error_prob: 1.0,
+                io_error_until_op: 2,
+                crash_at_op: Some(4),
+                ..NodeFaultSpec::default()
+            },
+        );
+        let inj = Arc::new(FaultInjector::new(4, plan));
+        let n = StorageNode::with_capacity_and_faults(ServerId(3), u64::MAX, Some(inj.clone()));
+        // Ops 0 and 1 fail with transient errors; nothing is stored.
+        assert_eq!(
+            n.put(ObjectId(1), Bytes::from("x"), VersionId(1), false),
+            Err(NodeError::Io)
+        );
+        assert_eq!(n.get(ObjectId(1)), Err(NodeError::Io));
+        assert!(!n.holds(ObjectId(1)));
+        // Ops 2 and 3 are past the error window and succeed.
+        n.put(ObjectId(1), Bytes::from("x"), VersionId(1), false)
+            .unwrap();
+        assert!(n.get(ObjectId(1)).is_ok());
+        // Op 4 is the crash: disk lost, node dark, caller sees Io.
+        assert_eq!(n.get(ObjectId(1)), Err(NodeError::Io));
+        assert!(!n.is_powered());
+        assert!(!n.holds(ObjectId(1)));
+        assert_eq!(inj.stats().crashes, 1);
+        assert_eq!(inj.stats().io_errors, 2);
     }
 
     #[test]

@@ -39,7 +39,9 @@ impl Cluster {
         // concurrent writes stop targeting it, then drop its data.
         {
             let mut view = self.view_mut();
-            let table = view.current_membership().with_state(server, PowerState::Off);
+            let table = view
+                .current_membership()
+                .with_state(server, PowerState::Off);
             view.record_membership(table);
         }
         self.nodes()[server.index()].crash()
@@ -64,6 +66,7 @@ impl Cluster {
     /// *power-downs* but still needs for *crashes*.
     pub fn repair(&self) -> RepairStats {
         use ech_core::dirty::HeaderSource;
+        let retry = self.config().retry;
         let mut stats = RepairStats::default();
         let oids = self.headers().all_objects();
         for oid in oids {
@@ -87,10 +90,18 @@ impl Cluster {
                     }
                 }
             }
-            // Find one live, version-matching replica to copy from.
+            // Find one live, version-matching replica to copy from. The
+            // probe retries transient faults: an injected I/O error must
+            // not make a healthy survivor invisible — that would turn a
+            // repairable object into a false "unrecoverable" verdict.
             let fresh = |n: &crate::node::StorageNode| -> bool {
                 n.is_powered()
-                    && n.get(oid)
+                    && retry
+                        .run(
+                            oid.raw() ^ ((n.id().index() as u64) << 48),
+                            NodeError::is_transient,
+                            || n.get(oid),
+                        )
                         .map(|o| expected.is_none_or(|v| o.header.version == v))
                         .unwrap_or(false)
             };
@@ -99,22 +110,26 @@ impl Cluster {
                 // A fresh copy may be trapped on a powered-down (not
                 // crashed) node — readable again after power-up; only
                 // count as unrecoverable when no node holds one at all.
-                let trapped = self.nodes().iter().any(|n| {
-                    !n.is_powered()
-                        && n.holds(oid)
-                });
+                let trapped = self.nodes().iter().any(|n| !n.is_powered() && n.holds(oid));
                 if !trapped {
                     stats.unrecoverable += 1;
                 }
                 continue;
             };
-            let Ok(obj) = source.get(oid) else { continue };
+            let Ok(obj) = retry.run(oid.raw(), NodeError::is_transient, || source.get(oid)) else {
+                continue;
+            };
             for &target in placement.servers() {
                 let node = &self.nodes()[target.index()];
                 if node.holds(oid) {
                     continue;
                 }
-                match node.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty) {
+                let put = retry.run(
+                    oid.raw() ^ ((target.index() as u64) << 48),
+                    NodeError::is_transient,
+                    || node.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty),
+                );
+                match put {
                     Ok(()) => {
                         stats.recreated += 1;
                         stats.bytes += obj.data.len() as u64;
@@ -253,6 +268,49 @@ mod tests {
         assert!(stats.recreated > 0, "revived node should receive replicas");
         assert_eq!(c.under_replicated(), 0);
         assert!(c.nodes()[4].object_count() > 0);
+    }
+
+    #[test]
+    fn under_replicated_accounting_through_crash_revive_repair_cycles() {
+        let c = loaded_cluster(300);
+        assert_eq!(c.under_replicated(), 0);
+        c.crash_node(ServerId(3));
+        assert!(c.under_replicated() > 0, "crash strands replicas");
+        c.repair();
+        assert_eq!(c.under_replicated(), 0, "repair restores replication");
+        // Revive with an empty disk: placement immediately includes the
+        // server again, so its share of objects counts as
+        // under-replicated until the next repair pass moves them back.
+        c.revive_node(ServerId(3));
+        assert!(c.under_replicated() > 0, "revived disk is empty");
+        c.repair();
+        assert_eq!(c.under_replicated(), 0);
+        // A second cycle on a different server behaves identically.
+        c.crash_node(ServerId(8));
+        assert!(c.under_replicated() > 0);
+        c.repair();
+        assert_eq!(c.under_replicated(), 0);
+        c.revive_node(ServerId(8));
+        c.repair();
+        assert_eq!(c.under_replicated(), 0);
+        for i in 0..300u64 {
+            assert_eq!(c.get(ObjectId(i)).unwrap(), payload(i), "object {i}");
+        }
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let c = loaded_cluster(250);
+        c.crash_node(ServerId(2));
+        let first = c.repair();
+        assert!(first.recreated > 0);
+        assert_eq!(first.unrecoverable, 0);
+        let second = c.repair();
+        assert_eq!(second.scanned, first.scanned);
+        assert_eq!(second.recreated, 0, "second pass must find nothing to do");
+        assert_eq!(second.bytes, 0);
+        assert_eq!(second.unrecoverable, 0);
+        assert_eq!(c.under_replicated(), 0);
     }
 
     #[test]

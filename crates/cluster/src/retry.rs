@@ -1,0 +1,175 @@
+//! Bounded retries with decorrelated jitter.
+//!
+//! Transient faults (injected I/O errors, kv shard brown-outs) are
+//! absorbed by a small, budgeted retry loop. Backoff follows the
+//! decorrelated-jitter rule — `sleep = min(cap, uniform(base, 3 * prev))`
+//! — which spreads contending retriers apart without the synchronised
+//! thundering herds of plain exponential backoff. The jitter stream is
+//! seeded from a caller-supplied token (typically the object id), so a
+//! deterministic fault schedule yields a deterministic retry schedule.
+
+use crate::fault::splitmix64;
+use std::time::Duration;
+
+/// A bounded retry policy. `Default` gives every operation 4 attempts
+/// with sleeps between 100 µs and 2 ms — sized for an in-process store
+/// where "I/O" is a lock acquisition, not a disk seek.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Minimum sleep between attempts.
+    pub base: Duration,
+    /// Per-sleep cap; also bounds the op's total budget at
+    /// `(max_attempts - 1) * cap`.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Run `op`, retrying while `retryable` approves the error and
+    /// attempts remain. Returns the final result and the number of
+    /// retries spent (0 = first try decided).
+    pub fn run_counted<T, E>(
+        &self,
+        token: u64,
+        retryable: impl Fn(&E) -> bool,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> (Result<T, E>, u32) {
+        let attempts = self.max_attempts.max(1);
+        let mut rng = splitmix64(token ^ 0x5EED_0F0F_5EED_0F0F);
+        let mut prev = self.base;
+        for retry in 0..attempts {
+            match op() {
+                Ok(v) => return (Ok(v), retry),
+                Err(e) if retry + 1 < attempts && retryable(&e) => {
+                    rng = splitmix64(rng);
+                    let base_ns = self.base.as_nanos() as u64;
+                    let span =
+                        (prev.as_nanos() as u64).saturating_mul(3).max(base_ns + 1) - base_ns;
+                    let sleep_ns = (base_ns + rng % span).min(self.cap.as_nanos() as u64);
+                    prev = Duration::from_nanos(sleep_ns);
+                    std::thread::sleep(prev);
+                }
+                Err(e) => return (Err(e), retry),
+            }
+        }
+        unreachable!("loop returns on the last attempt");
+    }
+
+    /// [`RetryPolicy::run_counted`] without the retry count.
+    pub fn run<T, E>(
+        &self,
+        token: u64,
+        retryable: impl Fn(&E) -> bool,
+        op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_counted(token, retryable, op).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_first_try_without_sleeping() {
+        let p = RetryPolicy::default();
+        let (r, retries) = p.run_counted(1, |_: &()| true, || Ok::<_, ()>(7));
+        assert_eq!(r, Ok(7));
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn retries_transient_errors_until_success() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_micros(1),
+            cap: Duration::from_micros(10),
+        };
+        let mut calls = 0;
+        let (r, retries) = p.run_counted(
+            9,
+            |_: &&str| true,
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err("transient")
+                } else {
+                    Ok(calls)
+                }
+            },
+        );
+        assert_eq!(r, Ok(3));
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn exhausts_budget_and_returns_last_error() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_micros(1),
+            cap: Duration::from_micros(5),
+        };
+        let mut calls = 0;
+        let (r, retries) = p.run_counted(
+            2,
+            |_: &&str| true,
+            || {
+                calls += 1;
+                Err::<(), _>("still down")
+            },
+        );
+        assert_eq!(r, Err("still down"));
+        assert_eq!(calls, 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        let p = RetryPolicy::default();
+        let mut calls = 0;
+        let r = p.run(
+            3,
+            |e: &&str| *e == "transient",
+            || {
+                calls += 1;
+                Err::<(), _>("fatal")
+            },
+        );
+        assert_eq!(r, Err("fatal"));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let mut calls = 0;
+        let r = RetryPolicy::none().run(
+            4,
+            |_: &&str| true,
+            || {
+                calls += 1;
+                Err::<(), _>("transient")
+            },
+        );
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+    }
+}

@@ -68,7 +68,10 @@ impl VirtualDisk {
     /// Panics on a zero `object_size` or zero `size`, or if the volume
     /// needs more stripes than the 40-bit stripe index can address.
     pub fn create(cluster: Arc<Cluster>, vdi_id: u32, size: u64, object_size: u64) -> Self {
-        assert!(object_size > 0 && size > 0, "volume and stripe must be nonzero");
+        assert!(
+            object_size > 0 && size > 0,
+            "volume and stripe must be nonzero"
+        );
         let stripes = size.div_ceil(object_size);
         assert!(
             stripes < (1u64 << Self::STRIPE_BITS),
@@ -212,7 +215,10 @@ mod tests {
         d.write_at(10 * KB, &payload).unwrap();
         assert_eq!(d.read_at(10 * KB, payload.len()).unwrap(), payload);
         // Bytes before and after remain zero.
-        assert_eq!(d.read_at(0, 10 * KB as usize).unwrap(), vec![0; 10 * KB as usize]);
+        assert_eq!(
+            d.read_at(0, 10 * KB as usize).unwrap(),
+            vec![0; 10 * KB as usize]
+        );
         let after = d.read_at(50 * KB, 1024).unwrap();
         assert_eq!(after, vec![0; 1024]);
     }

@@ -213,10 +213,7 @@ impl CapacityPlan {
             let need = (f * total_data as f64 * (1.0 + headroom)).ceil() as u64;
             // Smallest tier that still covers `need`; tiers are descending,
             // so scan from the back (smallest first).
-            let tier = tier_sizes
-                .iter()
-                .rposition(|&t| t >= need)
-                .unwrap_or(0); // largest tier if nothing covers
+            let tier = tier_sizes.iter().rposition(|&t| t >= need).unwrap_or(0); // largest tier if nothing covers
             tiers.push(tier);
             capacities.push(tier_sizes[tier]);
         }
@@ -402,7 +399,14 @@ mod tests {
 
     #[test]
     fn capacity_plan_uses_paper_tiers_contiguously() {
-        let tiers = [2000 * GB, 1500 * GB, 1000 * GB, 750 * GB, 500 * GB, 320 * GB];
+        let tiers = [
+            2000 * GB,
+            1500 * GB,
+            1000 * GB,
+            750 * GB,
+            500 * GB,
+            320 * GB,
+        ];
         let l = Layout::equal_work(10, 10_000);
         let plan = CapacityPlan::fit(&l, &tiers, 6000 * GB, 0.2);
         assert!(plan.is_rank_contiguous());

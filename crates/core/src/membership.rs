@@ -80,10 +80,7 @@ impl MembershipTable {
 
     /// Number of active servers.
     pub fn active_count(&self) -> usize {
-        self.states
-            .iter()
-            .filter(|&&s| s == PowerState::On)
-            .count()
+        self.states.iter().filter(|&&s| s == PowerState::On).count()
     }
 
     /// True when every server is on. Re-integration completing under a

@@ -345,11 +345,7 @@ mod tests {
             for k in 0..1000u64 {
                 let p = place_primary(&ring, &layout, &m, ObjectId(k), r).unwrap();
                 assert_eq!(p.len(), r);
-                assert_eq!(
-                    p.primary_replicas(&layout).count(),
-                    1,
-                    "r={r} oid {k}: {p}"
-                );
+                assert_eq!(p.primary_replicas(&layout).count(), 1, "r={r} oid {k}: {p}");
             }
         }
     }

@@ -447,8 +447,8 @@ mod tests {
         let mut dirty = InMemoryDirtyTable::new();
         let mut headers = HeaderMap::new();
         v.resize(4); // v2
-        // Find an object whose placement differs at every stage so both
-        // hops actually move data.
+                     // Find an object whose placement differs at every stage so both
+                     // hops actually move data.
         let oid = (0..10_000u64)
             .map(ObjectId)
             .find(|&o| {
@@ -556,4 +556,3 @@ mod tests {
         assert!(placement_moves(&old, &old).is_empty());
     }
 }
-

@@ -321,7 +321,10 @@ mod tests {
         let ring = HashRing::build(&weights);
         let own = ring.ownership_fractions();
         let total: f64 = own.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "fractions sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "fractions sum to 1, got {total}"
+        );
         let others_mean: f64 = own[1..].iter().sum::<f64>() / 9.0;
         let ratio = own[0] / others_mean;
         assert!(

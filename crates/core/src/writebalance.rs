@@ -42,8 +42,14 @@ impl WriteBalancer {
     /// # Panics
     /// Panics if `per_primary_rate <= 0` or `r == 0` or `n == 0`.
     pub fn new(n: usize, replicas: usize, per_primary_rate: f64, shrink_delay: usize) -> Self {
-        assert!(n > 0 && replicas > 0, "cluster and replication must be nonzero");
-        assert!(per_primary_rate > 0.0, "primary write rate must be positive");
+        assert!(
+            n > 0 && replicas > 0,
+            "cluster and replication must be nonzero"
+        );
+        assert!(
+            per_primary_rate > 0.0,
+            "primary write rate must be positive"
+        );
         let p_min = primary_count(n);
         WriteBalancer {
             per_primary_rate,

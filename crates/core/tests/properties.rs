@@ -12,8 +12,8 @@
 //!   current placement exactly (re-integration converges);
 //! * the token bucket never grants more than `rate · t + burst`.
 
-use ech_core::prelude::*;
 use ech_core::placement::Strategy as PlacementStrategy;
+use ech_core::prelude::*;
 use proptest::prelude::*;
 use proptest::strategy::Strategy as _;
 

@@ -52,7 +52,10 @@ fn membership_history_roundtrip() {
     let back: MembershipHistory = roundtrip(&h);
     assert_eq!(back.current_version(), h.current_version());
     for v in 1..=3u64 {
-        assert_eq!(back.active_count(VersionId(v)), h.active_count(VersionId(v)));
+        assert_eq!(
+            back.active_count(VersionId(v)),
+            h.active_count(VersionId(v))
+        );
     }
 }
 

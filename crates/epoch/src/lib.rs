@@ -108,7 +108,10 @@ impl EpochService {
     /// Current `(version, table)` snapshot.
     pub fn current(&self) -> (VersionId, MembershipTable) {
         let inner = self.inner.lock();
-        (inner.history.current_version(), inner.history.current().clone())
+        (
+            inner.history.current_version(),
+            inner.history.current().clone(),
+        )
     }
 
     /// Table at `version`, if committed.
@@ -199,7 +202,13 @@ mod tests {
     fn wrong_shape_is_rejected() {
         let svc = EpochService::new(10);
         let err = svc.propose(MembershipTable::full_power(5)).unwrap_err();
-        assert!(matches!(err, ProposeError::WrongShape { proposed: 5, expected: 10 }));
+        assert!(matches!(
+            err,
+            ProposeError::WrongShape {
+                proposed: 5,
+                expected: 10
+            }
+        ));
     }
 
     #[test]
@@ -277,6 +286,91 @@ mod tests {
             assert_eq!(*v, i as u64 + 2, "gap or reorder at {i}");
         }
         assert_eq!(svc.version_count(), 401);
+    }
+
+    #[test]
+    fn concurrent_stale_cas_admits_exactly_one_winner() {
+        // Eight coordinators race a CAS from the *same* stale snapshot:
+        // exactly one commit may land. Anything else is split-brain —
+        // two resizes stacked on a membership one proposer never saw.
+        for round in 0..50 {
+            let svc = Arc::new(EpochService::new(8));
+            let (cur, _) = svc.current();
+            let wins = std::sync::atomic::AtomicUsize::new(0);
+            crossbeam::scope(|s| {
+                for t in 0..8usize {
+                    let svc = svc.clone();
+                    let wins = &wins;
+                    s.spawn(move |_| {
+                        let k = 1 + ((t + round) % 8);
+                        match svc.propose_cas(cur, MembershipTable::active_prefix(8, k)) {
+                            Ok(v) => {
+                                assert_eq!(v, VersionId(2));
+                                wins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            Err(ProposeError::Conflict { expected, current }) => {
+                                assert_eq!(expected, cur);
+                                assert_eq!(current, VersionId(2));
+                            }
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(
+                wins.load(std::sync::atomic::Ordering::Relaxed),
+                1,
+                "round {round}: exactly one stale CAS may win"
+            );
+            assert_eq!(svc.version_count(), 2);
+        }
+    }
+
+    #[test]
+    fn watchers_under_cas_contention_see_committed_epochs_exactly_once_in_order() {
+        // Conflicted proposals must deliver nothing; committed ones must
+        // be delivered exactly once, in version order, to every watcher —
+        // including one subscribing mid-stream (which sees exactly the
+        // commits after its subscription).
+        let svc = Arc::new(EpochService::new(12));
+        let early = svc.subscribe();
+        crossbeam::scope(|s| {
+            for t in 0..6u64 {
+                let svc = svc.clone();
+                s.spawn(move |_| {
+                    let mut done = 0;
+                    while done < 20 {
+                        let (cur, _) = svc.current();
+                        let k = 1 + ((t as usize * 20 + done) % 12);
+                        if svc
+                            .propose_cas(cur, MembershipTable::active_prefix(12, k))
+                            .is_ok()
+                        {
+                            done += 1;
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let late = svc.subscribe();
+        let (cur, _) = svc.current();
+        svc.propose_cas(cur, MembershipTable::active_prefix(12, 3))
+            .unwrap();
+        // 120 contended commits plus the final one: versions 2..=122.
+        let versions: Vec<u64> = early.try_iter().map(|e| e.version.raw()).collect();
+        assert_eq!(versions.len(), 121);
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 2, "gap, duplicate or reorder at {i}");
+        }
+        let late_versions: Vec<u64> = late.try_iter().map(|e| e.version.raw()).collect();
+        assert_eq!(
+            late_versions,
+            vec![122],
+            "late subscriber sees only later commits"
+        );
+        assert_eq!(svc.version_count(), 122);
     }
 
     #[test]

@@ -14,6 +14,13 @@ pub enum KvError {
     },
     /// A string value could not be parsed as an integer (for `INCR`).
     NotAnInteger,
+    /// The shard holding the key is temporarily unavailable (injected by
+    /// a fault hook; the real system's analogue is a Redis replica
+    /// brown-out). Retryable.
+    Unavailable {
+        /// Index of the unavailable shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for KvError {
@@ -25,6 +32,9 @@ impl fmt::Display for KvError {
                  (expected {expected}, found {found})"
             ),
             KvError::NotAnInteger => write!(f, "value is not an integer or out of range"),
+            KvError::Unavailable { shard } => {
+                write!(f, "shard {shard} is temporarily unavailable")
+            }
         }
     }
 }

@@ -41,5 +41,5 @@ mod store;
 mod value;
 
 pub use error::{KvError, KvResult};
-pub use store::{KvStore, Snapshot};
+pub use store::{KvStore, ShardFaultHook, Snapshot};
 pub use value::Value;

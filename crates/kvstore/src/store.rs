@@ -22,6 +22,17 @@ struct Shard {
     map: RwLock<HashMap<String, Value>>,
 }
 
+/// Availability oracle consulted before every fallible shard operation.
+///
+/// Implemented by the cluster's fault injector to simulate shard
+/// brown-outs; defined here so `ech-kvstore` needs no dependency on the
+/// cluster crate. Returning `false` makes the operation fail with
+/// [`KvError::Unavailable`].
+pub trait ShardFaultHook: Send + Sync {
+    /// Is `shard` currently able to serve an operation?
+    fn shard_available(&self, shard: usize) -> bool;
+}
+
 /// A serializable point-in-time copy of a store's contents.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Snapshot {
@@ -45,10 +56,22 @@ impl Snapshot {
 ///
 /// All operations take `&self`; interior locks make the store safe to
 /// share across threads (`Arc<KvStore>` is the intended usage).
-#[derive(Debug)]
 pub struct KvStore {
     shards: Vec<Shard>,
     ring: HashRing,
+    fault_hook: RwLock<Option<std::sync::Arc<dyn ShardFaultHook>>>,
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("shards", &self.shards)
+            .field(
+                "fault_hook",
+                &self.fault_hook.read().as_ref().map(|_| "installed"),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl KvStore {
@@ -60,7 +83,29 @@ impl KvStore {
         KvStore {
             shards: (0..shards).map(|_| Shard::default()).collect(),
             ring: HashRing::build(&vec![128u32; shards]),
+            fault_hook: RwLock::new(None),
         }
+    }
+
+    /// Install (or with `None` remove) the availability hook consulted by
+    /// every fallible operation. Restored stores ([`KvStore::restore`])
+    /// start with no hook.
+    pub fn set_fault_hook(&self, hook: Option<std::sync::Arc<dyn ShardFaultHook>>) {
+        *self.fault_hook.write() = hook;
+    }
+
+    /// Fail with [`KvError::Unavailable`] when a hook reports the key's
+    /// shard as down. The fault-free path is a read-lock and a `None`
+    /// check.
+    fn fault_check(&self, key: &str) -> KvResult<()> {
+        let hook = self.fault_hook.read();
+        if let Some(h) = hook.as_ref() {
+            let shard = self.shard_of(key);
+            if !h.shard_available(shard) {
+                return Err(KvError::Unavailable { shard });
+            }
+        }
+        Ok(())
     }
 
     /// Number of shards.
@@ -153,6 +198,7 @@ impl KvStore {
 
     /// `GET key` — `Err(WrongType)` when the key holds a non-string.
     pub fn get(&self, key: &str) -> KvResult<Option<Bytes>> {
+        self.fault_check(key)?;
         match self.shard(key).map.read().get(key) {
             None => Ok(None),
             Some(Value::Str(b)) => Ok(Some(b.clone())),
@@ -165,6 +211,7 @@ impl KvStore {
 
     /// `INCR key` — increments an integer-encoded string, creating it at 0.
     pub fn incr(&self, key: &str) -> KvResult<i64> {
+        self.fault_check(key)?;
         let mut map = self.shard(key).map.write();
         let cur = match map.get(key) {
             None => 0i64,
@@ -192,6 +239,7 @@ impl KvStore {
         create: bool,
         f: impl FnOnce(Option<&mut VecDeque<Bytes>>) -> R,
     ) -> KvResult<R> {
+        self.fault_check(key)?;
         let mut map = self.shard(key).map.write();
         match map.get_mut(key) {
             Some(Value::List(list)) => Ok(f(Some(list))),
@@ -252,9 +300,7 @@ impl KvStore {
     /// `LINDEX key index` — positional read (a one-element LRANGE); used
     /// by the re-integration cursor when entries must *not* be removed.
     pub fn lindex(&self, key: &str, index: usize) -> KvResult<Option<Bytes>> {
-        self.with_list(key, false, |list| {
-            list.and_then(|l| l.get(index).cloned())
-        })
+        self.with_list(key, false, |list| list.and_then(|l| l.get(index).cloned()))
     }
 
     /// `LRANGE key start stop` (inclusive stop, saturating, no negative
@@ -275,6 +321,7 @@ impl KvStore {
 
     /// `HSET key field value` — returns true when the field is new.
     pub fn hset(&self, key: &str, field: &str, value: impl Into<Bytes>) -> KvResult<bool> {
+        self.fault_check(key)?;
         let value = value.into();
         let mut map = self.shard(key).map.write();
         match map
@@ -291,6 +338,7 @@ impl KvStore {
 
     /// `HGET key field`.
     pub fn hget(&self, key: &str, field: &str) -> KvResult<Option<Bytes>> {
+        self.fault_check(key)?;
         match self.shard(key).map.read().get(key) {
             None => Ok(None),
             Some(Value::Hash(h)) => Ok(h.get(field).cloned()),
@@ -303,6 +351,7 @@ impl KvStore {
 
     /// `HDEL key field` — returns true when the field existed.
     pub fn hdel(&self, key: &str, field: &str) -> KvResult<bool> {
+        self.fault_check(key)?;
         let mut map = self.shard(key).map.write();
         match map.get_mut(key) {
             None => Ok(false),
@@ -317,6 +366,7 @@ impl KvStore {
     /// `HKEYS key` — all field names (order unspecified). Used by repair
     /// scans that must enumerate every tracked object.
     pub fn hkeys(&self, key: &str) -> KvResult<Vec<String>> {
+        self.fault_check(key)?;
         match self.shard(key).map.read().get(key) {
             None => Ok(Vec::new()),
             Some(Value::Hash(h)) => Ok(h.keys().cloned().collect()),
@@ -329,6 +379,7 @@ impl KvStore {
 
     /// `HLEN key`.
     pub fn hlen(&self, key: &str) -> KvResult<usize> {
+        self.fault_check(key)?;
         match self.shard(key).map.read().get(key) {
             None => Ok(0),
             Some(Value::Hash(h)) => Ok(h.len()),
@@ -519,6 +570,35 @@ mod tests {
             let k = format!("key:{i}");
             assert_eq!(kv.shard_of(&k), kv.shard_of(&k));
         }
+    }
+
+    #[test]
+    fn fault_hook_makes_shards_unavailable() {
+        struct DownShard(usize);
+        impl ShardFaultHook for DownShard {
+            fn shard_available(&self, shard: usize) -> bool {
+                shard != self.0
+            }
+        }
+        let kv = KvStore::new(4);
+        kv.rpush("q", "1").unwrap();
+        let down = kv.shard_of("q");
+        kv.set_fault_hook(Some(Arc::new(DownShard(down))));
+        assert_eq!(kv.lpop("q"), Err(KvError::Unavailable { shard: down }));
+        assert_eq!(
+            kv.rpush("q", "2"),
+            Err(KvError::Unavailable { shard: down })
+        );
+        // A key on another shard still works.
+        let other = (0..100)
+            .map(|i| format!("k{i}"))
+            .find(|k| kv.shard_of(k) != down)
+            .unwrap();
+        kv.set(&other, "v");
+        assert!(kv.get(&other).unwrap().is_some());
+        // Removing the hook restores service; no data was lost.
+        kv.set_fault_hook(None);
+        assert_eq!(kv.lpop("q").unwrap().unwrap(), Bytes::from("1"));
     }
 
     #[test]

@@ -401,11 +401,9 @@ impl ClusterSim {
             let mut to_add = self.target - committed;
             while to_add > 0 {
                 // Lowest-ranked dark server.
-                let Some(idx) = self
-                    .power
-                    .iter()
-                    .position(|s| matches!(s, PowerSimState::Off | PowerSimState::ShuttingDown { .. }))
-                else {
+                let Some(idx) = self.power.iter().position(|s| {
+                    matches!(s, PowerSimState::Off | PowerSimState::ShuttingDown { .. })
+                }) else {
                     break;
                 };
                 self.power[idx] = PowerSimState::Booting {

@@ -255,9 +255,7 @@ pub fn evaluate(
 
     for &load in &series.load {
         // Controller sees last bin's load (it cannot see the future).
-        let target = controller
-            .target(prev_load)
-            .clamp(cfg.min, cfg.max);
+        let target = controller.target(prev_load).clamp(cfg.min, cfg.max);
         prev_load = load;
 
         if target != powered {

@@ -107,8 +107,11 @@ pub fn resize_agility(
         sim.set_target(schedule_target(schedule, t));
         sim.step();
         times.push(t);
-        ideal.push(schedule_target(schedule, t).max(sim.config().min_active())
-            .min(sim.config().servers));
+        ideal.push(
+            schedule_target(schedule, t)
+                .max(sim.config().min_active())
+                .min(sim.config().servers),
+        );
         actual.push(sim.powered_count());
     }
     ResizeAgility {
@@ -277,8 +280,12 @@ mod tests {
     fn resizing_saves_energy_not_just_machine_hours() {
         let none = three_phase(ElasticityMode::NoResizing, 120.0, 1500.0);
         let sel = three_phase(ElasticityMode::PrimarySelective, 120.0, 1500.0);
-        assert!(sel.energy_kwh < 0.95 * none.energy_kwh,
-            "selective {} kWh vs no-resizing {} kWh", sel.energy_kwh, none.energy_kwh);
+        assert!(
+            sel.energy_kwh < 0.95 * none.energy_kwh,
+            "selective {} kWh vs no-resizing {} kWh",
+            sel.energy_kwh,
+            none.energy_kwh
+        );
         // With the off-state trickle, energy savings are smaller than
         // machine-hour savings.
         let mh_ratio = sel.machine_seconds / none.machine_seconds;
@@ -306,9 +313,7 @@ mod tests {
         let d_orig = orig
             .recovery_delay(0.8)
             .expect("original should eventually recover");
-        let d_sel = sel
-            .recovery_delay(0.8)
-            .expect("selective should recover");
+        let d_sel = sel.recovery_delay(0.8).expect("selective should recover");
         assert!(
             d_sel < d_orig,
             "selective delay {d_sel}s should beat original {d_orig}s"

@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn steady_states_do_not_transition() {
-        assert_eq!(PowerSimState::Active.tick(10.0), (PowerSimState::Active, false));
+        assert_eq!(
+            PowerSimState::Active.tick(10.0),
+            (PowerSimState::Active, false)
+        );
         assert_eq!(PowerSimState::Off.tick(10.0), (PowerSimState::Off, false));
     }
 

@@ -5,20 +5,44 @@ fn main() {
         let params = PolicyParams::for_trace(&trace);
         let a = analyze(&trace, &params);
         let ideal = a.result(PolicyKind::Ideal);
-        let mean_ideal = ideal.servers.iter().map(|&s| s as f64).sum::<f64>() / ideal.servers.len() as f64;
-        let mut sorted: Vec<u32> = ideal.servers.clone(); sorted.sort();
-        let pct = |p: f64| sorted[(p * (sorted.len()-1) as f64) as usize];
-        println!("{}: psr {:.2} MB/s floor {} | ideal mean {:.1} p10 {} p50 {} p90 {}",
-            a.trace_name, params.per_server_rate/1e6, params.primary_floor(),
-            mean_ideal, pct(0.1), pct(0.5), pct(0.9));
-        for k in [PolicyKind::OriginalCh, PolicyKind::PrimaryFull, PolicyKind::PrimarySelective] {
+        let mean_ideal =
+            ideal.servers.iter().map(|&s| s as f64).sum::<f64>() / ideal.servers.len() as f64;
+        let mut sorted: Vec<u32> = ideal.servers.clone();
+        sorted.sort();
+        let pct = |p: f64| sorted[(p * (sorted.len() - 1) as f64) as usize];
+        println!(
+            "{}: psr {:.2} MB/s floor {} | ideal mean {:.1} p10 {} p50 {} p90 {}",
+            a.trace_name,
+            params.per_server_rate / 1e6,
+            params.primary_floor(),
+            mean_ideal,
+            pct(0.1),
+            pct(0.5),
+            pct(0.9)
+        );
+        for k in [
+            PolicyKind::OriginalCh,
+            PolicyKind::PrimaryFull,
+            PolicyKind::PrimarySelective,
+        ] {
             let r = a.result(k);
-            println!("  {:<18} rel {:.3} extra_io {:.1} TB", k.label(),
-                a.relative_machine_hours(k), r.extra_io_bytes/1e12);
+            println!(
+                "  {:<18} rel {:.3} extra_io {:.1} TB",
+                k.label(),
+                a.relative_machine_hours(k),
+                r.extra_io_bytes / 1e12
+            );
         }
         // time below full power for ideal
-        let below = ideal.servers.iter().filter(|&&s| (s as usize) < params.max_servers).count();
-        println!("  ideal below-full fraction {:.2}", below as f64 / ideal.servers.len() as f64);
+        let below = ideal
+            .servers
+            .iter()
+            .filter(|&&s| (s as usize) < params.max_servers)
+            .count();
+        println!(
+            "  ideal below-full fraction {:.2}",
+            below as f64 / ideal.servers.len() as f64
+        );
         // floor penalty: E[max(p - ideal, 0)] / E[ideal]
         let p = params.primary_floor() as f64;
         let deficit: f64 = ideal.servers.iter().map(|&s| (p - s as f64).max(0.0)).sum();

@@ -426,10 +426,7 @@ mod tests {
         let params = PolicyParams::for_trace(&trace);
         for kind in PolicyKind::all() {
             let r = simulate(&trace, &params, kind);
-            assert!(r
-                .servers
-                .iter()
-                .all(|&s| s as usize <= params.max_servers));
+            assert!(r.servers.iter().all(|&s| s as usize <= params.max_servers));
         }
     }
 }

@@ -19,10 +19,10 @@ fn check(trace: ech_traces::Trace, expect: [f64; 3]) {
         a.relative_machine_hours(PolicyKind::PrimaryFull),
         a.relative_machine_hours(PolicyKind::PrimarySelective),
     ];
-    for ((g, e), label) in got
-        .iter()
-        .zip(expect)
-        .zip(["Original CH", "Primary+full", "Primary+selective"])
+    for ((g, e), label) in
+        got.iter()
+            .zip(expect)
+            .zip(["Original CH", "Primary+full", "Primary+selective"])
     {
         assert!(
             (g - e).abs() < TOL,

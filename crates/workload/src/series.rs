@@ -146,7 +146,7 @@ pub mod generate {
     /// * `walk_step` — volatility of the baseline random walk (fractional
     ///   per-bin step, e.g. 0.08 for a jittery baseline, 0.02 for smooth).
     #[allow(clippy::too_many_arguments)] // a flat parameter list reads
-    // better here than a one-use builder; every knob is documented above.
+                                         // better here than a one-use builder; every knob is documented above.
     pub fn bursty(
         bins: usize,
         bin_seconds: f64,
@@ -243,9 +243,6 @@ mod tests {
         let wild = generate::bursty(2000, 60.0, 50.0, 0.15, 8.0, 0.6, 0.10, 7);
         let f_calm = calm.resize_frequency(100.0, 2, 50);
         let f_wild = wild.resize_frequency(100.0, 2, 50);
-        assert!(
-            f_wild > f_calm,
-            "wild {f_wild} should exceed calm {f_calm}"
-        );
+        assert!(f_wild > f_calm, "wild {f_wild} should exceed calm {f_calm}");
     }
 }

@@ -52,10 +52,7 @@ fn main() {
         "revived server 5 (empty disk): repair re-created {} replicas onto it",
         stats.recreated
     );
-    println!(
-        "server 5 now holds {} objects",
-        c.nodes()[4].object_count()
-    );
+    println!("server 5 now holds {} objects", c.nodes()[4].object_count());
 
     // Everything intact end to end.
     for i in 0..1_000u64 {

@@ -53,7 +53,10 @@ fn uniform_small_disks_overflow_under_equal_work() {
         .iter()
         .max_by_key(|n| n.bytes_stored())
         .expect("nodes exist");
-    assert!(fullest.id().index() < 2, "heaviest node should be a primary");
+    assert!(
+        fullest.id().index() < 2,
+        "heaviest node should be a primary"
+    );
 }
 
 #[test]

@@ -28,7 +28,11 @@ fn committed_epochs_drive_the_cluster_in_order() {
         for t in 0..2u64 {
             let svc = svc.clone();
             s.spawn(move |_| {
-                let targets = if t == 0 { [8usize, 5, 7] } else { [6usize, 9, 4] };
+                let targets = if t == 0 {
+                    [8usize, 5, 7]
+                } else {
+                    [6usize, 9, 4]
+                };
                 for k in targets {
                     loop {
                         let (cur, _) = svc.current();
@@ -61,13 +65,17 @@ fn committed_epochs_drive_the_cluster_in_order() {
 
     // Finish the elastic cycle.
     let (cur, _) = svc.current();
-    svc.propose_cas(cur, MembershipTable::full_power(10)).unwrap();
+    svc.propose_cas(cur, MembershipTable::full_power(10))
+        .unwrap();
     let event = rx.try_iter().next().expect("full-power commit");
     cluster.resize(event.table.active_count());
     cluster.reintegrate_all();
     assert_eq!(cluster.dirty_len(), 0);
     for i in 0..200u64 {
-        assert_eq!(cluster.get(ObjectId(i)).unwrap(), Bytes::from(format!("v{i}")));
+        assert_eq!(
+            cluster.get(ObjectId(i)).unwrap(),
+            Bytes::from(format!("v{i}"))
+        );
     }
 }
 

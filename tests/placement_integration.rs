@@ -116,5 +116,8 @@ fn capacity_plan_prevents_overflow_at_scale() {
     // The uniform plan with the smallest tier would overflow rank 1.
     let uniform = CapacityPlan::uniform(100, 320 * GB);
     let u0 = uniform.utilization(&layout, 20_000 * GB)[0];
-    assert!(u0 > 1.0, "uniform small-disk plan should overflow, got {u0:.2}");
+    assert!(
+        u0 > 1.0,
+        "uniform small-disk plan should overflow, got {u0:.2}"
+    );
 }

@@ -36,7 +36,12 @@ impl ReplicaState {
                 m.from,
                 locs
             );
-            assert!(locs.insert(m.to), "{}: target {} already held", task.oid, m.to);
+            assert!(
+                locs.insert(m.to),
+                "{}: target {} already held",
+                task.oid,
+                m.to
+            );
         }
     }
 }

@@ -62,7 +62,10 @@ fn original_ch_lags_on_sharp_size_downs() {
             }
         }
     }
-    assert!(drops > 10, "trace should contain sharp drops, found {drops}");
+    assert!(
+        drops > 10,
+        "trace should contain sharp drops, found {drops}"
+    );
     assert!(
         lag_bins * 2 > drops,
         "original CH lagged on only {lag_bins}/{drops} sharp drops"

@@ -44,7 +44,10 @@ fn growing_p_preserves_the_one_primary_invariant() {
 fn replica_move_fraction_grows_with_p_jump_size() {
     let small = measured_move_fraction(10, 20_000, 2, 3, 2);
     let large = measured_move_fraction(10, 20_000, 2, 5, 2);
-    assert!(small > 0.0 && large > small, "small {small:.3} large {large:.3}");
+    assert!(
+        small > 0.0 && large > small,
+        "small {small:.3} large {large:.3}"
+    );
     // And the analytic single-copy estimate is at the right scale for the
     // replica-level measurement (primary-count changes also reshuffle
     // which replica is "the primary one", so measured > analytic).

@@ -1,0 +1,163 @@
+//! Offline shim for `bytes`: an immutable, cheaply-clonable byte buffer
+//! backed by `Arc<[u8]>`. Covers the subset the workspace uses —
+//! constructors from strings/vectors, `Deref` to `[u8]`, equality,
+//! hashing, and (behind the `serde` feature) serialization as a byte
+//! sequence.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes(Arc::from(s.as_bytes()))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes(Arc::from(s.into_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.0[..] == *other
+    }
+}
+
+impl PartialEq<str> for Bytes {
+    fn eq(&self, other: &str) -> bool {
+        &self.0[..] == other.as_bytes()
+    }
+}
+
+impl PartialEq<&str> for Bytes {
+    fn eq(&self, other: &&str) -> bool {
+        &self.0[..] == other.as_bytes()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            match b {
+                b'"' => write!(f, "\\\"")?,
+                b'\\' => write!(f, "\\\\")?,
+                b'\n' => write!(f, "\\n")?,
+                b'\r' => write!(f, "\\r")?,
+                b'\t' => write!(f, "\\t")?,
+                0x20..=0x7E => write!(f, "{}", b as char)?,
+                _ => write!(f, "\\x{b:02x}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Bytes {
+    fn serialize_content(&self) -> serde::Content {
+        serde::Content::Seq(
+            self.0
+                .iter()
+                .map(|&b| serde::Content::U64(b as u64))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Bytes {
+    fn deserialize_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let bytes: Vec<u8> = serde::from_content(content)?;
+        Ok(Bytes::from(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_deref() {
+        let b = Bytes::from("hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b, Bytes::from(String::from("hello")));
+        assert_eq!(Bytes::from(vec![1u8, 2]).to_vec(), vec![1, 2]);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from("shared payload");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn debug_is_byte_string() {
+        assert_eq!(format!("{:?}", Bytes::from("a\"b")), r#"b"a\"b""#);
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline shim for `crossbeam`, backed by `std::thread::scope` and
+//! `std::sync::mpsc`.
+//!
+//! Provides the two surfaces the workspace uses: `crossbeam::scope` for
+//! scoped threads borrowing from the parent stack, and
+//! `crossbeam::channel::{unbounded, Sender, Receiver}`.
+
+use std::any::Any;
+
+pub mod thread {
+    use super::Any;
+
+    /// Scope handle passed to `scope` closures and to every spawned
+    /// closure (crossbeam passes the scope so children can spawn
+    /// grandchildren).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&me)))
+        }
+    }
+
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-stack threads can be
+    /// spawned. All spawned threads are joined before this returns. A
+    /// panic in a child propagates out of `scope` (std semantics) rather
+    /// than surfacing as `Err`; workspace call sites immediately
+    /// `.unwrap()` the result, so the observable behaviour matches.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Unbounded MPSC channel (crossbeam's is MPMC, but the workspace
+    /// only ever consumes from a single owner per receiver).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3];
+        let total = crate::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<u64>());
+            let h2 = s.spawn(|inner| {
+                // Grandchild spawn through the passed-in scope.
+                inner.spawn(|_| data.len()).join().unwrap()
+            });
+            h1.join().unwrap() + h2.join().unwrap() as u64
+        })
+        .unwrap();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn channel_try_iter() {
+        let (tx, rx) = crate::channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(rx.try_iter().next().is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline shim for `rayon`: the parallel-iterator API surface the
+//! workspace uses, executed sequentially.
+//!
+//! `par_iter()`/`into_par_iter()` return a [`SeqIter`] adapter whose
+//! `map`/`filter`/`fold`/`reduce`/`sum`/`collect` mirror rayon's
+//! semantics: `fold` produces per-"thread" partial accumulators (here a
+//! single one) and `reduce` merges them with the identity. Call sites
+//! compile unchanged; they just run on one core, which is acceptable for
+//! this repo's test/bench workloads until a real work-stealing pool is
+//! reintroduced.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, SeqIter};
+}
+
+/// Sequential stand-in for rayon's `ParallelIterator` types.
+pub struct SeqIter<I>(I);
+
+/// Marker trait so `use rayon::prelude::*` keeps working for generic
+/// bounds (`T: ParallelIterator` is not used in-repo, but the name is
+/// part of the prelude).
+pub trait ParallelIterator {}
+impl<I> ParallelIterator for SeqIter<I> {}
+
+impl<I: Iterator> SeqIter<I> {
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
+        SeqIter(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
+        SeqIter(self.0.filter(f))
+    }
+
+    /// Rayon-style fold: returns the stream of per-split partial
+    /// accumulators (exactly one here).
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> SeqIter<std::iter::Once<A>>
+    where
+        ID: Fn() -> A,
+        F: FnMut(A, I::Item) -> A,
+    {
+        SeqIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon-style reduce: merge all partial results with `op`, seeded
+    /// from `identity`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+}
+
+/// `collection.into_par_iter()` for any owned iterable.
+pub trait IntoParallelIterator {
+    type Item;
+    type IntoIter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> SeqIter<Self::IntoIter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type IntoIter = C::IntoIter;
+    fn into_par_iter(self) -> SeqIter<Self::IntoIter> {
+        SeqIter(self.into_iter())
+    }
+}
+
+/// `slice.par_iter()` for shared slices (and anything derefing to one).
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = &'data Self::Item>;
+    fn par_iter(&'data self) -> SeqIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> SeqIter<Self::Iter> {
+        SeqIter(self.iter())
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> SeqIter<Self::Iter> {
+        SeqIter(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let xs: Vec<u64> = (0..100).collect();
+        let hist = xs
+            .par_iter()
+            .fold(
+                || vec![0u64; 4],
+                |mut acc, &x| {
+                    acc[(x % 4) as usize] += 1;
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u64; 4],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(hist, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn map_sum_and_into_par_iter() {
+        let xs = vec![1u64, 2, 3];
+        let s: u64 = xs.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 12);
+        let doubled: Vec<u64> = xs.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,489 @@
+//! Offline shim for `serde`.
+//!
+//! Instead of serde's visitor-based zero-copy core, this shim round-trips
+//! every value through an owned [`Content`] tree (the same idea as
+//! `serde_json::Value`). `Serialize` renders a value into a `Content`;
+//! `Deserialize` rebuilds a value from one. Formats (here only the
+//! vendored `serde_json`) translate between `Content` and text.
+//!
+//! The derive macros in the companion `serde_derive` shim generate
+//! implementations that follow serde's externally-tagged conventions so
+//! existing JSON fixtures keep their shape:
+//!
+//! * named-field structs -> maps keyed by field name;
+//! * newtype structs -> the inner value, transparently;
+//! * tuple structs -> sequences;
+//! * unit enum variants -> the variant name as a string;
+//! * data-carrying variants -> `{"Variant": payload}`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Self-describing value tree — the interchange format between
+/// `Serialize`/`Deserialize` impls and data formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// JSON-style map: string keys, insertion order preserved.
+    Map(Vec<(String, Content)>),
+}
+
+/// Error raised while rebuilding a value from a [`Content`] tree.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn serialize_content(&self) -> Content;
+}
+
+/// The `'de` lifetime mirrors real serde's signature so existing bounds
+/// like `for<'de> Deserialize<'de>` compile unchanged; this shim is
+/// always owned, so the lifetime is vacuous.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Convenience used by generated code and formats.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    value.serialize_content()
+}
+
+/// Convenience used by generated code and formats.
+pub fn from_content<'de, T: Deserialize<'de>>(content: &Content) -> Result<T, Error> {
+    T::deserialize_content(content)
+}
+
+impl Content {
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) => "unsigned integer",
+            Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    pub fn as_seq(&self) -> Result<&[Content], Error> {
+        match self {
+            Content::Seq(items) => Ok(items),
+            other => Err(Error::custom(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn as_map(&self) -> Result<&[(String, Content)], Error> {
+        match self {
+            Content::Map(entries) => Ok(entries),
+            other => Err(Error::custom(format!("expected map, got {}", other.kind()))),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Content::Str(s) => Ok(s),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Struct-field lookup used by derived `Deserialize` impls.
+    pub fn get_field(&self, name: &str) -> Result<&Content, Error> {
+        for (k, v) in self.as_map()? {
+            if k == name {
+                return Ok(v);
+            }
+        }
+        // Missing fields deserialize as Null so `Option` fields (and
+        // only those) tolerate absence, mirroring serde's common shape.
+        Ok(&Content::Null)
+    }
+
+    /// Externally-tagged enum access: `"V"` -> `("V", None)`,
+    /// `{"V": data}` -> `("V", Some(data))`.
+    pub fn variant(&self) -> Result<(&str, Option<&Content>), Error> {
+        match self {
+            Content::Str(s) => Ok((s, None)),
+            Content::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(Error::custom(format!(
+                "expected enum variant (string or single-entry map), got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                let raw: u64 = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => *v as u64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                let raw: i64 = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{} out of range for i64", v)))?,
+                    Content::F64(v) if v.fract() == 0.0 => *v as i64,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            // Non-finite floats serialize as null (serde_json convention).
+            Content::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!(
+                "expected float, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        f64::deserialize_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        content.as_str().map(str::to_string)
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        let s = content.as_str()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq()?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, V: Deserialize<'de>, S> Deserialize<'de> for HashMap<String, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_map()?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_map()?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($len:expr => $($idx:tt $name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize_content(content: &Content) -> Result<Self, Error> {
+                let items = content.as_seq()?;
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {}, got sequence of {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize_content(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (1 => 0 A),
+    (2 => 0 A, 1 B),
+    (3 => 0 A, 1 B, 2 C),
+    (4 => 0 A, 1 B, 2 C, 3 D),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(
+            u32::deserialize_content(&42u32.serialize_content()).unwrap(),
+            42
+        );
+        assert_eq!(
+            i64::deserialize_content(&(-7i64).serialize_content()).unwrap(),
+            -7
+        );
+        assert_eq!(
+            String::deserialize_content(&"hi".to_string().serialize_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::deserialize_content(&Content::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(String::from("k"), 3u64)];
+        let c = v.serialize_content();
+        let back: Vec<(String, u64)> = from_content(&c).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1u32);
+        let back: HashMap<String, u32> = from_content(&m.serialize_content()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn wrong_kind_is_an_error() {
+        assert!(u8::deserialize_content(&Content::Str("x".into())).is_err());
+        assert!(bool::deserialize_content(&Content::U64(1)).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Parses the derive input token stream directly (the registry is
+//! unreachable in this environment, so `syn`/`quote` are unavailable)
+//! and emits `Serialize`/`Deserialize` impls against the vendored
+//! `serde` shim's `Content` model.
+//!
+//! Supported input shapes — exactly what this workspace derives:
+//! non-generic structs (named, tuple/newtype, unit) and non-generic
+//! enums with unit, tuple, or struct variants. `#[serde(...)]`
+//! attributes are not supported (none exist in-repo) and generics are
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    gen(&item).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported"
+        ));
+    }
+
+    if kind == "struct" {
+        match tokens.get(i) {
+            // struct S { ... }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())?),
+            }),
+            // struct S(...);
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_top_level_fields(g.stream())),
+                })
+            }
+            // struct S;
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        }
+    }
+}
+
+/// Advance past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Count comma-separated fields at the top level of a tuple-struct or
+/// tuple-variant body. Commas nested in `<...>` or any bracket group do
+/// not count ((), [] and {} arrive pre-grouped; angle brackets need
+/// explicit depth tracking).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    let mut prev_was_minus = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => {
+                    // `->` in fn-pointer types must not close a generic.
+                    if !prev_was_minus {
+                        angle_depth -= 1;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    if saw_token {
+                        fields += 1;
+                    }
+                    saw_token = false;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        prev_was_minus = matches!(&tt, TokenTree::Punct(p) if p.as_char() == '-');
+        if !matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0) {
+            saw_token = true;
+        }
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+/// Field names of a named-field body: `attrs vis name: Type, ...`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(tt) = tokens.get(i) else { break };
+        match tt {
+            TokenTree::Ident(id) => {
+                names.push(id.to_string());
+                i += 1;
+            }
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        let mut prev_was_minus = false;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if !prev_was_minus => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                prev_was_minus = p.as_char() == '-';
+            } else {
+                prev_was_minus = false;
+            }
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+/// Variants of an enum body: `attrs Name (payload)? (= disc)? , ...`.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(tt) = tokens.get(i) else { break };
+        let name = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any explicit discriminant, then the trailing comma.
+        while let Some(tt) = tokens.get(i) {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Content::Null".to_string(),
+                // Newtype structs serialize transparently, like serde.
+                Fields::Tuple(1) => "::serde::Serialize::serialize_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({f:?}.to_string(), ::serde::Serialize::serialize_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("Self::{v} => ::serde::Content::Str({v:?}.to_string()),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "Self::{v}(f0) => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::serialize_content(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_content({b})"))
+                            .collect();
+                        format!(
+                            "Self::{v}({binds}) => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                             ::serde::Content::Seq(vec![{items}]))]),",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let entries: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({f:?}.to_string(), ::serde::Serialize::serialize_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{v} {{ {binds} }} => ::serde::Content::Map(vec![({v:?}.to_string(), \
+                             ::serde::Content::Map(vec![{entries}]))]),",
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_content(&self) -> ::serde::Content {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("::std::result::Result::Ok({name}(::serde::from_content(content)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::from_content(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = content.as_seq()?;\n\
+                         if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected {n} fields for {name}, got {{}}\", items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::from_content(content.get_field({f:?})?)?,"))
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join("\n")
+                    )
+                }
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{v:?} => ::std::result::Result::Ok(Self::{v}),")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{v:?} => {{\n\
+                         let payload = payload.ok_or_else(|| ::serde::Error::custom(\
+                             \"variant {v} expects a payload\"))?;\n\
+                         ::std::result::Result::Ok(Self::{v}(::serde::from_content(payload)?))\n\
+                         }}"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::from_content(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => {{\n\
+                             let payload = payload.ok_or_else(|| ::serde::Error::custom(\
+                                 \"variant {v} expects a payload\"))?;\n\
+                             let items = payload.as_seq()?;\n\
+                             if items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong arity for variant {v}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok(Self::{v}({}))\n\
+                             }}",
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        let inits: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::from_content(payload.get_field({f:?})?)?,")
+                            })
+                            .collect();
+                        format!(
+                            "{v:?} => {{\n\
+                             let payload = payload.ok_or_else(|| ::serde::Error::custom(\
+                                 \"variant {v} expects a payload\"))?;\n\
+                             ::std::result::Result::Ok(Self::{v} {{ {} }})\n\
+                             }}",
+                            inits.join("\n")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let (tag, payload) = content.variant()?;\n\
+                 match tag {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
