@@ -1,0 +1,96 @@
+//! Baseline file handling: known findings are recorded (one key per
+//! line) so CI can gate on *new* violations while the existing debt is
+//! burned down incrementally.
+
+use std::collections::BTreeSet;
+
+use crate::rules::Finding;
+
+/// Parse a baseline file's text into its key set. Lines starting with
+/// `#` and blank lines are ignored.
+pub fn parse(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Render findings into baseline text, sorted and annotated.
+pub fn render(findings: &[Finding]) -> String {
+    let mut keys: Vec<&str> = findings.iter().map(|f| f.key.as_str()).collect();
+    keys.sort_unstable();
+    let mut out = String::from(
+        "# ech-analyzer baseline: known findings, one stable key per line.\n\
+         # Regenerate with `ech-analyzer --write-baseline`; CI denies keys not here.\n",
+    );
+    for k in keys {
+        out.push_str(k);
+        out.push('\n');
+    }
+    out
+}
+
+/// Comparison of current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Delta<'a> {
+    /// Findings whose key is not in the baseline.
+    pub new: Vec<&'a Finding>,
+    /// Baseline keys no longer produced (stale — debt was paid).
+    pub stale: Vec<String>,
+}
+
+/// Diff `findings` against `baseline` keys.
+pub fn diff<'a>(findings: &'a [Finding], baseline: &BTreeSet<String>) -> Delta<'a> {
+    let current: BTreeSet<&str> = findings.iter().map(|f| f.key.as_str()).collect();
+    Delta {
+        new: findings
+            .iter()
+            .filter(|f| !baseline.contains(&f.key))
+            .collect(),
+        stale: baseline
+            .iter()
+            .filter(|k| !current.contains(k.as_str()))
+            .cloned()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(key: &str) -> Finding {
+        Finding {
+            rule: "D2",
+            file: "x.rs".into(),
+            line: 1,
+            key: key.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_diff() {
+        let findings = vec![f("D2 a.rs f unwrap#0"), f("D2 a.rs f unwrap#1")];
+        let text = render(&findings);
+        let keys = parse(&text);
+        assert_eq!(keys.len(), 2);
+        let d = diff(&findings, &keys);
+        assert!(d.new.is_empty() && d.stale.is_empty());
+
+        let mut smaller = keys.clone();
+        smaller.remove("D2 a.rs f unwrap#1");
+        smaller.insert("D2 gone.rs g panic!#0".into());
+        let d = diff(&findings, &smaller);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].key, "D2 a.rs f unwrap#1");
+        assert_eq!(d.stale, ["D2 gone.rs g panic!#0"]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let keys = parse("# header\n\nD1 a.rs f Instant::now#0\n  \n# tail\n");
+        assert_eq!(keys.len(), 1);
+    }
+}

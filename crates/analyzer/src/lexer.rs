@@ -1,0 +1,342 @@
+//! A small Rust lexer: just enough fidelity for rule scanning.
+//!
+//! The token stream keeps identifiers, punctuation and literal markers
+//! with their line numbers; comments and whitespace are discarded —
+//! except `ech-allow` suppression comments, which are extracted into a
+//! side table. Correct handling of raw strings, nested block comments
+//! and lifetime-vs-char-literal ambiguity is what keeps the rule
+//! matchers from tripping over pattern words quoted in docs or strings.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String/char/byte/number literal (content not preserved verbatim).
+    Literal,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (for `Punct`, the single character).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier equal to `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// An inline `// ech-allow(<rules>): reason` suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Rule names listed in the parentheses (e.g. `["D1", "D2"]`).
+    pub rules: Vec<String>,
+    /// Free-text justification after the colon (may be empty).
+    pub reason: String,
+}
+
+/// Lexer output: the token stream plus extracted suppressions.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Suppression comments in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Parse `ech-allow(D1,D2): reason` occurrences inside comment text.
+fn scan_suppressions(comment: &str, line: u32, out: &mut Vec<Suppression>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("ech-allow(") {
+        rest = &rest[pos + "ech-allow(".len()..];
+        let Some(close) = rest.find(')') else { return };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        rest = &rest[close + 1..];
+        let reason = rest
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        if !rules.is_empty() {
+            out.push(Suppression {
+                line,
+                rules,
+                reason,
+            });
+        }
+    }
+}
+
+/// Lex `src` into tokens and suppressions.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let push = |out: &mut Lexed, kind, text: String, line| {
+        out.tokens.push(Token { kind, text, line });
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                scan_suppressions(&text, line, &mut out.suppressions);
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = b[start..i.min(b.len())].iter().collect();
+                scan_suppressions(&text, start_line, &mut out.suppressions);
+            }
+            '"' => {
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                push(&mut out, TokKind::Literal, "\"\"".into(), line);
+            }
+            // Raw (and raw-byte) strings: r"..", r#".."#, br##".."##.
+            'r' | 'b' if is_raw_string_start(&b, i) => {
+                let mut j = i;
+                while b[j] != 'r' {
+                    j += 1;
+                }
+                j += 1;
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                // b[j] is the opening quote.
+                j += 1;
+                loop {
+                    match b.get(j) {
+                        None => break,
+                        Some('\n') => {
+                            line += 1;
+                            j += 1;
+                        }
+                        Some('"') => {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && b.get(k) == Some(&'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            j = k;
+                            if seen == hashes {
+                                break;
+                            }
+                        }
+                        Some(_) => j += 1,
+                    }
+                }
+                i = j;
+                push(&mut out, TokKind::Literal, "r\"\"".into(), line);
+            }
+            '\'' => {
+                // Lifetime/label (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = b.get(i + 1).copied();
+                let after = b.get(i + 2).copied();
+                let is_lifetime =
+                    matches!(next, Some(n) if n.is_alphabetic() || n == '_') && after != Some('\'');
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    let text: String = b[start..i].iter().collect();
+                    push(&mut out, TokKind::Lifetime, text, line);
+                } else {
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    push(&mut out, TokKind::Literal, "''".into(), line);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                push(&mut out, TokKind::Literal, text, line);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                push(&mut out, TokKind::Ident, text, line);
+            }
+            c => {
+                push(&mut out, TokKind::Punct, c.to_string(), line);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does a raw-string literal start at `i` (`r"`, `r#`, `br"`, `br#`)?
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+/// The source lines a suppression covers. A trailing comment (code on
+/// the same line) covers exactly that line; a comment on a line of its
+/// own covers the next token-bearing line (continuation comment lines in
+/// between are skipped by construction — they produce no tokens).
+pub fn suppression_cover(lexed: &Lexed, supp: &Suppression) -> (u32, Option<u32>) {
+    let trailing = lexed.tokens.iter().any(|t| t.line == supp.line);
+    if trailing {
+        return (supp.line, None);
+    }
+    let next = lexed.tokens.iter().map(|t| t.line).find(|&l| l > supp.line);
+    (supp.line, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let l = lex("fn a() {\n  b.c();\n}\n");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "a", "(", ")", "{", "b", ".", "c", "(", ")", ";", "}"]
+        );
+        assert_eq!(l.tokens[5].line, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_hide_pattern_words() {
+        let l = lex("// Instant::now in a comment\nlet s = \"unwrap() inside\"; /* panic! */");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let l = lex("let r = r#\"has \"quotes\" and unwrap()\"#; /* outer /* inner */ still */ x");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        // The char literal must not swallow the rest of the file.
+        assert!(l.tokens.iter().any(|t| t.is_punct('}')));
+    }
+
+    #[test]
+    fn suppression_parsing_and_cover() {
+        let src =
+            "x(); // ech-allow(D1): trailing\n// ech-allow(D2, D4): above\n// continues\ny();\n";
+        let l = lex(src);
+        assert_eq!(l.suppressions.len(), 2);
+        assert_eq!(l.suppressions[0].rules, ["D1"]);
+        assert_eq!(l.suppressions[0].reason, "trailing");
+        assert_eq!(l.suppressions[1].rules, ["D2", "D4"]);
+        // Trailing comment covers exactly its own line.
+        assert_eq!(suppression_cover(&l, &l.suppressions[0]), (1, None));
+        // A comment above code covers the next token-bearing line, even
+        // across continuation comment lines.
+        assert_eq!(suppression_cover(&l, &l.suppressions[1]), (2, Some(4)));
+    }
+
+    #[test]
+    fn rustless_reason_and_multi_rule() {
+        let l = lex("// ech-allow(D3)\nz();");
+        assert_eq!(l.suppressions[0].rules, ["D3"]);
+        assert_eq!(l.suppressions[0].reason, "");
+    }
+}

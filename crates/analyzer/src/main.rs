@@ -1,0 +1,6 @@
+//! Binary entry point: thin wrapper over [`ech_analyzer::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ech_analyzer::run_cli(&args));
+}

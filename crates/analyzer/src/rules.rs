@@ -1,0 +1,863 @@
+//! The four rule families (D1–D4) over parsed source files.
+//!
+//! Each rule produces [`Finding`]s with a stable, line-number-free
+//! `key` so the baseline survives unrelated edits, plus a 1-based line
+//! for human-facing diagnostics.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{suppression_cover, Lexed, TokKind, Token};
+use crate::parse::{parse, FnInfo, ParsedFile};
+use crate::SourceFile;
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Rule id (`"D1"`..`"D4"`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Stable baseline key (no line numbers).
+    pub key: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A lexed+parsed file ready for rule scanning.
+pub struct Unit {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Token stream and suppressions.
+    pub lexed: Lexed,
+    /// Item structure.
+    pub parsed: ParsedFile,
+}
+
+/// Lex and parse every source file.
+pub fn build_units(files: &[SourceFile]) -> Vec<Unit> {
+    files
+        .iter()
+        .map(|f| {
+            let lexed = crate::lexer::lex(&f.text);
+            let parsed = parse(&lexed);
+            Unit {
+                path: f.path.clone(),
+                lexed,
+                parsed,
+            }
+        })
+        .collect()
+}
+
+/// Is `line` in `unit` suppressed for `rule`?
+fn suppressed(unit: &Unit, rule: &str, line: u32) -> bool {
+    unit.lexed.suppressions.iter().any(|s| {
+        if !s.rules.iter().any(|r| r == rule) {
+            return false;
+        }
+        let (own, next) = suppression_cover(&unit.lexed, s);
+        own == line || next == Some(line)
+    })
+}
+
+/// Assign `#occ` occurrence suffixes so identical keys stay distinct
+/// and stable in declaration order.
+fn finalize_keys(findings: &mut [Finding]) {
+    let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    for f in findings.iter_mut() {
+        let n = seen.entry(f.key.clone()).or_insert(0);
+        f.key = format!("{}#{}", f.key, n);
+        *n += 1;
+    }
+}
+
+/// Run every rule over the units; returns unsuppressed findings sorted
+/// by (file, line, rule).
+pub fn run_all(units: &[Unit]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    d1_determinism(units, &mut findings);
+    d2_no_panic(units, &mut findings);
+    d3_retry_exhaustive(units, &mut findings);
+    d4_lock_discipline(units, &mut findings);
+    findings.retain(|f| {
+        let unit = units.iter().find(|u| u.path == f.file);
+        !unit.is_some_and(|u| suppressed(u, f.rule, f.line))
+    });
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    finalize_keys(&mut findings);
+    findings
+}
+
+// ---------------------------------------------------------------- D1
+
+/// Files whose behaviour must be bit-deterministic under a fixed seed.
+fn d1_scoped(path: &str) -> bool {
+    path == "crates/core/src/placement.rs"
+        || path.starts_with("crates/sim/src/")
+        || path == "crates/traces/src/synth.rs"
+        || path == "crates/cluster/src/fault.rs"
+}
+
+fn d1_determinism(units: &[Unit], out: &mut Vec<Finding>) {
+    for u in units.iter().filter(|u| d1_scoped(&u.path)) {
+        let t = &u.lexed.tokens;
+        // Token ranges belonging to test fns are exempt.
+        let test_ranges: Vec<(usize, usize)> = u
+            .parsed
+            .fns
+            .iter()
+            .filter(|f| f.is_test)
+            .map(|f| f.body)
+            .collect();
+        let in_test = |i: usize| test_ranges.iter().any(|&(a, b)| i >= a && i <= b);
+        for (i, tok) in t.iter().enumerate() {
+            if tok.kind != TokKind::Ident || in_test(i) {
+                continue;
+            }
+            let path2 = |a: &str, b: &str| {
+                tok.is_ident(a)
+                    && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                    && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                    && t.get(i + 3).is_some_and(|x| x.is_ident(b))
+            };
+            let hit: Option<&str> = if path2("Instant", "now") {
+                Some("Instant::now")
+            } else if tok.is_ident("SystemTime") {
+                Some("SystemTime")
+            } else if tok.is_ident("thread_rng") {
+                Some("thread_rng")
+            } else if path2("thread", "sleep") {
+                Some("thread::sleep")
+            } else if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+                Some(if tok.text == "HashMap" {
+                    "HashMap"
+                } else {
+                    "HashSet"
+                })
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                let ctx = enclosing_fn(&u.parsed, i)
+                    .map(|f| f.qual.clone())
+                    .unwrap_or_else(|| "<item>".into());
+                out.push(Finding {
+                    rule: "D1",
+                    file: u.path.clone(),
+                    line: tok.line,
+                    key: format!("D1 {} {} {}", u.path, ctx, what),
+                    message: format!(
+                        "nondeterminism source `{what}` in seed-deterministic code ({ctx}); \
+                         use the injected Clock / seeded rng / BTree collections"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn enclosing_fn(parsed: &ParsedFile, tok_idx: usize) -> Option<&FnInfo> {
+    parsed
+        .fns
+        .iter()
+        .filter(|f| tok_idx >= f.body.0 && tok_idx <= f.body.1)
+        .min_by_key(|f| f.body.1 - f.body.0)
+}
+
+// ---------------------------------------------------------------- D2
+
+/// Entry points of the data path whose call graph must be panic-free.
+const D2_ROOTS: &[&str] = &[
+    "Cluster::put",
+    "Cluster::put_at",
+    "Cluster::get",
+    "Cluster::get_with",
+    "Cluster::hedged_get",
+    "Cluster::locate",
+    "Cluster::reintegrate_step",
+    "Cluster::reintegrate_all",
+    "Cluster::heal_dirty",
+    "Cluster::repair",
+    "Cluster::crash_node",
+    "Cluster::revive_node",
+    "Cluster::detect_and_mark_crashed",
+    "Cluster::is_fully_placed",
+    "Cluster::under_replicated",
+    "Cluster::node",
+];
+
+/// Crates whose fns participate in D2/D4 call-graph resolution.
+fn graph_scoped(path: &str) -> bool {
+    path.starts_with("crates/cluster/src/")
+        || path.starts_with("crates/kvstore/src/")
+        || path.starts_with("crates/core/src/")
+}
+
+/// Method names too generic to resolve by name alone; following them
+/// produces false edges (e.g. `Cluster::get` vs `HashMap::get`). The
+/// under-approximation is documented in DESIGN.md §9.
+const CALL_IGNORE: &[&str] = &["get", "len", "clone", "new", "into", "from", "iter"];
+
+struct Graph<'a> {
+    /// fn qual -> (unit index, FnInfo)
+    fns: BTreeMap<&'a str, (usize, &'a FnInfo)>,
+    /// bare name -> quals (for unqualified call resolution)
+    by_name: BTreeMap<&'a str, Vec<&'a str>>,
+}
+
+fn build_graph(units: &[Unit]) -> Graph<'_> {
+    let mut fns: BTreeMap<&str, (usize, &FnInfo)> = BTreeMap::new();
+    let mut by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (ui, u) in units.iter().enumerate() {
+        if !graph_scoped(&u.path) {
+            continue;
+        }
+        for f in &u.parsed.fns {
+            if f.is_test {
+                continue;
+            }
+            fns.entry(f.qual.as_str()).or_insert((ui, f));
+            by_name.entry(f.name.as_str()).or_default().push(&f.qual);
+        }
+    }
+    Graph { fns, by_name }
+}
+
+/// Qualified names of fns called from `f`'s body.
+fn callees<'a>(units: &[Unit], g: &Graph<'a>, ui: usize, f: &FnInfo) -> Vec<&'a str> {
+    let t = &units[ui].lexed.tokens;
+    let mut out = Vec::new();
+    let (a, b) = f.body;
+    for i in a..=b.min(t.len().saturating_sub(1)) {
+        let tok = &t[i];
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        // A call looks like `name (` possibly with `::<..>` turbofish —
+        // we only need the common `name(` and `name::<` shapes plus
+        // `.name(` method calls.
+        let next_is_call = t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            || (t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 3).is_some_and(|x| x.is_punct('<')));
+        if !next_is_call {
+            continue;
+        }
+        let name = tok.text.as_str();
+        if CALL_IGNORE.contains(&name) {
+            continue;
+        }
+        // Qualified `Type::name(..)` call?
+        let qualified = t
+            .get(i.wrapping_sub(1))
+            .zip(t.get(i.wrapping_sub(2)))
+            .zip(t.get(i.wrapping_sub(3)))
+            .and_then(|((c1, c2), ty)| {
+                (i >= 3 && c1.is_punct(':') && c2.is_punct(':') && ty.kind == TokKind::Ident)
+                    .then(|| format!("{}::{}", ty.text, name))
+            });
+        if let Some(q) = qualified {
+            if let Some((k, _)) = g.fns.get_key_value(q.as_str()) {
+                out.push(*k);
+                continue;
+            }
+        }
+        // Method/free call: resolve by bare name. Prefer a same-owner
+        // method when one exists, else accept a unique global match.
+        if let Some(cands) = g.by_name.get(name) {
+            if let Some(owner) = &f.owner {
+                let own = format!("{owner}::{name}");
+                if let Some(q) = cands.iter().find(|q| **q == own) {
+                    out.push(q);
+                    continue;
+                }
+            }
+            if cands.len() == 1 {
+                out.push(cands[0]);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// All fns reachable from the D2 roots (inclusive).
+fn d2_reachable<'a>(units: &[Unit], g: &Graph<'a>) -> BTreeSet<&'a str> {
+    let mut reach: BTreeSet<&str> = BTreeSet::new();
+    let mut work: Vec<&str> = Vec::new();
+    for r in D2_ROOTS {
+        if let Some((k, _)) = g.fns.get_key_value(*r) {
+            reach.insert(k);
+            work.push(k);
+        }
+    }
+    while let Some(q) = work.pop() {
+        let (ui, f) = g.fns[q];
+        for c in callees(units, g, ui, f) {
+            if reach.insert(c) {
+                work.push(c);
+            }
+        }
+    }
+    reach
+}
+
+fn d2_no_panic(units: &[Unit], out: &mut Vec<Finding>) {
+    let g = build_graph(units);
+    let reach = d2_reachable(units, &g);
+    for q in &reach {
+        let (ui, f) = g.fns[q];
+        let u = &units[ui];
+        let t = &u.lexed.tokens;
+        let (a, b) = f.body;
+        for i in a..=b.min(t.len().saturating_sub(1)) {
+            let tok = &t[i];
+            let hit: Option<String> = if tok.kind == TokKind::Ident
+                && (tok.text == "unwrap" || tok.text == "expect")
+                && i > 0
+                && t[i - 1].is_punct('.')
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            {
+                Some(format!(".{}()", tok.text))
+            } else if tok.kind == TokKind::Ident
+                && matches!(
+                    tok.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && t.get(i + 1).is_some_and(|x| x.is_punct('!'))
+            {
+                Some(format!("{}!", tok.text))
+            } else if tok.is_punct('[')
+                && i > 0
+                && (t[i - 1].kind == TokKind::Ident
+                    || t[i - 1].is_punct(')')
+                    || t[i - 1].is_punct(']'))
+                // `name[` after an ident that is a type position (e.g.
+                // `[u8; 4]` array types start a line or follow `:`/`=`)
+                // still matches; indexing heuristic accepts that noise.
+                && !t.get(i + 1).is_some_and(|x| x.is_punct(']'))
+            {
+                Some("indexing[]".into())
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                out.push(Finding {
+                    rule: "D2",
+                    file: u.path.clone(),
+                    line: tok.line,
+                    key: format!("D2 {} {} {}", u.path, f.qual, what),
+                    message: format!(
+                        "possible panic `{what}` on the data path (reachable from a \
+                         Cluster entry point via {}); return a classified error instead",
+                        f.qual
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D3
+
+/// Error enums whose variants must be classified in `cluster::retry`.
+const D3_ENUMS: &[(&str, &str)] = &[
+    ("ClusterError", "crates/cluster/src/cluster.rs"),
+    ("NodeError", "crates/cluster/src/node.rs"),
+    ("KvError", "crates/kvstore/src/error.rs"),
+    ("PlacementError", "crates/core/src/placement.rs"),
+];
+
+fn d3_retry_exhaustive(units: &[Unit], out: &mut Vec<Finding>) {
+    let retry = units
+        .iter()
+        .find(|u| u.path == "crates/cluster/src/retry.rs");
+    for (enum_name, def_path) in D3_ENUMS {
+        let Some(def_unit) = units.iter().find(|u| u.path == *def_path) else {
+            continue;
+        };
+        let Some(e) = def_unit
+            .parsed
+            .enums
+            .iter()
+            .find(|e| e.name == *enum_name && !e.is_test)
+        else {
+            continue;
+        };
+        let Some(retry) = retry else {
+            out.push(Finding {
+                rule: "D3",
+                file: def_path.to_string(),
+                line: e.line,
+                key: format!("D3 {} {} no-retry-module", def_path, enum_name),
+                message: format!(
+                    "`{enum_name}` has no retry classification: crates/cluster/src/retry.rs \
+                     is missing"
+                ),
+            });
+            continue;
+        };
+        // Find `impl Classify for <enum_name>` in retry.rs.
+        let imp = retry
+            .parsed
+            .impls
+            .iter()
+            .find(|i| i.trait_name.as_deref() == Some("Classify") && i.type_name == *enum_name);
+        let Some(imp) = imp else {
+            out.push(Finding {
+                rule: "D3",
+                file: "crates/cluster/src/retry.rs".into(),
+                line: 1,
+                key: format!(
+                    "D3 crates/cluster/src/retry.rs {} unclassified-enum",
+                    enum_name
+                ),
+                message: format!(
+                    "error enum `{enum_name}` ({def_path}) has no `impl Classify` in \
+                     cluster::retry — every data-path error must be retryable-or-permanent"
+                ),
+            });
+            continue;
+        };
+        let t = &retry.lexed.tokens;
+        let (a, b) = imp.body;
+        // Variants referenced as `EnumName :: Variant` inside the impl.
+        let mut mentioned: BTreeSet<&str> = BTreeSet::new();
+        let mut wildcard_line = None;
+        for i in a..=b.min(t.len().saturating_sub(1)) {
+            let tok = &t[i];
+            if tok.is_ident(enum_name)
+                && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            {
+                if let Some(v) = t.get(i + 3) {
+                    if let Some(known) = e
+                        .variants
+                        .iter()
+                        .find(|kv| v.is_ident(kv))
+                        .map(|s| s.as_str())
+                    {
+                        mentioned.insert(known);
+                    }
+                }
+            }
+            // `Self :: Variant` also counts.
+            if tok.is_ident("Self")
+                && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            {
+                if let Some(v) = t.get(i + 3) {
+                    if let Some(known) = e
+                        .variants
+                        .iter()
+                        .find(|kv| v.is_ident(kv))
+                        .map(|s| s.as_str())
+                    {
+                        mentioned.insert(known);
+                    }
+                }
+            }
+            // Wildcard match arm `_ =>` hides unclassified variants.
+            if tok.is_ident("_")
+                && t.get(i + 1).is_some_and(|x| x.is_punct('='))
+                && t.get(i + 2).is_some_and(|x| x.is_punct('>'))
+            {
+                wildcard_line.get_or_insert(tok.line);
+            }
+        }
+        if let Some(line) = wildcard_line {
+            out.push(Finding {
+                rule: "D3",
+                file: "crates/cluster/src/retry.rs".into(),
+                line,
+                key: format!("D3 crates/cluster/src/retry.rs {} wildcard-arm", enum_name),
+                message: format!(
+                    "wildcard `_ =>` arm in `impl Classify for {enum_name}`: new variants \
+                     would silently inherit a class; match every variant explicitly"
+                ),
+            });
+        }
+        for v in &e.variants {
+            if !mentioned.contains(v.as_str()) {
+                out.push(Finding {
+                    rule: "D3",
+                    file: "crates/cluster/src/retry.rs".into(),
+                    line: t.get(a).map_or(1, |x| x.line),
+                    key: format!(
+                        "D3 crates/cluster/src/retry.rs {} missing-variant {}",
+                        enum_name, v
+                    ),
+                    message: format!(
+                        "`{enum_name}::{v}` is not classified in `impl Classify for \
+                         {enum_name}` — decide retryable or permanent"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D4
+
+/// Function names that are retry/fault-injection points: holding a lock
+/// across a call that can reach one of these risks deadlock with the
+/// fault injector's delays and unbounded retry backoff.
+const D4_RETRY_POINTS: &[&str] = &[
+    "run",
+    "run_with",
+    "run_counted",
+    "run_counted_with",
+    "kv_retry",
+    "before_node_op",
+];
+
+#[derive(Debug)]
+struct LockSite {
+    /// Resource name: the ident before the `.lock()/.read()/.write()` dot.
+    resource: String,
+    /// Token index of the method ident.
+    at: usize,
+    line: u32,
+    /// Token index past which the guard is dead.
+    live_until: usize,
+}
+
+/// Extract lock acquisitions in `f`'s body with guard liveness ranges.
+fn lock_sites(t: &[Token], f: &FnInfo) -> Vec<LockSite> {
+    let (a, b) = f.body;
+    let b = b.min(t.len().saturating_sub(1));
+    let mut out = Vec::new();
+    for i in a..=b {
+        let tok = &t[i];
+        let is_acq = tok.kind == TokKind::Ident
+            && matches!(tok.text.as_str(), "lock" | "read" | "write")
+            && i > 0
+            && t[i - 1].is_punct('.')
+            && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(')'));
+        if !is_acq {
+            continue;
+        }
+        // Resource: the ident right before the dot (skip a `self .`
+        // prefix so `self.view.read()` names `view`).
+        let resource = if i >= 2 && t[i - 2].kind == TokKind::Ident && t[i - 2].text != "self" {
+            t[i - 2].text.clone()
+        } else if i >= 2 && t[i - 2].is_punct(')') {
+            // `shard(key).map.read()` style has the field before `)` —
+            // too dynamic; fall back to the method chain's last ident.
+            match (a..i).rev().find(|&k| t[k].kind == TokKind::Ident) {
+                Some(k) => t[k].text.clone(),
+                None => continue,
+            }
+        } else {
+            continue;
+        };
+        // Is the guard bound with `let NAME = ...`? Walk back to the
+        // start of the statement.
+        let stmt_start = (a..i)
+            .rev()
+            .find(|&k| t[k].is_punct(';') || t[k].is_punct('{') || t[k].is_punct('}'))
+            .map_or(a, |k| k + 1);
+        // A chained call on the lock result (`.read().place_at(..)`)
+        // means the guard is a temporary even under a `let` — the
+        // binding captures the chained value, and the guard dies at the
+        // end of the statement.
+        let chained = t.get(i + 3).is_some_and(|x| x.is_punct('.'));
+        let bound_name = (!chained && t.get(stmt_start).is_some_and(|x| x.is_ident("let")))
+            .then(|| {
+                (stmt_start + 1..i)
+                    .map(|k| &t[k])
+                    .find(|x| x.kind == TokKind::Ident && x.text != "mut")
+                    .map(|x| x.text.clone())
+            })
+            .flatten();
+        let live_until = match bound_name {
+            Some(name) => {
+                // Guard lives to the enclosing block's end or an
+                // explicit `drop(name)`.
+                let mut depth = 0i32;
+                let mut end = b;
+                for (k, tk) in t.iter().enumerate().take(b + 1).skip(i) {
+                    if tk.is_punct('{') {
+                        depth += 1;
+                    } else if tk.is_punct('}') {
+                        depth -= 1;
+                        if depth < 0 {
+                            end = k;
+                            break;
+                        }
+                    } else if tk.is_ident("drop")
+                        && t.get(k + 1).is_some_and(|x| x.is_punct('('))
+                        && t.get(k + 2).is_some_and(|x| x.is_ident(&name))
+                    {
+                        end = k;
+                        break;
+                    }
+                }
+                end
+            }
+            None => {
+                // Temporary guard: dead at the next `;` at depth 0,
+                // else at the end of the enclosing block.
+                let mut depth = 0i32;
+                let mut end = b;
+                for (k, tk) in t.iter().enumerate().take(b + 1).skip(i) {
+                    if tk.is_punct('{') || tk.is_punct('(') {
+                        depth += 1;
+                    } else if tk.is_punct('}') || tk.is_punct(')') {
+                        depth -= 1;
+                        if depth < 0 {
+                            end = k;
+                            break;
+                        }
+                    } else if depth <= 0 && tk.is_punct(';') {
+                        end = k;
+                        break;
+                    }
+                }
+                end
+            }
+        };
+        out.push(LockSite {
+            resource,
+            at: i,
+            line: tok.line,
+            live_until,
+        });
+    }
+    out
+}
+
+fn d4_lock_discipline(units: &[Unit], out: &mut Vec<Finding>) {
+    let g = build_graph(units);
+    // Per-fn direct facts.
+    struct FnFacts {
+        sites: Vec<LockSite>,
+        /// (caller site token idx, callee qual)
+        calls: Vec<(usize, String)>,
+        is_retry_point: bool,
+    }
+    let mut facts: BTreeMap<&str, FnFacts> = BTreeMap::new();
+    for (q, (ui, f)) in &g.fns {
+        let u = &units[*ui];
+        let t = &u.lexed.tokens;
+        let sites = lock_sites(t, f);
+        // Call sites with token positions (subset of `callees` logic,
+        // position-aware).
+        let mut calls = Vec::new();
+        let (a, b) = f.body;
+        for i in a..=b.min(t.len().saturating_sub(1)) {
+            let tok = &t[i];
+            if tok.kind != TokKind::Ident
+                || !t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                || CALL_IGNORE.contains(&tok.text.as_str())
+            {
+                continue;
+            }
+            let name = tok.text.as_str();
+            if D4_RETRY_POINTS.contains(&name) {
+                calls.push((i, format!("<retry:{name}>")));
+                continue;
+            }
+            let resolved = if i >= 3
+                && t[i - 1].is_punct(':')
+                && t[i - 2].is_punct(':')
+                && t[i - 3].kind == TokKind::Ident
+            {
+                let q2 = format!("{}::{}", t[i - 3].text, name);
+                g.fns.contains_key(q2.as_str()).then_some(q2)
+            } else if let Some(cands) = g.by_name.get(name) {
+                let own = f
+                    .owner
+                    .as_ref()
+                    .map(|o| format!("{o}::{name}"))
+                    .filter(|o| cands.iter().any(|c| *c == o));
+                own.or_else(|| (cands.len() == 1).then(|| cands[0].to_string()))
+            } else {
+                None
+            };
+            if let Some(r) = resolved {
+                calls.push((i, r));
+            }
+        }
+        facts.insert(
+            q,
+            FnFacts {
+                sites,
+                calls,
+                is_retry_point: D4_RETRY_POINTS.contains(&f.name.as_str()),
+            },
+        );
+    }
+    // Fixpoint 1: trans_locks[q] = locks acquired anywhere under q.
+    let mut trans_locks: BTreeMap<&str, BTreeSet<String>> = facts
+        .iter()
+        .map(|(q, f)| {
+            (
+                *q,
+                f.sites
+                    .iter()
+                    .map(|s| s.resource.clone())
+                    .collect::<BTreeSet<_>>(),
+            )
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        let quals: Vec<&str> = facts.keys().copied().collect();
+        for q in &quals {
+            let callee_locks: Vec<String> = facts[q]
+                .calls
+                .iter()
+                .filter_map(|(_, c)| trans_locks.get(c.as_str()))
+                .flat_map(|s| s.iter().cloned())
+                .collect();
+            let set = trans_locks.get_mut(q).unwrap();
+            for l in callee_locks {
+                changed |= set.insert(l);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Fixpoint 2: reaches_retry[q] = a retry point is reachable from q.
+    let mut reaches_retry: BTreeSet<&str> = facts
+        .iter()
+        .filter(|(_, f)| f.is_retry_point || f.calls.iter().any(|(_, c)| c.starts_with("<retry:")))
+        .map(|(q, _)| *q)
+        .collect();
+    loop {
+        let mut changed = false;
+        let quals: Vec<&str> = facts.keys().copied().collect();
+        for q in &quals {
+            if reaches_retry.contains(q) {
+                continue;
+            }
+            if facts[q]
+                .calls
+                .iter()
+                .any(|(_, c)| reaches_retry.contains(c.as_str()))
+            {
+                reaches_retry.insert(q);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Edges: resource A -> resource B when B is acquired (directly or
+    // transitively via a call) while A's guard is live.
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for (q, f) in &facts {
+        let (ui, info) = g.fns[q];
+        let u = &units[ui];
+        for s in &f.sites {
+            // Direct nesting.
+            for s2 in &f.sites {
+                if s2.at > s.at && s2.at <= s.live_until && s2.resource != s.resource {
+                    edges
+                        .entry((s.resource.clone(), s2.resource.clone()))
+                        .or_insert_with(|| (q.to_string(), s2.line));
+                }
+            }
+            // Via calls made while the guard is live.
+            for (ci, callee) in &f.calls {
+                if *ci <= s.at || *ci > s.live_until {
+                    continue;
+                }
+                // Held across a retry/fault-injection point?
+                if callee.starts_with("<retry:") || reaches_retry.contains(callee.as_str()) {
+                    let line = u.lexed.tokens[*ci].line;
+                    out.push(Finding {
+                        rule: "D4",
+                        file: u.path.clone(),
+                        line,
+                        key: format!(
+                            "D4 {} {} lock-across-retry {} {}",
+                            u.path,
+                            info.qual,
+                            s.resource,
+                            callee.trim_start_matches("<retry:").trim_end_matches('>')
+                        ),
+                        message: format!(
+                            "lock `{}` held across retry/fault-injection point `{}` in {} — \
+                             backoff sleeps while holding the lock",
+                            s.resource,
+                            callee.trim_start_matches("<retry:").trim_end_matches('>'),
+                            info.qual
+                        ),
+                    });
+                }
+                if let Some(locks) = trans_locks.get(callee.as_str()) {
+                    for l in locks {
+                        if *l != s.resource {
+                            edges
+                                .entry((s.resource.clone(), l.clone()))
+                                .or_insert_with(|| (q.to_string(), u.lexed.tokens[*ci].line));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Cycle detection over the resource graph (DFS).
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let adj: BTreeMap<&String, Vec<&String>> = nodes
+        .iter()
+        .map(|n| {
+            (
+                *n,
+                edges
+                    .keys()
+                    .filter(|(a, _)| a == *n)
+                    .map(|(_, b)| b)
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for start in &nodes {
+        // Find a cycle through `start` with a simple DFS.
+        let mut stack = vec![(*start, vec![(*start).clone()])];
+        let mut visited: BTreeSet<&String> = BTreeSet::new();
+        while let Some((n, path)) = stack.pop() {
+            for m in adj.get(n).into_iter().flatten() {
+                if *m == *start && path.len() > 1 {
+                    let mut cyc = path.clone();
+                    // Canonicalise: rotate so the smallest name leads.
+                    let min = cyc.iter().min().unwrap().clone();
+                    while cyc[0] != min {
+                        cyc.rotate_left(1);
+                    }
+                    let cyc_key = cyc.join("->");
+                    if reported.insert(cyc_key.clone()) {
+                        // Attribute the report to the edge that closes
+                        // the cycle back to `start`.
+                        let (in_fn, line) = edges[&(n.clone(), (*start).clone())].clone();
+                        let (ui, _) = g.fns[in_fn.as_str()];
+                        out.push(Finding {
+                            rule: "D4",
+                            file: units[ui].path.clone(),
+                            line,
+                            key: format!("D4 {} lock-cycle {}", units[ui].path, cyc_key),
+                            message: format!(
+                                "lock-order cycle {cyc_key} (edge closed in {in_fn}); \
+                                 establish a single acquisition order"
+                            ),
+                        });
+                    }
+                } else if visited.insert(m) {
+                    let mut p = path.clone();
+                    p.push((*m).clone());
+                    stack.push((m, p));
+                }
+            }
+        }
+    }
+}

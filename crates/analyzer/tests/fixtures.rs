@@ -1,0 +1,283 @@
+//! Seeded-regression fixtures: each rule family must detect a planted
+//! violation in a synthetic workspace, and suppressions/baselines must
+//! behave as documented.
+
+use ech_analyzer::{analyze, baseline, SourceFile};
+
+fn file(path: &str, text: &str) -> SourceFile {
+    SourceFile {
+        path: path.into(),
+        text: text.into(),
+    }
+}
+
+fn rules_at(files: &[SourceFile], path: &str) -> Vec<(String, u32)> {
+    analyze(files)
+        .into_iter()
+        .filter(|f| f.file == path)
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_flags_wall_clock_and_hash_iteration_in_scoped_files() {
+    let files = [file(
+        "crates/sim/src/energy.rs",
+        "use std::collections::HashMap;\n\
+         pub fn step() {\n\
+         let t = Instant::now();\n\
+         let m: HashMap<u8, u8> = HashMap::new();\n\
+         std::thread::sleep(d);\n\
+         let r = thread_rng();\n\
+         }\n",
+    )];
+    let hits = rules_at(&files, "crates/sim/src/energy.rs");
+    // HashMap appears three times (use + type + ctor), plus the clock,
+    // sleep and rng hits.
+    assert!(hits.iter().filter(|(r, _)| r == "D1").count() >= 5);
+    assert!(hits.iter().any(|(_, l)| *l == 3), "Instant::now on line 3");
+}
+
+#[test]
+fn d1_ignores_unscoped_files_and_test_fns() {
+    let files = [
+        file(
+            "crates/workload/src/gen.rs",
+            "pub fn f() { let t = Instant::now(); }\n",
+        ),
+        file(
+            "crates/sim/src/energy.rs",
+            "#[cfg(test)]\nmod tests {\n #[test]\n fn t() { let x = Instant::now(); }\n}\n",
+        ),
+    ];
+    assert!(analyze(&files).is_empty());
+}
+
+// ---------------------------------------------------------------- D2
+
+/// A minimal cluster crate whose `Cluster::put` reaches a helper with
+/// planted panics.
+fn d2_fixture(body: &str) -> Vec<SourceFile> {
+    vec![file(
+        "crates/cluster/src/cluster.rs",
+        &format!(
+            "pub struct Cluster;\n\
+             impl Cluster {{\n\
+             pub fn put(&self) {{ helper_step(1); }}\n\
+             }}\n\
+             fn helper_step(x: u8) {{\n{body}\n}}\n"
+        ),
+    )]
+}
+
+#[test]
+fn d2_flags_panics_reachable_from_roots() {
+    let files = d2_fixture(
+        "let v = vec![1];\n\
+         let a = v.first().unwrap();\n\
+         let b = maybe().expect(\"boom\");\n\
+         panic!(\"no\");\n\
+         unreachable!();\n\
+         let c = v[0];",
+    );
+    let hits = rules_at(&files, "crates/cluster/src/cluster.rs");
+    let d2: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| r == "D2")
+        .map(|(_, l)| *l)
+        .collect();
+    assert!(d2.contains(&7), "unwrap line: {d2:?}");
+    assert!(d2.contains(&8), "expect line");
+    assert!(d2.contains(&9), "panic! line");
+    assert!(d2.contains(&10), "unreachable! line");
+    assert!(d2.contains(&11), "indexing line");
+}
+
+#[test]
+fn d2_ignores_unreachable_and_test_code() {
+    let files = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster;\n\
+         impl Cluster { pub fn put(&self) {} }\n\
+         fn never_called() { let x = opt.unwrap(); }\n\
+         #[cfg(test)]\n\
+         mod tests { #[test] fn t() { val.unwrap(); } }\n",
+    )];
+    assert!(analyze(&files).is_empty());
+}
+
+// ---------------------------------------------------------------- D3
+
+fn d3_fixture(retry_impl: &str) -> Vec<SourceFile> {
+    vec![
+        file(
+            "crates/cluster/src/node.rs",
+            "pub enum NodeError { Io, PoweredOff, NotFound }\n",
+        ),
+        file("crates/cluster/src/retry.rs", retry_impl),
+    ]
+}
+
+#[test]
+fn d3_flags_missing_variant_and_wildcard() {
+    // `NotFound` never mentioned; wildcard arm present.
+    let files = d3_fixture(
+        "pub trait Classify { fn class(&self) -> u8; }\n\
+         impl Classify for NodeError {\n\
+         fn class(&self) -> u8 { match self { NodeError::Io => 0, _ => 1 } }\n\
+         }\n",
+    );
+    let hits = rules_at(&files, "crates/cluster/src/retry.rs");
+    let d3: Vec<&(String, u32)> = hits.iter().filter(|(r, _)| r == "D3").collect();
+    assert_eq!(d3.len(), 3, "wildcard + 2 missing variants: {d3:?}");
+}
+
+#[test]
+fn d3_passes_on_exhaustive_classification() {
+    let files = d3_fixture(
+        "pub trait Classify { fn class(&self) -> u8; }\n\
+         impl Classify for NodeError {\n\
+         fn class(&self) -> u8 { match self {\n\
+         NodeError::Io => 0,\n\
+         NodeError::PoweredOff => 1,\n\
+         NodeError::NotFound => 1,\n\
+         } }\n\
+         }\n",
+    );
+    assert!(analyze(&files).is_empty());
+}
+
+#[test]
+fn d3_flags_enum_with_no_classify_impl() {
+    let files = d3_fixture("pub trait Classify { fn class(&self) -> u8; }\n");
+    let hits = rules_at(&files, "crates/cluster/src/retry.rs");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].0, "D3");
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_flags_lock_order_cycle() {
+    let files = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct C;\n\
+         impl C {\n\
+         fn a(&self) { let g = self.view.write(); let h = self.dirty.lock(); }\n\
+         fn b(&self) { let g = self.dirty.lock(); let h = self.view.read(); }\n\
+         }\n",
+    )];
+    let hits = analyze(&files);
+    assert!(
+        hits.iter()
+            .any(|f| f.rule == "D4" && f.key.contains("lock-cycle")),
+        "expected a dirty<->view cycle: {hits:?}"
+    );
+}
+
+#[test]
+fn d4_flags_lock_held_across_retry_point() {
+    let files = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct C;\n\
+         impl C {\n\
+         fn a(&self) { let g = self.view.write(); self.retryer.run_with(tok, f, op); }\n\
+         }\n",
+    )];
+    let hits = analyze(&files);
+    assert!(
+        hits.iter()
+            .any(|f| f.rule == "D4" && f.key.contains("lock-across-retry")),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn d4_accepts_consistent_order_and_scoped_guards() {
+    let files = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct C;\n\
+         impl C {\n\
+         fn a(&self) { let g = self.view.write(); let h = self.dirty.lock(); }\n\
+         fn b(&self) { let g = self.view.read(); let h = self.dirty.lock(); }\n\
+         fn c(&self) {\n\
+         { let g = self.view.read(); }\n\
+         self.retryer.run_with(tok, f, op);\n\
+         }\n\
+         fn d(&self) { let v = self.view.read().snapshot(); self.retryer.run_with(tok, f, op); }\n\
+         }\n",
+    )];
+    assert!(analyze(&files).is_empty(), "{:?}", analyze(&files));
+}
+
+#[test]
+fn d4_cycle_via_transitive_call() {
+    let files = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct C;\n\
+         impl C {\n\
+         fn a(&self) { let g = self.view.write(); self.grab_dirty(); }\n\
+         fn grab_dirty(&self) { let h = self.dirty.lock(); }\n\
+         fn b(&self) { let g = self.dirty.lock(); let h = self.view.read(); }\n\
+         }\n",
+    )];
+    let hits = analyze(&files);
+    assert!(
+        hits.iter()
+            .any(|f| f.rule == "D4" && f.key.contains("lock-cycle")),
+        "{hits:?}"
+    );
+}
+
+// ------------------------------------------------------ suppressions
+
+#[test]
+fn ech_allow_suppresses_only_named_rule_and_covered_line() {
+    let files = vec![file(
+        "crates/sim/src/energy.rs",
+        "pub fn f() {\n\
+         // ech-allow(D1): sanctioned for this fixture\n\
+         let t = Instant::now();\n\
+         let u = Instant::now();\n\
+         }\n",
+    )];
+    let hits = rules_at(&files, "crates/sim/src/energy.rs");
+    assert_eq!(hits.len(), 1, "only the uncovered line reports: {hits:?}");
+    assert_eq!(hits[0].1, 4);
+
+    // Wrong rule name does not suppress.
+    let files = vec![file(
+        "crates/sim/src/energy.rs",
+        "pub fn f() {\n\
+         let t = Instant::now(); // ech-allow(D2): wrong rule\n\
+         }\n",
+    )];
+    assert_eq!(rules_at(&files, "crates/sim/src/energy.rs").len(), 1);
+}
+
+// ---------------------------------------------------------- baseline
+
+#[test]
+fn baseline_keys_are_line_number_free_and_occurrence_stable() {
+    let src_v1 = "pub struct Cluster;\n\
+                  impl Cluster { pub fn put(&self) { a.unwrap(); b.unwrap(); } }\n";
+    // Same code, shifted three lines down.
+    let src_v2 = format!("// pad\n// pad\n// pad\n{src_v1}");
+    let k1: Vec<String> = analyze(&[file("crates/cluster/src/cluster.rs", src_v1)])
+        .into_iter()
+        .map(|f| f.key)
+        .collect();
+    let k2: Vec<String> = analyze(&[file("crates/cluster/src/cluster.rs", &src_v2)])
+        .into_iter()
+        .map(|f| f.key)
+        .collect();
+    assert_eq!(k1, k2, "keys survive line shifts");
+    assert_ne!(k1[0], k1[1], "same-site duplicates get distinct #occ");
+
+    let findings = analyze(&[file("crates/cluster/src/cluster.rs", src_v1)]);
+    let keys = baseline::parse(&baseline::render(&findings));
+    let d = baseline::diff(&findings, &keys);
+    assert!(d.new.is_empty() && d.stale.is_empty());
+}

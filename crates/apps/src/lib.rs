@@ -5,10 +5,6 @@
 //! package). It re-exports the workspace crates so examples can be read
 //! top-to-bottom without a pile of `use` lines.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
-
 pub use ech_cluster as cluster;
 pub use ech_core as core;
 pub use ech_kvstore as kvstore;

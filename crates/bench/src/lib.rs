@@ -25,10 +25,6 @@
 //!
 //! Criterion micro-benches live under `benches/`.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
-
 use std::fmt::Display;
 
 /// Print a header line for an experiment harness.

@@ -22,6 +22,7 @@ pub fn run(args: &Args) -> Result<String, ParseError> {
         "trace" => trace_cmd(args),
         "latency" => latency_cmd(args),
         "chaos" => chaos_cmd(args),
+        "lint" => lint_cmd(args),
         other => Err(ParseError(format!(
             "unknown subcommand `{other}`; try `ech help`"
         ))),
@@ -52,9 +53,35 @@ COMMANDS:
                   live cluster and print the report
                   [--seed S] [--objects N] [--error-rate P]
                   [--crash1 OP] [--crash2 OP] [--servers N] [--replicas R]
+  lint            run the workspace invariant analyzer (rules D1-D4)
+                  [--root DIR] [--baseline FILE] [--deny-new true]
+                  [--write-baseline true]
   help            this text
 "
     .to_owned()
+}
+
+/// `ech lint`: delegate to the analyzer's CLI. The analyzer prints its
+/// diagnostics directly and reports failure through the exit code, so
+/// this returns an empty output string on success.
+fn lint_cmd(args: &Args) -> Result<String, ParseError> {
+    args.allow_only(&["root", "baseline", "deny-new", "write-baseline"])?;
+    let mut argv: Vec<String> = vec!["--root".into(), args.str_or("root", ".").to_owned()];
+    if let Some(b) = args.options.get("baseline") {
+        argv.push("--baseline".into());
+        argv.push(b.clone());
+    }
+    if args.get_or("deny-new", false)? {
+        argv.push("--deny-new".into());
+    }
+    if args.get_or("write-baseline", false)? {
+        argv.push("--write-baseline".into());
+    }
+    let code = ech_analyzer::run_cli(&argv);
+    if code != 0 {
+        return Err(ParseError(format!("lint failed with exit code {code}")));
+    }
+    Ok(String::new())
 }
 
 fn layout(args: &Args) -> Result<String, ParseError> {
@@ -285,7 +312,8 @@ fn latency_cmd(args: &Args) -> Result<String, ParseError> {
 fn chaos_cmd(args: &Args) -> Result<String, ParseError> {
     use bytes::Bytes;
     use ech_cluster::fault::splitmix64;
-    use ech_cluster::{Cluster, ClusterConfig, FaultPlan};
+    use ech_cluster::{Cluster, ClusterConfig, FaultPlan, VirtualClock};
+    use std::sync::Arc;
     args.allow_only(&[
         "seed",
         "objects",
@@ -333,7 +361,10 @@ fn chaos_cmd(args: &Args) -> Result<String, ParseError> {
     let mut cfg = ClusterConfig::paper();
     cfg.servers = servers;
     cfg.replicas = replicas;
-    let c = Cluster::with_faults(cfg, plan);
+    // A virtual clock makes the whole drill wall-clock-free: retry
+    // backoff, brown-out waits and hedged-read thresholds advance the
+    // same logical nanoseconds on every run, so replays are exact.
+    let c = Cluster::with_faults_and_clock(cfg, plan, Arc::new(VirtualClock::new()));
     let value = |i: u64| Bytes::from(format!("chaos-object-{i}"));
 
     // Write phase under fire, with power resizes at the quarter marks.
@@ -453,6 +484,7 @@ mod tests {
             "trace",
             "latency",
             "chaos",
+            "lint",
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }

@@ -12,10 +12,10 @@
 //! client threads (`Arc<Cluster>`).
 
 use crate::dirty_store::{KvDirtyTable, KvHeaderStore};
-use crate::fault::{FaultInjector, FaultPlan, FaultStatsSnapshot};
+use crate::fault::{Clock, FaultInjector, FaultPlan, FaultStatsSnapshot, SystemClock};
 use crate::node::{NodeError, StorageNode};
 use crate::repair::RepairStats;
-use crate::retry::RetryPolicy;
+use crate::retry::{Classify, RetryPolicy};
 use bytes::Bytes;
 use ech_core::dirty::{DirtyEntry, DirtyTable, HeaderSource};
 use ech_core::ids::{ObjectId, ServerId, VersionId};
@@ -120,15 +120,18 @@ pub enum ClusterError {
     },
     /// A node rejected an operation (unexpected power race).
     Node(NodeError),
+    /// A coordinator invariant failed (e.g. a placement named a server
+    /// outside the cluster). Indicates a bug; the data path reports it
+    /// instead of panicking so degraded mode stays degraded (rule D2).
+    Internal(&'static str),
 }
 
 impl ClusterError {
-    /// True when the operation may succeed if simply retried.
+    /// True when the operation may succeed if simply retried. The
+    /// verdict is delegated to the exhaustive classification in
+    /// [`crate::retry`] (analyzer rule D3).
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            ClusterError::Unavailable | ClusterError::QuorumNotReached { .. }
-        )
+        self.is_retryable_class()
     }
 }
 
@@ -151,6 +154,9 @@ impl std::fmt::Display for ClusterError {
                 "write quorum not reached ({written} of {required} required acks)"
             ),
             ClusterError::Node(e) => write!(f, "node error: {e}"),
+            ClusterError::Internal(what) => {
+                write!(f, "cluster invariant violated: {what}")
+            }
         }
     }
 }
@@ -201,6 +207,7 @@ pub struct Cluster {
     migrated_bytes: AtomicU64,
     read_rr: AtomicU64,
     fault: Option<Arc<FaultInjector>>,
+    clock: Arc<dyn Clock>,
     counters: PathCounters,
 }
 
@@ -218,7 +225,25 @@ impl Cluster {
         Self::build(cfg, Some(injector))
     }
 
+    /// [`Cluster::with_faults`] running on an injected [`Clock`]: retry
+    /// backoff, kv brown-out waits, slow-replica delays and hedged-read
+    /// thresholds all consume `clock` instead of the wall clock, so a
+    /// [`crate::fault::VirtualClock`] makes a whole drill replayable
+    /// without real-time dependence (`ech chaos` uses this).
+    pub fn with_faults_and_clock(
+        cfg: ClusterConfig,
+        plan: FaultPlan,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<Self> {
+        let injector = Arc::new(FaultInjector::with_clock(cfg.servers, plan, clock));
+        Self::build(cfg, Some(injector))
+    }
+
     fn build(cfg: ClusterConfig, fault: Option<Arc<FaultInjector>>) -> Arc<Self> {
+        let clock: Arc<dyn Clock> = match &fault {
+            Some(inj) => inj.clock().clone(),
+            None => Arc::new(SystemClock::new()),
+        };
         let layout = match cfg.strategy {
             Strategy::Primary => Layout::equal_work(cfg.servers, cfg.layout_base),
             Strategy::Original => Layout::uniform(cfg.servers, cfg.layout_base),
@@ -246,8 +271,8 @@ impl Cluster {
         Arc::new(Cluster {
             nodes,
             view: RwLock::new(view),
-            dirty: Mutex::new(KvDirtyTable::new(kv.clone())),
-            headers: KvHeaderStore::new(kv.clone()),
+            dirty: Mutex::new(KvDirtyTable::with_clock(kv.clone(), clock.clone())),
+            headers: KvHeaderStore::with_clock(kv.clone(), clock.clone()),
             engine: Mutex::new(Reintegrator::new()),
             stop_worker: AtomicBool::new(false),
             migrated_bytes: AtomicU64::new(0),
@@ -255,6 +280,7 @@ impl Cluster {
             kv,
             cfg,
             fault,
+            clock,
             counters: PathCounters::default(),
         })
     }
@@ -267,6 +293,21 @@ impl Cluster {
     /// The node handles (for inspection in tests/examples).
     pub fn nodes(&self) -> &[Arc<StorageNode>] {
         &self.nodes
+    }
+
+    /// The clock every time-dependent data-path decision runs on.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Resolve a placement-named server to its node handle. A miss means
+    /// a placement/membership invariant broke; the data path reports it
+    /// as a classified error instead of indexing (and panicking) on a
+    /// bad rank.
+    pub(crate) fn node(&self, server: ServerId) -> Result<&Arc<StorageNode>, ClusterError> {
+        self.nodes
+            .get(server.index())
+            .ok_or(ClusterError::Internal("placement named an unknown server"))
     }
 
     /// The backing key-value store.
@@ -290,13 +331,14 @@ impl Cluster {
             cfg: self.cfg.clone(),
             nodes: self.nodes.clone(),
             view: RwLock::new(view),
-            dirty: Mutex::new(KvDirtyTable::new(kv.clone())),
-            headers: KvHeaderStore::new(kv.clone()),
+            dirty: Mutex::new(KvDirtyTable::with_clock(kv.clone(), self.clock.clone())),
+            headers: KvHeaderStore::with_clock(kv.clone(), self.clock.clone()),
             engine: Mutex::new(Reintegrator::new()),
             stop_worker: AtomicBool::new(false),
             migrated_bytes: AtomicU64::new(0),
             read_rr: AtomicU64::new(0),
             fault: self.fault.clone(),
+            clock: self.clock.clone(),
             counters: PathCounters::default(),
             kv,
         })
@@ -365,26 +407,52 @@ impl Cluster {
     /// exactly like power-offloaded writes — so [`Cluster::heal_dirty`]
     /// and repair converge the object back to full replication.
     pub fn put(&self, oid: ObjectId, data: Bytes) -> Result<Placement, ClusterError> {
-        // Snapshot placement and version under the read lock, then do the
-        // node I/O outside it.
-        let (placement, version, power_dirty) = {
-            let view = self.view.read();
-            let p = view.place_current(oid)?;
-            (p, view.current_version(), view.write_is_dirty())
-        };
+        // A resize can race this write between the placement snapshot and
+        // the node I/O, powering a targeted node off mid-flight. That
+        // failure is an artifact of the stale snapshot, not of cluster
+        // health: re-place at the new membership version and try again
+        // (bounded — each extra pass requires the version to have moved).
+        let mut epochs = 0;
+        loop {
+            let (placement, version, power_dirty) = {
+                let view = self.view.read();
+                let p = view.place_current(oid)?;
+                (p, view.current_version(), view.write_is_dirty())
+            };
+            match self.put_at(oid, &data, placement, version, power_dirty) {
+                Err(ClusterError::Node(NodeError::PoweredOff))
+                    if epochs < 4 && self.current_version() != version =>
+                {
+                    epochs += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One write attempt against a fixed placement snapshot.
+    fn put_at(
+        &self,
+        oid: ObjectId,
+        data: &Bytes,
+        placement: Placement,
+        version: VersionId,
+        power_dirty: bool,
+    ) -> Result<Placement, ClusterError> {
         let servers = placement.servers();
         let required = self.cfg.write_quorum.required(servers.len());
         let mut written = 0usize;
         let mut missed = 0usize;
         let mut permanent: Option<NodeError> = None;
         for (rank, &server) in servers.iter().enumerate() {
+            let node = self.node(server)?;
             let token = oid.raw() ^ ((server.index() as u64) << 48) ^ version.raw();
-            let (result, retries) =
-                self.cfg
-                    .retry
-                    .run_counted(token, NodeError::is_transient, || {
-                        self.nodes[server.index()].put(oid, data.clone(), version, power_dirty)
-                    });
+            let (result, retries) = self.cfg.retry.run_counted_with(
+                &*self.clock,
+                token,
+                NodeError::is_transient,
+                || node.put(oid, data.clone(), version, power_dirty),
+            );
             self.counters.add_retries(retries as u64);
             match result {
                 Ok(()) => written += 1,
@@ -436,7 +504,7 @@ impl Cluster {
     pub fn get(&self, oid: ObjectId) -> Result<Bytes, ClusterError> {
         self.cfg
             .retry
-            .run(oid.raw(), ClusterError::is_retryable, || {
+            .run_with(&*self.clock, oid.raw(), ClusterError::is_retryable, || {
                 self.get_with(oid, ReadPolicy::FirstReplica)
             })
     }
@@ -489,9 +557,8 @@ impl Cluster {
         // track them and report `Unavailable` (retryable) instead of
         // `NotFound` when every failure could have been a fault.
         let mut saw_transient = false;
-        for i in 0..candidates.len() {
-            let server = candidates[(start + i) % candidates.len()];
-            match self.nodes[server.index()].get(oid) {
+        for &server in candidates.iter().cycle().skip(start).take(candidates.len()) {
+            match self.node(server)?.get(oid) {
                 Ok(obj) if acceptable(obj.header.version) => return Ok(obj.data),
                 Ok(_) => {}
                 Err(e) => saw_transient |= e.is_transient(),
@@ -527,12 +594,35 @@ impl Cluster {
         acceptable: &impl Fn(VersionId) -> bool,
         threshold: std::time::Duration,
     ) -> Option<Bytes> {
-        let first = self.nodes[candidates[0].index()].clone();
+        let first = self.node(*candidates.first()?).ok()?.clone();
         let (tx, rx) = std::sync::mpsc::channel();
         std::thread::spawn(move || {
             let _ = tx.send(first.get(oid));
         });
-        let first_result = rx.recv_timeout(threshold).ok();
+        // Wait out the threshold on the injected clock rather than
+        // `recv_timeout` (which only understands wall time): poll the
+        // channel in small clock-sleeps so a virtual clock can expire the
+        // threshold without any real-time dependence.
+        let t0 = self.clock.now();
+        let poll = (threshold / 20).clamp(
+            std::time::Duration::from_micros(20),
+            std::time::Duration::from_millis(1),
+        );
+        let mut first_result = None;
+        loop {
+            match rx.try_recv() {
+                Ok(r) => {
+                    first_result = Some(r);
+                    break;
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {}
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => break,
+            }
+            if self.clock.now().saturating_sub(t0) >= threshold {
+                break;
+            }
+            self.clock.sleep(poll);
+        }
         if let Some(Ok(obj)) = &first_result {
             if acceptable(obj.header.version) {
                 return Some(obj.data.clone());
@@ -542,8 +632,8 @@ impl Cluster {
             // The first replica is slow — fire the hedge.
             self.counters.inc_hedged_reads();
         }
-        for &s in &candidates[1..] {
-            if let Ok(obj) = self.nodes[s.index()].get(oid) {
+        for &s in candidates.iter().skip(1) {
+            if let Ok(obj) = self.node(s).ok()?.get(oid) {
                 if acceptable(obj.header.version) {
                     return Some(obj.data);
                 }
@@ -591,13 +681,18 @@ impl Cluster {
             ..Default::default()
         };
         for m in &task.moves {
-            let src = &self.nodes[m.from.index()];
-            let dst = &self.nodes[m.to.index()];
+            let (Ok(src), Ok(dst)) = (self.node(m.from), self.node(m.to)) else {
+                // A move naming a server outside the cluster is a planner
+                // bug; skip it and let the entry be re-planned.
+                continue;
+            };
             let src_token = task.oid.raw() ^ ((m.from.index() as u64) << 48);
-            let got = self
-                .cfg
-                .retry
-                .run(src_token, NodeError::is_transient, || src.get(task.oid));
+            let got =
+                self.cfg
+                    .retry
+                    .run_with(&*self.clock, src_token, NodeError::is_transient, || {
+                        src.get(task.oid)
+                    });
             match got {
                 Ok(obj) => {
                     let bytes = obj.data.len() as u64;
@@ -606,14 +701,19 @@ impl Cluster {
                     // retries) means a racing resize, in which case the
                     // entry will be re-planned.
                     let dst_token = task.oid.raw() ^ ((m.to.index() as u64) << 48);
-                    let put = self.cfg.retry.run(dst_token, NodeError::is_transient, || {
-                        dst.put(
-                            task.oid,
-                            obj.data.clone(),
-                            task.target_version,
-                            obj.header.dirty,
-                        )
-                    });
+                    let put = self.cfg.retry.run_with(
+                        &*self.clock,
+                        dst_token,
+                        NodeError::is_transient,
+                        || {
+                            dst.put(
+                                task.oid,
+                                obj.data.clone(),
+                                task.target_version,
+                                obj.header.dirty,
+                            )
+                        },
+                    );
                     if put.is_ok() {
                         src.remove(task.oid);
                         stats.moves += 1;
@@ -649,7 +749,9 @@ impl Cluster {
                     .record_write(task.oid, task.target_version, true);
             }
             for &server in task.to.servers() {
-                self.nodes[server.index()].restamp(task.oid, task.target_version, still_dirty);
+                if let Ok(node) = self.node(server) {
+                    node.restamp(task.oid, task.target_version, still_dirty);
+                }
             }
         }
         self.migrated_bytes
@@ -743,10 +845,10 @@ impl Cluster {
                     continue;
                 }
                 let token = oid.raw() ^ ((i as u64) << 48) ^ 0x6EA1_0001;
-                let got = self
-                    .cfg
-                    .retry
-                    .run(token, NodeError::is_transient, || n.get(oid));
+                let got =
+                    self.cfg
+                        .retry
+                        .run_with(&*self.clock, token, NodeError::is_transient, || n.get(oid));
                 if let Ok(obj) = got {
                     if obj.header.version >= h.version {
                         source = Some(obj);
@@ -756,14 +858,19 @@ impl Cluster {
             }
             let Some(obj) = source else { continue };
             for &target in placement.servers() {
-                let node = &self.nodes[target.index()];
+                let Ok(node) = self.node(target) else {
+                    continue;
+                };
                 if node.holds(oid) {
                     continue;
                 }
                 let token = oid.raw() ^ ((target.index() as u64) << 48) ^ 0x6EA1_0002;
-                let put = self.cfg.retry.run(token, NodeError::is_transient, || {
-                    node.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty)
-                });
+                let put =
+                    self.cfg
+                        .retry
+                        .run_with(&*self.clock, token, NodeError::is_transient, || {
+                            node.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty)
+                        });
                 if put.is_ok() {
                     stats.recreated += 1;
                     stats.bytes += obj.data.len() as u64;
@@ -773,7 +880,9 @@ impl Cluster {
             if full_power && self.is_fully_placed(oid) {
                 self.headers.mark_clean(oid, h.version);
                 for &server in placement.servers() {
-                    self.nodes[server.index()].restamp(oid, h.version, false);
+                    if let Ok(node) = self.node(server) {
+                        node.restamp(oid, h.version, false);
+                    }
                 }
             }
         }
@@ -790,7 +899,8 @@ impl Cluster {
         let dark: Vec<ServerId> = (0..self.cfg.servers as u32)
             .map(ServerId)
             .filter(|&s| {
-                view.current_membership().is_active(s) && !self.nodes[s.index()].is_powered()
+                view.current_membership().is_active(s)
+                    && self.nodes.get(s.index()).is_some_and(|n| !n.is_powered())
             })
             .collect();
         if let Some((&head, tail)) = dark.split_first() {
@@ -809,7 +919,10 @@ impl Cluster {
     /// placement is physically present (used by integrity tests).
     pub fn is_fully_placed(&self, oid: ObjectId) -> bool {
         match self.locate(oid) {
-            Ok(p) => p.servers().iter().all(|s| self.nodes[s.index()].holds(oid)),
+            Ok(p) => p
+                .servers()
+                .iter()
+                .all(|&s| self.node(s).is_ok_and(|n| n.holds(oid))),
             Err(_) => false,
         }
     }
@@ -1273,7 +1386,7 @@ mod tests {
     #[test]
     fn hedged_reads_dodge_a_slow_replica() {
         use crate::fault::{FaultPlan, NodeFaultSpec};
-        use std::time::{Duration, Instant};
+        use std::time::Duration;
         let cfg = ClusterConfig::paper();
         let oid = ObjectId(9000);
         let servers = placement_of(&cfg, oid);
@@ -1287,7 +1400,11 @@ mod tests {
         );
         let c = Cluster::with_faults(cfg, plan);
         c.put(oid, payload(9000)).unwrap();
-        let t0 = Instant::now();
+        // Latency is measured on the cluster's own clock — the same one
+        // the hedge threshold runs on — so the test holds under any
+        // injected clock, not just the wall clock.
+        let clock = c.clock().clone();
+        let t0 = clock.now();
         let data = c
             .get_with(
                 oid,
@@ -1299,7 +1416,7 @@ mod tests {
         assert_eq!(data, payload(9000));
         assert!(c.counters().hedged_reads >= 1, "the hedge must have fired");
         assert!(
-            t0.elapsed() < Duration::from_millis(100),
+            clock.now().saturating_sub(t0) < Duration::from_millis(100),
             "the hedge answered without waiting out the slow replica"
         );
     }

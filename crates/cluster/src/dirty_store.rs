@@ -7,6 +7,7 @@
 //! remove" it. This module is that wiring, with object headers kept in a
 //! HASH alongside.
 
+use crate::fault::{Clock, SystemClock};
 use ech_core::dirty::{DirtyEntry, DirtyTable, HeaderSource, ObjectHeader};
 use ech_core::ids::{ObjectId, VersionId};
 use ech_kvstore::{KvError, KvStore};
@@ -22,19 +23,28 @@ const HEADER_KEY: &str = "ech:headers";
 /// retrying always exits a finite window; the budget only guards against
 /// a misconfigured fault plan. Metadata must not be silently dropped, so
 /// anything else (type confusion, exhausted budget) still panics.
-fn kv_retry<T>(what: &str, op: impl Fn() -> Result<T, KvError>) -> T {
+fn kv_retry<T>(clock: &dyn Clock, what: &str, op: impl Fn() -> Result<T, KvError>) -> T {
     let mut last = None;
     for _ in 0..256 {
         match op() {
             Ok(v) => return v,
             Err(e @ KvError::Unavailable { .. }) => {
                 last = Some(e);
-                std::thread::sleep(std::time::Duration::from_micros(20));
+                clock.sleep(std::time::Duration::from_micros(20));
             }
+            // ech-allow(D2): metadata corruption (type confusion on the
+            // dirty-table keys) is unrecoverable; losing dirty entries
+            // silently would break Algorithm 2's draining guarantee.
             Err(e) => panic!("{what}: {e}"),
         }
     }
-    panic!("{what}: {}", last.expect("loop only exits with an error"));
+    match last {
+        // ech-allow(D2): a 256-attempt budget only exhausts under a
+        // misconfigured fault plan; surfacing loudly beats losing metadata.
+        Some(e) => panic!("{what}: {e}"),
+        // ech-allow(D2): the loop body returns on Ok and records on Err.
+        None => unreachable!("loop only exits with an error"),
+    }
 }
 
 /// Serialize a dirty entry as `oid:version` (the value RPUSHed).
@@ -59,33 +69,42 @@ fn decode_entry(bytes: &[u8]) -> Option<DirtyEntry> {
 #[derive(Debug, Clone)]
 pub struct KvDirtyTable {
     kv: Arc<KvStore>,
+    clock: Arc<dyn Clock>,
 }
 
 impl KvDirtyTable {
-    /// Wrap a store.
+    /// Wrap a store, sleeping retries on the wall clock.
     pub fn new(kv: Arc<KvStore>) -> Self {
-        KvDirtyTable { kv }
+        KvDirtyTable::with_clock(kv, Arc::new(SystemClock::new()))
+    }
+
+    /// Wrap a store, sleeping brown-out retries on `clock`.
+    pub fn with_clock(kv: Arc<KvStore>, clock: Arc<dyn Clock>) -> Self {
+        KvDirtyTable { kv, clock }
     }
 }
 
 impl DirtyTable for KvDirtyTable {
     fn push_back(&mut self, entry: DirtyEntry) {
-        kv_retry("RPUSH dirty entry", || {
+        kv_retry(&*self.clock, "RPUSH dirty entry", || {
             self.kv.rpush(DIRTY_KEY, encode_entry(&entry))
         });
     }
 
     fn get(&self, index: usize) -> Option<DirtyEntry> {
-        kv_retry("LINDEX dirty entry", || self.kv.lindex(DIRTY_KEY, index))
-            .and_then(|b| decode_entry(&b))
+        kv_retry(&*self.clock, "LINDEX dirty entry", || {
+            self.kv.lindex(DIRTY_KEY, index)
+        })
+        .and_then(|b| decode_entry(&b))
     }
 
     fn pop_front(&mut self) -> Option<DirtyEntry> {
-        kv_retry("LPOP dirty entry", || self.kv.lpop(DIRTY_KEY)).and_then(|b| decode_entry(&b))
+        kv_retry(&*self.clock, "LPOP dirty entry", || self.kv.lpop(DIRTY_KEY))
+            .and_then(|b| decode_entry(&b))
     }
 
     fn len(&self) -> usize {
-        kv_retry("LLEN dirty table", || self.kv.llen(DIRTY_KEY))
+        kv_retry(&*self.clock, "LLEN dirty table", || self.kv.llen(DIRTY_KEY))
     }
 }
 
@@ -94,17 +113,23 @@ impl DirtyTable for KvDirtyTable {
 #[derive(Debug, Clone)]
 pub struct KvHeaderStore {
     kv: Arc<KvStore>,
+    clock: Arc<dyn Clock>,
 }
 
 impl KvHeaderStore {
-    /// Wrap a store.
+    /// Wrap a store, sleeping retries on the wall clock.
     pub fn new(kv: Arc<KvStore>) -> Self {
-        KvHeaderStore { kv }
+        KvHeaderStore::with_clock(kv, Arc::new(SystemClock::new()))
+    }
+
+    /// Wrap a store, sleeping brown-out retries on `clock`.
+    pub fn with_clock(kv: Arc<KvStore>, clock: Arc<dyn Clock>) -> Self {
+        KvHeaderStore { kv, clock }
     }
 
     /// Record a write of `oid` at `version` with the given dirty bit.
     pub fn record_write(&self, oid: ObjectId, version: VersionId, dirty: bool) {
-        kv_retry("HSET object header", || {
+        kv_retry(&*self.clock, "HSET object header", || {
             self.kv.hset(
                 HEADER_KEY,
                 &oid.raw().to_string(),
@@ -115,7 +140,7 @@ impl KvHeaderStore {
 
     /// Clear the dirty bit after re-integration to a full-power version.
     pub fn mark_clean(&self, oid: ObjectId, version: VersionId) {
-        kv_retry("HSET clean header", || {
+        kv_retry(&*self.clock, "HSET clean header", || {
             self.kv.hset(
                 HEADER_KEY,
                 &oid.raw().to_string(),
@@ -126,16 +151,24 @@ impl KvHeaderStore {
 
     /// Number of tracked objects.
     pub fn len(&self) -> usize {
-        kv_retry("HLEN header store", || self.kv.hlen(HEADER_KEY))
+        kv_retry(&*self.clock, "HLEN header store", || {
+            self.kv.hlen(HEADER_KEY)
+        })
     }
 
-    /// All tracked object ids (order unspecified). Repair scans use this
-    /// to enumerate the object population.
+    /// All tracked object ids, sorted. Repair scans use this to
+    /// enumerate the object population; the sort pins the scan order
+    /// (the kv hash iterates in process-random order), which keeps
+    /// fault-injection replays byte-identical across runs.
     pub fn all_objects(&self) -> Vec<ObjectId> {
-        kv_retry("HKEYS header store", || self.kv.hkeys(HEADER_KEY))
-            .into_iter()
-            .filter_map(|k| k.parse::<u64>().ok().map(ObjectId))
-            .collect()
+        let mut oids: Vec<ObjectId> = kv_retry(&*self.clock, "HKEYS header store", || {
+            self.kv.hkeys(HEADER_KEY)
+        })
+        .into_iter()
+        .filter_map(|k| k.parse::<u64>().ok().map(ObjectId))
+        .collect();
+        oids.sort_unstable();
+        oids
     }
 
     /// True when no headers are tracked.
@@ -146,7 +179,7 @@ impl KvHeaderStore {
 
 impl HeaderSource for KvHeaderStore {
     fn header(&self, oid: ObjectId) -> Option<ObjectHeader> {
-        let raw = kv_retry("HGET object header", || {
+        let raw = kv_retry(&*self.clock, "HGET object header", || {
             self.kv.hget(HEADER_KEY, &oid.raw().to_string())
         })?;
         let s = std::str::from_utf8(&raw).ok()?;

@@ -15,7 +15,91 @@
 
 use ech_kvstore::ShardFaultHook;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// An injectable time source for everything the data path does with
+/// time: hedged-read thresholds, retry backoff sleeps, slow-replica
+/// delays, kv brown-out waits. Production uses [`SystemClock`]; replay
+/// harnesses (`ech chaos`, the chaos test suite) substitute a
+/// [`VirtualClock`] so a drill is wall-clock-free end to end — the same
+/// discipline that makes the fault decisions themselves replayable.
+///
+/// Data-path code must never read the wall clock directly (analyzer rule
+/// D1); it asks the clock owned by the fault harness.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Monotonic time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+    /// Wait out `d`: a wall clock blocks the calling thread, a virtual
+    /// clock advances its reading instead.
+    fn sleep(&self, d: Duration);
+}
+
+/// The production wall clock. This is the *only* sanctioned wall-clock
+/// access point on the data path; everything else goes through the
+/// [`Clock`] handle so tests can replace time wholesale.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    // ech-allow(D1): the system clock IS the sanctioned wall-clock shim.
+    epoch: std::time::Instant,
+}
+
+impl SystemClock {
+    /// A wall clock anchored at construction time.
+    pub fn new() -> Self {
+        SystemClock {
+            // ech-allow(D1): sole sanctioned Instant::now() call site.
+            epoch: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        // ech-allow(D1): sole sanctioned thread::sleep call site.
+        std::thread::sleep(d);
+    }
+}
+
+/// A deterministic virtual clock: `sleep` advances the reading by the
+/// requested amount without blocking, so seeded fault drills replay at
+/// full speed and independent of machine load.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Manually advance the clock (test hooks).
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
 
 /// SplitMix64: the one-shot mixer used for all fault decisions (and for
 /// retry jitter, see [`crate::retry`]). Passes BigCrush as a stream; as
@@ -153,11 +237,19 @@ pub struct FaultInjector {
     node_ops: Vec<AtomicU64>,
     kv_ops: AtomicU64,
     stats: FaultStats,
+    clock: Arc<dyn Clock>,
 }
 
 impl FaultInjector {
-    /// An injector for `nodes` nodes running `plan`.
+    /// An injector for `nodes` nodes running `plan` on the wall clock.
     pub fn new(nodes: usize, plan: FaultPlan) -> Self {
+        Self::with_clock(nodes, plan, Arc::new(SystemClock::new()))
+    }
+
+    /// An injector whose time-dependent faults (slow-replica delays) and
+    /// downstream consumers (retry backoff, hedging thresholds) run on
+    /// `clock` — pass a [`VirtualClock`] for wall-clock-free replays.
+    pub fn with_clock(nodes: usize, plan: FaultPlan, clock: Arc<dyn Clock>) -> Self {
         FaultInjector {
             node_ops: (0..nodes.max(plan.node_faults.len()))
                 .map(|_| AtomicU64::new(0))
@@ -165,12 +257,18 @@ impl FaultInjector {
             kv_ops: AtomicU64::new(0),
             stats: FaultStats::default(),
             plan,
+            clock,
         }
     }
 
     /// The plan being executed.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// The clock the harness (and the cluster built around it) runs on.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Counters of faults injected so far.

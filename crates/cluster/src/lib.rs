@@ -24,10 +24,6 @@
 //! assert_eq!(cluster.get(ObjectId(10010)).unwrap(), Bytes::from("hello"));
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
-
 pub mod cluster;
 pub mod dirty_store;
 pub mod fault;
@@ -41,7 +37,8 @@ pub use cluster::{
 };
 pub use dirty_store::{KvDirtyTable, KvHeaderStore};
 pub use fault::{
-    FaultInjector, FaultPlan, FaultStatsSnapshot, InjectedFault, NodeFaultSpec, ShardOutage,
+    Clock, FaultInjector, FaultPlan, FaultStatsSnapshot, InjectedFault, NodeFaultSpec, ShardOutage,
+    SystemClock, VirtualClock,
 };
 pub use node::{NodeError, StorageNode, StoredObject};
 pub use repair::RepairStats;

@@ -48,9 +48,10 @@ pub enum NodeError {
 }
 
 impl NodeError {
-    /// Is this error transient (a retry may succeed)?
+    /// Is this error transient (a retry may succeed)? Delegates to the
+    /// central [`crate::retry::Classify`] table.
     pub fn is_transient(&self) -> bool {
-        matches!(self, NodeError::Io)
+        crate::retry::Classify::is_retryable_class(self)
     }
 }
 
@@ -125,7 +126,9 @@ impl StorageNode {
         if let Some(inj) = &self.fault {
             match inj.before_node_op(self.id.index()) {
                 Ok(None) => {}
-                Ok(Some(delay)) => std::thread::sleep(delay),
+                // Slow-replica delays run on the injector's clock, so a
+                // virtual clock turns them into pure time accounting.
+                Ok(Some(delay)) => inj.clock().sleep(delay),
                 Err(InjectedFault::Io) => return Err(NodeError::Io),
                 Err(InjectedFault::Crash) => {
                     self.crash();

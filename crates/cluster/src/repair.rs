@@ -44,7 +44,7 @@ impl Cluster {
                 .with_state(server, PowerState::Off);
             view.record_membership(table);
         }
-        self.nodes()[server.index()].crash()
+        self.node(server).map_or(0, |n| n.crash())
     }
 
     /// Bring a crashed (or powered-down) server back with an empty disk.
@@ -55,7 +55,9 @@ impl Cluster {
             let table = view.current_membership().with_state(server, PowerState::On);
             view.record_membership(table);
         }
-        self.nodes()[server.index()].set_powered(true);
+        if let Ok(n) = self.node(server) {
+            n.set_powered(true);
+        }
     }
 
     /// Re-replication repair: for every tracked object, ensure each
@@ -67,6 +69,7 @@ impl Cluster {
     pub fn repair(&self) -> RepairStats {
         use ech_core::dirty::HeaderSource;
         let retry = self.config().retry;
+        let clock = self.clock().clone();
         let mut stats = RepairStats::default();
         let oids = self.headers().all_objects();
         for oid in oids {
@@ -97,7 +100,8 @@ impl Cluster {
             let fresh = |n: &crate::node::StorageNode| -> bool {
                 n.is_powered()
                     && retry
-                        .run(
+                        .run_with(
+                            &*clock,
                             oid.raw() ^ ((n.id().index() as u64) << 48),
                             NodeError::is_transient,
                             || n.get(oid),
@@ -116,15 +120,20 @@ impl Cluster {
                 }
                 continue;
             };
-            let Ok(obj) = retry.run(oid.raw(), NodeError::is_transient, || source.get(oid)) else {
+            let Ok(obj) = retry.run_with(&*clock, oid.raw(), NodeError::is_transient, || {
+                source.get(oid)
+            }) else {
                 continue;
             };
             for &target in placement.servers() {
-                let node = &self.nodes()[target.index()];
+                let Ok(node) = self.node(target) else {
+                    continue;
+                };
                 if node.holds(oid) {
                     continue;
                 }
-                let put = retry.run(
+                let put = retry.run_with(
+                    &*clock,
                     oid.raw() ^ ((target.index() as u64) << 48),
                     NodeError::is_transient,
                     || node.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty),

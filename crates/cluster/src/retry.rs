@@ -8,8 +8,85 @@
 //! seeded from a caller-supplied token (typically the object id), so a
 //! deterministic fault schedule yields a deterministic retry schedule.
 
-use crate::fault::splitmix64;
+use crate::cluster::ClusterError;
+use crate::fault::{splitmix64, Clock, SystemClock};
+use crate::node::NodeError;
+use ech_core::placement::PlacementError;
+use ech_kvstore::KvError;
 use std::time::Duration;
+
+/// Retryable-or-permanent verdict for a data-path error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// A retry may succeed (transient fault, brown-out, lost quorum).
+    Retryable,
+    /// Retrying cannot help; surface the error to the caller.
+    Permanent,
+}
+
+/// The single source of truth for error classification on the degraded
+/// data path. Every error enum the put/get/repair/re-integration paths
+/// can construct is classified **here**, variant by variant, with no
+/// wildcard arms — the analyzer's D3 rule cross-checks that each variant
+/// of these enums appears below, so adding a variant without deciding
+/// its retry class fails `ech lint` rather than silently defaulting.
+pub trait Classify {
+    /// This error's retry class.
+    fn class(&self) -> ErrorClass;
+
+    /// Convenience: is the error worth retrying?
+    fn is_retryable_class(&self) -> bool {
+        self.class() == ErrorClass::Retryable
+    }
+}
+
+impl Classify for NodeError {
+    fn class(&self) -> ErrorClass {
+        match self {
+            // A fresh attempt rolls a fresh fault decision.
+            NodeError::Io => ErrorClass::Retryable,
+            // Power state and membership only change via resize/repair.
+            NodeError::PoweredOff => ErrorClass::Permanent,
+            NodeError::NotFound => ErrorClass::Permanent,
+            NodeError::DiskFull { .. } => ErrorClass::Permanent,
+        }
+    }
+}
+
+impl Classify for KvError {
+    fn class(&self) -> ErrorClass {
+        match self {
+            // Shard brown-out windows close as kv ops advance the fault
+            // clock, so retrying through one always exits it.
+            KvError::Unavailable { .. } => ErrorClass::Retryable,
+            KvError::WrongType { .. } => ErrorClass::Permanent,
+            KvError::NotAnInteger => ErrorClass::Permanent,
+        }
+    }
+}
+
+impl Classify for PlacementError {
+    fn class(&self) -> ErrorClass {
+        match self {
+            PlacementError::InsufficientActiveServers { .. } => ErrorClass::Permanent,
+            PlacementError::ZeroReplicas => ErrorClass::Permanent,
+            PlacementError::Internal(_) => ErrorClass::Permanent,
+        }
+    }
+}
+
+impl Classify for ClusterError {
+    fn class(&self) -> ErrorClass {
+        match self {
+            ClusterError::Unavailable => ErrorClass::Retryable,
+            ClusterError::QuorumNotReached { .. } => ErrorClass::Retryable,
+            ClusterError::Placement(e) => e.class(),
+            ClusterError::NotFound => ErrorClass::Permanent,
+            ClusterError::Node(e) => e.class(),
+            ClusterError::Internal(_) => ErrorClass::Permanent,
+        }
+    }
+}
 
 /// A bounded retry policy. `Default` gives every operation 4 attempts
 /// with sleeps between 100 µs and 2 ms — sized for an in-process store
@@ -45,10 +122,14 @@ impl RetryPolicy {
     }
 
     /// Run `op`, retrying while `retryable` approves the error and
-    /// attempts remain. Returns the final result and the number of
-    /// retries spent (0 = first try decided).
-    pub fn run_counted<T, E>(
+    /// attempts remain, sleeping on `clock`. Returns the final result and
+    /// the number of retries spent (0 = first try decided).
+    ///
+    /// The loop structure keeps the data path panic-free (analyzer rule
+    /// D2): the final attempt's error is returned, never unwrapped.
+    pub fn run_counted_with<T, E>(
         &self,
+        clock: &dyn Clock,
         token: u64,
         retryable: impl Fn(&E) -> bool,
         mut op: impl FnMut() -> Result<T, E>,
@@ -56,7 +137,8 @@ impl RetryPolicy {
         let attempts = self.max_attempts.max(1);
         let mut rng = splitmix64(token ^ 0x5EED_0F0F_5EED_0F0F);
         let mut prev = self.base;
-        for retry in 0..attempts {
+        let mut retry = 0;
+        loop {
             match op() {
                 Ok(v) => return (Ok(v), retry),
                 Err(e) if retry + 1 < attempts && retryable(&e) => {
@@ -66,15 +148,37 @@ impl RetryPolicy {
                         (prev.as_nanos() as u64).saturating_mul(3).max(base_ns + 1) - base_ns;
                     let sleep_ns = (base_ns + rng % span).min(self.cap.as_nanos() as u64);
                     prev = Duration::from_nanos(sleep_ns);
-                    std::thread::sleep(prev);
+                    clock.sleep(prev);
+                    retry += 1;
                 }
                 Err(e) => return (Err(e), retry),
             }
         }
-        unreachable!("loop returns on the last attempt");
     }
 
-    /// [`RetryPolicy::run_counted`] without the retry count.
+    /// [`RetryPolicy::run_counted_with`] on the wall clock.
+    pub fn run_counted<T, E>(
+        &self,
+        token: u64,
+        retryable: impl Fn(&E) -> bool,
+        op: impl FnMut() -> Result<T, E>,
+    ) -> (Result<T, E>, u32) {
+        self.run_counted_with(&SystemClock::new(), token, retryable, op)
+    }
+
+    /// [`RetryPolicy::run_counted_with`] without the retry count.
+    pub fn run_with<T, E>(
+        &self,
+        clock: &dyn Clock,
+        token: u64,
+        retryable: impl Fn(&E) -> bool,
+        op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_counted_with(clock, token, retryable, op).0
+    }
+
+    /// [`RetryPolicy::run_counted`] without the retry count, on the wall
+    /// clock.
     pub fn run<T, E>(
         &self,
         token: u64,
@@ -156,6 +260,72 @@ mod tests {
         );
         assert_eq!(r, Err("fatal"));
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retry_sleeps_run_on_the_injected_clock() {
+        use crate::fault::VirtualClock;
+        let clock = VirtualClock::new();
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(200),
+        };
+        let (r, retries) = p.run_counted_with(&clock, 11, |_: &&str| true, || Err::<(), _>("down"));
+        assert_eq!(r, Err("down"));
+        assert_eq!(retries, 3);
+        // All backoff time was virtual: the clock advanced by the sleeps
+        // (at least base per retry) without blocking the thread.
+        assert!(clock.now() >= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn every_data_path_error_is_classified() {
+        use ech_core::placement::PlacementError;
+        use ech_kvstore::KvError;
+        assert_eq!(NodeError::Io.class(), ErrorClass::Retryable);
+        assert_eq!(NodeError::PoweredOff.class(), ErrorClass::Permanent);
+        assert_eq!(NodeError::NotFound.class(), ErrorClass::Permanent);
+        assert_eq!(
+            NodeError::DiskFull {
+                capacity: 1,
+                needed: 2
+            }
+            .class(),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            KvError::Unavailable { shard: 0 }.class(),
+            ErrorClass::Retryable
+        );
+        assert_eq!(KvError::NotAnInteger.class(), ErrorClass::Permanent);
+        assert_eq!(ClusterError::Unavailable.class(), ErrorClass::Retryable);
+        assert_eq!(
+            ClusterError::QuorumNotReached {
+                written: 1,
+                required: 2
+            }
+            .class(),
+            ErrorClass::Retryable
+        );
+        assert_eq!(ClusterError::NotFound.class(), ErrorClass::Permanent);
+        assert_eq!(
+            ClusterError::Node(NodeError::Io).class(),
+            ErrorClass::Retryable,
+            "Node wraps delegate to the inner class"
+        );
+        assert_eq!(
+            ClusterError::Placement(PlacementError::ZeroReplicas).class(),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            ClusterError::Internal("invariant").class(),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            PlacementError::Internal("invariant").class(),
+            ErrorClass::Permanent
+        );
     }
 
     #[test]

@@ -49,10 +49,6 @@
 //! # let _ = tasks;
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
-
 pub mod cache;
 pub mod dirty;
 pub mod hash;

@@ -103,6 +103,11 @@ pub enum PlacementError {
     },
     /// `r == 0` was requested.
     ZeroReplicas,
+    /// A placement invariant failed (e.g. the relaxed ring walk found no
+    /// eligible server even though enough were active). This indicates a
+    /// bug, but the data path degrades with an error instead of
+    /// panicking so the store keeps serving other objects.
+    Internal(&'static str),
 }
 
 impl fmt::Display for PlacementError {
@@ -113,6 +118,9 @@ impl fmt::Display for PlacementError {
                 "cannot place {needed} replicas on {active} active servers"
             ),
             PlacementError::ZeroReplicas => write!(f, "replication factor must be at least 1"),
+            PlacementError::Internal(what) => {
+                write!(f, "placement invariant violated: {what}")
+            }
         }
     }
 }
@@ -242,8 +250,14 @@ pub fn place_primary(
                 }
             }
         }
-        // `active >= replicas` guarantees the relaxed pass finds a server.
-        let v = found.expect("relaxed pass must find an active unchosen server");
+        // `active >= replicas` guarantees the relaxed pass finds a
+        // server; if it somehow does not, degrade with a classified error
+        // rather than panicking mid-put (analyzer rule D2).
+        let Some(v) = found else {
+            return Err(PlacementError::Internal(
+                "relaxed ring walk found no active unchosen server",
+            ));
+        };
         if layout.is_primary(v.server) {
             has_primary = true;
         }

@@ -21,10 +21,6 @@
 //! * **fencing** — node-side operations can validate that a request's
 //!   epoch is current before serving it, rejecting stragglers.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
-
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ech_core::ids::VersionId;
 use ech_core::membership::{MembershipHistory, MembershipTable};

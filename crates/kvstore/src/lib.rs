@@ -32,10 +32,6 @@
 //! assert_eq!(&head[..], b"10010:9");
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
-
 mod error;
 mod store;
 mod value;

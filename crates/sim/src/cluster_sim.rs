@@ -26,7 +26,7 @@ use ech_core::reintegration::{MigrationTask, Reintegrator};
 use ech_core::view::ClusterView;
 use ech_workload::objects::ObjectAllocator;
 use ech_workload::three_phase::{PhaseSpec, Workload};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One queued replica movement (full migration or re-replication).
 #[derive(Debug, Clone, Copy)]
@@ -125,8 +125,10 @@ pub struct ClusterSim {
     target: usize,
     time: f64,
 
-    /// Physical replica locations per object.
-    locations: HashMap<ObjectId, Vec<ServerId>>,
+    /// Physical replica locations per object. A `BTreeMap` keeps
+    /// iteration order deterministic (analyzer rule D1) — replanning
+    /// scans walk it in key order with no post-hoc sorting.
+    locations: BTreeMap<ObjectId, Vec<ServerId>>,
     dirty: InMemoryDirtyTable,
     headers: HeaderMap,
     reintegrator: Reintegrator,
@@ -182,7 +184,7 @@ impl ClusterSim {
             power: vec![PowerSimState::Active; cfg.servers],
             target: cfg.servers,
             time: 0.0,
-            locations: HashMap::new(),
+            locations: BTreeMap::new(),
             dirty: InMemoryDirtyTable::new(),
             headers: HeaderMap::new(),
             reintegrator: Reintegrator::new(),

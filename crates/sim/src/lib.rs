@@ -32,10 +32,6 @@
 //! * [`energy`] — per-state power model and energy meter, turning
 //!   machine-hours into kWh.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
-
 pub mod closed_loop;
 pub mod cluster_sim;
 pub mod config;

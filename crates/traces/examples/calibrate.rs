@@ -1,3 +1,7 @@
+//! Calibration report for the synthetic CC traces: prints per-policy
+//! server counts and summary statistics for cc-a/cc-b so Table II
+//! parameters can be tuned against the paper's numbers.
+
 use ech_traces::{analyze, PolicyKind, PolicyParams};
 
 fn main() {

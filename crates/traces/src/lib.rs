@@ -12,10 +12,6 @@
 //! * reports relative machine-hour usage (Table II) and per-bin server
 //!   counts (the Figure 8/9 series).
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
-
 pub mod io;
 pub mod policy;
 pub mod spec;

@@ -11,10 +11,6 @@
 //! [`objects`] converts byte flows into Sheepdog-style 4 MB object
 //! writes, which is what the dirty table ultimately tracks.
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
-
 pub mod objects;
 pub mod series;
 pub mod three_phase;

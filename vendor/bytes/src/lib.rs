@@ -27,6 +27,9 @@ impl Bytes {
         self.0.is_empty()
     }
 
+    // Inherent method mirroring the real crate's API (which also has
+    // it alongside the trait impl).
+    #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &[u8] {
         &self.0
     }

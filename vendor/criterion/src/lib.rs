@@ -262,6 +262,8 @@ impl<'a> BenchmarkGroup<'a> {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        // Generated harness entry points are not public API surface.
+        #[allow(missing_docs)]
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+

@@ -73,7 +73,7 @@ pub mod channel {
 mod tests {
     #[test]
     fn scope_joins_and_borrows() {
-        let data = vec![1u64, 2, 3];
+        let data = [1u64, 2, 3];
         let total = crate::scope(|s| {
             let h1 = s.spawn(|_| data.iter().sum::<u64>());
             let h2 = s.spawn(|inner| {

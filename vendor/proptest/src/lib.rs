@@ -587,7 +587,7 @@ mod tests {
 
         #[test]
         fn tuples_and_flat_map((a, b) in (1usize..5, 0usize..4).prop_flat_map(|(n, k)| (Just(n), 0usize..(n + k + 1)))) {
-            prop_assert!(a >= 1 && a < 5);
+            prop_assert!((1..5).contains(&a));
             prop_assert!(b < a + 4);
         }
 

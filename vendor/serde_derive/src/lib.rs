@@ -142,15 +142,11 @@ fn count_top_level_fields(stream: TokenStream) -> usize {
     let mut angle_depth = 0i32;
     let mut prev_was_minus = false;
     for tt in stream {
-        match &tt {
-            TokenTree::Punct(p) => match p.as_char() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
                 '<' => angle_depth += 1,
-                '>' => {
-                    // `->` in fn-pointer types must not close a generic.
-                    if !prev_was_minus {
-                        angle_depth -= 1;
-                    }
-                }
+                // `->` in fn-pointer types must not close a generic.
+                '>' if !prev_was_minus => angle_depth -= 1,
                 ',' if angle_depth == 0 => {
                     if saw_token {
                         fields += 1;
@@ -158,8 +154,7 @@ fn count_top_level_fields(stream: TokenStream) -> usize {
                     saw_token = false;
                 }
                 _ => {}
-            },
-            _ => {}
+            }
         }
         prev_was_minus = matches!(&tt, TokenTree::Punct(p) if p.as_char() == '-');
         if !matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0) {
