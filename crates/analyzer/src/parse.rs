@@ -25,6 +25,22 @@ pub struct FnInfo {
     pub line: u32,
 }
 
+/// One parsed struct item with named fields.
+///
+/// Field types are reduced to their *base* type — smart-pointer and
+/// lock wrappers (`Arc<Mutex<KvDirtyTable>>` → `KvDirtyTable`) are
+/// stripped so the rules can resolve `self.<field>.<method>(..)` calls
+/// against the type that actually defines the method. Container types
+/// like `Vec` are kept as-is: methods on a `Vec` field belong to `Vec`,
+/// not its element.
+#[derive(Debug, Clone)]
+pub struct StructInfo {
+    /// Struct name.
+    pub name: String,
+    /// `(field name, base type)` pairs in declaration order.
+    pub fields: Vec<(String, String)>,
+}
+
 /// One parsed enum item.
 #[derive(Debug, Clone)]
 pub struct EnumInfo {
@@ -56,6 +72,8 @@ pub struct ParsedFile {
     pub fns: Vec<FnInfo>,
     /// Enums.
     pub enums: Vec<EnumInfo>,
+    /// Structs with named fields.
+    pub structs: Vec<StructInfo>,
     /// Impl blocks.
     pub impls: Vec<ImplInfo>,
 }
@@ -136,6 +154,123 @@ fn path_last_segment(tokens: &[Token], mut i: usize) -> (Option<String>, usize) 
         }
     }
     (last, i)
+}
+
+/// Wrappers whose single generic argument is the type callers actually
+/// invoke methods on (after `.lock()`/`.load()`/deref). `Vec` and maps
+/// are deliberately absent: their methods are their own.
+const TYPE_WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Mutex", "RwLock", "RefCell", "Cell", "Option", "ArcSwap",
+];
+
+/// Reduce a field's type tokens to the base type name: skip references
+/// and path prefixes, descend through [`TYPE_WRAPPERS`] generics.
+fn base_type(t: &[Token]) -> Option<String> {
+    let mut k = 0usize;
+    while k < t.len() {
+        let tok = &t[k];
+        if tok.kind == TokKind::Ident {
+            if tok.is_ident("mut") || tok.is_ident("dyn") {
+                k += 1;
+                continue;
+            }
+            // Path prefix `std::sync::Arc<..>` — keep walking segments.
+            if t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            {
+                k += 3;
+                continue;
+            }
+            // Wrapper with a generic argument: descend into it.
+            if TYPE_WRAPPERS.contains(&tok.text.as_str())
+                && t.get(k + 1).is_some_and(|x| x.is_punct('<'))
+            {
+                k += 2;
+                continue;
+            }
+            return Some(tok.text.clone());
+        }
+        // References, lifetimes, stray angle brackets: skip.
+        k += 1;
+    }
+    None
+}
+
+/// Parse `{ name: Type, .. }` fields of a struct body (depth-1 walk,
+/// attribute and `pub(..)` spans skipped).
+fn struct_fields(t: &[Token], open: usize, close: usize) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        let x = &t[j];
+        // Attribute span `#[...]`.
+        if x.is_punct('#') && t.get(j + 1).is_some_and(|n| n.is_punct('[')) {
+            let mut d = 0i32;
+            let mut m = j + 1;
+            while m < close {
+                if t[m].is_punct('[') {
+                    d += 1;
+                } else if t[m].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            j = m + 1;
+            continue;
+        }
+        // Visibility: `pub` or `pub(crate)`.
+        if x.is_ident("pub") {
+            if t.get(j + 1).is_some_and(|n| n.is_punct('(')) {
+                let mut d = 0i32;
+                let mut m = j + 1;
+                while m < close {
+                    if t[m].is_punct('(') {
+                        d += 1;
+                    } else if t[m].is_punct(')') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                j = m + 1;
+            } else {
+                j += 1;
+            }
+            continue;
+        }
+        // Field: `name : Type` (a second `:` would be a path, not a field).
+        if x.kind == TokKind::Ident
+            && t.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && !t.get(j + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            // Type runs to the `,` at this nesting depth or the close.
+            let mut d = 0i32;
+            let mut m = j + 2;
+            while m < close {
+                let y = &t[m];
+                if y.is_punct('<') || y.is_punct('(') || y.is_punct('[') || y.is_punct('{') {
+                    d += 1;
+                } else if y.is_punct('>') || y.is_punct(')') || y.is_punct(']') || y.is_punct('}') {
+                    d -= 1;
+                } else if d <= 0 && y.is_punct(',') {
+                    break;
+                }
+                m += 1;
+            }
+            if let Some(base) = base_type(&t[j + 2..m]) {
+                fields.push((x.text.clone(), base));
+            }
+            j = m + 1;
+            continue;
+        }
+        j += 1;
+    }
+    fields
 }
 
 /// Parse the item structure of a lexed file.
@@ -297,6 +432,50 @@ pub fn parse(lexed: &Lexed) -> ParsedFile {
                 // Bodies are opaque to item discovery.
                 i = close + 1;
             }
+            TokKind::Ident if tok.text == "struct" => {
+                let name = match t.get(i + 1) {
+                    Some(n) if n.kind == TokKind::Ident => n.text.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                // Named-field structs open with `{`; tuple (`(`) and unit
+                // (`;`) structs carry no resolvable fields.
+                let mut j = i + 2;
+                let mut open = None;
+                let mut depth = 0i32;
+                while j < t.len() {
+                    let x = &t[j];
+                    if x.is_punct('(') || x.is_punct('[') {
+                        depth += 1;
+                    } else if x.is_punct(')') || x.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && x.is_punct('{') {
+                        open = Some(j);
+                        break;
+                    } else if depth == 0 && x.is_punct(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                let Some(open) = open else {
+                    out.structs.push(StructInfo {
+                        name,
+                        fields: Vec::new(),
+                    });
+                    attr_test = false;
+                    i = j + 1;
+                    continue;
+                };
+                let close = matching_brace(t, open);
+                out.structs.push(StructInfo {
+                    name,
+                    fields: struct_fields(t, open, close),
+                });
+                attr_test = false;
+                i = close + 1;
+            }
             TokKind::Ident if tok.text == "enum" => {
                 let name = match t.get(i + 1) {
                     Some(n) if n.kind == TokKind::Ident => n.text.clone(),
@@ -432,6 +611,40 @@ mod tests {
         );
         assert_eq!(p.fns.len(), 1);
         assert_eq!(p.fns[0].name, "g");
+    }
+
+    #[test]
+    fn struct_fields_strip_wrappers_to_base_types() {
+        let p = parsed(
+            "pub struct Cluster {\n\
+               view: ArcSwap<ClusterView>,\n\
+               pub(crate) dirty: KvDirtyTable,\n\
+               engine: std::sync::Mutex<Reintegrator>,\n\
+               limiter: Option<Mutex<MigrationThrottle>>,\n\
+               #[allow(dead_code)]\n\
+               tables: Vec<MembershipTable>,\n\
+               count: u64,\n\
+             }\n\
+             struct Unit;\n\
+             struct Tuple(u8, u16);",
+        );
+        assert_eq!(p.structs.len(), 3);
+        let c = &p.structs[0];
+        assert_eq!(c.name, "Cluster");
+        let get = |n: &str| {
+            c.fields
+                .iter()
+                .find(|(f, _)| f == n)
+                .map(|(_, t)| t.as_str())
+        };
+        assert_eq!(get("view"), Some("ClusterView"));
+        assert_eq!(get("dirty"), Some("KvDirtyTable"));
+        assert_eq!(get("engine"), Some("Reintegrator"));
+        assert_eq!(get("limiter"), Some("MigrationThrottle"));
+        assert_eq!(get("tables"), Some("Vec"), "containers are not stripped");
+        assert_eq!(get("count"), Some("u64"));
+        assert!(p.structs[1].fields.is_empty());
+        assert!(p.structs[2].fields.is_empty());
     }
 
     #[test]

@@ -206,11 +206,15 @@ struct Graph<'a> {
     fns: BTreeMap<&'a str, (usize, &'a FnInfo)>,
     /// bare name -> quals (for unqualified call resolution)
     by_name: BTreeMap<&'a str, Vec<&'a str>>,
+    /// (struct name, field name) -> field's base type, for resolving
+    /// `self.<field>.<method>(..)` receivers by declared type.
+    fields: BTreeMap<(&'a str, &'a str), &'a str>,
 }
 
 fn build_graph(units: &[Unit]) -> Graph<'_> {
     let mut fns: BTreeMap<&str, (usize, &FnInfo)> = BTreeMap::new();
     let mut by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut fields: BTreeMap<(&str, &str), &str> = BTreeMap::new();
     for (ui, u) in units.iter().enumerate() {
         if !graph_scoped(&u.path) {
             continue;
@@ -222,8 +226,109 @@ fn build_graph(units: &[Unit]) -> Graph<'_> {
             fns.entry(f.qual.as_str()).or_insert((ui, f));
             by_name.entry(f.name.as_str()).or_default().push(&f.qual);
         }
+        for s in &u.parsed.structs {
+            for (fname, ftype) in &s.fields {
+                fields
+                    .entry((s.name.as_str(), fname.as_str()))
+                    .or_insert(ftype.as_str());
+            }
+        }
     }
-    Graph { fns, by_name }
+    Graph {
+        fns,
+        by_name,
+        fields,
+    }
+}
+
+/// Guard/handle hops that forward method calls to the wrapped value:
+/// `self.dirty.clone().push_back(..)` still targets `KvDirtyTable`.
+const RECEIVER_HOPS: &[&str] = &[
+    "lock",
+    "read",
+    "write",
+    "clone",
+    "load",
+    "borrow",
+    "borrow_mut",
+];
+
+/// Field receiver of the method call at token `i`, if the receiver is
+/// `self.<field>` — directly, through one [`RECEIVER_HOPS`] hop, or via
+/// a let-bound alias (`let d = self.dirty.clone(); d.push_back(..)`).
+fn receiver_field(t: &[Token], i: usize, aliases: &BTreeMap<String, String>) -> Option<String> {
+    if i < 2 || !t[i - 1].is_punct('.') {
+        return None;
+    }
+    // `k` is the dot introducing the method; hop back over one
+    // `.lock()`-style link in the chain.
+    let mut k = i - 1;
+    if k >= 4
+        && t[k - 1].is_punct(')')
+        && t[k - 2].is_punct('(')
+        && t[k - 3].kind == TokKind::Ident
+        && RECEIVER_HOPS.contains(&t[k - 3].text.as_str())
+        && t[k - 4].is_punct('.')
+    {
+        k -= 4;
+    }
+    // `self . field .` — the declared-field receiver.
+    if k >= 3
+        && t[k - 1].kind == TokKind::Ident
+        && t[k - 2].is_punct('.')
+        && t[k - 3].is_ident("self")
+    {
+        return Some(t[k - 1].text.clone());
+    }
+    // `alias .` — a local bound from `self.<field>` earlier in the body.
+    if k >= 1 && t[k - 1].kind == TokKind::Ident && (k < 2 || !t[k - 2].is_punct('.')) {
+        return aliases.get(&t[k - 1].text).cloned();
+    }
+    None
+}
+
+/// Locals bound straight off a field: `let [mut] name = self.field ...`.
+fn local_aliases(t: &[Token], f: &FnInfo) -> BTreeMap<String, String> {
+    let (a, b) = f.body;
+    let mut out = BTreeMap::new();
+    for i in a..=b.min(t.len().saturating_sub(1)) {
+        if !t[i].is_ident("let") {
+            continue;
+        }
+        let mut k = i + 1;
+        if t.get(k).is_some_and(|x| x.is_ident("mut")) {
+            k += 1;
+        }
+        let Some(name) = t.get(k).filter(|x| x.kind == TokKind::Ident) else {
+            continue;
+        };
+        if t.get(k + 1).is_some_and(|x| x.is_punct('='))
+            && !t.get(k + 2).is_some_and(|x| x.is_punct('='))
+            && t.get(k + 2).is_some_and(|x| x.is_ident("self"))
+            && t.get(k + 3).is_some_and(|x| x.is_punct('.'))
+            && t.get(k + 4).is_some_and(|x| x.kind == TokKind::Ident)
+        {
+            out.insert(name.text.clone(), t[k + 4].text.clone());
+        }
+    }
+    out
+}
+
+/// Resolve the method call at token `i` by its receiver's declared
+/// type; `None` when the receiver isn't a typed field or the type
+/// doesn't define the method in graph scope.
+fn resolve_by_receiver<'a>(
+    g: &Graph<'a>,
+    t: &[Token],
+    i: usize,
+    f: &FnInfo,
+    aliases: &BTreeMap<String, String>,
+) -> Option<&'a str> {
+    let field = receiver_field(t, i, aliases)?;
+    let owner = f.owner.as_deref()?;
+    let base = g.fields.get(&(owner, field.as_str()))?;
+    let qual = format!("{base}::{}", t[i].text);
+    g.fns.get_key_value(qual.as_str()).map(|(k, _)| *k)
 }
 
 /// Qualified names of fns called from `f`'s body.
@@ -231,6 +336,7 @@ fn callees<'a>(units: &[Unit], g: &Graph<'a>, ui: usize, f: &FnInfo) -> Vec<&'a 
     let t = &units[ui].lexed.tokens;
     let mut out = Vec::new();
     let (a, b) = f.body;
+    let aliases = local_aliases(t, f);
     for i in a..=b.min(t.len().saturating_sub(1)) {
         let tok = &t[i];
         if tok.kind != TokKind::Ident {
@@ -244,6 +350,13 @@ fn callees<'a>(units: &[Unit], g: &Graph<'a>, ui: usize, f: &FnInfo) -> Vec<&'a 
                 && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
                 && t.get(i + 3).is_some_and(|x| x.is_punct('<')));
         if !next_is_call {
+            continue;
+        }
+        // Receiver-typed resolution first: it recovers the calls the
+        // name-only heuristic must ignore (e.g. `self.dirty.get(i)` →
+        // `KvDirtyTable::get` even though bare `get` is too generic).
+        if let Some(k) = resolve_by_receiver(g, t, i, f, &aliases) {
+            out.push(k);
             continue;
         }
         let name = tok.text.as_str();
@@ -650,17 +763,25 @@ fn d4_lock_discipline(units: &[Unit], out: &mut Vec<Finding>) {
         // position-aware).
         let mut calls = Vec::new();
         let (a, b) = f.body;
+        let aliases = local_aliases(t, f);
         for i in a..=b.min(t.len().saturating_sub(1)) {
             let tok = &t[i];
-            if tok.kind != TokKind::Ident
-                || !t.get(i + 1).is_some_and(|x| x.is_punct('('))
-                || CALL_IGNORE.contains(&tok.text.as_str())
-            {
+            if tok.kind != TokKind::Ident || !t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
                 continue;
             }
             let name = tok.text.as_str();
             if D4_RETRY_POINTS.contains(&name) {
                 calls.push((i, format!("<retry:{name}>")));
+                continue;
+            }
+            // Receiver-typed resolution before the generic-name skip,
+            // so guard-holding calls like `dirty.lock().push_back(..)`
+            // land on the type that defines them.
+            if let Some(k) = resolve_by_receiver(&g, t, i, f, &aliases) {
+                calls.push((i, k.to_string()));
+                continue;
+            }
+            if CALL_IGNORE.contains(&name) {
                 continue;
             }
             let resolved = if i >= 3

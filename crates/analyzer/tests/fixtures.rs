@@ -231,6 +231,69 @@ fn d4_cycle_via_transitive_call() {
     );
 }
 
+#[test]
+fn d2_follows_receiver_typed_calls_through_ignored_names() {
+    // Bare `get` is in CALL_IGNORE, but the field's declared type pins
+    // the callee: `self.dirty.get(..)` → `KvDirtyTable::get`, whose
+    // indexing must surface. The alias form (`let d = self.dirty...`)
+    // must resolve the same way.
+    let files = vec![
+        file(
+            "crates/cluster/src/cluster.rs",
+            "pub struct Cluster { dirty: KvDirtyTable }\n\
+             impl Cluster {\n\
+             pub fn put(&self) { let e = self.dirty.get(0); }\n\
+             pub fn locate(&self) { let d = self.dirty.clone(); let e = d.get(1); }\n\
+             }\n",
+        ),
+        file(
+            "crates/cluster/src/dirty_store.rs",
+            "pub struct KvDirtyTable;\n\
+             impl KvDirtyTable {\n\
+             pub fn get(&self, i: usize) -> u8 { self.raw[i] }\n\
+             }\n",
+        ),
+    ];
+    let hits = rules_at(&files, "crates/cluster/src/dirty_store.rs");
+    assert!(
+        hits.iter().any(|(r, l)| r == "D2" && *l == 3),
+        "indexing inside KvDirtyTable::get must be reachable: {hits:?}"
+    );
+}
+
+#[test]
+fn d4_resolves_guarded_receiver_calls_by_field_type() {
+    // `self.dirty.lock().push_back(..)` while `gate` is held: the hop
+    // through `.lock()` plus the field type resolves the callee, and
+    // its retry point makes the held guard a finding.
+    let files = vec![
+        file(
+            "crates/cluster/src/cluster.rs",
+            "pub struct Cluster { dirty: Mutex<KvDirtyTable>, gate: Mutex<u8> }\n\
+             impl Cluster {\n\
+             pub fn log(&self) {\n\
+             let g = self.gate.lock();\n\
+             self.dirty.lock().push_back(1);\n\
+             }\n\
+             }\n",
+        ),
+        file(
+            "crates/cluster/src/dirty_store.rs",
+            "pub struct KvDirtyTable;\n\
+             impl KvDirtyTable {\n\
+             pub fn push_back(&self, e: u8) { kv_retry(e); }\n\
+             }\n\
+             fn kv_retry(e: u8) {}\n",
+        ),
+    ];
+    let hits = analyze(&files);
+    assert!(
+        hits.iter()
+            .any(|f| f.rule == "D4" && f.key.contains("lock-across-retry") && f.line == 5),
+        "gate held across retry-reaching push_back: {hits:?}"
+    );
+}
+
 // ------------------------------------------------------ suppressions
 
 #[test]

@@ -1,0 +1,94 @@
+//! Hot-path micro-benchmarks over the live cluster: lock-free epoch reads
+//! (`put`/`get` against the RCU view snapshot), the sharded placement
+//! cache, and a resize/drain cycle. The `bench_hotpath` binary (used by
+//! CI's bench-smoke gate) measures the same paths end-to-end; these
+//! criterion groups isolate the per-operation cost.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ech_cluster::{Cluster, ClusterConfig};
+use ech_core::ids::ObjectId;
+use std::hint::black_box;
+
+fn seeded_cluster(objects: u64) -> std::sync::Arc<Cluster> {
+    let c = Cluster::new(ClusterConfig::paper());
+    let data = Bytes::from(vec![0x5au8; 128]);
+    for i in 0..objects {
+        c.put(ObjectId(i), data.clone()).expect("seed put");
+    }
+    c
+}
+
+fn hotpath_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_put");
+    let cluster = Cluster::new(ClusterConfig::paper());
+    let data = Bytes::from(vec![0x5au8; 128]);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("single_thread", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(
+                cluster
+                    .put(ObjectId(k % 50_000), data.clone())
+                    .expect("put"),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn hotpath_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_get");
+    let cluster = seeded_cluster(10_000);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("single_thread", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            black_box(cluster.get(ObjectId(k % 10_000)).expect("get"))
+        });
+    });
+    g.finish();
+}
+
+fn hotpath_locate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_locate");
+    let cluster = seeded_cluster(10_000);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("cached_placement", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(cluster.locate(ObjectId(k % 10_000)).expect("locate"))
+        });
+    });
+    g.finish();
+}
+
+fn hotpath_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_drain");
+    g.sample_size(10);
+    g.bench_function("resize_dirty_reintegrate", |b| {
+        b.iter(|| {
+            let cluster = seeded_cluster(500);
+            cluster.resize(5);
+            let data = Bytes::from(vec![0xa5u8; 128]);
+            for i in 0..250u64 {
+                cluster.put(ObjectId(i), data.clone()).expect("dirty put");
+            }
+            cluster.resize(10);
+            black_box(cluster.reintegrate_all())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    hotpath_put,
+    hotpath_get,
+    hotpath_locate,
+    hotpath_drain
+);
+criterion_main!(benches);

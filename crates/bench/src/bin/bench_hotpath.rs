@@ -1,0 +1,9 @@
+//! Standalone runner for the hot-path throughput harness (the same
+//! measurement `ech bench hotpath` exposes). Prints the JSON report to
+//! stdout; pass `--smoke` for the short CI-sized workload.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let report = ech_bench::hotpath::run(smoke);
+    println!("{}", report.to_json());
+}

@@ -1,0 +1,356 @@
+//! Hot-path throughput harness behind `ech bench hotpath`.
+//!
+//! Measures the client-visible data path end to end — `Cluster::put` /
+//! `Cluster::get` through placement resolution, replication and the kv
+//! metadata writes — plus the reintegration drain, and emits one JSON
+//! report (`BENCH_hotpath.json`) so every PR has a measured trajectory.
+//!
+//! Wall-clock timing is intentional here: this crate is a measurement
+//! harness, not part of the deterministic placement/sim core, so the D1
+//! no-wall-clock rule does not apply.
+
+use bytes::Bytes;
+use ech_cluster::{Cluster, ClusterConfig};
+use ech_core::ids::ObjectId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Thread count for the multi-threaded phase (fixed so reports from
+/// different machines stay comparable).
+pub const THREADS: usize = 8;
+
+/// Payload size used for every object (bytes).
+pub const PAYLOAD_BYTES: usize = 128;
+
+/// One full measurement pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotpathReport {
+    /// `"smoke"` or `"full"`.
+    pub smoke: bool,
+    /// Objects written per phase.
+    pub objects: usize,
+    /// `std::thread::available_parallelism()` on the measuring machine —
+    /// the hard ceiling on multi-thread scaling.
+    pub available_parallelism: usize,
+    /// Single-thread `put` throughput (ops/sec).
+    pub single_put_ops_per_sec: f64,
+    /// Single-thread `get` throughput (ops/sec).
+    pub single_get_ops_per_sec: f64,
+    /// Single-thread alternating put/get throughput (ops/sec).
+    pub single_mixed_ops_per_sec: f64,
+    /// 8-thread alternating put/get throughput, all threads summed
+    /// (ops/sec).
+    pub multi_mixed_ops_per_sec: f64,
+    /// `multi_mixed / single_mixed` — ≥ 1 means the path scales.
+    pub scaling_ratio: f64,
+    /// Placement-cache hits observed during the measurement.
+    pub cache_hits: u64,
+    /// Placement-cache misses observed during the measurement.
+    pub cache_misses: u64,
+    /// Placement-cache shard-lock contention events.
+    pub cache_shard_contention: u64,
+    /// Reintegration drain rate (objects/sec).
+    pub drain_objects_per_sec: f64,
+    /// Reintegration drain rate (MB/sec of payload moved).
+    pub drain_mb_per_sec: f64,
+}
+
+impl HotpathReport {
+    /// Cache hit ratio in `[0, 1]`.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Hand-rolled JSON with a stable field order (the committed report
+    /// is diffed across PRs, so ordering must not depend on a map).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if self.smoke { "smoke" } else { "full" }
+        ));
+        s.push_str(&format!("  \"objects\": {},\n", self.objects));
+        s.push_str(&format!("  \"payload_bytes\": {PAYLOAD_BYTES},\n"));
+        s.push_str(&format!("  \"threads\": {THREADS},\n"));
+        s.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        s.push_str("  \"single_thread\": {\n");
+        s.push_str(&format!(
+            "    \"put_ops_per_sec\": {:.0},\n",
+            self.single_put_ops_per_sec
+        ));
+        s.push_str(&format!(
+            "    \"get_ops_per_sec\": {:.0},\n",
+            self.single_get_ops_per_sec
+        ));
+        s.push_str(&format!(
+            "    \"mixed_ops_per_sec\": {:.0}\n",
+            self.single_mixed_ops_per_sec
+        ));
+        s.push_str("  },\n");
+        s.push_str("  \"multi_thread\": {\n");
+        s.push_str(&format!(
+            "    \"mixed_ops_per_sec\": {:.0},\n",
+            self.multi_mixed_ops_per_sec
+        ));
+        s.push_str(&format!(
+            "    \"scaling_ratio\": {:.2}\n",
+            self.scaling_ratio
+        ));
+        s.push_str("  },\n");
+        s.push_str("  \"placement_cache\": {\n");
+        s.push_str(&format!("    \"hits\": {},\n", self.cache_hits));
+        s.push_str(&format!("    \"misses\": {},\n", self.cache_misses));
+        s.push_str(&format!(
+            "    \"hit_ratio\": {:.4},\n",
+            self.cache_hit_ratio()
+        ));
+        s.push_str(&format!(
+            "    \"shard_contention\": {}\n",
+            self.cache_shard_contention
+        ));
+        s.push_str("  },\n");
+        s.push_str("  \"reintegration\": {\n");
+        s.push_str(&format!(
+            "    \"drain_objects_per_sec\": {:.0},\n",
+            self.drain_objects_per_sec
+        ));
+        s.push_str(&format!(
+            "    \"drain_mb_per_sec\": {:.2}\n",
+            self.drain_mb_per_sec
+        ));
+        s.push_str("  }\n");
+        s.push('}');
+        s
+    }
+}
+
+fn payload() -> Bytes {
+    Bytes::from(vec![0xA5u8; PAYLOAD_BYTES])
+}
+
+fn fresh_cluster() -> Arc<Cluster> {
+    Cluster::new(ClusterConfig::paper())
+}
+
+/// Run the full measurement. `smoke` shrinks the workload for CI.
+pub fn run(smoke: bool) -> HotpathReport {
+    let objects: usize = if smoke { 2_000 } else { 20_000 };
+    let data = payload();
+
+    // Phase 1: single-thread put throughput on a fresh cluster.
+    let c = fresh_cluster();
+    let t = Instant::now();
+    for i in 0..objects {
+        c.put(ObjectId(i as u64), data.clone()).expect("put");
+    }
+    let single_put = objects as f64 / t.elapsed().as_secs_f64();
+
+    // Phase 2: single-thread get throughput over the loaded set (two
+    // passes so the measurement is not dominated by cold start).
+    let t = Instant::now();
+    for pass in 0..2 {
+        for i in 0..objects {
+            let _ = pass;
+            c.get(ObjectId(i as u64)).expect("get");
+        }
+    }
+    let single_get = (2 * objects) as f64 / t.elapsed().as_secs_f64();
+
+    // Phase 3: single-thread mixed (alternating put/get) — the figure the
+    // multi-thread phase is compared against.
+    let t = Instant::now();
+    for i in 0..objects {
+        let oid = ObjectId((i % objects) as u64);
+        if i % 2 == 0 {
+            c.get(oid).expect("get");
+        } else {
+            c.put(oid, data.clone()).expect("put");
+        }
+    }
+    let single_mixed = objects as f64 / t.elapsed().as_secs_f64();
+
+    // Phase 4: 8-thread mixed put/get. Each thread owns a disjoint write
+    // range (no write-write races on one oid) and reads across the whole
+    // preloaded set.
+    let done = AtomicU64::new(0);
+    let per_thread = objects / THREADS;
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..THREADS {
+            let c = &c;
+            let data = data.clone();
+            let done = &done;
+            s.spawn(move || {
+                let base = tid * per_thread;
+                for i in 0..per_thread {
+                    let oid = ObjectId((base + i) as u64);
+                    if i % 2 == 0 {
+                        let read = ObjectId(((base + i * 7 + tid) % objects) as u64);
+                        c.get(read).expect("get");
+                    } else {
+                        c.put(oid, data.clone()).expect("put");
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let multi_mixed = done.load(Ordering::Relaxed) as f64 / t.elapsed().as_secs_f64();
+
+    let cache = cache_stats(&c);
+
+    // Phase 5: reintegration drain. Size down, dirty a quarter of the
+    // population, size back up, and time the drain to empty.
+    let servers = c.config().servers;
+    let dirty_objects = objects / 4;
+    c.resize(servers / 2);
+    for i in 0..dirty_objects {
+        c.put(ObjectId(i as u64), data.clone()).expect("dirty put");
+    }
+    c.resize(servers);
+    let moved_before = c.migrated_bytes();
+    let t = Instant::now();
+    c.reintegrate_all();
+    let dt = t.elapsed().as_secs_f64();
+    let moved = c.migrated_bytes() - moved_before;
+    let drain_objects_per_sec = dirty_objects as f64 / dt;
+    let drain_mb_per_sec = moved as f64 / 1e6 / dt;
+
+    HotpathReport {
+        smoke,
+        objects,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        single_put_ops_per_sec: single_put,
+        single_get_ops_per_sec: single_get,
+        single_mixed_ops_per_sec: single_mixed,
+        multi_mixed_ops_per_sec: multi_mixed,
+        scaling_ratio: multi_mixed / single_mixed,
+        cache_hits: cache.0,
+        cache_misses: cache.1,
+        cache_shard_contention: cache.2,
+        drain_objects_per_sec,
+        drain_mb_per_sec,
+    }
+}
+
+/// Placement-cache counters (hits, misses, shard contention) for the
+/// measured cluster.
+fn cache_stats(c: &Cluster) -> (u64, u64, u64) {
+    let s = c.cache_stats();
+    (s.hits, s.misses, s.shard_contention)
+}
+
+/// Compare a fresh report against a committed reference JSON, failing on
+/// a single-thread put/get regression beyond `tolerance` (e.g. `0.20`).
+/// Returns a human-readable verdict on success.
+pub fn check_against(
+    fresh: &HotpathReport,
+    reference_json: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    let section = if fresh.smoke { "smoke" } else { "current" };
+    let ref_put = extract_number(reference_json, section, "put_ops_per_sec")
+        .ok_or_else(|| format!("reference JSON has no {section}.single_thread.put_ops_per_sec"))?;
+    let ref_get = extract_number(reference_json, section, "get_ops_per_sec")
+        .ok_or_else(|| format!("reference JSON has no {section}.single_thread.get_ops_per_sec"))?;
+    let floor_put = ref_put * (1.0 - tolerance);
+    let floor_get = ref_get * (1.0 - tolerance);
+    if fresh.single_put_ops_per_sec < floor_put {
+        return Err(format!(
+            "single-thread put regressed: {:.0} ops/s vs committed {:.0} (floor {:.0})",
+            fresh.single_put_ops_per_sec, ref_put, floor_put
+        ));
+    }
+    if fresh.single_get_ops_per_sec < floor_get {
+        return Err(format!(
+            "single-thread get regressed: {:.0} ops/s vs committed {:.0} (floor {:.0})",
+            fresh.single_get_ops_per_sec, ref_get, floor_get
+        ));
+    }
+    Ok(format!(
+        "hotpath check ok: put {:.0} vs {:.0}, get {:.0} vs {:.0} (tolerance {:.0}%)",
+        fresh.single_put_ops_per_sec,
+        ref_put,
+        fresh.single_get_ops_per_sec,
+        ref_get,
+        tolerance * 100.0
+    ))
+}
+
+/// Pull `"field": <number>` out of the named top-level section of the
+/// committed report. Deliberately string-based: the reference file is
+/// machine-written by this same module, so a full JSON parser would only
+/// add surface area.
+fn extract_number(json: &str, section: &str, field: &str) -> Option<f64> {
+    let sec_key = format!("\"{section}\"");
+    let start = json.find(&sec_key)?;
+    let tail = &json[start..];
+    let field_key = format!("\"{field}\"");
+    let f = tail.find(&field_key)?;
+    let after = &tail[f + field_key.len()..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_round_trips_through_the_checker() {
+        let r = HotpathReport {
+            smoke: true,
+            objects: 100,
+            available_parallelism: 1,
+            single_put_ops_per_sec: 1000.0,
+            single_get_ops_per_sec: 2000.0,
+            single_mixed_ops_per_sec: 1500.0,
+            multi_mixed_ops_per_sec: 1500.0,
+            scaling_ratio: 1.0,
+            cache_hits: 10,
+            cache_misses: 5,
+            cache_shard_contention: 0,
+            drain_objects_per_sec: 50.0,
+            drain_mb_per_sec: 0.5,
+        };
+        let wrapped = format!("{{\n\"smoke\": {}\n}}", r.to_json());
+        // Identical numbers pass the 20% gate.
+        assert!(check_against(&r, &wrapped, 0.20).is_ok());
+        // A big regression fails it.
+        let mut slow = r;
+        slow.single_put_ops_per_sec = 100.0;
+        assert!(check_against(&slow, &wrapped, 0.20).is_err());
+        // Hit ratio math.
+        assert!((r.cache_hit_ratio() - 10.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extract_number_finds_nested_fields() {
+        let json = "{\n\"current\": {\"single_thread\": {\"put_ops_per_sec\": 1234,\n\"get_ops_per_sec\": 5678.5}}\n}";
+        assert_eq!(
+            extract_number(json, "current", "put_ops_per_sec"),
+            Some(1234.0)
+        );
+        assert_eq!(
+            extract_number(json, "current", "get_ops_per_sec"),
+            Some(5678.5)
+        );
+        assert_eq!(extract_number(json, "smoke", "put_ops_per_sec"), None);
+    }
+}

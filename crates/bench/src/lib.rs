@@ -27,6 +27,8 @@
 
 use std::fmt::Display;
 
+pub mod hotpath;
+
 /// Print a header line for an experiment harness.
 pub fn banner(id: &str, caption: &str) {
     println!("================================================================");

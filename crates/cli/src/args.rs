@@ -5,11 +5,16 @@
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand plus positionals and `--key value`
+/// options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The first positional token.
     pub command: String,
+    /// Positional tokens after the subcommand (e.g. `hotpath` in
+    /// `ech bench hotpath`). Most commands take none and reject them via
+    /// [`Args::no_positionals`].
+    pub positionals: Vec<String>,
     /// `--key value` pairs.
     pub options: HashMap<String, String>,
 }
@@ -37,10 +42,12 @@ pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ParseErr
             "expected a subcommand before flags, found {command}"
         )));
     }
+    let mut positionals = Vec::new();
     let mut options = HashMap::new();
     while let Some(tok) = it.next() {
         let Some(key) = tok.strip_prefix("--") else {
-            return Err(ParseError(format!("unexpected positional argument {tok}")));
+            positionals.push(tok);
+            continue;
         };
         let value = it
             .next()
@@ -49,7 +56,11 @@ pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ParseErr
             return Err(ParseError(format!("flag --{key} given twice")));
         }
     }
-    Ok(Args { command, options })
+    Ok(Args {
+        command,
+        positionals,
+        options,
+    })
 }
 
 impl Args {
@@ -66,6 +77,18 @@ impl Args {
     /// Fetch a string option or a default.
     pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Fail when positional arguments were given (for commands that take
+    /// only flags — catches stray tokens).
+    pub fn no_positionals(&self) -> Result<(), ParseError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(tok) => Err(ParseError(format!(
+                "unexpected positional argument {tok} for `{}`",
+                self.command
+            ))),
+        }
     }
 
     /// Fail on options outside the allowed set (catches typos).
@@ -110,7 +133,17 @@ mod tests {
         assert!(parse(toks("place --oid 1 --oid 2")).is_err());
         assert!(parse(toks("--servers 10")).is_err());
         assert!(parse(Vec::new()).is_err());
-        assert!(parse(toks("place stray")).is_err());
+    }
+
+    #[test]
+    fn positionals_are_collected_and_rejectable() {
+        let a = parse(toks("bench hotpath --smoke true")).unwrap();
+        assert_eq!(a.command, "bench");
+        assert_eq!(a.positionals, vec!["hotpath".to_owned()]);
+        assert!(a.no_positionals().is_err());
+        let b = parse(toks("place --oid 1")).unwrap();
+        assert!(b.positionals.is_empty());
+        assert!(b.no_positionals().is_ok());
     }
 
     #[test]

@@ -13,6 +13,10 @@ use std::fmt::Write as _;
 
 /// Run a parsed command, returning its printable output.
 pub fn run(args: &Args) -> Result<String, ParseError> {
+    // Only `bench` takes a positional (the benchmark group name).
+    if args.command != "bench" {
+        args.no_positionals()?;
+    }
     match args.command.as_str() {
         "help" => Ok(help()),
         "layout" => layout(args),
@@ -22,6 +26,7 @@ pub fn run(args: &Args) -> Result<String, ParseError> {
         "trace" => trace_cmd(args),
         "latency" => latency_cmd(args),
         "chaos" => chaos_cmd(args),
+        "bench" => bench_cmd(args),
         "lint" => lint_cmd(args),
         other => Err(ParseError(format!(
             "unknown subcommand `{other}`; try `ech help`"
@@ -53,12 +58,60 @@ COMMANDS:
                   live cluster and print the report
                   [--seed S] [--objects N] [--error-rate P]
                   [--crash1 OP] [--crash2 OP] [--servers N] [--replicas R]
+  bench           run a benchmark group on the live cluster, JSON to
+                  stdout (group: hotpath)
+                  [--smoke true] [--check-against FILE] [--tolerance T]
   lint            run the workspace invariant analyzer (rules D1-D4)
                   [--root DIR] [--baseline FILE] [--deny-new true]
                   [--write-baseline true]
   help            this text
 "
     .to_owned()
+}
+
+/// `ech bench <group>`: run a live-cluster benchmark group and print its
+/// JSON report. With `--check-against FILE` the fresh numbers are also
+/// compared to a committed reference (the CI bench-smoke gate), failing
+/// on a single-thread put/get regression beyond `--tolerance`.
+fn bench_cmd(args: &Args) -> Result<String, ParseError> {
+    args.allow_only(&["smoke", "check-against", "tolerance"])?;
+    let group = match args.positionals.as_slice() {
+        [] | [_] => args.positionals.first().map_or("hotpath", String::as_str),
+        more => {
+            return Err(ParseError(format!(
+                "bench takes one group name, got {}",
+                more.len()
+            )))
+        }
+    };
+    if group != "hotpath" {
+        return Err(ParseError(format!(
+            "unknown bench group `{group}` (available: hotpath)"
+        )));
+    }
+    let smoke: bool = args.get_or("smoke", false)?;
+    let tolerance: f64 = args.get_or("tolerance", 0.20)?;
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(ParseError("--tolerance must be within [0, 1)".into()));
+    }
+    // Read the reference before measuring: a bad path should fail fast,
+    // not after the benchmark ran.
+    let reference = match args.options.get("check-against") {
+        Some(path) => Some(
+            std::fs::read_to_string(path)
+                .map_err(|e| ParseError(format!("cannot read --check-against {path}: {e}")))?,
+        ),
+        None => None,
+    };
+    let report = ech_bench::hotpath::run(smoke);
+    let mut out = report.to_json();
+    if let Some(reference) = reference {
+        let verdict = ech_bench::hotpath::check_against(&report, &reference, tolerance)
+            .map_err(ParseError)?;
+        out.push('\n');
+        out.push_str(&verdict);
+    }
+    Ok(out)
 }
 
 /// `ech lint`: delegate to the analyzer's CLI. The analyzer prints its
@@ -484,6 +537,7 @@ mod tests {
             "trace",
             "latency",
             "chaos",
+            "bench",
             "lint",
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
@@ -614,5 +668,15 @@ mod tests {
     fn unknown_command_and_flags_error() {
         assert!(run_line("frobnicate").is_err());
         assert!(run_line("layout --bogus 3").is_err());
+        assert!(run_line("place stray").is_err());
+    }
+
+    #[test]
+    fn bench_rejects_bad_invocations() {
+        assert!(run_line("bench warp").is_err());
+        assert!(run_line("bench hotpath extra").is_err());
+        assert!(run_line("bench --bogus 1").is_err());
+        assert!(run_line("bench --tolerance 2").is_err());
+        assert!(run_line("bench --check-against /no/such/file --smoke true").is_err());
     }
 }

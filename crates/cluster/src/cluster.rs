@@ -16,18 +16,22 @@ use crate::fault::{Clock, FaultInjector, FaultPlan, FaultStatsSnapshot, SystemCl
 use crate::node::{NodeError, StorageNode};
 use crate::repair::RepairStats;
 use crate::retry::{Classify, RetryPolicy};
+use arc_swap::ArcSwap;
 use bytes::Bytes;
+use ech_core::cache::ShardedPlacementCache;
 use ech_core::dirty::{DirtyEntry, DirtyTable, HeaderSource};
 use ech_core::ids::{ObjectId, ServerId, VersionId};
 use ech_core::layout::Layout;
 use ech_core::placement::{Placement, PlacementError, Strategy};
-use ech_core::reintegration::{Idle, Reintegrator};
-use ech_core::stats::{PathCounters, PathSnapshot};
+use ech_core::ratelimit::TokenBucket;
+use ech_core::reintegration::{Idle, MigrationTask, Reintegrator};
+use ech_core::stats::{CacheSnapshot, PathCounters, PathSnapshot};
 use ech_core::view::ClusterView;
 use ech_kvstore::{KvStore, ShardFaultHook};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -49,6 +53,17 @@ pub struct ClusterConfig {
     pub write_quorum: WriteQuorum,
     /// Retry budget applied to transiently-failing node operations.
     pub retry: RetryPolicy,
+    /// Entries the sharded placement cache holds before evicting.
+    pub cache_capacity: usize,
+    /// Lock stripes of the placement cache (rounded up to a power of
+    /// two).
+    pub cache_shards: usize,
+    /// Tasks one re-integration drain batch plans before executing them
+    /// (executed in parallel when no fault plan is installed).
+    pub reintegration_batch: usize,
+    /// Migration throttle in payload bytes per second; `None` leaves
+    /// re-integration unthrottled. Must be positive when set.
+    pub migration_rate: Option<f64>,
 }
 
 impl ClusterConfig {
@@ -64,6 +79,10 @@ impl ClusterConfig {
             capacity_plan: None,
             write_quorum: WriteQuorum::default(),
             retry: RetryPolicy::default(),
+            cache_capacity: 65_536,
+            cache_shards: 16,
+            reintegration_batch: 8,
+            migration_rate: None,
         }
     }
 }
@@ -174,6 +193,23 @@ pub struct ReintegrationStats {
     pub bytes: u64,
 }
 
+impl ReintegrationStats {
+    /// Accumulate another pass's counters into this one.
+    pub fn absorb(&mut self, other: ReintegrationStats) {
+        self.tasks += other.tasks;
+        self.moves += other.moves;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Token-bucket throttle for re-integration payload bytes. Refills run
+/// off the cluster clock, so virtual-clock drills stay deterministic.
+#[derive(Debug)]
+struct MigrationThrottle {
+    bucket: TokenBucket,
+    last_refill: Duration,
+}
+
 /// How reads pick among an object's replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReadPolicy {
@@ -198,11 +234,26 @@ pub enum ReadPolicy {
 pub struct Cluster {
     cfg: ClusterConfig,
     nodes: Vec<Arc<StorageNode>>,
-    view: RwLock<ClusterView>,
+    /// RCU-style membership snapshot: readers [`ArcSwap::load`] an
+    /// immutable `Arc<ClusterView>` without locking, and the `Arc` pins a
+    /// coherent epoch for as long as they hold it. Writers
+    /// clone-mutate-publish under `view_write`.
+    view: ArcSwap<ClusterView>,
+    /// Serialises view writers (resize, crash marking, repair); readers
+    /// never touch it.
+    view_write: Mutex<()>,
+    /// Sharded `(oid, version) -> Placement` cache in front of the ring
+    /// walk.
+    cache: ShardedPlacementCache,
     kv: Arc<KvStore>,
-    dirty: Mutex<KvDirtyTable>,
+    /// Dirty-table handle. `KvDirtyTable` clones share the backing
+    /// store and the kv list ops are shard-atomic, so the hot path
+    /// appends through a throwaway clone instead of a coordinator lock;
+    /// Algorithm 2's serial scan order is enforced by `engine`'s lock.
+    dirty: KvDirtyTable,
     headers: KvHeaderStore,
     engine: Mutex<Reintegrator>,
+    migration_limiter: Option<Mutex<MigrationThrottle>>,
     stop_worker: AtomicBool,
     migrated_bytes: AtomicU64,
     read_rr: AtomicU64,
@@ -270,10 +321,13 @@ impl Cluster {
             .collect();
         Arc::new(Cluster {
             nodes,
-            view: RwLock::new(view),
-            dirty: Mutex::new(KvDirtyTable::with_clock(kv.clone(), clock.clone())),
+            view: ArcSwap::from_pointee(view),
+            view_write: Mutex::new(()),
+            cache: ShardedPlacementCache::new(cfg.cache_capacity.max(1), cfg.cache_shards.max(1)),
+            dirty: KvDirtyTable::with_clock(kv.clone(), clock.clone()),
             headers: KvHeaderStore::with_clock(kv.clone(), clock.clone()),
             engine: Mutex::new(Reintegrator::new()),
+            migration_limiter: Self::migration_limiter(&cfg, &clock),
             stop_worker: AtomicBool::new(false),
             migrated_bytes: AtomicU64::new(0),
             read_rr: AtomicU64::new(0),
@@ -282,6 +336,21 @@ impl Cluster {
             fault,
             clock,
             counters: PathCounters::default(),
+        })
+    }
+
+    /// Build the optional migration throttle from the configured rate.
+    /// The burst is one second of budget, so a drain never outruns the
+    /// rate by more than a second's worth of bytes.
+    fn migration_limiter(
+        cfg: &ClusterConfig,
+        clock: &Arc<dyn Clock>,
+    ) -> Option<Mutex<MigrationThrottle>> {
+        cfg.migration_rate.map(|rate| {
+            Mutex::new(MigrationThrottle {
+                bucket: TokenBucket::new(rate, rate),
+                last_refill: clock.now(),
+            })
         })
     }
 
@@ -322,7 +391,7 @@ impl Cluster {
     /// 2's own rule (a new scan restarts from the table head), so resumed
     /// re-integration is correct by construction.
     pub fn restart(&self) -> Arc<Cluster> {
-        let view = self.view.read().clone();
+        let view = self.view.load();
         let kv = Arc::new(KvStore::restore(self.kv.dump(), self.cfg.kv_shards));
         if let Some(inj) = &self.fault {
             kv.set_fault_hook(Some(inj.clone() as Arc<dyn ShardFaultHook>));
@@ -330,10 +399,16 @@ impl Cluster {
         Arc::new(Cluster {
             cfg: self.cfg.clone(),
             nodes: self.nodes.clone(),
-            view: RwLock::new(view),
-            dirty: Mutex::new(KvDirtyTable::with_clock(kv.clone(), self.clock.clone())),
+            view: ArcSwap::new(view),
+            view_write: Mutex::new(()),
+            cache: ShardedPlacementCache::new(
+                self.cfg.cache_capacity.max(1),
+                self.cfg.cache_shards.max(1),
+            ),
+            dirty: KvDirtyTable::with_clock(kv.clone(), self.clock.clone()),
             headers: KvHeaderStore::with_clock(kv.clone(), self.clock.clone()),
             engine: Mutex::new(Reintegrator::new()),
+            migration_limiter: Self::migration_limiter(&self.cfg, &self.clock),
             stop_worker: AtomicBool::new(false),
             migrated_bytes: AtomicU64::new(0),
             read_rr: AtomicU64::new(0),
@@ -344,10 +419,25 @@ impl Cluster {
         })
     }
 
-    /// Write access to the cluster view (crate-internal: used by the
-    /// repair module to record irregular memberships).
-    pub(crate) fn view_mut(&self) -> parking_lot::RwLockWriteGuard<'_, ClusterView> {
-        self.view.write()
+    /// Clone-mutate-publish a new cluster view. `f` runs on a private
+    /// clone of the current snapshot under the writer mutex (serialising
+    /// concurrent membership changes); the result is then published
+    /// atomically for the lock-free readers. Crate-internal: used by the
+    /// repair module to record irregular memberships.
+    pub(crate) fn update_view<R>(&self, f: impl FnOnce(&mut ClusterView) -> R) -> R {
+        let _writer = self.view_write.lock();
+        let mut next = ClusterView::clone(&self.view.load());
+        let out = f(&mut next);
+        self.view.store(Arc::new(next));
+        out
+    }
+
+    /// The current cluster-view snapshot, lock-free. The returned `Arc`
+    /// pins a coherent epoch for as long as the caller holds it — a
+    /// concurrent resize publishes a *new* snapshot and never mutates
+    /// this one.
+    pub fn view_snapshot(&self) -> Arc<ClusterView> {
+        self.view.load()
     }
 
     /// The header store (crate-internal: repair scans enumerate it).
@@ -357,17 +447,31 @@ impl Cluster {
 
     /// Current membership version.
     pub fn current_version(&self) -> VersionId {
-        self.view.read().current_version()
+        self.view.load().current_version()
     }
 
     /// Number of active (placement-eligible) servers.
     pub fn active_count(&self) -> usize {
-        self.view.read().current_membership().active_count()
+        self.view.load().current_membership().active_count()
     }
 
     /// Dirty-table length.
     pub fn dirty_len(&self) -> usize {
-        self.dirty.lock().len()
+        self.dirty.len()
+    }
+
+    /// Snapshot of the placement-cache counters (hits, misses, shard
+    /// contention).
+    pub fn cache_stats(&self) -> CacheSnapshot {
+        self.cache.snapshot()
+    }
+
+    /// Append a dirty entry. Handles share the backing store, so a
+    /// throwaway clone provides the `&mut` receiver the [`DirtyTable`]
+    /// trait wants without a coordinator lock (the kv list push is
+    /// shard-atomic).
+    fn log_dirty(&self, entry: DirtyEntry) {
+        self.dirty.clone().push_back(entry);
     }
 
     /// Total payload bytes moved by re-integration so far.
@@ -393,7 +497,7 @@ impl Cluster {
 
     /// Where `oid`'s replicas should live right now.
     pub fn locate(&self, oid: ObjectId) -> Result<Placement, ClusterError> {
-        Ok(self.view.read().place_current(oid)?)
+        Ok(self.cache.place_current(&self.view.load(), oid)?)
     }
 
     /// Write an object: place at the current version, store on the
@@ -415,7 +519,11 @@ impl Cluster {
         let mut epochs = 0;
         loop {
             let (placement, version, power_dirty) = {
-                let view = self.view.read();
+                let view = self.view.load();
+                // Writes compute the placement directly: a first-time oid
+                // would only pay the cache-miss insert for nothing, and
+                // the ring's successor table already makes the walk
+                // cheap. Reads populate and profit from the cache.
                 let p = view.place_current(oid)?;
                 (p, view.current_version(), view.write_is_dirty())
             };
@@ -485,7 +593,7 @@ impl Cluster {
         let is_dirty = power_dirty || missed > 0;
         self.headers.record_write(oid, version, is_dirty);
         if is_dirty {
-            self.dirty.lock().push_back(DirtyEntry::new(oid, version));
+            self.log_dirty(DirtyEntry::new(oid, version));
         }
         if missed > 0 {
             self.counters.inc_quorum_acks();
@@ -519,13 +627,13 @@ impl Cluster {
     /// "identify the latest data version and avoid stale data").
     pub fn get_with(&self, oid: ObjectId, policy: ReadPolicy) -> Result<Bytes, ClusterError> {
         let expected = self.headers.header(oid).map(|h| h.version);
-        let view = self.view.read();
+        let view = self.view.load();
         let mut candidates: Vec<ServerId> = Vec::new();
-        if let Ok(p) = view.place_current(oid) {
+        if let Ok(p) = self.cache.place_current(&view, oid) {
             candidates.extend_from_slice(p.servers());
         }
         if let Some(ver) = expected {
-            if let Ok(p) = view.place_at(oid, ver) {
+            if let Ok(p) = self.cache.place_at(&view, oid, ver) {
                 for &s in p.servers() {
                     if !candidates.contains(&s) {
                         candidates.push(s);
@@ -658,10 +766,24 @@ impl Cluster {
     /// # Panics
     /// Panics if `active` is outside `1..=n`.
     pub fn resize(&self, active: usize) -> VersionId {
-        let mut view = self.view.write();
-        let version = view.resize(active);
+        let _writer = self.view_write.lock();
+        let mut next = ClusterView::clone(&self.view.load());
+        let version = next.resize(active);
+        // Power ordering around the snapshot swap: servers joining the
+        // membership power on *before* the new view is published (a
+        // reader of the new epoch must find them accepting I/O), and
+        // servers leaving power off *after* (readers still pinning the
+        // old epoch hit the PoweredOff epoch-retry path, same as before).
         for (i, node) in self.nodes.iter().enumerate() {
-            node.set_powered(i < active);
+            if i < active {
+                node.set_powered(true);
+            }
+        }
+        self.view.store(Arc::new(next));
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i >= active {
+                node.set_powered(false);
+            }
         }
         version
     }
@@ -669,13 +791,103 @@ impl Cluster {
     /// Execute one selective re-integration task. Returns the stats of
     /// the task, or the idle reason.
     pub fn reintegrate_step(&self) -> Result<ReintegrationStats, Idle> {
-        // Plan under the engine lock with a view snapshot.
-        let task = {
-            let view = self.view.read();
-            let mut dirty = self.dirty.lock();
-            let mut engine = self.engine.lock();
-            engine.next_task(&view, &mut *dirty, &self.headers)?
+        self.reintegrate_batch(1)
+    }
+
+    /// Plan one migration task against the current snapshot. The engine
+    /// lock serialises Algorithm 2's scan (and with it the dirty-table
+    /// pops the scan performs).
+    fn plan_task(&self) -> Result<MigrationTask, Idle> {
+        let view = self.view.load();
+        let mut engine = self.engine.lock();
+        let mut dirty = self.dirty.clone();
+        engine.next_task(&view, &mut dirty, &self.headers)
+    }
+
+    /// Drain up to `max_tasks` re-integration tasks in one call.
+    ///
+    /// With no fault plan installed the batch is planned first (the scan
+    /// is inherently serial) and the replica moves then execute on
+    /// parallel threads, one per task. Under fault injection — or with a
+    /// batch of one — planning and execution interleave task by task,
+    /// which keeps deterministic drills (`ech chaos`) byte-identical to
+    /// the sequential engine.
+    ///
+    /// Batch planning consumes dirty entries before any byte moves, so a
+    /// batch may surface several entries for one object; only the first
+    /// is executed. The interleaved engine behaves identically: after
+    /// the first task's header restamp the later entries no longer
+    /// qualify and pop without planning work.
+    pub fn reintegrate_batch(&self, max_tasks: usize) -> Result<ReintegrationStats, Idle> {
+        let max_tasks = max_tasks.max(1);
+        if self.fault.is_some() || max_tasks == 1 {
+            let mut total = ReintegrationStats::default();
+            for planned in 0..max_tasks {
+                match self.plan_task() {
+                    Ok(task) => total.absorb(self.execute_task(&task)),
+                    Err(idle) if planned == 0 => return Err(idle),
+                    Err(_) => break,
+                }
+            }
+            return Ok(total);
+        }
+        let mut tasks: Vec<MigrationTask> = Vec::new();
+        let idle = loop {
+            if tasks.len() >= max_tasks {
+                break None;
+            }
+            match self.plan_task() {
+                Ok(t) => {
+                    if !tasks.iter().any(|p| p.oid == t.oid) {
+                        tasks.push(t);
+                    }
+                }
+                Err(i) => break Some(i),
+            }
         };
+        if tasks.is_empty() {
+            return Err(idle.unwrap_or(Idle::NothingQualifies));
+        }
+        // One worker thread per hardware thread, not per task: each
+        // worker takes a strided share of the batch, so a small machine
+        // does not drown the drain in thread-spawn overhead.
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1)
+            .min(tasks.len());
+        let mut total = ReintegrationStats::default();
+        if workers <= 1 {
+            for task in &tasks {
+                total.absorb(self.execute_task(task));
+            }
+            return Ok(total);
+        }
+        let slots: Vec<Mutex<ReintegrationStats>> = tasks
+            .iter()
+            .map(|_| Mutex::new(ReintegrationStats::default()))
+            .collect();
+        rayon::scope(|s| {
+            for w in 0..workers {
+                let tasks = &tasks;
+                let slots = &slots;
+                s.spawn(move || {
+                    for (i, (task, slot)) in tasks.iter().zip(slots).enumerate() {
+                        if i % workers == w {
+                            let stats = self.execute_task(task);
+                            *slot.lock() = stats;
+                        }
+                    }
+                });
+            }
+        });
+        for slot in &slots {
+            total.absorb(*slot.lock());
+        }
+        Ok(total)
+    }
+
+    /// Execute the byte movement and header restamp of one planned task.
+    fn execute_task(&self, task: &MigrationTask) -> ReintegrationStats {
         let mut stats = ReintegrationStats {
             tasks: 1,
             ..Default::default()
@@ -696,6 +908,7 @@ impl Cluster {
             match got {
                 Ok(obj) => {
                     let bytes = obj.data.len() as u64;
+                    self.throttle_migration(bytes as f64);
                     // The destination is active at the target version by
                     // construction; a put failure here (after transient
                     // retries) means a racing resize, in which case the
@@ -732,10 +945,7 @@ impl Cluster {
         // untouched siblings would look stale next to the new header.
         // A concurrent rewrite may have advanced the header beyond the
         // task's target; never downgrade it.
-        let full_power = {
-            let view = self.view.read();
-            view.current_membership().is_full_power()
-        };
+        let full_power = self.view.load().current_membership().is_full_power();
         let still_dirty = !full_power;
         let superseded = self
             .headers
@@ -756,7 +966,36 @@ impl Cluster {
         }
         self.migrated_bytes
             .fetch_add(stats.bytes, Ordering::Relaxed);
-        Ok(stats)
+        stats
+    }
+
+    /// Block (on the cluster clock) until the migration limiter grants
+    /// `bytes` of payload budget. No-op when unthrottled. Requests
+    /// larger than the burst drain the bucket in instalments, so any
+    /// object size makes progress.
+    fn throttle_migration(&self, bytes: f64) {
+        let Some(limiter) = &self.migration_limiter else {
+            return;
+        };
+        let mut remaining = bytes;
+        while remaining > 0.0 {
+            let wait = {
+                let mut t = limiter.lock();
+                let now = self.clock.now();
+                let dt = now.saturating_sub(t.last_refill);
+                t.bucket.refill(dt.as_secs_f64());
+                t.last_refill = now;
+                remaining -= t.bucket.consume_up_to(remaining);
+                if remaining <= 0.0 {
+                    return;
+                }
+                Duration::from_secs_f64(remaining / t.bucket.rate())
+            };
+            // Guard dropped before sleeping: parallel executors refill
+            // and drain the bucket independently.
+            self.clock
+                .sleep(wait.clamp(Duration::from_micros(100), Duration::from_millis(50)));
+        }
     }
 
     /// Run re-integration until nothing more qualifies at the current
@@ -769,14 +1008,11 @@ impl Cluster {
     /// must be re-created before the table drains.
     pub fn reintegrate_all(&self) -> ReintegrationStats {
         self.heal_dirty();
+        let batch = self.cfg.reintegration_batch.max(1);
         let mut total = ReintegrationStats::default();
         loop {
-            match self.reintegrate_step() {
-                Ok(s) => {
-                    total.tasks += s.tasks;
-                    total.moves += s.moves;
-                    total.bytes += s.bytes;
-                }
+            match self.reintegrate_batch(batch) {
+                Ok(s) => total.absorb(s),
                 Err(_) => return total,
             }
         }
@@ -793,8 +1029,9 @@ impl Cluster {
         let me = Arc::clone(self);
         me.stop_worker.store(false, Ordering::Release);
         std::thread::spawn(move || {
+            let batch = me.cfg.reintegration_batch.max(1);
             while !me.stop_worker.load(Ordering::Acquire) {
-                match me.reintegrate_step() {
+                match me.reintegrate_batch(batch) {
                     Ok(_) => {}
                     Err(_) => std::thread::sleep(idle_wait),
                 }
@@ -819,10 +1056,9 @@ impl Cluster {
     /// duplicates the engine's migration work. At full power, objects
     /// that end up fully placed get their dirty bit cleared.
     pub fn heal_dirty(&self) -> RepairStats {
-        let entries: Vec<DirtyEntry> = {
-            let dirty = self.dirty.lock();
-            (0..dirty.len()).filter_map(|i| dirty.get(i)).collect()
-        };
+        let entries: Vec<DirtyEntry> = (0..self.dirty.len())
+            .filter_map(|i| self.dirty.get(i))
+            .collect();
         let mut seen = std::collections::HashSet::new();
         let mut stats = RepairStats::default();
         for entry in entries {
@@ -834,7 +1070,7 @@ impl Cluster {
             let Some(h) = self.headers.header(oid) else {
                 continue;
             };
-            let Ok(placement) = self.view.read().place_at(oid, h.version) else {
+            let Ok(placement) = self.cache.place_at(&self.view.load(), oid, h.version) else {
                 continue;
             };
             // Find a fresh source, retrying transient probe failures so
@@ -876,7 +1112,7 @@ impl Cluster {
                     stats.bytes += obj.data.len() as u64;
                 }
             }
-            let full_power = self.view.read().current_membership().is_full_power();
+            let full_power = self.view.load().current_membership().is_full_power();
             if full_power && self.is_fully_placed(oid) {
                 self.headers.mark_clean(oid, h.version);
                 for &server in placement.servers() {
@@ -895,7 +1131,8 @@ impl Cluster {
     /// dead disks and repair can re-replicate. Returns the newly-marked
     /// servers.
     pub fn detect_and_mark_crashed(&self) -> Vec<ServerId> {
-        let mut view = self.view.write();
+        let _writer = self.view_write.lock();
+        let view = self.view.load();
         let dark: Vec<ServerId> = (0..self.cfg.servers as u32)
             .map(ServerId)
             .filter(|&s| {
@@ -904,13 +1141,15 @@ impl Cluster {
             })
             .collect();
         if let Some((&head, tail)) = dark.split_first() {
-            let mut table = view
+            let mut next = ClusterView::clone(&view);
+            let mut table = next
                 .current_membership()
                 .with_state(head, ech_core::membership::PowerState::Off);
             for &s in tail {
                 table = table.with_state(s, ech_core::membership::PowerState::Off);
             }
-            view.record_membership(table);
+            next.record_membership(table);
+            self.view.store(Arc::new(next));
         }
         dark
     }

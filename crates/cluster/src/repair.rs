@@ -37,24 +37,22 @@ impl Cluster {
     pub fn crash_node(&self, server: ServerId) -> usize {
         // Order matters: take the server out of placement first so
         // concurrent writes stop targeting it, then drop its data.
-        {
-            let mut view = self.view_mut();
+        self.update_view(|view| {
             let table = view
                 .current_membership()
                 .with_state(server, PowerState::Off);
             view.record_membership(table);
-        }
+        });
         self.node(server).map_or(0, |n| n.crash())
     }
 
     /// Bring a crashed (or powered-down) server back with an empty disk.
     /// Records a new membership version including it.
     pub fn revive_node(&self, server: ServerId) {
-        {
-            let mut view = self.view_mut();
+        self.update_view(|view| {
             let table = view.current_membership().with_state(server, PowerState::On);
             view.record_membership(table);
-        }
+        });
         if let Ok(n) = self.node(server) {
             n.set_powered(true);
         }

@@ -71,6 +71,9 @@ impl Classify for PlacementError {
             PlacementError::InsufficientActiveServers { .. } => ErrorClass::Permanent,
             PlacementError::ZeroReplicas => ErrorClass::Permanent,
             PlacementError::Internal(_) => ErrorClass::Permanent,
+            // A version ahead of the pinned snapshot means a concurrent
+            // membership change won the race; a fresh view resolves it.
+            PlacementError::UnknownVersion(_) => ErrorClass::Retryable,
         }
     }
 }
@@ -325,6 +328,11 @@ mod tests {
         assert_eq!(
             PlacementError::Internal("invariant").class(),
             ErrorClass::Permanent
+        );
+        assert_eq!(
+            PlacementError::UnknownVersion(ech_core::ids::VersionId(9)).class(),
+            ErrorClass::Retryable,
+            "a racing reader re-resolves on a fresh view"
         );
     }
 

@@ -1,0 +1,206 @@
+//! Multithreaded stress test over the lock-free read path: 8 threads
+//! (4 writers, 4 readers) hammer the cluster while the main thread
+//! drives elastic resizes and a seeded fault plan injects transient I/O
+//! errors. Every reader works off an epoch-pinned view snapshot, so the
+//! invariants it checks must hold *within* that snapshot no matter how
+//! many membership changes race it:
+//!
+//! - coherent epoch: the snapshot's current version is recorded in its
+//!   own history, and placement under it succeeds;
+//! - primary-replica invariant (Algorithm 1): replicas are distinct,
+//!   active under the snapshot's membership, and exactly one sits on a
+//!   primary server (the resize set keeps >= r-1 active secondaries, so
+//!   the §III-B special case never relaxes it);
+//! - read-your-write: an acknowledged put is readable through faults.
+
+use bytes::Bytes;
+use ech_cluster::{Cluster, ClusterConfig, FaultPlan};
+use ech_core::ids::ObjectId;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Transient-error windows close after this many ops per node.
+const IO_WINDOW: u64 = 80;
+const WRITERS: u64 = 4;
+const PUTS_PER_WRITER: u64 = 150;
+/// Resize targets: every size keeps both primaries plus at least
+/// `replicas - 1` secondaries active, so placements always carry
+/// exactly one primary replica.
+const SIZES: &[usize] = &[6, 4, 8, 10];
+
+fn value(oid: u64) -> Bytes {
+    Bytes::from(format!("stress-object-{oid}"))
+}
+
+/// Placement invariants under one pinned snapshot.
+fn check_snapshot_invariants(c: &Cluster, oid: u64) {
+    let view = c.view_snapshot();
+    let ver = view.current_version();
+    let membership = view.current_membership();
+    let placement = view
+        .place_at(ObjectId(oid), ver)
+        .expect("the snapshot's own current version is always recorded");
+    let servers = placement.servers();
+    let distinct: BTreeSet<_> = servers.iter().collect();
+    assert_eq!(
+        distinct.len(),
+        servers.len(),
+        "replicas must land on distinct servers (epoch {ver})"
+    );
+    assert_eq!(servers.len(), view.replicas(), "full replication factor");
+    for s in servers {
+        assert!(
+            membership.is_active(*s),
+            "replica on inactive server {s:?} under its own snapshot (epoch {ver})"
+        );
+    }
+    let primaries = servers
+        .iter()
+        .filter(|s| view.layout().is_primary(**s))
+        .count();
+    assert_eq!(
+        primaries,
+        1,
+        "exactly one replica on a primary (epoch {ver}, active {})",
+        membership.active_count()
+    );
+}
+
+/// Exhaust every node's transient-error window so convergence runs
+/// fault-free (op counters are the fault clock).
+fn drain_fault_windows(c: &Cluster) {
+    let inj = c.fault_injector().expect("stress cluster runs a plan");
+    for (i, node) in c.nodes().iter().enumerate() {
+        while inj.node_ops(i) < IO_WINDOW {
+            let _ = node.get(ObjectId(u64::MAX));
+        }
+    }
+}
+
+#[test]
+fn concurrent_writers_readers_and_resizes_keep_invariants() {
+    let mut plan = FaultPlan::uniform_io_errors(10, 0x57E5_5EED, 0.05);
+    for spec in &mut plan.node_faults {
+        spec.io_error_until_op = IO_WINDOW;
+    }
+    let mut cfg = ClusterConfig::paper();
+    cfg.replicas = 3;
+    let c = Arc::new(Cluster::with_faults(cfg, plan));
+
+    let acked: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let resize_count = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Readers spin until `done`; set it on every exit path (panics
+        // included) or the scope would join against live spinners.
+        struct DoneOnDrop(Arc<AtomicBool>);
+        impl Drop for DoneOnDrop {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+        let _done_guard = DoneOnDrop(Arc::clone(&done));
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let c = Arc::clone(&c);
+            let acked = Arc::clone(&acked);
+            let resize_count = Arc::clone(&resize_count);
+            writers.push(s.spawn(move || {
+                for i in 0..PUTS_PER_WRITER {
+                    // Epoch transitions are driven from inside the load:
+                    // every 40th put each writer resizes the cluster, so
+                    // transitions always overlap live readers/writers no
+                    // matter how a single-CPU box schedules us.
+                    if i % 40 == 39 {
+                        let k = (w * PUTS_PER_WRITER + i) as usize;
+                        c.resize(SIZES[k % SIZES.len()]);
+                        resize_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let oid = w * PUTS_PER_WRITER + i;
+                    let mut ok = false;
+                    for _ in 0..8 {
+                        if c.put(ObjectId(oid), value(oid)).is_ok() {
+                            ok = true;
+                            break;
+                        }
+                    }
+                    assert!(ok, "put {oid} failed through 8 transient retries");
+                    acked.lock().unwrap().push(oid);
+                }
+            }));
+        }
+        for r in 0..4u64 {
+            let c = Arc::clone(&c);
+            let acked = Arc::clone(&acked);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut rng = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(r + 1);
+                let mut checked = 0u64;
+                while !done.load(Ordering::Relaxed) || checked == 0 {
+                    let sample = {
+                        let a = acked.lock().unwrap();
+                        if a.is_empty() {
+                            None
+                        } else {
+                            rng = rng
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            Some(a[(rng >> 33) as usize % a.len()])
+                        }
+                    };
+                    let Some(oid) = sample else {
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    // Read-your-write through transient faults.
+                    let got = (0..8).find_map(|_| c.get(ObjectId(oid)).ok());
+                    assert_eq!(
+                        got.as_ref(),
+                        Some(&value(oid)),
+                        "acked object {oid} must read back"
+                    );
+                    check_snapshot_invariants(&c, oid);
+                    checked += 1;
+                }
+                assert!(checked > 0, "reader {r} verified nothing");
+            });
+        }
+        // Wait out the writers, then release the readers. A writer
+        // panic propagates here; the drop guard still frees the
+        // readers so the scope can join everything.
+        for h in writers {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    let resizes = resize_count.load(Ordering::Relaxed);
+    assert_eq!(
+        resizes,
+        WRITERS * (PUTS_PER_WRITER / 40),
+        "every in-load epoch transition must have run"
+    );
+
+    // Converge: full power, drain, re-replicate; then every acked write
+    // is present and fully placed.
+    drain_fault_windows(&c);
+    c.resize(10);
+    c.reintegrate_all();
+    c.repair();
+    assert_eq!(c.dirty_len(), 0, "dirty table drains at full power");
+    assert_eq!(c.under_replicated(), 0, "replication fully restored");
+    let acked = acked.lock().unwrap();
+    assert_eq!(acked.len() as u64, WRITERS * PUTS_PER_WRITER);
+    for &oid in acked.iter() {
+        assert_eq!(c.get(ObjectId(oid)).unwrap(), value(oid), "object {oid}");
+    }
+    // The read path populated the sharded placement cache.
+    let cache = c.cache_stats();
+    assert!(
+        cache.hits + cache.misses > 0,
+        "readers must exercise the placement cache: {cache:?}"
+    );
+}

@@ -65,7 +65,7 @@ pub mod writebalance;
 
 /// The commonly-used types, re-exported for glob import.
 pub mod prelude {
-    pub use crate::cache::PlacementCache;
+    pub use crate::cache::{PlacementCache, ShardedPlacementCache};
     pub use crate::dirty::{
         DirtyEntry, DirtyTable, HeaderMap, HeaderSource, InMemoryDirtyTable, NoHeaders,
         ObjectHeader,

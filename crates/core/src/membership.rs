@@ -72,10 +72,12 @@ impl MembershipTable {
         self.states[server.index()]
     }
 
-    /// True when `server` is on.
+    /// True when `server` is on. Unknown server ids are not active.
     #[inline]
     pub fn is_active(&self, server: ServerId) -> bool {
-        self.states[server.index()] == PowerState::On
+        self.states
+            .get(server.index())
+            .is_some_and(|&s| s == PowerState::On)
     }
 
     /// Number of active servers.
@@ -100,8 +102,16 @@ impl MembershipTable {
     }
 
     /// Copy of this table with `server` set to `state`.
+    ///
+    /// # Panics
+    /// Panics on an unknown server id: silently dropping a power
+    /// transition would leave the cluster acting on stale membership,
+    /// which is strictly worse than failing loudly at the call site.
     pub fn with_state(&self, server: ServerId, state: PowerState) -> Self {
         let mut t = self.clone();
+        // ech-allow(D2): a power transition for an out-of-range server is
+        // a caller logic bug; masking it as a no-op would corrupt the
+        // membership history that every placement decision derives from.
         t.states[server.index()] = state;
         t
     }
@@ -130,9 +140,13 @@ impl MembershipHistory {
     /// Panics if the server count differs from the history's — elastic
     /// clusters resize by powering servers on/off, never by changing `n`.
     pub fn record(&mut self, table: MembershipTable) -> VersionId {
+        let fixed = self
+            .tables
+            .first()
+            .map_or(table.server_count(), MembershipTable::server_count);
         assert_eq!(
             table.server_count(),
-            self.tables[0].server_count(),
+            fixed,
             "membership history is for a fixed server set"
         );
         self.tables.push(table);
@@ -148,6 +162,9 @@ impl MembershipHistory {
     /// The newest membership table.
     #[inline]
     pub fn current(&self) -> &MembershipTable {
+        // ech-allow(D2): `new` seeds one table and the history is
+        // append-only, so `last()` always yields; there is no sensible
+        // table to substitute if that invariant ever broke.
         self.tables.last().expect("history is never empty")
     }
 

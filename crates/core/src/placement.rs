@@ -108,6 +108,10 @@ pub enum PlacementError {
     /// bug, but the data path degrades with an error instead of
     /// panicking so the store keeps serving other objects.
     Internal(&'static str),
+    /// Placement was requested under a membership version the history
+    /// has not recorded. A concurrent writer racing a view snapshot can
+    /// produce this; the epoch-retry loop resolves it on a fresh view.
+    UnknownVersion(crate::ids::VersionId),
 }
 
 impl fmt::Display for PlacementError {
@@ -120,6 +124,9 @@ impl fmt::Display for PlacementError {
             PlacementError::ZeroReplicas => write!(f, "replication factor must be at least 1"),
             PlacementError::Internal(what) => {
                 write!(f, "placement invariant violated: {what}")
+            }
+            PlacementError::UnknownVersion(version) => {
+                write!(f, "unknown membership version {version}")
             }
         }
     }

@@ -88,7 +88,7 @@ pub fn placement_moves(old: &Placement, new: &Placement) -> Vec<MigrationMove> {
         .collect();
     if targets.len() > sources.len() {
         if let Some(&from) = old.servers().first() {
-            for &to in &targets[sources.len()..] {
+            for &to in targets.iter().skip(sources.len()) {
                 moves.push(MigrationMove { from, to });
             }
         }
@@ -203,6 +203,16 @@ impl Reintegrator {
                 .header(entry.oid)
                 .map(|h| h.version.max(entry.version))
                 .unwrap_or(entry.version);
+
+            // A concurrent writer may have pushed this entry (or advanced
+            // its header) against a membership *newer* than the snapshot
+            // we plan on. Such an entry cannot qualify under this
+            // snapshot; leave it (never pop — the newer version's scan
+            // owns it) for a later pass on a fresh view.
+            if from_version > curr {
+                self.cursor += 1;
+                continue;
+            }
 
             // Line 6: only re-integrate towards strictly more servers.
             let qualifies = curr_active > view.history().active_count(from_version);

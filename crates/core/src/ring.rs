@@ -38,6 +38,16 @@ pub struct HashRing {
     n_servers: usize,
     /// vnode count per server, indexable by `ServerId::index`.
     weights: Vec<u32>,
+    /// Successor acceleration table: the keyspace is cut into
+    /// `lut.len()` equal buckets (one per vnode on average) and
+    /// `lut[b]` is the index of the first vnode at or after bucket
+    /// `b`'s start (`vnodes.len()` means "wraps"). A lookup becomes an
+    /// O(1) table read plus an expected-O(1) forward scan instead of an
+    /// O(log V) binary search. A ring whose table is empty (e.g. one
+    /// hand-built through serde) falls back to binary search.
+    lut: Vec<u32>,
+    /// `position >> lut_shift` maps a ring position to its LUT bucket.
+    lut_shift: u32,
 }
 
 impl HashRing {
@@ -71,11 +81,32 @@ impl HashRing {
                 vnodes[i].position = vnodes[i - 1].position + 1;
             }
         }
+        let (lut, lut_shift) = Self::build_lut(&vnodes);
         HashRing {
             vnodes,
             n_servers: weights.len(),
             weights: weights.to_vec(),
+            lut,
+            lut_shift,
         }
+    }
+
+    /// Build the successor acceleration table: one bucket per vnode on
+    /// average (rounded up to a power of two so the bucket of a position
+    /// is a shift, not a division).
+    fn build_lut(vnodes: &[VirtualNode]) -> (Vec<u32>, u32) {
+        let buckets = vnodes.len().next_power_of_two().max(2);
+        let shift = 64 - buckets.trailing_zeros();
+        let mut lut = vec![vnodes.len() as u32; buckets];
+        let mut vi = 0usize;
+        for (b, slot) in lut.iter_mut().enumerate() {
+            let start = (b as u64) << shift;
+            while vnodes.get(vi).is_some_and(|v| v.position < start) {
+                vi += 1;
+            }
+            *slot = vi as u32;
+        }
+        (lut, shift)
     }
 
     /// Total number of virtual nodes on the ring.
@@ -111,8 +142,28 @@ impl HashRing {
     /// Index of the successor vnode of `position`: the first vnode at or
     /// after it, wrapping past the top of the ring (§II-A's clockwise walk
     /// starting point).
+    ///
+    /// Served from the precomputed acceleration table (O(1) expected);
+    /// rings deserialized without one fall back to binary search.
     #[inline]
     pub fn successor_index(&self, position: u64) -> usize {
+        let bucket = (position >> self.lut_shift) as usize;
+        let Some(&start) = self.lut.get(bucket) else {
+            return self.successor_index_binary(position);
+        };
+        let mut i = start as usize;
+        while let Some(v) = self.vnodes.get(i) {
+            if v.position >= position {
+                return i;
+            }
+            i += 1;
+        }
+        0
+    }
+
+    /// Binary-search successor lookup (the pre-acceleration-path — kept
+    /// as the fallback for rings that crossed serde, whose LUT is empty).
+    fn successor_index_binary(&self, position: u64) -> usize {
         match self.vnodes.binary_search_by(|v| v.position.cmp(&position)) {
             Ok(i) => i,
             Err(i) => {
@@ -282,6 +333,35 @@ mod tests {
         let ring = uniform_ring(4, 16);
         for (i, v) in ring.vnodes().iter().enumerate() {
             assert_eq!(ring.successor_index(v.position), i);
+        }
+    }
+
+    #[test]
+    fn lut_successor_matches_binary_search() {
+        for (n, w) in [(1usize, 1u32), (3, 7), (10, 128), (13, 200)] {
+            let ring = uniform_ring(n, w);
+            // Exact positions, neighbours, extremes and a pseudo-random
+            // sweep must all agree with the binary-search answer.
+            let mut probes: Vec<u64> = vec![0, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+            for v in ring.vnodes() {
+                probes.push(v.position);
+                probes.push(v.position.wrapping_add(1));
+                probes.push(v.position.wrapping_sub(1));
+            }
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for _ in 0..2_000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                probes.push(x);
+            }
+            for p in probes {
+                assert_eq!(
+                    ring.successor_index(p),
+                    ring.successor_index_binary(p),
+                    "position {p} on {n}x{w} ring"
+                );
+            }
         }
     }
 

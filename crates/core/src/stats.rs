@@ -79,6 +79,65 @@ pub struct PathSnapshot {
     pub unavailable_errors: u64,
 }
 
+/// Counters for the sharded placement cache: hits, misses and shard-lock
+/// contention events. Shared by reference from the lock-free read path,
+/// so every field is a relaxed atomic.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    shard_contention: AtomicU64,
+}
+
+impl CacheCounters {
+    /// One placement served from the cache.
+    pub fn inc_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One placement computed from the ring and inserted.
+    pub fn inc_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One shard lock found busy on first try (the caller then blocked).
+    pub fn inc_contention(&self) {
+        self.shard_contention.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            shard_contention: self.shard_contention.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`CacheCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Placements served from the cache.
+    pub hits: u64,
+    /// Placements computed from the ring (and inserted).
+    pub misses: u64,
+    /// Shard locks found busy on first try.
+    pub shard_contention: u64,
+}
+
+impl CacheSnapshot {
+    /// Hit ratio in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Replica count per server (index = server index) for `oids` placed at
 /// `version`.
 ///
@@ -253,6 +312,23 @@ mod tests {
         assert_eq!(s.replicas_missed, 2);
         assert_eq!(s.hedged_reads, 1);
         assert_eq!(s.unavailable_errors, 1);
+    }
+
+    #[test]
+    fn cache_counters_snapshot_and_ratio() {
+        let c = CacheCounters::default();
+        assert_eq!(c.snapshot(), CacheSnapshot::default());
+        assert_eq!(c.snapshot().hit_ratio(), 0.0);
+        c.inc_hit();
+        c.inc_hit();
+        c.inc_hit();
+        c.inc_miss();
+        c.inc_contention();
+        let s = c.snapshot();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.shard_contention, 1);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -103,13 +103,14 @@ impl ClusterView {
 
     /// Replica locations of `oid` under the membership at `version`.
     ///
-    /// # Panics
-    /// Panics if `version` was never recorded.
+    /// An unrecorded `version` is a classified error, not a panic: a
+    /// reader racing a concurrent membership change can momentarily hold
+    /// a header stamped ahead of its pinned view snapshot.
     pub fn place_at(&self, oid: ObjectId, version: VersionId) -> Result<Placement, PlacementError> {
         let membership = self
             .history
             .get(version)
-            .unwrap_or_else(|| panic!("unknown membership version {version}"));
+            .ok_or(PlacementError::UnknownVersion(version))?;
         place(
             self.strategy,
             &self.ring,
@@ -173,10 +174,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown membership version")]
-    fn unknown_version_panics() {
+    fn unknown_version_is_a_classified_error() {
         let v = view();
-        let _ = v.place_at(ObjectId(1), VersionId(99));
+        let err = v.place_at(ObjectId(1), VersionId(99)).unwrap_err();
+        assert_eq!(err, PlacementError::UnknownVersion(VersionId(99)));
+        assert!(err.to_string().contains("unknown membership version"));
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Offline shim of the `arc-swap` crate: an atomically swappable
+//! `Arc<T>` for RCU-style snapshot publication.
+//!
+//! Readers call [`ArcSwap::load`] and get an owned `Arc<T>` with a single
+//! `Acquire` pointer load plus one reference-count increment — no lock,
+//! no spin, wait-free. Writers build a new value and [`ArcSwap::store`]
+//! it; readers caught mid-publication keep whichever snapshot they
+//! pinned.
+//!
+//! Reclamation strategy (simpler than upstream's hazard-pointer hybrid):
+//! every `Arc` ever published is retained in a retire list until the
+//! `ArcSwap` drops or the owner calls [`ArcSwap::collect_garbage`], which
+//! requires `&mut self` — exclusive access proves no `load` is mid-flight,
+//! so there is no grace-period protocol to get wrong. The intended
+//! workload (cluster membership epochs) publishes one snapshot per
+//! membership transition, so retention is bounded by the epoch count —
+//! the same growth the membership history itself already has.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An `Arc<T>` that can be atomically replaced.
+pub struct ArcSwap<T> {
+    /// Raw pointer to the currently published value. Always points at
+    /// the payload of one of the `Arc`s held in `retired`.
+    current: AtomicPtr<T>,
+    /// Strong references backing every pointer ever stored in
+    /// `current`; the live snapshot is always among them.
+    retired: Mutex<Vec<Arc<T>>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Publish `initial` as the first snapshot.
+    pub fn new(initial: Arc<T>) -> Self {
+        let ptr = Arc::as_ptr(&initial).cast_mut();
+        ArcSwap {
+            current: AtomicPtr::new(ptr),
+            retired: Mutex::new(vec![initial]),
+        }
+    }
+
+    /// Convenience constructor from an owned value.
+    pub fn from_pointee(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Pin and return the current snapshot (wait-free).
+    pub fn load(&self) -> Arc<T> {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: `ptr` was produced by `Arc::as_ptr` on an `Arc` held in
+        // `self.retired`. Entries are only removed from the retire list
+        // under `&mut self` (`collect_garbage`) or in `Drop`, both of
+        // which exclude concurrent `load` calls by Rust's aliasing rules.
+        // The strong count is therefore ≥ 1 for the whole call, so
+        // incrementing it and materialising an owned `Arc` is sound.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        }
+    }
+
+    /// Alias for [`ArcSwap::load`] matching upstream's `load_full`.
+    pub fn load_full(&self) -> Arc<T> {
+        self.load()
+    }
+
+    /// Atomically publish a new snapshot. Readers that already loaded
+    /// the previous one keep it alive through their own `Arc`; the
+    /// superseded snapshot stays on the retire list (see module docs).
+    pub fn store(&self, new: Arc<T>) {
+        let ptr = Arc::as_ptr(&new).cast_mut();
+        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        retired.push(new);
+        self.current.store(ptr, Ordering::Release);
+    }
+
+    /// Replace the snapshot and return the previously published one.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let old = self.load();
+        self.store(new);
+        old
+    }
+
+    /// Drop retired snapshots no reader holds any more (the live one is
+    /// always kept). Takes `&mut self`: exclusive access guarantees no
+    /// `load` is between its pointer read and count increment, which is
+    /// what makes dropping a count-1 entry safe. Returns the number
+    /// reclaimed.
+    pub fn collect_garbage(&mut self) -> usize {
+        let live = self.current.load(Ordering::Acquire);
+        let retired = self.retired.get_mut().unwrap_or_else(|e| e.into_inner());
+        let before = retired.len();
+        retired.retain(|a| Arc::strong_count(a) > 1 || Arc::as_ptr(a).cast_mut() == live);
+        before - retired.len()
+    }
+
+    /// Number of retained snapshots (live + superseded history).
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap")
+            .field("current", &self.load())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn load_returns_published_value() {
+        let s = ArcSwap::from_pointee(41);
+        assert_eq!(*s.load(), 41);
+        s.store(Arc::new(42));
+        assert_eq!(*s.load(), 42);
+    }
+
+    #[test]
+    fn readers_keep_their_pinned_snapshot() {
+        let s = ArcSwap::from_pointee(String::from("epoch-1"));
+        let pinned = s.load();
+        s.store(Arc::new(String::from("epoch-2")));
+        assert_eq!(*pinned, "epoch-1");
+        assert_eq!(*s.load(), "epoch-2");
+    }
+
+    #[test]
+    fn collect_garbage_reclaims_unpinned_history() {
+        let mut s = ArcSwap::from_pointee(0usize);
+        let pinned = s.load(); // pins snapshot 0
+        for i in 1..100usize {
+            s.store(Arc::new(i));
+        }
+        assert_eq!(s.retired_len(), 100);
+        let freed = s.collect_garbage();
+        // Everything goes except the live snapshot and the pinned one.
+        assert_eq!(freed, 98);
+        assert_eq!(*pinned, 0);
+        assert_eq!(*s.load(), 99);
+        drop(pinned);
+        assert_eq!(s.collect_garbage(), 1);
+        assert_eq!(s.retired_len(), 1);
+    }
+
+    #[test]
+    fn concurrent_load_store_stays_coherent() {
+        let s = Arc::new(ArcSwap::from_pointee((0u64, 0u64)));
+        let loads = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                let loads = &loads;
+                scope.spawn(move || {
+                    for _ in 0..20_000 {
+                        let v = s.load();
+                        // Writers always publish (n, n): a torn read
+                        // would show a mismatched pair.
+                        assert_eq!(v.0, v.1);
+                        loads.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let s = Arc::clone(&s);
+            scope.spawn(move || {
+                for n in 1..=5_000u64 {
+                    s.store(Arc::new((n, n)));
+                }
+            });
+        });
+        assert_eq!(loads.load(Ordering::Relaxed), 80_000);
+        assert_eq!(*s.load(), (5_000, 5_000));
+    }
+}

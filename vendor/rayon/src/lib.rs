@@ -120,6 +120,56 @@ impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
     }
 }
 
+/// Scoped task spawning backed by real OS threads (`std::thread::scope`).
+///
+/// Unlike the `SeqIter` shims above — which stay sequential so the
+/// simulator's iteration order is reproducible — `scope`/`join` provide
+/// genuine parallelism for code that explicitly wants it (the cluster's
+/// batched reintegration drain). All spawned tasks are joined before
+/// `scope` returns; a panicking task propagates the panic at the join,
+/// like upstream rayon.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn `body` onto its own thread within the scope.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(body);
+    }
+}
+
+/// Run `f` with a [`Scope`] that can spawn borrowing tasks; returns once
+/// every spawned task has finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        (ra, rb)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -155,5 +205,27 @@ mod tests {
         assert_eq!(s, 12);
         let doubled: Vec<u64> = xs.into_par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        super::scope(|s| {
+            for i in 0..8u64 {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
     }
 }
