@@ -1,7 +1,7 @@
 //! `ech-analyzer`: a dependency-free static analyzer for this
 //! workspace's invariants.
 //!
-//! Four rule families (see `DESIGN.md` §9):
+//! Six rule families (see `DESIGN.md` §9):
 //!
 //! - **D1 determinism** — no wall clocks, OS entropy or order-sensitive
 //!   hash iteration in seed-deterministic code (placement, sim, trace
@@ -14,6 +14,12 @@
 //!   with no wildcard arms.
 //! - **D4 lock discipline** — no lock-order cycles, no locks held
 //!   across retry/fault-injection points.
+//! - **D5 atomic-ordering discipline** — `Ordering::Relaxed` only on
+//!   statistics counters; raw `std::sync` primitives banned outside the
+//!   `sync` facade the model checker instruments.
+//! - **D6 publish order** — header stamping only after the new view is
+//!   stored on writer paths; placement-cache consults only under a
+//!   pinned view.
 //!
 //! Findings carry stable line-number-free keys; a checked-in baseline
 //! (`analyzer-baseline.txt`) records accepted debt and `--deny-new`
@@ -198,7 +204,7 @@ pub fn run_cli(args: &[String]) -> i32 {
 
 fn print_help() {
     println!(
-        "ech-analyzer: workspace invariant linter (rules D1-D4)\n\n\
+        "ech-analyzer: workspace invariant linter (rules D1-D6)\n\n\
          USAGE: ech-analyzer [--root DIR] [--baseline FILE] [--deny-new] [--write-baseline]\n\n\
          OPTIONS:\n  \
          --root DIR         workspace root (default: .)\n  \

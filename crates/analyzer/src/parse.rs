@@ -23,6 +23,12 @@ pub struct FnInfo {
     pub body: (usize, usize),
     /// 1-based line of the `fn` keyword.
     pub line: u32,
+    /// Base type of the declared return type, if any — wrapper types
+    /// (`Result`, `Option`, `Arc`, references) stripped the same way
+    /// struct-field types are, so one-hop receiver chains like
+    /// `self.node(s)?.put(..)` can resolve `put` against the type the
+    /// helper actually hands back.
+    pub ret: Option<String>,
 }
 
 /// One parsed struct item with named fields.
@@ -163,14 +169,26 @@ const TYPE_WRAPPERS: &[&str] = &[
     "Arc", "Rc", "Box", "Mutex", "RwLock", "RefCell", "Cell", "Option", "ArcSwap",
 ];
 
+/// Wrappers additionally stripped from *return* types: callers invoke
+/// methods on the success value after `?`/`unwrap`, so `Result` is
+/// transparent there — while a `Result`-typed field's methods are
+/// `Result`'s own.
+const RET_WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Mutex", "RwLock", "RefCell", "Cell", "Option", "ArcSwap", "Result",
+];
+
 /// Reduce a field's type tokens to the base type name: skip references
 /// and path prefixes, descend through [`TYPE_WRAPPERS`] generics.
 fn base_type(t: &[Token]) -> Option<String> {
+    base_type_in(t, TYPE_WRAPPERS)
+}
+
+fn base_type_in(t: &[Token], wrappers: &[&str]) -> Option<String> {
     let mut k = 0usize;
     while k < t.len() {
         let tok = &t[k];
         if tok.kind == TokKind::Ident {
-            if tok.is_ident("mut") || tok.is_ident("dyn") {
+            if tok.is_ident("mut") || tok.is_ident("dyn") || tok.is_ident("impl") {
                 k += 1;
                 continue;
             }
@@ -182,7 +200,7 @@ fn base_type(t: &[Token]) -> Option<String> {
                 continue;
             }
             // Wrapper with a generic argument: descend into it.
-            if TYPE_WRAPPERS.contains(&tok.text.as_str())
+            if wrappers.contains(&tok.text.as_str())
                 && t.get(k + 1).is_some_and(|x| x.is_punct('<'))
             {
                 k += 2;
@@ -391,10 +409,14 @@ pub fn parse(lexed: &Lexed) -> ParsedFile {
                     }
                 };
                 // Body starts at the first `{` at zero paren/bracket
-                // depth; a `;` there means a bodyless declaration.
+                // depth; a `;` there means a bodyless declaration. A
+                // `->` / `where` at the same depth brackets the return
+                // type on the way.
                 let mut depth = 0i32;
                 let mut j = i + 2;
                 let mut open = None;
+                let mut arrow: Option<usize> = None;
+                let mut ret_end: Option<usize> = None;
                 while j < t.len() {
                     let x = &t[j];
                     if x.is_punct('(') || x.is_punct('[') {
@@ -406,6 +428,13 @@ pub fn parse(lexed: &Lexed) -> ParsedFile {
                         break;
                     } else if depth == 0 && x.is_punct(';') {
                         break;
+                    } else if depth == 0
+                        && x.is_punct('-')
+                        && t.get(j + 1).is_some_and(|n| n.is_punct('>'))
+                    {
+                        arrow.get_or_insert(j + 2);
+                    } else if depth == 0 && x.is_ident("where") {
+                        ret_end.get_or_insert(j);
                     }
                     j += 1;
                 }
@@ -414,6 +443,8 @@ pub fn parse(lexed: &Lexed) -> ParsedFile {
                     i = j + 1;
                     continue;
                 };
+                let ret =
+                    arrow.and_then(|a| base_type_in(&t[a..ret_end.unwrap_or(open)], RET_WRAPPERS));
                 let close = matching_brace(t, open);
                 let own = owner(&stack);
                 let qual = match &own {
@@ -427,6 +458,7 @@ pub fn parse(lexed: &Lexed) -> ParsedFile {
                     is_test: attr_test || in_test(&stack),
                     body: (open, close),
                     line: tok.line,
+                    ret,
                 });
                 attr_test = false;
                 // Bodies are opaque to item discovery.
@@ -611,6 +643,25 @@ mod tests {
         );
         assert_eq!(p.fns.len(), 1);
         assert_eq!(p.fns[0].name, "g");
+    }
+
+    #[test]
+    fn fn_return_types_reduce_to_base() {
+        let p = parsed(
+            "impl Cluster {\n\
+               fn node(&self, i: usize) -> Result<Arc<StorageNode>, EchError> { Err(e) }\n\
+               fn dirty_mut(&mut self) -> &mut KvDirtyTable { &mut self.dirty }\n\
+               fn version(&self) -> u64 where Self: Sized { 0 }\n\
+               fn current(&self) -> Self { Self }\n\
+               fn tick(&self) { }\n\
+             }",
+        );
+        let ret = |n: &str| p.fns.iter().find(|f| f.name == n).unwrap().ret.as_deref();
+        assert_eq!(ret("node"), Some("StorageNode"), "Result/Arc stripped");
+        assert_eq!(ret("dirty_mut"), Some("KvDirtyTable"), "&mut stripped");
+        assert_eq!(ret("version"), Some("u64"), "where clause ends the span");
+        assert_eq!(ret("current"), Some("Self"));
+        assert_eq!(ret("tick"), None, "no arrow, no return type");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The four rule families (D1–D4) over parsed source files.
+//! The six rule families (D1–D6) over parsed source files.
 //!
 //! Each rule produces [`Finding`]s with a stable, line-number-free
 //! `key` so the baseline survives unrelated edits, plus a 1-based line
@@ -7,13 +7,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::lexer::{suppression_cover, Lexed, TokKind, Token};
-use crate::parse::{parse, FnInfo, ParsedFile};
+use crate::parse::{matching_brace, parse, FnInfo, ParsedFile};
 use crate::SourceFile;
 
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
-    /// Rule id (`"D1"`..`"D4"`).
+    /// Rule id (`"D1"`..`"D6"`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -81,6 +81,8 @@ pub fn run_all(units: &[Unit]) -> Vec<Finding> {
     d2_no_panic(units, &mut findings);
     d3_retry_exhaustive(units, &mut findings);
     d4_lock_discipline(units, &mut findings);
+    d5_atomic_discipline(units, &mut findings);
+    d6_publish_order(units, &mut findings);
     findings.retain(|f| {
         let unit = units.iter().find(|u| u.path == f.file);
         !unit.is_some_and(|u| suppressed(u, f.rule, f.line))
@@ -197,9 +199,13 @@ fn graph_scoped(path: &str) -> bool {
 }
 
 /// Method names too generic to resolve by name alone; following them
-/// produces false edges (e.g. `Cluster::get` vs `HashMap::get`). The
-/// under-approximation is documented in DESIGN.md §9.
-const CALL_IGNORE: &[&str] = &["get", "len", "clone", "new", "into", "from", "iter"];
+/// produces false edges (e.g. `Cluster::get` vs `HashMap::get` on a
+/// closure-bound receiver). The list only gates the bare-name fallback:
+/// typed receivers (declared fields, helper return types, trait
+/// objects) resolve before it is consulted, which is why `len` could be
+/// dropped from it. The residual under-approximation is documented in
+/// DESIGN.md §9.
+const CALL_IGNORE: &[&str] = &["get", "clone", "new", "into", "from", "iter"];
 
 struct Graph<'a> {
     /// fn qual -> (unit index, FnInfo)
@@ -209,12 +215,16 @@ struct Graph<'a> {
     /// (struct name, field name) -> field's base type, for resolving
     /// `self.<field>.<method>(..)` receivers by declared type.
     fields: BTreeMap<(&'a str, &'a str), &'a str>,
+    /// trait name -> implementing types, so a `dyn Trait` receiver fans
+    /// out to every impl that defines the method.
+    trait_impls: BTreeMap<&'a str, Vec<&'a str>>,
 }
 
 fn build_graph(units: &[Unit]) -> Graph<'_> {
     let mut fns: BTreeMap<&str, (usize, &FnInfo)> = BTreeMap::new();
     let mut by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
     let mut fields: BTreeMap<(&str, &str), &str> = BTreeMap::new();
+    let mut trait_impls: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
     for (ui, u) in units.iter().enumerate() {
         if !graph_scoped(&u.path) {
             continue;
@@ -233,11 +243,24 @@ fn build_graph(units: &[Unit]) -> Graph<'_> {
                     .or_insert(ftype.as_str());
             }
         }
+        for imp in &u.parsed.impls {
+            if let Some(tr) = &imp.trait_name {
+                trait_impls
+                    .entry(tr.as_str())
+                    .or_default()
+                    .push(imp.type_name.as_str());
+            }
+        }
+    }
+    for tys in trait_impls.values_mut() {
+        tys.sort_unstable();
+        tys.dedup();
     }
     Graph {
         fns,
         by_name,
         fields,
+        trait_impls,
     }
 }
 
@@ -314,21 +337,171 @@ fn local_aliases(t: &[Token], f: &FnInfo) -> BTreeMap<String, String> {
     out
 }
 
-/// Resolve the method call at token `i` by its receiver's declared
-/// type; `None` when the receiver isn't a typed field or the type
-/// doesn't define the method in graph scope.
-fn resolve_by_receiver<'a>(
+/// How a method call's receiver typed out.
+enum Recv<'a> {
+    /// Declared type found and it defines the method in graph scope —
+    /// several targets when the receiver is a trait object.
+    Methods(Vec<&'a str>),
+    /// Declared type found but the method is foreign to the graph (a
+    /// std/derived method): no edge, and no name-based guessing either.
+    External,
+    /// Receiver type undetermined; name heuristics may proceed.
+    Unknown,
+}
+
+/// Base return type of a `self.helper(..)[?].method(..)` receiver: one
+/// hop through a helper defined on the enclosing type, `?`-transparent
+/// because [`RET_WRAPPERS`](crate::parse) strips `Result`/`Option`.
+fn helper_ret_base(g: &Graph<'_>, t: &[Token], i: usize, f: &FnInfo) -> Option<String> {
+    if i < 1 || !t[i - 1].is_punct('.') {
+        return None;
+    }
+    let mut k = i - 1; // the dot introducing the method
+    if k >= 1 && t[k - 1].is_punct('?') {
+        k -= 1;
+    }
+    if k < 1 || !t[k - 1].is_punct(')') {
+        return None;
+    }
+    // Match the helper's argument parens backwards.
+    let mut depth = 0i32;
+    let mut open = None;
+    for j in (0..k).rev() {
+        if t[j].is_punct(')') {
+            depth += 1;
+        } else if t[j].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                open = Some(j);
+                break;
+            }
+        }
+    }
+    let open = open?;
+    if open < 3
+        || t[open - 1].kind != TokKind::Ident
+        || !t[open - 2].is_punct('.')
+        || !t[open - 3].is_ident("self")
+    {
+        return None;
+    }
+    let owner = f.owner.as_deref()?;
+    let helper = format!("{owner}::{}", t[open - 1].text);
+    g.fns
+        .get(helper.as_str())
+        .and_then(|(_, fi)| fi.ret.clone())
+}
+
+/// Type the receiver of the method call at `i` by declaration: a
+/// `self.<field>` receiver (direct, hopped, or aliased) by the field's
+/// declared type, a `self.helper(..)[?]` receiver — or an alias bound
+/// from one — by the helper's declared return type.
+fn resolve_receiver<'a>(
     g: &Graph<'a>,
     t: &[Token],
     i: usize,
     f: &FnInfo,
     aliases: &BTreeMap<String, String>,
-) -> Option<&'a str> {
-    let field = receiver_field(t, i, aliases)?;
-    let owner = f.owner.as_deref()?;
-    let base = g.fields.get(&(owner, field.as_str()))?;
-    let qual = format!("{base}::{}", t[i].text);
-    g.fns.get_key_value(qual.as_str()).map(|(k, _)| *k)
+) -> Recv<'a> {
+    let owner = f.owner.as_deref();
+    let base = receiver_field(t, i, aliases)
+        .and_then(|field| {
+            let o = owner?;
+            g.fields
+                .get(&(o, field.as_str()))
+                .map(|b| (*b).to_string())
+                .or_else(|| {
+                    // `let n = self.node(x)?; n.put(..)` — not a field,
+                    // but the bound helper's return type is the type.
+                    g.fns
+                        .get(format!("{o}::{field}").as_str())
+                        .and_then(|(_, fi)| fi.ret.clone())
+                })
+        })
+        .or_else(|| helper_ret_base(g, t, i, f));
+    let Some(base) = base else {
+        return Recv::Unknown;
+    };
+    let base = if base == "Self" {
+        match owner {
+            Some(o) => o.to_string(),
+            None => return Recv::Unknown,
+        }
+    } else {
+        base
+    };
+    let m = t[i].text.as_str();
+    if let Some((k, _)) = g.fns.get_key_value(format!("{base}::{m}").as_str()) {
+        return Recv::Methods(vec![*k]);
+    }
+    // Trait-object receiver: every implementing type that defines the
+    // method is a possible target.
+    if let Some(impls) = g.trait_impls.get(base.as_str()) {
+        let targets: Vec<&str> = impls
+            .iter()
+            .filter_map(|ty| {
+                g.fns
+                    .get_key_value(format!("{ty}::{m}").as_str())
+                    .map(|(k, _)| *k)
+            })
+            .collect();
+        if !targets.is_empty() {
+            return Recv::Methods(targets);
+        }
+    }
+    Recv::External
+}
+
+/// Resolve the call at token `i` (already known to be `name(`-shaped)
+/// to its possible graph targets. Typed-receiver resolution decides
+/// first; a typed receiver whose method isn't in the graph produces
+/// *no* edge rather than falling back to name guessing. Qualified
+/// `Type::name(..)` misses are likewise final — falling through would
+/// invent edges for std paths like `Vec::new(..)`.
+fn resolve_call<'a>(
+    g: &Graph<'a>,
+    t: &[Token],
+    i: usize,
+    f: &FnInfo,
+    aliases: &BTreeMap<String, String>,
+) -> Vec<&'a str> {
+    match resolve_receiver(g, t, i, f, aliases) {
+        Recv::Methods(ms) => return ms,
+        Recv::External => return Vec::new(),
+        Recv::Unknown => {}
+    }
+    let name = t[i].text.as_str();
+    if i >= 3 && t[i - 1].is_punct(':') && t[i - 2].is_punct(':') && t[i - 3].kind == TokKind::Ident
+    {
+        let ty = t[i - 3].text.as_str();
+        let ty = match (ty, f.owner.as_deref()) {
+            ("Self", Some(o)) => o,
+            ("Self", None) => return Vec::new(),
+            _ => ty,
+        };
+        return g
+            .fns
+            .get_key_value(format!("{ty}::{name}").as_str())
+            .map(|(k, _)| vec![*k])
+            .unwrap_or_default();
+    }
+    if CALL_IGNORE.contains(&name) {
+        return Vec::new();
+    }
+    // Bare-name fallback: prefer a same-owner method, else accept a
+    // unique global match.
+    if let Some(cands) = g.by_name.get(name) {
+        if let Some(owner) = &f.owner {
+            let own = format!("{owner}::{name}");
+            if let Some(q) = cands.iter().find(|q| **q == own) {
+                return vec![q];
+            }
+        }
+        if cands.len() == 1 {
+            return vec![cands[0]];
+        }
+    }
+    Vec::new()
 }
 
 /// Qualified names of fns called from `f`'s body.
@@ -352,46 +525,7 @@ fn callees<'a>(units: &[Unit], g: &Graph<'a>, ui: usize, f: &FnInfo) -> Vec<&'a 
         if !next_is_call {
             continue;
         }
-        // Receiver-typed resolution first: it recovers the calls the
-        // name-only heuristic must ignore (e.g. `self.dirty.get(i)` →
-        // `KvDirtyTable::get` even though bare `get` is too generic).
-        if let Some(k) = resolve_by_receiver(g, t, i, f, &aliases) {
-            out.push(k);
-            continue;
-        }
-        let name = tok.text.as_str();
-        if CALL_IGNORE.contains(&name) {
-            continue;
-        }
-        // Qualified `Type::name(..)` call?
-        let qualified = t
-            .get(i.wrapping_sub(1))
-            .zip(t.get(i.wrapping_sub(2)))
-            .zip(t.get(i.wrapping_sub(3)))
-            .and_then(|((c1, c2), ty)| {
-                (i >= 3 && c1.is_punct(':') && c2.is_punct(':') && ty.kind == TokKind::Ident)
-                    .then(|| format!("{}::{}", ty.text, name))
-            });
-        if let Some(q) = qualified {
-            if let Some((k, _)) = g.fns.get_key_value(q.as_str()) {
-                out.push(*k);
-                continue;
-            }
-        }
-        // Method/free call: resolve by bare name. Prefer a same-owner
-        // method when one exists, else accept a unique global match.
-        if let Some(cands) = g.by_name.get(name) {
-            if let Some(owner) = &f.owner {
-                let own = format!("{owner}::{name}");
-                if let Some(q) = cands.iter().find(|q| **q == own) {
-                    out.push(q);
-                    continue;
-                }
-            }
-            if cands.len() == 1 {
-                out.push(cands[0]);
-            }
-        }
+        out.extend(resolve_call(g, t, i, f, &aliases));
     }
     out.sort_unstable();
     out.dedup();
@@ -774,35 +908,8 @@ fn d4_lock_discipline(units: &[Unit], out: &mut Vec<Finding>) {
                 calls.push((i, format!("<retry:{name}>")));
                 continue;
             }
-            // Receiver-typed resolution before the generic-name skip,
-            // so guard-holding calls like `dirty.lock().push_back(..)`
-            // land on the type that defines them.
-            if let Some(k) = resolve_by_receiver(&g, t, i, f, &aliases) {
+            for k in resolve_call(&g, t, i, f, &aliases) {
                 calls.push((i, k.to_string()));
-                continue;
-            }
-            if CALL_IGNORE.contains(&name) {
-                continue;
-            }
-            let resolved = if i >= 3
-                && t[i - 1].is_punct(':')
-                && t[i - 2].is_punct(':')
-                && t[i - 3].kind == TokKind::Ident
-            {
-                let q2 = format!("{}::{}", t[i - 3].text, name);
-                g.fns.contains_key(q2.as_str()).then_some(q2)
-            } else if let Some(cands) = g.by_name.get(name) {
-                let own = f
-                    .owner
-                    .as_ref()
-                    .map(|o| format!("{o}::{name}"))
-                    .filter(|o| cands.iter().any(|c| *c == o));
-                own.or_else(|| (cands.len() == 1).then(|| cands[0].to_string()))
-            } else {
-                None
-            };
-            if let Some(r) = resolved {
-                calls.push((i, r));
             }
         }
         facts.insert(
@@ -981,4 +1088,381 @@ fn d4_lock_discipline(units: &[Unit], out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------- D5
+
+/// Files D5 scans: workspace `src/` code, minus the layers that *are*
+/// the discipline's machinery — the cfg-switched sync facades
+/// (`sync.rs`), the model checker (which implements the instrumented
+/// primitives on raw std atomics), and the analyzer itself (whose
+/// matchers name these tokens).
+fn d5_scoped(path: &str) -> bool {
+    path.starts_with("crates/")
+        && path.contains("/src/")
+        && !path.starts_with("crates/modelcheck/")
+        && !path.starts_with("crates/analyzer/")
+        && !path.ends_with("/sync.rs")
+}
+
+/// Crates routed through the `ech_core::sync` facade: raw `std::sync`
+/// primitives here would silently escape model-checker instrumentation.
+fn d5_facade_scoped(path: &str) -> bool {
+    (path.starts_with("crates/core/src/") || path.starts_with("crates/cluster/src/"))
+        && !path.ends_with("/sync.rs")
+}
+
+/// `std::sync` items that have a facade equivalent and are therefore
+/// banned raw in facade-scoped crates (`Arc`/`mpsc` have none and stay
+/// legal).
+const D5_RAW_SYNC: &[&str] = &["atomic", "Mutex", "RwLock", "Condvar"];
+
+/// Token index of the `(` opening the innermost call that contains
+/// token `i`, scanning back no further than `a`.
+fn enclosing_call_open(t: &[Token], a: usize, i: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for k in (a..i).rev() {
+        if t[k].is_punct(')') {
+            depth += 1;
+        } else if t[k].is_punct('(') {
+            if depth == 0 {
+                return Some(k);
+            }
+            depth -= 1;
+        }
+    }
+    None
+}
+
+/// D5: atomic-ordering discipline.
+///
+/// `Ordering::Relaxed` is the *counter* ordering: legal on
+/// `fetch_add`/`fetch_sub`, and on a `load` whose receiver is also the
+/// receiver of a relaxed RMW in the same file (the snapshot side of a
+/// statistics counter). Anywhere else a relaxed access on an atomic
+/// that other threads order against is a publication bug waiting to
+/// happen — use Acquire/Release, or justify with `ech-allow(D5)`.
+///
+/// Separately, facade-scoped crates must take their primitives from the
+/// `sync` facade: a raw `std::sync::{atomic, Mutex, RwLock, Condvar}`
+/// path bypasses the model checker's instrumentation.
+fn d5_atomic_discipline(units: &[Unit], out: &mut Vec<Finding>) {
+    for u in units.iter().filter(|u| d5_scoped(&u.path)) {
+        let t = &u.lexed.tokens;
+        let test_ranges: Vec<(usize, usize)> = u
+            .parsed
+            .fns
+            .iter()
+            .filter(|f| f.is_test)
+            .map(|f| f.body)
+            .collect();
+        let in_test = |i: usize| test_ranges.iter().any(|&(a, b)| i >= a && i <= b);
+        // Receivers of relaxed RMWs: `<recv>.fetch_add(` / `.fetch_sub(`.
+        let mut rmw_receivers: BTreeSet<&str> = BTreeSet::new();
+        for (i, tok) in t.iter().enumerate() {
+            if tok.kind == TokKind::Ident
+                && matches!(tok.text.as_str(), "fetch_add" | "fetch_sub")
+                && i >= 2
+                && t[i - 1].is_punct('.')
+                && t[i - 2].kind == TokKind::Ident
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            {
+                rmw_receivers.insert(t[i - 2].text.as_str());
+            }
+        }
+        for (i, tok) in t.iter().enumerate() {
+            if !tok.is_ident("Relaxed")
+                || i < 3
+                || !t[i - 1].is_punct(':')
+                || !t[i - 2].is_punct(':')
+                || !t[i - 3].is_ident("Ordering")
+                || in_test(i)
+            {
+                continue;
+            }
+            let f = enclosing_fn(&u.parsed, i);
+            let scan_from = f.map_or(0, |f| f.body.0);
+            let method = enclosing_call_open(t, scan_from, i)
+                .filter(|&open| open >= 1 && t[open - 1].kind == TokKind::Ident)
+                .map(|open| (open, t[open - 1].text.clone()));
+            let allowed = match &method {
+                Some((_, m)) if m == "fetch_add" || m == "fetch_sub" => true,
+                Some((open, m)) if m == "load" => {
+                    // `<recv>.load(Ordering::Relaxed)` — counter snapshot
+                    // when the receiver also does relaxed RMWs here.
+                    *open >= 3
+                        && t[open - 2].is_punct('.')
+                        && t[open - 3].kind == TokKind::Ident
+                        && rmw_receivers.contains(t[open - 3].text.as_str())
+                }
+                _ => false,
+            };
+            if allowed {
+                continue;
+            }
+            let what = method.map_or_else(|| "<expr>".to_string(), |(_, m)| m);
+            let ctx = f.map_or_else(|| "<item>".to_string(), |f| f.qual.clone());
+            out.push(Finding {
+                rule: "D5",
+                file: u.path.clone(),
+                line: tok.line,
+                key: format!("D5 {} {} relaxed-{}", u.path, ctx, what),
+                message: format!(
+                    "`Ordering::Relaxed` on `{what}` outside the counter discipline ({ctx}); \
+                     non-counter atomics synchronise — use Acquire/Release orderings"
+                ),
+            });
+        }
+        if !d5_facade_scoped(&u.path) {
+            continue;
+        }
+        for (i, tok) in t.iter().enumerate() {
+            if !tok.is_ident("std")
+                || !t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                || !t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                || !t.get(i + 3).is_some_and(|x| x.is_ident("sync"))
+                || !t.get(i + 4).is_some_and(|x| x.is_punct(':'))
+                || !t.get(i + 5).is_some_and(|x| x.is_punct(':'))
+                || in_test(i)
+            {
+                continue;
+            }
+            // `std::sync::<item>` or a `std::sync::{..}` group: collect
+            // the banned item names referenced.
+            let mut hits: Vec<&str> = Vec::new();
+            match t.get(i + 6) {
+                Some(x) if x.kind == TokKind::Ident => {
+                    if let Some(h) = D5_RAW_SYNC.iter().find(|b| x.is_ident(b)) {
+                        hits.push(h);
+                    }
+                }
+                Some(x) if x.is_punct('{') => {
+                    let close = matching_brace(t, i + 6);
+                    for tk in &t[i + 7..close] {
+                        if let Some(h) = D5_RAW_SYNC.iter().find(|b| tk.is_ident(b)) {
+                            hits.push(h);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            let ctx =
+                enclosing_fn(&u.parsed, i).map_or_else(|| "<item>".to_string(), |f| f.qual.clone());
+            for h in hits {
+                out.push(Finding {
+                    rule: "D5",
+                    file: u.path.clone(),
+                    line: tok.line,
+                    key: format!("D5 {} {} raw-std-sync {}", u.path, ctx, h),
+                    message: format!(
+                        "raw `std::sync::{h}` in facade-scoped code ({ctx}); import from the \
+                         crate's `sync` module so the model checker can instrument it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D6
+
+/// Header-stamp calls: these make a write version *authoritative* for
+/// readers resolving the stamped object.
+const D6_STAMP: &[&str] = &["record_write", "mark_clean", "restamp"];
+
+/// D6: publish-order discipline on writer paths.
+///
+/// Two invariants around the RCU view swap:
+///
+/// 1. **stamp-before-publish** — a function (or anything it calls) must
+///    not stamp an object header *before* it publishes the view that
+///    makes the stamped version resolvable: a concurrent reader would
+///    see a header version no replica placement can satisfy yet.
+///    Stamping and publishing are both propagated transitively through
+///    the call graph, so hiding the pair in helpers doesn't evade the
+///    rule.
+/// 2. **unpinned-cache-consult** — every `cache.place_at`/
+///    `cache.place_current` consult must happen under a pinned view
+///    epoch (a `view.load()` / `view_snapshot()` earlier in, or inside,
+///    the consulting expression); consulting the cache against an
+///    unpinned view races the next publication.
+fn d6_publish_order(units: &[Unit], out: &mut Vec<Finding>) {
+    let g = build_graph(units);
+    // Direct event positions per fn: (token idx, event name).
+    struct Events {
+        stamps: Vec<(usize, String)>,
+        publishes: Vec<usize>,
+        calls: Vec<(usize, String)>,
+    }
+    let mut events: BTreeMap<&str, Events> = BTreeMap::new();
+    for (q, (ui, f)) in &g.fns {
+        let t = &units[*ui].lexed.tokens;
+        let (a, b) = f.body;
+        let b = b.min(t.len().saturating_sub(1));
+        let aliases = local_aliases(t, f);
+        let mut e = Events {
+            stamps: Vec::new(),
+            publishes: Vec::new(),
+            calls: Vec::new(),
+        };
+        for i in a..=b {
+            let tok = &t[i];
+            if tok.kind != TokKind::Ident || !t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
+                continue;
+            }
+            let name = tok.text.as_str();
+            if D6_STAMP.contains(&name) && i > 0 && t[i - 1].is_punct('.') {
+                e.stamps.push((i, name.to_string()));
+                continue;
+            }
+            // A view publication: `<..>.view.store(..)` / `.swap(..)`
+            // on the view field, or the clone-mutate-publish helper.
+            let on_view = i >= 2 && t[i - 1].is_punct('.') && t[i - 2].is_ident("view");
+            if (name == "store" || name == "swap") && on_view {
+                e.publishes.push(i);
+                continue;
+            }
+            if name == "update_view" {
+                e.publishes.push(i);
+                continue;
+            }
+            // Resolved calls, for transitive propagation.
+            for k in resolve_call(&g, t, i, f, &aliases) {
+                e.calls.push((i, k.to_string()));
+            }
+        }
+        events.insert(q, e);
+    }
+    // Fixpoints: fns that stamp / publish anywhere beneath them.
+    let mut stamp_fns: BTreeSet<&str> = events
+        .iter()
+        .filter(|(_, e)| !e.stamps.is_empty())
+        .map(|(q, _)| *q)
+        .collect();
+    let mut publish_fns: BTreeSet<&str> = events
+        .iter()
+        .filter(|(_, e)| !e.publishes.is_empty())
+        .map(|(q, _)| *q)
+        .collect();
+    loop {
+        let mut changed = false;
+        for (q, e) in &events {
+            let calls_stamp = e.calls.iter().any(|(_, c)| stamp_fns.contains(c.as_str()));
+            if calls_stamp && stamp_fns.insert(q) {
+                changed = true;
+            }
+            let calls_publish = e
+                .calls
+                .iter()
+                .any(|(_, c)| publish_fns.contains(c.as_str()));
+            if calls_publish && publish_fns.insert(q) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (q, e) in &events {
+        let (ui, f) = g.fns[q];
+        let u = &units[ui];
+        if !u.path.starts_with("crates/cluster/src/") && !u.path.starts_with("crates/core/src/") {
+            continue;
+        }
+        let t = &u.lexed.tokens;
+        // All stamp/publish event positions, direct and via calls. A
+        // call that both stamps and publishes internally is not an
+        // ordered pair here — its internal order is checked at its own
+        // definition.
+        let mut stamps: Vec<(usize, &str)> =
+            e.stamps.iter().map(|(i, n)| (*i, n.as_str())).collect();
+        let mut publishes: Vec<usize> = e.publishes.clone();
+        for (i, c) in &e.calls {
+            let is_stamp = stamp_fns.contains(c.as_str());
+            let is_publish = publish_fns.contains(c.as_str());
+            if is_stamp && !is_publish {
+                stamps.push((*i, c.rsplit("::").next().unwrap_or(c)));
+            } else if is_publish && !is_stamp {
+                publishes.push(*i);
+            }
+        }
+        for (si, name) in &stamps {
+            if publishes.iter().any(|pi| pi > si) {
+                out.push(Finding {
+                    rule: "D6",
+                    file: u.path.clone(),
+                    line: t[*si].line,
+                    key: format!("D6 {} {} stamp-before-publish {}", u.path, f.qual, name),
+                    message: format!(
+                        "header stamp `{name}` before the view publication in {} — a reader \
+                         between the two sees a header version no placement satisfies; \
+                         publish the view first",
+                        f.qual
+                    ),
+                });
+            }
+        }
+        // Unpinned cache consults: `cache.place_*` with no view pin
+        // before the consulting expression completes.
+        let pins: Vec<usize> = (f.body.0..=f.body.1.min(t.len().saturating_sub(1)))
+            .filter(|&i| {
+                let tok = &t[i];
+                (tok.is_ident("load")
+                    && i >= 2
+                    && t[i - 1].is_punct('.')
+                    && t[i - 2].is_ident("view")
+                    && t.get(i + 1).is_some_and(|x| x.is_punct('(')))
+                    || (tok.is_ident("view_snapshot")
+                        && t.get(i + 1).is_some_and(|x| x.is_punct('(')))
+            })
+            .collect();
+        for i in f.body.0..=f.body.1.min(t.len().saturating_sub(1)) {
+            let tok = &t[i];
+            let is_consult = tok.kind == TokKind::Ident
+                && matches!(tok.text.as_str(), "place_at" | "place_current")
+                && i >= 2
+                && t[i - 1].is_punct('.')
+                && t[i - 2].is_ident("cache")
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('));
+            if !is_consult {
+                continue;
+            }
+            // The pin may sit inside the consult's own argument list
+            // (`cache.place_current(&self.view.load(), ..)`), so the
+            // window closes at the call's closing paren.
+            let close = matching_paren(t, i + 1);
+            if !pins.iter().any(|&p| p < close) {
+                out.push(Finding {
+                    rule: "D6",
+                    file: u.path.clone(),
+                    line: tok.line,
+                    key: format!(
+                        "D6 {} {} unpinned-cache-consult {}",
+                        u.path, f.qual, tok.text
+                    ),
+                    message: format!(
+                        "`cache.{}` without a pinned view epoch in {} — load the view once \
+                         and consult the cache against that snapshot",
+                        tok.text, f.qual
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Token index of the `)` matching the `(` at `open`.
+fn matching_paren(t: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, tok) in t.iter().enumerate().skip(open) {
+        if tok.is_punct('(') {
+            depth += 1;
+        } else if tok.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    t.len().saturating_sub(1)
 }

@@ -294,6 +294,249 @@ fn d4_resolves_guarded_receiver_calls_by_field_type() {
     );
 }
 
+// ------------------------------------- receiver-typed call resolution
+
+#[test]
+fn d2_follows_helper_return_types_through_question_mark_chains() {
+    // `self.node(0)?.fetch(..)` drops through no declared field — the
+    // receiver's type is Cluster::node's *return* type, one hop. Both
+    // the direct chain and the alias form must recover the edge into
+    // StorageNode::fetch, whose indexing must then surface.
+    let files = vec![
+        file(
+            "crates/cluster/src/cluster.rs",
+            "pub struct Cluster { nodes: Vec<StorageNode> }\n\
+             impl Cluster {\n\
+             fn node(&self, i: usize) -> Result<Arc<StorageNode>, EchError> { Err(e) }\n\
+             pub fn put(&self) { self.node(0)?.fetch(7); }\n\
+             pub fn locate(&self) { let n = self.node(1)?; n.probe(2); }\n\
+             }\n",
+        ),
+        file(
+            "crates/cluster/src/node.rs",
+            "pub struct StorageNode;\n\
+             impl StorageNode {\n\
+             pub fn fetch(&self, i: usize) -> u8 { self.raw[i] }\n\
+             pub fn probe(&self, i: usize) -> u8 { self.raw[i] }\n\
+             }\n",
+        ),
+    ];
+    let hits = rules_at(&files, "crates/cluster/src/node.rs");
+    let d2: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| r == "D2")
+        .map(|(_, l)| *l)
+        .collect();
+    assert_eq!(
+        d2,
+        [3, 4],
+        "direct chain reaches fetch, alias reaches probe: {hits:?}"
+    );
+}
+
+#[test]
+fn d2_fans_out_trait_object_calls_to_every_impl() {
+    // `clock: Arc<dyn Clock>` types the receiver as the trait; the call
+    // must reach every implementing type, so the panic planted in one
+    // impl surfaces.
+    let files = vec![
+        file(
+            "crates/cluster/src/cluster.rs",
+            "pub struct Cluster { clock: Arc<dyn Clock> }\n\
+             impl Cluster {\n\
+             pub fn put(&self) { self.clock.now(); }\n\
+             }\n",
+        ),
+        file(
+            "crates/cluster/src/fault.rs",
+            "pub trait Clock { fn now(&self) -> u64; }\n\
+             pub struct WallClock;\n\
+             impl Clock for WallClock {\n\
+             fn now(&self) -> u64 { self.t.unwrap() }\n\
+             }\n\
+             pub struct TestClock;\n\
+             impl Clock for TestClock {\n\
+             fn now(&self) -> u64 { 0 }\n\
+             }\n",
+        ),
+    ];
+    let hits = rules_at(&files, "crates/cluster/src/fault.rs");
+    assert!(
+        hits.iter().any(|(r, l)| r == "D2" && *l == 4),
+        "unwrap inside WallClock::now must be reachable: {hits:?}"
+    );
+}
+
+#[test]
+fn d4_follows_mut_helper_return_types() {
+    // A `&mut self` helper returning `&mut KvDirtyTable` types the
+    // chained receiver; push_back's retry point makes the held guard a
+    // finding.
+    let files = vec![
+        file(
+            "crates/cluster/src/cluster.rs",
+            "pub struct Cluster { dirty: KvDirtyTable, gate: Mutex<u8> }\n\
+             impl Cluster {\n\
+             fn dirty_mut(&mut self) -> &mut KvDirtyTable { &mut self.dirty }\n\
+             pub fn log(&mut self) {\n\
+             let g = self.gate.lock();\n\
+             self.dirty_mut().push_back(1);\n\
+             }\n\
+             }\n",
+        ),
+        file(
+            "crates/cluster/src/dirty_store.rs",
+            "pub struct KvDirtyTable;\n\
+             impl KvDirtyTable {\n\
+             pub fn push_back(&self, e: u8) { kv_retry(e); }\n\
+             }\n\
+             fn kv_retry(e: u8) {}\n",
+        ),
+    ];
+    let hits = analyze(&files);
+    assert!(
+        hits.iter()
+            .any(|f| f.rule == "D4" && f.key.contains("lock-across-retry") && f.line == 6),
+        "gate held across retry-reaching push_back: {hits:?}"
+    );
+}
+
+#[test]
+fn typed_receivers_block_same_owner_name_guessing() {
+    // `self.map.len()` is typed by the field: BTreeMap is foreign to
+    // the graph, so no edge — in particular NOT the same-owner
+    // `Cluster::len`, whose retry point would otherwise flag the held
+    // guard. (`len` used to need a CALL_IGNORE entry for this.)
+    let files = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster { map: BTreeMap<u8, u8>, gate: Mutex<u8> }\n\
+         impl Cluster {\n\
+         pub fn locate(&self) { let g = self.gate.lock(); let n = self.map.len(); }\n\
+         fn len(&self) -> usize { self.retryer.run_with(tok, f, op); 0 }\n\
+         }\n",
+    )];
+    assert!(analyze(&files).is_empty(), "{:?}", analyze(&files));
+}
+
+// ---------------------------------------------------------------- D5
+
+#[test]
+fn d5_flags_relaxed_on_non_counter_atomics() {
+    // A Relaxed store on a flag synchronises nothing; Relaxed is only
+    // legal on counters (fetch_add/fetch_sub receivers and their
+    // loads).
+    let files = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster;\n\
+         impl Cluster {\n\
+         fn mark(&self) { self.flag.store(true, Ordering::Relaxed); }\n\
+         fn count(&self) { self.ops.fetch_add(1, Ordering::Relaxed); }\n\
+         fn snapshot(&self) -> u64 { self.ops.load(Ordering::Relaxed) }\n\
+         }\n",
+    )];
+    let hits = rules_at(&files, "crates/cluster/src/cluster.rs");
+    let d5: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| r == "D5")
+        .map(|(_, l)| *l)
+        .collect();
+    assert_eq!(d5, [3], "only the flag store fires: {hits:?}");
+}
+
+#[test]
+fn d5_bans_raw_std_sync_outside_the_facade() {
+    // Raw `std::sync` primitives belong behind the `sync` facade so the
+    // model checker can instrument them; `Arc` and the facade file
+    // itself stay legal.
+    let files = vec![
+        file("crates/core/src/cache.rs", "use std::sync::Mutex;\n"),
+        file("crates/core/src/sync.rs", "pub use std::sync::Mutex;\n"),
+        file("crates/core/src/stats.rs", "use std::sync::Arc;\n"),
+    ];
+    let hits = analyze(&files);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "D5");
+    assert_eq!(hits[0].file, "crates/core/src/cache.rs");
+    assert!(hits[0].key.contains("raw-std-sync"));
+}
+
+// ---------------------------------------------------------------- D6
+
+#[test]
+fn d6_flags_stamp_before_publish_and_accepts_the_inverse() {
+    // Header stamping before the view store opens the stale-header
+    // window — directly or through a helper call.
+    let bad = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster;\n\
+         impl Cluster {\n\
+         fn resize(&self) {\n\
+         self.headers.record_write(o, v, false);\n\
+         self.view.store(next);\n\
+         }\n\
+         }\n",
+    )];
+    let hits = analyze(&bad);
+    assert!(
+        hits.iter()
+            .any(|f| f.rule == "D6" && f.key.contains("stamp-before-publish") && f.line == 4),
+        "{hits:?}"
+    );
+
+    let transitive = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster;\n\
+         impl Cluster {\n\
+         fn resize(&self) { self.stamp_it(); self.view.store(next); }\n\
+         fn stamp_it(&self) { self.headers.record_write(o, v, false); }\n\
+         }\n",
+    )];
+    let hits = analyze(&transitive);
+    assert!(
+        hits.iter()
+            .any(|f| f.rule == "D6" && f.key.contains("stamp-before-publish")),
+        "stamp via helper call: {hits:?}"
+    );
+
+    let good = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster;\n\
+         impl Cluster {\n\
+         fn resize(&self) {\n\
+         self.view.store(next);\n\
+         self.headers.record_write(o, v, false);\n\
+         }\n\
+         }\n",
+    )];
+    assert!(analyze(&good).is_empty(), "{:?}", analyze(&good));
+}
+
+#[test]
+fn d6_flags_cache_consults_outside_a_pinned_view() {
+    let bad = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster;\n\
+         impl Cluster {\n\
+         fn locate(&self) { let p = self.cache.place_current(&v, oid); }\n\
+         }\n",
+    )];
+    let hits = analyze(&bad);
+    assert!(
+        hits.iter()
+            .any(|f| f.rule == "D6" && f.key.contains("unpinned-cache-consult")),
+        "{hits:?}"
+    );
+
+    let good = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster;\n\
+         impl Cluster {\n\
+         fn locate(&self) { let p = self.cache.place_current(&self.view.load(), oid); }\n\
+         }\n",
+    )];
+    assert!(analyze(&good).is_empty(), "{:?}", analyze(&good));
+}
+
 // ------------------------------------------------------ suppressions
 
 #[test]

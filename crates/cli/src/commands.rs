@@ -28,6 +28,7 @@ pub fn run(args: &Args) -> Result<String, ParseError> {
         "chaos" => chaos_cmd(args),
         "bench" => bench_cmd(args),
         "lint" => lint_cmd(args),
+        "modelcheck" => modelcheck_cmd(args),
         other => Err(ParseError(format!(
             "unknown subcommand `{other}`; try `ech help`"
         ))),
@@ -61,9 +62,15 @@ COMMANDS:
   bench           run a benchmark group on the live cluster, JSON to
                   stdout (group: hotpath)
                   [--smoke true] [--check-against FILE] [--tolerance T]
-  lint            run the workspace invariant analyzer (rules D1-D4)
+  lint            run the workspace invariant analyzer (rules D1-D6)
                   [--root DIR] [--baseline FILE] [--deny-new true]
                   [--write-baseline true]
+  modelcheck      explore thread interleavings of the cluster's
+                  publish/read/reintegrate protocols and report
+                  violations with a replayable trace
+                  [--model NAME] [--random true --seed S --iters N]
+                  [--replay TRACE] [--max-preemptions P]
+                  [--max-schedules B]
   help            this text
 "
     .to_owned()
@@ -135,6 +142,158 @@ fn lint_cmd(args: &Args) -> Result<String, ParseError> {
         return Err(ParseError(format!("lint failed with exit code {code}")));
     }
     Ok(String::new())
+}
+
+/// `ech modelcheck`: run the registered interleaving models (see
+/// [`crate::mc_models`]) and report one line per model. Regular models
+/// must pass every explored schedule; the seeded-bug model inverts the
+/// verdict — the checker must *find* its failure and print the trace,
+/// which `--replay` then reproduces deterministically.
+fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
+    args.allow_only(&[
+        "model",
+        "random",
+        "seed",
+        "iters",
+        "replay",
+        "max-preemptions",
+        "max-schedules",
+    ])?;
+    let cfg = ech_modelcheck::Config {
+        max_preemptions: args.get_or("max-preemptions", 2)?,
+        max_schedules: args.get_or("max-schedules", 20_000)?,
+    };
+    if let Some(trace) = args.options.get("replay") {
+        return modelcheck_replay(trace);
+    }
+    let random: bool = args.get_or("random", false)?;
+    let seed: u64 = args.get_or("seed", 0xec11)?;
+    let iters: usize = args.get_or("iters", 400)?;
+    let selected: Vec<&crate::mc_models::Model> = match args.options.get("model") {
+        Some(name) => vec![crate::mc_models::find(name).ok_or_else(|| {
+            ParseError(format!(
+                "unknown model `{name}`; available models:\n{}",
+                crate::mc_models::MODELS
+                    .iter()
+                    .map(|m| format!("  {} — {}", m.name, m.about))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ))
+        })?],
+        None => crate::mc_models::MODELS.iter().collect(),
+    };
+    let mut out = String::new();
+    if random {
+        writeln!(
+            out,
+            "modelcheck: seeded random exploration (seed {seed}, {iters} schedules per model)"
+        )
+        .expect("write to string");
+    } else {
+        writeln!(
+            out,
+            "modelcheck: bounded exhaustive exploration (preemption bound {})",
+            cfg.max_preemptions
+        )
+        .expect("write to string");
+    }
+    let mut problems: Vec<String> = Vec::new();
+    for m in selected {
+        // The seeded-bug model always runs the deterministic DFS: its
+        // point is *finding* the planted violation, and the DFS both
+        // finds it within a handful of schedules and reports the same
+        // trace every run.
+        let report = if random && !m.expect_failure {
+            ech_modelcheck::explore_random(m.name, seed, iters, m.setup)
+        } else {
+            ech_modelcheck::explore(m.name, &cfg, m.setup)
+        };
+        match (&report.failure, m.expect_failure) {
+            (None, false) => {
+                let coverage = if report.exhausted {
+                    "exhaustive"
+                } else if random {
+                    "sampled"
+                } else {
+                    problems.push(format!(
+                        "{}: schedule budget exhausted before full coverage",
+                        m.name
+                    ));
+                    "TRUNCATED"
+                };
+                writeln!(
+                    out,
+                    "  {:<24} pass    {:>6} schedules ({coverage})",
+                    m.name, report.schedules
+                )
+                .expect("write to string");
+            }
+            (Some(f), true) => {
+                writeln!(
+                    out,
+                    "  {:<24} caught  {:>6} schedules (seeded bug, expected)",
+                    m.name, report.schedules
+                )
+                .expect("write to string");
+                writeln!(out, "    {}", f.message).expect("write to string");
+                writeln!(out, "    trace: {}", f.trace).expect("write to string");
+            }
+            (Some(f), false) => {
+                writeln!(
+                    out,
+                    "  {:<24} FAIL    {:>6} schedules",
+                    m.name, report.schedules
+                )
+                .expect("write to string");
+                writeln!(out, "    {}", f.message).expect("write to string");
+                writeln!(out, "    trace: {}", f.trace).expect("write to string");
+                problems.push(format!("{}: {}", m.name, f.message));
+            }
+            (None, true) => {
+                writeln!(
+                    out,
+                    "  {:<24} MISSED  {:>6} schedules (seeded bug not found)",
+                    m.name, report.schedules
+                )
+                .expect("write to string");
+                problems.push(format!("{}: seeded bug not found", m.name));
+            }
+        }
+    }
+    if problems.is_empty() {
+        writeln!(out, "modelcheck: ok").expect("write to string");
+        Ok(out)
+    } else {
+        Err(ParseError(format!(
+            "modelcheck failed: {}\n{out}",
+            problems.join("; ")
+        )))
+    }
+}
+
+/// `ech modelcheck --replay TRACE`: re-execute one recorded schedule.
+/// The trace names its model; the scheduler forces the recorded
+/// decisions, so the same violation reproduces byte-identically (the
+/// counterexample replay test runs this twice and compares outputs).
+fn modelcheck_replay(trace: &str) -> Result<String, ParseError> {
+    let (model_name, prefix) = ech_modelcheck::parse_trace(trace)
+        .ok_or_else(|| ParseError(format!("malformed trace `{trace}`")))?;
+    let model = crate::mc_models::find(&model_name)
+        .ok_or_else(|| ParseError(format!("trace names unknown model `{model_name}`")))?;
+    let report = ech_modelcheck::replay(model.name, prefix, model.setup);
+    let mut out = String::new();
+    match &report.failure {
+        Some(f) => {
+            writeln!(out, "replay {}: violation reproduced", model.name).expect("write to string");
+            writeln!(out, "  {}", f.message).expect("write to string");
+            writeln!(out, "  trace: {}", f.trace).expect("write to string");
+        }
+        None => {
+            writeln!(out, "replay {}: no violation at this schedule", model.name)
+                .expect("write to string");
+        }
+    }
+    Ok(out)
 }
 
 fn layout(args: &Args) -> Result<String, ParseError> {
@@ -539,9 +698,77 @@ mod tests {
             "chaos",
             "bench",
             "lint",
+            "modelcheck",
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    /// The protocol models must hold on *every* schedule within the
+    /// preemption bound — truncated coverage or a single violating
+    /// interleaving fails the run.
+    #[test]
+    fn modelcheck_default_models_pass_exhaustively() {
+        for model in ["publish-vs-read", "cache-coherence", "cache-counters"] {
+            let out = run_line(&format!("modelcheck --model {model}")).unwrap();
+            assert!(out.contains("pass"), "{model} did not pass:\n{out}");
+            assert!(out.contains("(exhaustive)"), "{model} truncated:\n{out}");
+        }
+    }
+
+    #[test]
+    fn modelcheck_reintegration_model_passes_exhaustively() {
+        let out = run_line("modelcheck --model reintegrate-vs-resize").unwrap();
+        assert!(out.contains("pass"), "not passing:\n{out}");
+        assert!(out.contains("(exhaustive)"), "truncated:\n{out}");
+    }
+
+    /// The counterexample pipeline end to end: the checker finds the
+    /// deliberately seeded stamp-before-publish bug within a small
+    /// schedule budget, and replaying its reported trace reproduces the
+    /// identical violation byte for byte, twice.
+    #[test]
+    fn modelcheck_finds_seeded_bug_and_replays_it_deterministically() {
+        let out = run_line("modelcheck --model seeded-stamp-bug --max-schedules 200").unwrap();
+        assert!(
+            out.contains("caught"),
+            "seeded bug not found within 200 schedules:\n{out}"
+        );
+        let trace_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("trace: "))
+            .expect("report carries a trace");
+        let trace = trace_line.trim_start().trim_start_matches("trace: ");
+        let replay_cmd = format!("modelcheck --replay {trace}");
+        let first = run_line(&replay_cmd).unwrap();
+        let second = run_line(&replay_cmd).unwrap();
+        assert!(
+            first.contains("violation reproduced"),
+            "replay lost the violation:\n{first}"
+        );
+        assert_eq!(first, second, "replay is not deterministic");
+        // The reproduced trace round-trips: replay reports the same
+        // schedule it was given.
+        assert!(first.contains(trace), "replay rewrote the trace:\n{first}");
+    }
+
+    /// Seeded random mode (the CI smoke gate) is a pure function of the
+    /// seed: identical invocations must render identical reports.
+    #[test]
+    fn modelcheck_random_mode_is_deterministic() {
+        let line = "modelcheck --model cache-counters --random true --seed 7 --iters 50";
+        let a = run_line(line).unwrap();
+        let b = run_line(line).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("(sampled)"), "random mode not sampled:\n{a}");
+    }
+
+    #[test]
+    fn modelcheck_rejects_unknown_models_and_traces() {
+        let err = run_line("modelcheck --model no-such-model").unwrap_err();
+        assert!(err.0.contains("publish-vs-read"), "error lists models");
+        assert!(run_line("modelcheck --replay not-a-trace").is_err());
+        assert!(run_line("modelcheck --replay v1:no-such-model:t0").is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 mod args;
 mod commands;
+mod mc_models;
 
 use std::process::ExitCode;
 

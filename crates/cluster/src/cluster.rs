@@ -16,6 +16,7 @@ use crate::fault::{Clock, FaultInjector, FaultPlan, FaultStatsSnapshot, SystemCl
 use crate::node::{NodeError, StorageNode};
 use crate::repair::RepairStats;
 use crate::retry::{Classify, RetryPolicy};
+use crate::sync::{counter_u64, AtomicBool, AtomicU64, Mutex, Ordering};
 use arc_swap::ArcSwap;
 use bytes::Bytes;
 use ech_core::cache::ShardedPlacementCache;
@@ -28,8 +29,6 @@ use ech_core::reintegration::{Idle, MigrationTask, Reintegrator};
 use ech_core::stats::{CacheSnapshot, PathCounters, PathSnapshot};
 use ech_core::view::ClusterView;
 use ech_kvstore::{KvStore, ShardFaultHook};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -329,8 +328,8 @@ impl Cluster {
             engine: Mutex::new(Reintegrator::new()),
             migration_limiter: Self::migration_limiter(&cfg, &clock),
             stop_worker: AtomicBool::new(false),
-            migrated_bytes: AtomicU64::new(0),
-            read_rr: AtomicU64::new(0),
+            migrated_bytes: counter_u64(0),
+            read_rr: counter_u64(0),
             kv,
             cfg,
             fault,
@@ -410,8 +409,8 @@ impl Cluster {
             engine: Mutex::new(Reintegrator::new()),
             migration_limiter: Self::migration_limiter(&self.cfg, &self.clock),
             stop_worker: AtomicBool::new(false),
-            migrated_bytes: AtomicU64::new(0),
-            read_rr: AtomicU64::new(0),
+            migrated_bytes: counter_u64(0),
+            read_rr: counter_u64(0),
             fault: self.fault.clone(),
             clock: self.clock.clone(),
             counters: PathCounters::default(),
@@ -786,6 +785,62 @@ impl Cluster {
             }
         }
         version
+    }
+
+    /// **Deliberately seeded publish-order bug** (modelcheck builds
+    /// only). Re-enacts the pre-publish-ordering regression: resize to
+    /// `active` and migrate `oid` to its placement at the new version,
+    /// but stamp the authoritative header *before* the copies land and
+    /// the view is published. In the window between the stamp and the
+    /// first new-version copy, a concurrent reader sees a header
+    /// version no replica can satisfy and reports a spurious
+    /// [`ClusterError::NotFound`]. The `seeded-stamp-bug` model drives
+    /// this method so the counterexample-replay test can prove the
+    /// checker finds the interleaving; analyzer rule D6 flags the same
+    /// ordering statically (suppressed below, on purpose).
+    #[cfg(feature = "modelcheck")]
+    pub fn resize_with_seeded_stamp_bug(
+        &self,
+        oid: ObjectId,
+        active: usize,
+    ) -> Result<VersionId, ClusterError> {
+        let _writer = self.view_write.lock();
+        let mut next = ClusterView::clone(&self.view.load());
+        let version = next.resize(active);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i < active {
+                node.set_powered(true);
+            }
+        }
+        let data = self
+            .nodes
+            .iter()
+            .find_map(|n| n.get(oid).ok())
+            .ok_or(ClusterError::NotFound)?
+            .data;
+        // BUG under test: the stamp belongs after the copies and the
+        // publish; running it first opens the stale-header window.
+        // ech-allow(D4, D6): deliberate seeded bug — the counterexample
+        // replay test needs a real stamp-before-publish violation for
+        // the checker to find, and the stamp's kv retry runs under the
+        // writer lock only on this intentionally wrong path.
+        self.headers.record_write(oid, version, false);
+        let placement = next.place_at(oid, version)?;
+        for &server in placement.servers() {
+            self.node(server)?
+                // ech-allow(D4): same seeded bug — faultable node I/O
+                // under the writer lock is part of the window under
+                // test.
+                .put(oid, data.clone(), version, false)
+                .map_err(ClusterError::Node)?;
+        }
+        self.view.store(Arc::new(next));
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i >= active {
+                node.set_powered(false);
+            }
+        }
+        Ok(version)
     }
 
     /// Execute one selective re-integration task. Returns the stats of

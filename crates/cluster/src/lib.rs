@@ -30,6 +30,7 @@ pub mod fault;
 pub mod node;
 pub mod repair;
 pub mod retry;
+pub mod sync;
 pub mod vdi;
 
 pub use cluster::{

@@ -7,12 +7,12 @@
 //! survive for the moment it rejoins.
 
 use crate::fault::{FaultInjector, InjectedFault};
+use crate::sync::{counter_u64, AtomicBool, AtomicU64, Ordering};
 use bytes::Bytes;
 use ech_core::dirty::ObjectHeader;
 use ech_core::ids::{ObjectId, ServerId, VersionId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One stored replica: payload plus the paper's object header (last
@@ -111,9 +111,9 @@ impl StorageNode {
             id,
             powered: AtomicBool::new(true),
             objects: RwLock::new(HashMap::new()),
-            bytes_stored: AtomicU64::new(0),
-            reads: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
+            bytes_stored: counter_u64(0),
+            reads: counter_u64(0),
+            writes: counter_u64(0),
             capacity,
             fault,
         }
@@ -242,6 +242,9 @@ impl StorageNode {
         let mut map = self.objects.write();
         let lost = map.len();
         map.clear();
+        // ech-allow(D5): counter reset on crash — bytes_stored is a pure
+        // statistics counter and the node is already dark, so relaxed is
+        // fine and no reader can order against this store.
         self.bytes_stored.store(0, Ordering::Relaxed);
         lost
     }

@@ -1,0 +1,7 @@
+//! Synchronisation facade re-exported from [`ech_core::sync`]: real
+//! primitives in production builds, instrumented ones under the
+//! `modelcheck` feature. Data-path code in this crate imports its
+//! atomics and mutexes from here, never from `std::sync` or
+//! `parking_lot` directly (analyzer rule D5).
+
+pub use ech_core::sync::*;

@@ -22,8 +22,8 @@
 use crate::ids::{ObjectId, VersionId};
 use crate::placement::{Placement, PlacementError};
 use crate::stats::{CacheCounters, CacheSnapshot};
+use crate::sync::{Mutex, MutexGuard};
 use crate::view::ClusterView;
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 
 /// Bounded cache of resolved placements keyed by `(object, version)`.
@@ -247,10 +247,7 @@ impl ShardedPlacementCache {
     }
 
     /// Take the shard lock, counting a contention event when it is busy.
-    fn lock_shard<'a>(
-        &self,
-        shard: &'a Mutex<CacheShard>,
-    ) -> parking_lot::MutexGuard<'a, CacheShard> {
+    fn lock_shard<'a>(&self, shard: &'a Mutex<CacheShard>) -> MutexGuard<'a, CacheShard> {
         match shard.try_lock() {
             Some(g) => g,
             None => {

@@ -60,6 +60,7 @@ pub mod ratelimit;
 pub mod reintegration;
 pub mod ring;
 pub mod stats;
+pub mod sync;
 pub mod view;
 pub mod writebalance;
 

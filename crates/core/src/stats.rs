@@ -6,21 +6,33 @@
 //! analysis touches 10⁵–10⁷ objects.
 
 use crate::ids::{ObjectId, VersionId};
+use crate::sync::{counter_observed_u64, counter_u64, AtomicU64, Ordering};
 use crate::view::ClusterView;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters for the degraded data path: retries spent, writes
 /// acknowledged below full replication, replicas recorded as missed, and
 /// hedged-read probes launched. Shared by reference from the hot path, so
 /// every field is a relaxed atomic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PathCounters {
     retries: AtomicU64,
     quorum_acks: AtomicU64,
     replicas_missed: AtomicU64,
     hedged_reads: AtomicU64,
     unavailable_errors: AtomicU64,
+}
+
+impl Default for PathCounters {
+    fn default() -> Self {
+        PathCounters {
+            retries: counter_u64(0),
+            quorum_acks: counter_u64(0),
+            replicas_missed: counter_u64(0),
+            hedged_reads: counter_u64(0),
+            unavailable_errors: counter_u64(0),
+        }
+    }
 }
 
 impl PathCounters {
@@ -80,24 +92,45 @@ pub struct PathSnapshot {
 }
 
 /// Counters for the sharded placement cache: hits, misses and shard-lock
-/// contention events. Shared by reference from the lock-free read path,
-/// so every field is a relaxed atomic.
-#[derive(Debug, Default)]
+/// contention events. Shared by reference from the lock-free read path.
+///
+/// Hits and misses are packed into one atomic (`hits << 32 | misses`) so
+/// a snapshot observes the pair *coherently*: a single load can never
+/// see a hit that its concurrent miss-count contradicts, which keeps
+/// derived figures (`hits + misses == ops`, hit ratio) exact even while
+/// the counters are being bumped. The trade-off is a u32 range per half
+/// (~4.3 × 10⁹ events each) — plenty for any bench or test run; a
+/// production build that could overflow it would widen the packing, not
+/// split the pair.
+#[derive(Debug)]
 pub struct CacheCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Packed `hits << 32 | misses`.
+    hits_misses: AtomicU64,
     shard_contention: AtomicU64,
+}
+
+/// Bit offset of the hit count inside the packed pair.
+const HIT_SHIFT: u32 = 32;
+
+impl Default for CacheCounters {
+    fn default() -> Self {
+        CacheCounters {
+            hits_misses: counter_observed_u64(0),
+            shard_contention: counter_u64(0),
+        }
+    }
 }
 
 impl CacheCounters {
     /// One placement served from the cache.
     pub fn inc_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits_misses
+            .fetch_add(1 << HIT_SHIFT, Ordering::Relaxed);
     }
 
     /// One placement computed from the ring and inserted.
     pub fn inc_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.hits_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One shard lock found busy on first try (the caller then blocked).
@@ -105,11 +138,13 @@ impl CacheCounters {
         self.shard_contention.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A consistent-enough point-in-time copy of the counters.
+    /// A point-in-time copy of the counters. The hit/miss pair comes
+    /// from one atomic load, so it is coherent by construction.
     pub fn snapshot(&self) -> CacheSnapshot {
+        let packed = self.hits_misses.load(Ordering::Relaxed);
         CacheSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: packed >> HIT_SHIFT,
+            misses: packed & u64::from(u32::MAX),
             shard_contention: self.shard_contention.load(Ordering::Relaxed),
         }
     }

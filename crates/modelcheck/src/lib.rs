@@ -1,0 +1,403 @@
+//! `ech-modelcheck` — a dependency-free, loom-style concurrency model
+//! checker for the workspace's lock-free core.
+//!
+//! A *model* is a closure that builds some shared state and spawns a
+//! small, fixed set of virtual threads exercising it through the
+//! instrumented primitives in [`sync`] (`MAtomic*`, `MMutex`, `MData`,
+//! and — via the `modelcheck` feature of `vendor/arc_swap` — the real
+//! `ArcSwap`). The explorer runs the model once per *schedule*,
+//! enumerating thread interleavings by depth-first search over bounded
+//! preemptions ([`explore`]) or by seeded random walks
+//! ([`explore_random`]); every violation — a failed assertion, a
+//! vector-clock data race or stale relaxed read, or a scheduler-level
+//! deadlock — comes back with a [`Failure::trace`] that [`replay`]
+//! re-executes deterministically, byte for byte.
+//!
+//! Two deliberate simplifications, documented here because they bound
+//! what a PASS means:
+//!
+//! * **Sequential value semantics.** Atomic loads always observe the
+//!   latest store (the explorer serializes execution); weak-memory
+//!   staleness is *detected* via the happens-before vector clocks
+//!   (a `Relaxed` operation on a sync-class atomic, or an unordered
+//!   read of [`sync::MData`], is reported as a violation) rather than
+//!   simulated by value branching.
+//! * **Bounded exploration.** [`Config::max_preemptions`] bounds the
+//!   involuntary context switches per schedule (the CHESS result: most
+//!   concurrency bugs need very few) and [`Config::max_schedules`]
+//!   caps the total; [`Report::exhausted`] says whether the bounded
+//!   space was fully covered.
+
+mod sched;
+pub mod sync;
+
+pub use sched::{preempt_delta, Decision, Env, VClock};
+
+/// Exploration parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum involuntary context switches per schedule (a switch away
+    /// from a thread that was still enabled).
+    pub max_preemptions: usize,
+    /// Hard cap on schedules executed before reporting a truncated
+    /// (non-exhausted) result.
+    pub max_schedules: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_preemptions: 2,
+            max_schedules: 20_000,
+        }
+    }
+}
+
+/// A violation found by the explorer.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Replayable counterexample trace (`v1:<model>:t…`).
+    pub trace: String,
+}
+
+/// Outcome of exploring one model.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Model name (also embedded in traces).
+    pub model: String,
+    /// Schedules executed.
+    pub schedules: usize,
+    /// True when the whole bounded-preemption space was covered without
+    /// hitting `max_schedules`.
+    pub exhausted: bool,
+    /// The first violation found, if any.
+    pub failure: Option<Failure>,
+}
+
+/// Render a decision sequence as a replayable trace string.
+fn render_trace(model: &str, decisions: &[Decision]) -> String {
+    let steps: Vec<String> = decisions.iter().map(|d| format!("t{}", d.chosen)).collect();
+    if steps.is_empty() {
+        format!("v1:{model}:-")
+    } else {
+        format!("v1:{model}:{}", steps.join(","))
+    }
+}
+
+/// Parse a trace produced by [`explore`]/[`explore_random`]: returns the
+/// model name and the forced decision prefix.
+pub fn parse_trace(trace: &str) -> Option<(String, Vec<usize>)> {
+    let rest = trace.strip_prefix("v1:")?;
+    let (model, steps) = rest.split_once(':')?;
+    if model.is_empty() {
+        return None;
+    }
+    if steps == "-" {
+        return Some((model.to_string(), Vec::new()));
+    }
+    let mut prefix = Vec::new();
+    for s in steps.split(',') {
+        prefix.push(s.strip_prefix('t')?.parse().ok()?);
+    }
+    Some((model.to_string(), prefix))
+}
+
+/// Exhaustively explore `model` under `cfg` by iterative-deepening DFS
+/// over schedules with at most `cfg.max_preemptions` preemptions. The
+/// `setup` closure runs once per schedule: build fresh state, spawn the
+/// virtual threads ([`Env::spawn`]), optionally register a post-join
+/// assertion ([`Env::after`]).
+pub fn explore(model: &str, cfg: &Config, setup: impl Fn(&mut Env)) -> Report {
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut schedules = 0;
+    let mut truncated = false;
+    while let Some(prefix) = stack.pop() {
+        if schedules >= cfg.max_schedules {
+            truncated = true;
+            break;
+        }
+        let plen = prefix.len();
+        let exec = sched::run_one(prefix, None, &setup);
+        schedules += 1;
+        if let Some(message) = exec.failure {
+            return Report {
+                model: model.to_string(),
+                schedules,
+                exhausted: false,
+                failure: Some(Failure {
+                    trace: render_trace(model, &exec.decisions),
+                    message,
+                }),
+            };
+        }
+        // Branch on every decision point this run chose freely (beyond
+        // the forced prefix): each still-affordable alternative becomes
+        // a new prefix. Branching only past `plen` guarantees each
+        // schedule is generated exactly once.
+        for i in (plen..exec.decisions.len()).rev() {
+            let d = &exec.decisions[i];
+            let before = if i == 0 {
+                0
+            } else {
+                exec.decisions[i - 1].cum_preempt
+            };
+            for &alt in &d.enabled {
+                if alt == d.chosen {
+                    continue;
+                }
+                if before + preempt_delta(d.prev, &d.enabled, alt) > cfg.max_preemptions {
+                    continue;
+                }
+                let mut next: Vec<usize> = exec.decisions[..i].iter().map(|d| d.chosen).collect();
+                next.push(alt);
+                stack.push(next);
+            }
+        }
+    }
+    Report {
+        model: model.to_string(),
+        schedules,
+        exhausted: !truncated,
+        failure: None,
+    }
+}
+
+/// Random-walk smoke mode: `iterations` schedules with seeded random
+/// choices at every decision point. Fully deterministic for a fixed
+/// `(seed, iterations)` pair — this is what CI's byte-identical check
+/// runs.
+pub fn explore_random(
+    model: &str,
+    seed: u64,
+    iterations: usize,
+    setup: impl Fn(&mut Env),
+) -> Report {
+    let mut schedules = 0;
+    for i in 0..iterations {
+        let iter_seed = sched::splitmix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9));
+        let exec = sched::run_one(Vec::new(), Some(iter_seed), &setup);
+        schedules += 1;
+        if let Some(message) = exec.failure {
+            return Report {
+                model: model.to_string(),
+                schedules,
+                exhausted: false,
+                failure: Some(Failure {
+                    trace: render_trace(model, &exec.decisions),
+                    message,
+                }),
+            };
+        }
+    }
+    Report {
+        model: model.to_string(),
+        schedules,
+        exhausted: false,
+        failure: None,
+    }
+}
+
+/// Re-execute a single schedule from a counterexample trace. The forced
+/// prefix pins every recorded decision; any decision points beyond it
+/// follow the deterministic default policy, so the same trace always
+/// produces the same execution.
+pub fn replay(model: &str, prefix: Vec<usize>, setup: impl Fn(&mut Env)) -> Report {
+    let exec = sched::run_one(prefix, None, &setup);
+    Report {
+        model: model.to_string(),
+        schedules: 1,
+        exhausted: false,
+        failure: exec.failure.map(|message| Failure {
+            trace: render_trace(model, &exec.decisions),
+            message,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{MAtomicU64, MData, MMutex, Ordering};
+    use super::*;
+    use std::sync::Arc;
+
+    /// Unsynchronized read-modify-write on plain data: the classic lost
+    /// update, found by the race detector within a handful of schedules.
+    #[test]
+    fn data_race_is_found() {
+        let report = explore("race", &Config::default(), |env| {
+            let cell = Arc::new(MData::new(0u64));
+            for _ in 0..2 {
+                let cell = Arc::clone(&cell);
+                env.spawn(move || {
+                    let v = cell.read();
+                    cell.write(v + 1);
+                });
+            }
+        });
+        let failure = report.failure.expect("race must be detected");
+        assert!(failure.message.contains("data race"), "{}", failure.message);
+        assert!(report.schedules < 50, "took {} schedules", report.schedules);
+    }
+
+    /// The same update under a mutex is race-free and the bounded space
+    /// is fully explored.
+    #[test]
+    fn mutex_protected_update_passes_exhaustively() {
+        let report = explore("guarded", &Config::default(), |env| {
+            let cell = Arc::new(MMutex::new(0u64));
+            for _ in 0..2 {
+                let cell = Arc::clone(&cell);
+                env.spawn(move || {
+                    let mut g = cell.lock();
+                    *g += 1;
+                });
+            }
+            let after = Arc::clone(&cell);
+            env.after(move || assert_eq!(*after.lock(), 2));
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted);
+    }
+
+    /// Classic ABBA deadlock: scheduler-level detection (no thread ever
+    /// blocks on a real lock).
+    #[test]
+    fn abba_deadlock_is_found() {
+        let report = explore("abba", &Config::default(), |env| {
+            let a = Arc::new(MMutex::new(()));
+            let b = Arc::new(MMutex::new(()));
+            {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                env.spawn(move || {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                });
+            }
+            env.spawn(move || {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            });
+        });
+        let failure = report.failure.expect("deadlock must be detected");
+        assert!(failure.message.contains("deadlock"), "{}", failure.message);
+    }
+
+    /// A `Relaxed` load on a sync-class atomic that another thread wrote
+    /// without an ordering edge is flagged as a stale read.
+    #[test]
+    fn relaxed_on_sync_atomic_is_flagged() {
+        let report = explore("relaxed", &Config::default(), |env| {
+            let flag = Arc::new(MAtomicU64::new(0));
+            {
+                let flag = Arc::clone(&flag);
+                env.spawn(move || flag.store(1, Ordering::Release));
+            }
+            env.spawn(move || {
+                let _ = flag.load(Ordering::Relaxed);
+            });
+        });
+        let failure = report.failure.expect("relaxed misuse must be detected");
+        assert!(failure.message.contains("relaxed"), "{}", failure.message);
+    }
+
+    /// Counter-class atomics are exempt: relaxed increments pass.
+    #[test]
+    fn counters_are_exempt() {
+        let report = explore("counter", &Config::default(), |env| {
+            let c = Arc::new(MAtomicU64::new_counter(0));
+            for _ in 0..2 {
+                let c = Arc::clone(&c);
+                env.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            let after = Arc::clone(&c);
+            env.after(move || assert_eq!(after.load(Ordering::Relaxed), 2));
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted);
+    }
+
+    /// Acquire/release publication is race-free: the consumer only
+    /// touches the data after observing the flag.
+    #[test]
+    fn acquire_release_publication_passes() {
+        let report = explore("publish", &Config::default(), |env| {
+            let data = Arc::new(MData::new(0u64));
+            let ready = Arc::new(MAtomicU64::new(0));
+            {
+                let (data, ready) = (Arc::clone(&data), Arc::clone(&ready));
+                env.spawn(move || {
+                    data.write(42);
+                    ready.store(1, Ordering::Release);
+                });
+            }
+            env.spawn(move || {
+                if ready.load(Ordering::Acquire) == 1 {
+                    assert_eq!(data.read(), 42);
+                }
+            });
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted);
+    }
+
+    /// A counterexample trace replays deterministically: same failure,
+    /// same trace, twice.
+    #[test]
+    fn replay_is_deterministic() {
+        let model = |env: &mut Env| {
+            let cell = Arc::new(MData::new(0u64));
+            for _ in 0..2 {
+                let cell = Arc::clone(&cell);
+                env.spawn(move || {
+                    let v = cell.read();
+                    cell.write(v + 1);
+                });
+            }
+        };
+        let report = explore("replay", &Config::default(), model);
+        let failure = report.failure.expect("race expected");
+        let (name, prefix) = parse_trace(&failure.trace).expect("trace parses");
+        assert_eq!(name, "replay");
+        let r1 = replay(&name, prefix.clone(), model);
+        let r2 = replay(&name, prefix, model);
+        let f1 = r1.failure.expect("replay reproduces");
+        let f2 = r2.failure.expect("replay reproduces");
+        assert_eq!(f1.message, f2.message);
+        assert_eq!(f1.trace, f2.trace);
+        assert_eq!(f1.message, failure.message);
+    }
+
+    /// Random mode is deterministic for a fixed seed.
+    #[test]
+    fn random_mode_is_deterministic() {
+        let model = |env: &mut Env| {
+            let cell = Arc::new(MData::new(0u64));
+            for _ in 0..2 {
+                let cell = Arc::clone(&cell);
+                env.spawn(move || {
+                    let v = cell.read();
+                    cell.write(v + 1);
+                });
+            }
+        };
+        let r1 = explore_random("rnd", 7, 64, model);
+        let r2 = explore_random("rnd", 7, 64, model);
+        let f1 = r1.failure.expect("race found");
+        let f2 = r2.failure.expect("race found");
+        assert_eq!((r1.schedules, &f1.trace), (r2.schedules, &f2.trace));
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        assert_eq!(
+            parse_trace("v1:m:t0,t1,t0"),
+            Some(("m".to_string(), vec![0, 1, 0]))
+        );
+        assert_eq!(parse_trace("v1:m:-"), Some(("m".to_string(), vec![])));
+        assert_eq!(parse_trace("garbage"), None);
+    }
+}

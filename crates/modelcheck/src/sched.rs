@@ -1,0 +1,542 @@
+//! The virtual scheduler: real OS threads under strict turn-taking.
+//!
+//! Every instrumented operation calls a *yield point* before it runs.
+//! The controller waits until each live virtual thread is parked at a
+//! yield point (or finished), computes the enabled set, and grants
+//! exactly one thread, which performs its operation and runs to its next
+//! yield point. Execution is therefore fully serialized: the primitives
+//! themselves never contend, and the interleaving is exactly the
+//! decision sequence the explorer chose — which is what makes
+//! counterexample traces replayable byte-for-byte.
+//!
+//! Only the choice among *multiple* enabled threads is recorded as a
+//! decision; forced moves (one thread enabled) replay identically for
+//! free and keep single-threaded stretches such as per-schedule cluster
+//! construction from exploding the schedule space.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+/// Monotonic session counter: per-instance primitive metadata stamps the
+/// session it was initialised under, so an instance surviving from an
+/// earlier schedule (or an earlier test) is re-initialised lazily
+/// instead of leaking stale holder/clock state into the next run.
+static SESSION_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// What the current OS thread is, from the session's point of view.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub sess: Arc<Session>,
+    /// `Some(tid)` on a scheduled virtual thread; `None` on the
+    /// controller (model setup / after-hook), whose operations pass
+    /// through to the plain primitives without yielding.
+    pub tid: Option<usize>,
+}
+
+/// The ambient session of the calling thread, if any. Primitives use
+/// this to decide between instrumented and pass-through behaviour.
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<Ctx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Unwind payload used to abort virtual threads once a violation has
+/// been recorded: it unwinds the thread's stack (releasing guards) and
+/// is swallowed by the thread wrapper.
+pub(crate) struct Bail;
+
+/// Install a process-wide panic hook that silences panics on threads
+/// currently owned by a model-check session — the harness catches and
+/// reports them itself; default behaviour is preserved everywhere else.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if current().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// A happens-before vector clock, one component per virtual thread.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(pub(crate) Vec<u32>);
+
+impl VClock {
+    fn new(n: usize) -> Self {
+        VClock(vec![0; n])
+    }
+    pub(crate) fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+    /// Does the event that produced `self` (on thread `tid`) happen
+    /// before the state `other`?
+    pub(crate) fn event_before(&self, tid: usize, other: &VClock) -> bool {
+        self.0.get(tid).copied().unwrap_or(0) <= other.0.get(tid).copied().unwrap_or(0)
+    }
+}
+
+/// The pending operation a parked thread wants to perform next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Thread start / a plain instrumented step (atomic op, data access).
+    Step,
+    /// Blocking lock of the mutex with the given token: enabled only
+    /// while no other thread holds it.
+    Lock(usize),
+    /// Non-blocking lock attempt: always enabled (failure is a result).
+    TryLock(usize),
+}
+
+#[derive(Debug)]
+enum TStatus {
+    /// Spawned but not yet parked at its first yield point.
+    Starting,
+    AtYield(Op),
+    Running,
+    Finished,
+}
+
+/// One decision point: several threads were enabled and one was chosen.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Threads that were enabled, ascending.
+    pub enabled: Vec<usize>,
+    /// The thread granted.
+    pub chosen: usize,
+    /// The thread that ran immediately before this point (if any).
+    pub prev: Option<usize>,
+    /// Cumulative preemption count *including* this decision.
+    pub cum_preempt: usize,
+}
+
+/// Was choosing `chosen` at a point where `prev` was still enabled a
+/// preemption (i.e. an involuntary context switch)?
+pub fn preempt_delta(prev: Option<usize>, enabled: &[usize], chosen: usize) -> usize {
+    match prev {
+        Some(p) if p != chosen && enabled.contains(&p) => 1,
+        _ => 0,
+    }
+}
+
+struct State {
+    threads: Vec<TStatus>,
+    /// Set once a violation is recorded: parked threads wake and unwind.
+    bail: bool,
+    failure: Option<String>,
+    /// Forced decision prefix (replay / DFS branch under test).
+    prefix: Vec<usize>,
+    cursor: usize,
+    decisions: Vec<Decision>,
+    /// Seeded RNG for random scheduling mode (`None` = deterministic
+    /// continue-last policy past the prefix).
+    rng: Option<u64>,
+    last_granted: Option<usize>,
+    /// Mutex token → holding thread.
+    holders: BTreeMap<usize, usize>,
+    /// Mutex token → clock released into the mutex at last unlock.
+    mutex_clocks: BTreeMap<usize, VClock>,
+    clocks: Vec<VClock>,
+    next_token: usize,
+    steps: u64,
+    step_limit: u64,
+}
+
+/// One schedule execution: owns the turn-taking state shared by the
+/// controller and the virtual threads.
+pub(crate) struct Session {
+    pub(crate) epoch: u64,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Result of driving one schedule to completion.
+pub(crate) struct ExecOutcome {
+    pub failure: Option<String>,
+    pub decisions: Vec<Decision>,
+}
+
+fn lk(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Session {
+    fn new(nthreads: usize, prefix: Vec<usize>, rng: Option<u64>) -> Arc<Self> {
+        Arc::new(Session {
+            epoch: SESSION_EPOCH.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(State {
+                threads: (0..nthreads).map(|_| TStatus::Starting).collect(),
+                bail: false,
+                failure: None,
+                prefix,
+                cursor: 0,
+                decisions: Vec::new(),
+                rng,
+                last_granted: None,
+                holders: BTreeMap::new(),
+                mutex_clocks: BTreeMap::new(),
+                clocks: (0..nthreads).map(|_| VClock::new(nthreads)).collect(),
+                next_token: 0,
+                steps: 0,
+                step_limit: 1_000_000,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Allocate a fresh identity token for a sync object (mutex).
+    pub(crate) fn alloc_token(&self) -> usize {
+        let mut st = lk(&self.state);
+        let t = st.next_token;
+        st.next_token += 1;
+        t
+    }
+
+    /// Record a violation and make every other thread unwind. Called by
+    /// the running thread; the caller then bails itself.
+    pub(crate) fn fail(&self, msg: String) {
+        let mut st = lk(&self.state);
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.bail = true;
+        self.cv.notify_all();
+    }
+
+    /// Park the calling virtual thread at a yield point until granted.
+    /// Returns normally once the thread owns the turn; unwinds with
+    /// [`Bail`] if the schedule was aborted.
+    pub(crate) fn yield_op(&self, tid: usize, op: Op) {
+        let mut st = lk(&self.state);
+        if st.bail {
+            drop(st);
+            std::panic::panic_any(Bail);
+        }
+        st.threads[tid] = TStatus::AtYield(op);
+        self.cv.notify_all();
+        loop {
+            if st.bail {
+                drop(st);
+                std::panic::panic_any(Bail);
+            }
+            if matches!(st.threads[tid], TStatus::Running) {
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.clocks[tid].tick(tid);
+        st.steps += 1;
+        if st.steps > st.step_limit {
+            st.failure = Some(format!(
+                "step limit {} exceeded: unbounded loop under this schedule?",
+                st.step_limit
+            ));
+            st.bail = true;
+            self.cv.notify_all();
+            drop(st);
+            std::panic::panic_any(Bail);
+        }
+    }
+
+    /// The granted thread acquired mutex `token`: record the holder and
+    /// join the clock the last unlock released into the mutex.
+    pub(crate) fn lock_acquired(&self, tid: usize, token: usize) {
+        let mut st = lk(&self.state);
+        st.holders.insert(token, tid);
+        if let Some(c) = st.mutex_clocks.get(&token).cloned() {
+            st.clocks[tid].join(&c);
+        }
+    }
+
+    /// Is `token` free right now? (For `try_lock` semantics.)
+    pub(crate) fn mutex_free(&self, token: usize) -> bool {
+        !lk(&self.state).holders.contains_key(&token)
+    }
+
+    /// The holding thread released mutex `token`: store its clock into
+    /// the mutex and wake the controller to recompute enabledness.
+    pub(crate) fn lock_released(&self, tid: usize, token: usize) {
+        let mut st = lk(&self.state);
+        st.holders.remove(&token);
+        let clock = st.clocks[tid].clone();
+        match st.mutex_clocks.get_mut(&token) {
+            Some(c) => c.join(&clock),
+            None => {
+                st.mutex_clocks.insert(token, clock);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Snapshot of the calling thread's clock (already ticked for the
+    /// current operation).
+    pub(crate) fn clock_of(&self, tid: usize) -> VClock {
+        lk(&self.state).clocks[tid].clone()
+    }
+
+    /// Join `other` into thread `tid`'s clock (acquire edge).
+    pub(crate) fn join_into(&self, tid: usize, other: &VClock) {
+        lk(&self.state).clocks[tid].join(other);
+    }
+
+    fn mark_finished(&self, tid: usize) {
+        let mut st = lk(&self.state);
+        st.threads[tid] = TStatus::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Scheduling loop, run by the controller after spawning the virtual
+    /// threads. Returns when every thread finished (or unwound).
+    fn drive(&self) {
+        let mut st = lk(&self.state);
+        loop {
+            while st
+                .threads
+                .iter()
+                .any(|t| matches!(t, TStatus::Starting | TStatus::Running))
+            {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.bail {
+                // Wake any parked threads so they unwind; wait them out.
+                self.cv.notify_all();
+                while !st.threads.iter().all(|t| matches!(t, TStatus::Finished)) {
+                    self.cv.notify_all();
+                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                return;
+            }
+            if st.threads.iter().all(|t| matches!(t, TStatus::Finished)) {
+                return;
+            }
+            let enabled: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    TStatus::AtYield(Op::Lock(tok)) if st.holders.contains_key(tok) => None,
+                    TStatus::AtYield(_) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            if enabled.is_empty() {
+                let waiting: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t, TStatus::AtYield(_)))
+                    .map(|(i, _)| format!("t{i}"))
+                    .collect();
+                st.failure = Some(format!(
+                    "deadlock: threads {} all blocked",
+                    waiting.join(",")
+                ));
+                st.bail = true;
+                continue;
+            }
+            let chosen = if enabled.len() == 1 {
+                enabled[0]
+            } else {
+                Self::choose(&mut st, &enabled)
+            };
+            st.threads[chosen] = TStatus::Running;
+            st.last_granted = Some(chosen);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Pick among several enabled threads: forced prefix first, then the
+    /// seeded RNG (random mode) or the deterministic continue-last
+    /// policy. Records the decision.
+    fn choose(st: &mut State, enabled: &[usize]) -> usize {
+        let forced = if st.cursor < st.prefix.len() {
+            let c = st.prefix[st.cursor];
+            st.cursor += 1;
+            enabled.contains(&c).then_some(c)
+        } else {
+            None
+        };
+        let chosen = forced.unwrap_or_else(|| match &mut st.rng {
+            Some(seed) => {
+                *seed = splitmix64(*seed);
+                enabled[(*seed % enabled.len() as u64) as usize]
+            }
+            None => match st.last_granted {
+                Some(l) if enabled.contains(&l) => l,
+                _ => enabled[0],
+            },
+        });
+        let prev = st.last_granted;
+        let cum =
+            st.decisions.last().map_or(0, |d| d.cum_preempt) + preempt_delta(prev, enabled, chosen);
+        st.decisions.push(Decision {
+            enabled: enabled.to_vec(),
+            chosen,
+            prev,
+            cum_preempt: cum,
+        });
+        chosen
+    }
+}
+
+/// Deterministic 64-bit mixer (same family the fault injector uses).
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Model environment handed to the setup closure: collects the virtual
+/// threads and the post-join assertion hook for one schedule execution.
+#[derive(Default)]
+pub struct Env {
+    threads: Vec<Box<dyn FnOnce() + Send>>,
+    after: Option<Box<dyn FnOnce()>>,
+}
+
+impl Env {
+    /// Register a virtual thread. Threads are numbered `t0, t1, …` in
+    /// spawn order; that numbering is what traces refer to.
+    pub fn spawn(&mut self, f: impl FnOnce() + Send + 'static) {
+        self.threads.push(Box::new(f));
+    }
+
+    /// Register a closure run by the controller after every virtual
+    /// thread finished — the place for post-state assertions.
+    pub fn after(&mut self, f: impl FnOnce() + 'static) {
+        self.after = Some(Box::new(f));
+    }
+}
+
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Execute one schedule: run `setup` on the controller (pass-through
+/// ops), spawn its threads under the scheduler with the given forced
+/// decision `prefix`, drive to completion, then run the after-hook.
+pub(crate) fn run_one(
+    prefix: Vec<usize>,
+    rng: Option<u64>,
+    setup: &dyn Fn(&mut Env),
+) -> ExecOutcome {
+    install_quiet_hook();
+    // Build the model under a provisional session so that primitives
+    // created during setup bind to this session's epoch.
+    let mut env = Env::default();
+    let sess = Session::new(0, prefix, rng);
+    set_current(Some(Ctx {
+        sess: Arc::clone(&sess),
+        tid: None,
+    }));
+    let setup_res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| setup(&mut env)));
+    if let Err(e) = setup_res {
+        set_current(None);
+        return ExecOutcome {
+            failure: Some(format!("model setup panicked: {}", panic_message(e))),
+            decisions: Vec::new(),
+        };
+    }
+    let n = env.threads.len();
+    {
+        let mut st = lk(&sess.state);
+        st.threads = (0..n).map(|_| TStatus::Starting).collect();
+        st.clocks = (0..n).map(|_| VClock::new(n)).collect();
+    }
+    let handles: Vec<_> = env
+        .threads
+        .into_iter()
+        .enumerate()
+        .map(|(tid, body)| {
+            let sess = Arc::clone(&sess);
+            std::thread::spawn(move || {
+                set_current(Some(Ctx {
+                    sess: Arc::clone(&sess),
+                    tid: Some(tid),
+                }));
+                // Park immediately so the controller sees every thread
+                // before granting the first turn.
+                let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sess.yield_op(tid, Op::Step);
+                }));
+                let res = match first {
+                    Ok(()) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)),
+                    Err(e) => Err(e),
+                };
+                if let Err(e) = res {
+                    if !e.is::<Bail>() {
+                        sess.fail(format!("t{tid} panicked: {}", panic_message(e)));
+                    }
+                }
+                sess.mark_finished(tid);
+                set_current(None);
+            })
+        })
+        .collect();
+    sess.drive();
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut failure = lk(&sess.state).failure.clone();
+    if failure.is_none() {
+        if let Some(after) = env.after {
+            if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(after)) {
+                failure = Some(format!("post-state check failed: {}", panic_message(e)));
+            }
+        }
+    }
+    set_current(None);
+    let decisions = std::mem::take(&mut lk(&sess.state).decisions);
+    ExecOutcome { failure, decisions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vclock_join_and_order() {
+        let mut a = VClock::new(2);
+        a.tick(0);
+        let mut b = VClock::new(2);
+        b.tick(1);
+        b.join(&a);
+        assert!(a.event_before(0, &b));
+        assert!(!b.event_before(1, &a));
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -16,8 +16,51 @@
 //! membership transition, so retention is bounded by the epoch count —
 //! the same growth the membership history itself already has.
 
-use std::sync::atomic::{AtomicPtr, Ordering};
-use std::sync::{Arc, Mutex};
+// Sync facade: with the `modelcheck` feature the pointer atomic and the
+// retire-list mutex are the instrumented ech-modelcheck primitives, so
+// the interleaving explorer schedules (and happens-before-checks) this
+// exact publication protocol. Without the feature these are the plain
+// std types — zero additional cost.
+#[cfg(feature = "modelcheck")]
+use ech_modelcheck::sync::{AtomicPtr, Mutex, MutexGuard};
+#[cfg(not(feature = "modelcheck"))]
+use std::sync::atomic::AtomicPtr;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+#[cfg(not(feature = "modelcheck"))]
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a retire-list mutex under either facade (std's poison layer is
+/// ignored: the list is a plain `Vec` with no invariants a panicked
+/// pusher could break).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    #[cfg(feature = "modelcheck")]
+    {
+        m.lock()
+    }
+    #[cfg(not(feature = "modelcheck"))]
+    {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Exclusive access under either facade.
+fn lock_mut<T>(m: &mut Mutex<T>) -> &mut T {
+    #[cfg(feature = "modelcheck")]
+    {
+        m.get_mut()
+    }
+    #[cfg(not(feature = "modelcheck"))]
+    {
+        m.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The instrumented [`ArcSwap`]: with the `modelcheck` feature enabled
+/// this *is* the checked primitive (`MArcSwap` in the model-checker's
+/// naming scheme) — same type, instrumented internals.
+#[cfg(feature = "modelcheck")]
+pub type MArcSwap<T> = ArcSwap<T>;
 
 /// An `Arc<T>` that can be atomically replaced.
 pub struct ArcSwap<T> {
@@ -69,7 +112,7 @@ impl<T> ArcSwap<T> {
     /// superseded snapshot stays on the retire list (see module docs).
     pub fn store(&self, new: Arc<T>) {
         let ptr = Arc::as_ptr(&new).cast_mut();
-        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        let mut retired = lock(&self.retired);
         retired.push(new);
         self.current.store(ptr, Ordering::Release);
     }
@@ -88,7 +131,7 @@ impl<T> ArcSwap<T> {
     /// reclaimed.
     pub fn collect_garbage(&mut self) -> usize {
         let live = self.current.load(Ordering::Acquire);
-        let retired = self.retired.get_mut().unwrap_or_else(|e| e.into_inner());
+        let retired = lock_mut(&mut self.retired);
         let before = retired.len();
         retired.retain(|a| Arc::strong_count(a) > 1 || Arc::as_ptr(a).cast_mut() == live);
         before - retired.len()
@@ -96,7 +139,7 @@ impl<T> ArcSwap<T> {
 
     /// Number of retained snapshots (live + superseded history).
     pub fn retired_len(&self) -> usize {
-        self.retired.lock().unwrap_or_else(|e| e.into_inner()).len()
+        lock(&self.retired).len()
     }
 }
 
@@ -146,6 +189,39 @@ mod tests {
         drop(pinned);
         assert_eq!(s.collect_garbage(), 1);
         assert_eq!(s.retired_len(), 1);
+    }
+
+    /// Explorer-driven variant of the coherence test: with the
+    /// `modelcheck` feature on, the checker exhaustively interleaves
+    /// this exact publication protocol (bounded preemptions) and proves
+    /// a reader can never observe a torn snapshot — every published
+    /// pair is `(n, n)`.
+    #[cfg(feature = "modelcheck")]
+    #[test]
+    fn modelcheck_load_store_stays_coherent() {
+        let report = ech_modelcheck::explore(
+            "arc-swap-coherence",
+            &ech_modelcheck::Config::default(),
+            |env| {
+                let s = Arc::new(ArcSwap::from_pointee((0u64, 0u64)));
+                {
+                    let s = Arc::clone(&s);
+                    env.spawn(move || {
+                        for n in 1..=2u64 {
+                            s.store(Arc::new((n, n)));
+                        }
+                    });
+                }
+                env.spawn(move || {
+                    for _ in 0..2 {
+                        let v = s.load();
+                        assert_eq!(v.0, v.1);
+                    }
+                });
+            },
+        );
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted, "bounded space should be fully explored");
     }
 
     #[test]
