@@ -15,11 +15,13 @@
 //! - **D4 lock discipline** — no lock-order cycles, no locks held
 //!   across retry/fault-injection points.
 //! - **D5 atomic-ordering discipline** — `Ordering::Relaxed` only on
-//!   statistics counters; raw `std::sync` primitives banned outside the
-//!   `sync` facade the model checker instruments.
+//!   statistics counters, classified by their declared constructor
+//!   (`counter_u64`/`counter_observed_u64`); raw `std::sync` primitives
+//!   banned outside the `sync` facade the model checker instruments.
 //! - **D6 publish order** — header stamping only after the new view is
 //!   stored on writer paths; placement-cache consults only under a
-//!   pinned view.
+//!   pinned view. Publication and pin points are derived from
+//!   `ArcSwap`-typed field declarations, not receiver names.
 //!
 //! Findings carry stable line-number-free keys; a checked-in baseline
 //! (`analyzer-baseline.txt`) records accepted debt and `--deny-new`

@@ -45,6 +45,11 @@ pub struct StructInfo {
     pub name: String,
     /// `(field name, base type)` pairs in declaration order.
     pub fields: Vec<(String, String)>,
+    /// `(field name, wrapper chain outermost-first)` for fields whose
+    /// declared type descended through [`TYPE_WRAPPERS`] generics —
+    /// `view: ArcSwap<ClusterView>` records `("view", ["ArcSwap"])`.
+    /// Unwrapped fields have no entry.
+    pub wrapped: Vec<(String, Vec<String>)>,
 }
 
 /// One parsed enum item.
@@ -177,13 +182,10 @@ const RET_WRAPPERS: &[&str] = &[
     "Arc", "Rc", "Box", "Mutex", "RwLock", "RefCell", "Cell", "Option", "ArcSwap", "Result",
 ];
 
-/// Reduce a field's type tokens to the base type name: skip references
-/// and path prefixes, descend through [`TYPE_WRAPPERS`] generics.
-fn base_type(t: &[Token]) -> Option<String> {
-    base_type_in(t, TYPE_WRAPPERS)
-}
-
-fn base_type_in(t: &[Token], wrappers: &[&str]) -> Option<String> {
+/// Base type plus the wrapper chain descended through, outermost-first
+/// (`Option<Mutex<T>>` → `(Some("T"), ["Option", "Mutex"])`).
+fn base_type_in(t: &[Token], wrappers: &[&str]) -> (Option<String>, Vec<String>) {
+    let mut chain = Vec::new();
     let mut k = 0usize;
     while k < t.len() {
         let tok = &t[k];
@@ -203,21 +205,29 @@ fn base_type_in(t: &[Token], wrappers: &[&str]) -> Option<String> {
             if wrappers.contains(&tok.text.as_str())
                 && t.get(k + 1).is_some_and(|x| x.is_punct('<'))
             {
+                chain.push(tok.text.clone());
                 k += 2;
                 continue;
             }
-            return Some(tok.text.clone());
+            return (Some(tok.text.clone()), chain);
         }
         // References, lifetimes, stray angle brackets: skip.
         k += 1;
     }
-    None
+    (None, chain)
 }
 
 /// Parse `{ name: Type, .. }` fields of a struct body (depth-1 walk,
-/// attribute and `pub(..)` spans skipped).
-fn struct_fields(t: &[Token], open: usize, close: usize) -> Vec<(String, String)> {
+/// attribute and `pub(..)` spans skipped). Returns the `(name, base)`
+/// pairs plus the wrapper chains of fields that had any.
+#[allow(clippy::type_complexity)]
+fn struct_fields(
+    t: &[Token],
+    open: usize,
+    close: usize,
+) -> (Vec<(String, String)>, Vec<(String, Vec<String>)>) {
     let mut fields = Vec::new();
+    let mut wrapped = Vec::new();
     let mut j = open + 1;
     while j < close {
         let x = &t[j];
@@ -280,15 +290,19 @@ fn struct_fields(t: &[Token], open: usize, close: usize) -> Vec<(String, String)
                 }
                 m += 1;
             }
-            if let Some(base) = base_type(&t[j + 2..m]) {
+            let (base, chain) = base_type_in(&t[j + 2..m], TYPE_WRAPPERS);
+            if let Some(base) = base {
                 fields.push((x.text.clone(), base));
+            }
+            if !chain.is_empty() {
+                wrapped.push((x.text.clone(), chain));
             }
             j = m + 1;
             continue;
         }
         j += 1;
     }
-    fields
+    (fields, wrapped)
 }
 
 /// Parse the item structure of a lexed file.
@@ -443,8 +457,8 @@ pub fn parse(lexed: &Lexed) -> ParsedFile {
                     i = j + 1;
                     continue;
                 };
-                let ret =
-                    arrow.and_then(|a| base_type_in(&t[a..ret_end.unwrap_or(open)], RET_WRAPPERS));
+                let ret = arrow
+                    .and_then(|a| base_type_in(&t[a..ret_end.unwrap_or(open)], RET_WRAPPERS).0);
                 let close = matching_brace(t, open);
                 let own = owner(&stack);
                 let qual = match &own {
@@ -495,15 +509,18 @@ pub fn parse(lexed: &Lexed) -> ParsedFile {
                     out.structs.push(StructInfo {
                         name,
                         fields: Vec::new(),
+                        wrapped: Vec::new(),
                     });
                     attr_test = false;
                     i = j + 1;
                     continue;
                 };
                 let close = matching_brace(t, open);
+                let (fields, wrapped) = struct_fields(t, open, close);
                 out.structs.push(StructInfo {
                     name,
-                    fields: struct_fields(t, open, close),
+                    fields,
+                    wrapped,
                 });
                 attr_test = false;
                 i = close + 1;
@@ -694,6 +711,16 @@ mod tests {
         assert_eq!(get("limiter"), Some("MigrationThrottle"));
         assert_eq!(get("tables"), Some("Vec"), "containers are not stripped");
         assert_eq!(get("count"), Some("u64"));
+        let wrap = |n: &str| c.wrapped.iter().find(|(f, _)| f == n).map(|(_, w)| &w[..]);
+        assert_eq!(wrap("view"), Some(&["ArcSwap".to_string()][..]));
+        assert_eq!(wrap("engine"), Some(&["Mutex".to_string()][..]));
+        assert_eq!(
+            wrap("limiter"),
+            Some(&["Option".to_string(), "Mutex".to_string()][..]),
+            "chain is outermost-first"
+        );
+        assert_eq!(wrap("dirty"), None, "bare fields record no chain");
+        assert_eq!(wrap("tables"), None, "containers are not wrappers");
         assert!(p.structs[1].fields.is_empty());
         assert!(p.structs[2].fields.is_empty());
     }

@@ -215,6 +215,10 @@ struct Graph<'a> {
     /// (struct name, field name) -> field's base type, for resolving
     /// `self.<field>.<method>(..)` receivers by declared type.
     fields: BTreeMap<(&'a str, &'a str), &'a str>,
+    /// (struct name, field name) -> declared wrapper chain
+    /// (outermost-first), for classifying fields by facade type —
+    /// e.g. `view: ArcSwap<ClusterView>` maps to `["ArcSwap"]`.
+    wrapped: BTreeMap<(&'a str, &'a str), &'a [String]>,
     /// trait name -> implementing types, so a `dyn Trait` receiver fans
     /// out to every impl that defines the method.
     trait_impls: BTreeMap<&'a str, Vec<&'a str>>,
@@ -224,6 +228,7 @@ fn build_graph(units: &[Unit]) -> Graph<'_> {
     let mut fns: BTreeMap<&str, (usize, &FnInfo)> = BTreeMap::new();
     let mut by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
     let mut fields: BTreeMap<(&str, &str), &str> = BTreeMap::new();
+    let mut wrapped: BTreeMap<(&str, &str), &[String]> = BTreeMap::new();
     let mut trait_impls: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
     for (ui, u) in units.iter().enumerate() {
         if !graph_scoped(&u.path) {
@@ -241,6 +246,11 @@ fn build_graph(units: &[Unit]) -> Graph<'_> {
                 fields
                     .entry((s.name.as_str(), fname.as_str()))
                     .or_insert(ftype.as_str());
+            }
+            for (fname, chain) in &s.wrapped {
+                wrapped
+                    .entry((s.name.as_str(), fname.as_str()))
+                    .or_insert(chain.as_slice());
             }
         }
         for imp in &u.parsed.impls {
@@ -260,6 +270,7 @@ fn build_graph(units: &[Unit]) -> Graph<'_> {
         fns,
         by_name,
         fields,
+        wrapped,
         trait_impls,
     }
 }
@@ -1134,19 +1145,52 @@ fn enclosing_call_open(t: &[Token], a: usize, i: usize) -> Option<usize> {
     None
 }
 
+/// Names bound to atomics constructed via the facade's counter helpers
+/// (`counter_u64` / `counter_observed_u64`), workspace-wide: struct
+/// fields (`hits: counter_u64(0)`) and locals (`let done =
+/// counter_u64(0)`). The *constructor* declares the atomic's role, so
+/// the classification survives renames and cross-file access — a
+/// counter's `load` in one file no longer needs a `fetch_add` in the
+/// same file to be recognised.
+fn counter_bindings(units: &[Unit]) -> BTreeSet<&str> {
+    let mut counters = BTreeSet::new();
+    for u in units {
+        let t = &u.lexed.tokens;
+        for (i, tok) in t.iter().enumerate() {
+            if tok.kind == TokKind::Ident
+                && matches!(tok.text.as_str(), "counter_u64" | "counter_observed_u64")
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                && i >= 2
+                && t[i - 2].kind == TokKind::Ident
+            {
+                // `name: counter_u64(..)` in a struct literal (a second
+                // `:` would make it a path) or `name = counter_u64(..)`.
+                let is_field = t[i - 1].is_punct(':') && !(i >= 3 && t[i - 3].is_punct(':'));
+                let is_binding = t[i - 1].is_punct('=');
+                if is_field || is_binding {
+                    counters.insert(t[i - 2].text.as_str());
+                }
+            }
+        }
+    }
+    counters
+}
+
 /// D5: atomic-ordering discipline.
 ///
 /// `Ordering::Relaxed` is the *counter* ordering: legal on
-/// `fetch_add`/`fetch_sub`, and on a `load` whose receiver is also the
-/// receiver of a relaxed RMW in the same file (the snapshot side of a
-/// statistics counter). Anywhere else a relaxed access on an atomic
-/// that other threads order against is a publication bug waiting to
-/// happen — use Acquire/Release, or justify with `ech-allow(D5)`.
+/// `fetch_add`/`fetch_sub`, and on a `load`/`store` whose receiver was
+/// constructed via the sync facade's counter helpers ([`counter_bindings`])
+/// — the declared constructor, not per-file name pairing, decides what
+/// is a counter. Anywhere else a relaxed access on an atomic that other
+/// threads order against is a publication bug waiting to happen — use
+/// Acquire/Release, or justify with `ech-allow(D5)`.
 ///
 /// Separately, facade-scoped crates must take their primitives from the
 /// `sync` facade: a raw `std::sync::{atomic, Mutex, RwLock, Condvar}`
 /// path bypasses the model checker's instrumentation.
 fn d5_atomic_discipline(units: &[Unit], out: &mut Vec<Finding>) {
+    let counters = counter_bindings(units);
     for u in units.iter().filter(|u| d5_scoped(&u.path)) {
         let t = &u.lexed.tokens;
         let test_ranges: Vec<(usize, usize)> = u
@@ -1157,19 +1201,6 @@ fn d5_atomic_discipline(units: &[Unit], out: &mut Vec<Finding>) {
             .map(|f| f.body)
             .collect();
         let in_test = |i: usize| test_ranges.iter().any(|&(a, b)| i >= a && i <= b);
-        // Receivers of relaxed RMWs: `<recv>.fetch_add(` / `.fetch_sub(`.
-        let mut rmw_receivers: BTreeSet<&str> = BTreeSet::new();
-        for (i, tok) in t.iter().enumerate() {
-            if tok.kind == TokKind::Ident
-                && matches!(tok.text.as_str(), "fetch_add" | "fetch_sub")
-                && i >= 2
-                && t[i - 1].is_punct('.')
-                && t[i - 2].kind == TokKind::Ident
-                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
-            {
-                rmw_receivers.insert(t[i - 2].text.as_str());
-            }
-        }
         for (i, tok) in t.iter().enumerate() {
             if !tok.is_ident("Relaxed")
                 || i < 3
@@ -1187,13 +1218,14 @@ fn d5_atomic_discipline(units: &[Unit], out: &mut Vec<Finding>) {
                 .map(|open| (open, t[open - 1].text.clone()));
             let allowed = match &method {
                 Some((_, m)) if m == "fetch_add" || m == "fetch_sub" => true,
-                Some((open, m)) if m == "load" => {
-                    // `<recv>.load(Ordering::Relaxed)` — counter snapshot
-                    // when the receiver also does relaxed RMWs here.
+                Some((open, m)) if m == "load" || m == "store" => {
+                    // `<recv>.load/store(.., Ordering::Relaxed)` —
+                    // legal when the receiver is a declared counter
+                    // (snapshot reads and counter resets).
                     *open >= 3
                         && t[open - 2].is_punct('.')
                         && t[open - 3].kind == TokKind::Ident
-                        && rmw_receivers.contains(t[open - 3].text.as_str())
+                        && counters.contains(t[open - 3].text.as_str())
                 }
                 _ => false,
             };
@@ -1283,9 +1315,15 @@ const D6_STAMP: &[&str] = &["record_write", "mark_clean", "restamp"];
 ///    rule.
 /// 2. **unpinned-cache-consult** — every `cache.place_at`/
 ///    `cache.place_current` consult must happen under a pinned view
-///    epoch (a `view.load()` / `view_snapshot()` earlier in, or inside,
-///    the consulting expression); consulting the cache against an
-///    unpinned view races the next publication.
+///    epoch (a `load()` on an `ArcSwap` field or a `view_snapshot()`
+///    earlier in, or inside, the consulting expression); consulting the
+///    cache against an unpinned view races the next publication.
+///
+/// Publication and pin points are derived from the *declared field
+/// type*: any `store`/`swap` (`load` for pins) whose receiver resolves
+/// to a field wrapped in the facade's RCU primitive (`ArcSwap<..>`)
+/// counts, whatever the field or helper is called — renaming `view` or
+/// adding a second publication path needs no rule edit.
 fn d6_publish_order(units: &[Unit], out: &mut Vec<Finding>) {
     let g = build_graph(units);
     // Direct event positions per fn: (token idx, event name).
@@ -1315,14 +1353,12 @@ fn d6_publish_order(units: &[Unit], out: &mut Vec<Finding>) {
                 e.stamps.push((i, name.to_string()));
                 continue;
             }
-            // A view publication: `<..>.view.store(..)` / `.swap(..)`
-            // on the view field, or the clone-mutate-publish helper.
-            let on_view = i >= 2 && t[i - 1].is_punct('.') && t[i - 2].is_ident("view");
-            if (name == "store" || name == "swap") && on_view {
-                e.publishes.push(i);
-                continue;
-            }
-            if name == "update_view" {
+            // A view publication: `store`/`swap` on a field declared
+            // with the RCU publication type (`ArcSwap<..>`). Helpers
+            // that publish internally (e.g. a clone-mutate-publish
+            // wrapper) need no special-casing — they become publish
+            // points through the call-graph fixpoint below.
+            if (name == "store" || name == "swap") && arcswap_receiver(&g, f, t, i, &aliases) {
                 e.publishes.push(i);
                 continue;
             }
@@ -1403,17 +1439,17 @@ fn d6_publish_order(units: &[Unit], out: &mut Vec<Finding>) {
             }
         }
         // Unpinned cache consults: `cache.place_*` with no view pin
-        // before the consulting expression completes.
+        // before the consulting expression completes. A pin is a
+        // `load()` on an `ArcSwap`-typed field or the snapshot helper.
+        let aliases = local_aliases(t, f);
         let pins: Vec<usize> = (f.body.0..=f.body.1.min(t.len().saturating_sub(1)))
             .filter(|&i| {
                 let tok = &t[i];
-                (tok.is_ident("load")
-                    && i >= 2
-                    && t[i - 1].is_punct('.')
-                    && t[i - 2].is_ident("view")
-                    && t.get(i + 1).is_some_and(|x| x.is_punct('(')))
-                    || (tok.is_ident("view_snapshot")
-                        && t.get(i + 1).is_some_and(|x| x.is_punct('(')))
+                if !t.get(i + 1).is_some_and(|x| x.is_punct('(')) {
+                    return false;
+                }
+                (tok.is_ident("load") && arcswap_receiver(&g, f, t, i, &aliases))
+                    || tok.is_ident("view_snapshot")
             })
             .collect();
         for i in f.body.0..=f.body.1.min(t.len().saturating_sub(1)) {
@@ -1449,6 +1485,27 @@ fn d6_publish_order(units: &[Unit], out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+/// Is the method call at token `i` received by a field of `f`'s owner
+/// struct whose declared type descends through `ArcSwap` — the facade's
+/// RCU publication primitive? Resolves `self.<field>.<m>(..)` directly
+/// or through a let-bound alias.
+fn arcswap_receiver(
+    g: &Graph<'_>,
+    f: &FnInfo,
+    t: &[Token],
+    i: usize,
+    aliases: &BTreeMap<String, String>,
+) -> bool {
+    let Some(owner) = f.owner.as_deref() else {
+        return false;
+    };
+    receiver_field(t, i, aliases).is_some_and(|field| {
+        g.wrapped
+            .get(&(owner, field.as_str()))
+            .is_some_and(|chain| chain.iter().any(|w| w == "ArcSwap"))
+    })
 }
 
 /// Token index of the `)` matching the `(` at `open`.

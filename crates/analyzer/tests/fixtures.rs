@@ -423,15 +423,17 @@ fn typed_receivers_block_same_owner_name_guessing() {
 #[test]
 fn d5_flags_relaxed_on_non_counter_atomics() {
     // A Relaxed store on a flag synchronises nothing; Relaxed is only
-    // legal on counters (fetch_add/fetch_sub receivers and their
-    // loads).
+    // legal on atomics *constructed as counters* (`counter_u64`), where
+    // RMWs, snapshot loads and resets are all fine.
     let files = vec![file(
         "crates/cluster/src/cluster.rs",
         "pub struct Cluster;\n\
          impl Cluster {\n\
+         fn new() -> Self { Cluster { ops: counter_u64(0), flag: AtomicBool::new(false) } }\n\
          fn mark(&self) { self.flag.store(true, Ordering::Relaxed); }\n\
          fn count(&self) { self.ops.fetch_add(1, Ordering::Relaxed); }\n\
          fn snapshot(&self) -> u64 { self.ops.load(Ordering::Relaxed) }\n\
+         fn reset(&self) { self.ops.store(0, Ordering::Relaxed); }\n\
          }\n",
     )];
     let hits = rules_at(&files, "crates/cluster/src/cluster.rs");
@@ -440,7 +442,46 @@ fn d5_flags_relaxed_on_non_counter_atomics() {
         .filter(|(r, _)| r == "D5")
         .map(|(_, l)| *l)
         .collect();
-    assert_eq!(d5, [3], "only the flag store fires: {hits:?}");
+    assert_eq!(d5, [4], "only the flag store fires: {hits:?}");
+}
+
+#[test]
+fn d5_counter_classification_survives_renames_and_crosses_files() {
+    // The constructor, not per-file RMW pairing, declares the counter:
+    // `tally` is built with `counter_u64` in stats.rs, so its Relaxed
+    // snapshot load in cluster.rs is legal even though no `fetch_add`
+    // on that name appears in the same file — and stays legal however
+    // the field is renamed. A sibling atomic built with `AtomicU64::new`
+    // gets no such license.
+    let files = vec![
+        file(
+            "crates/cluster/src/stats.rs",
+            "pub struct Stats { tally: AtomicU64, epoch_flag: AtomicU64 }\n\
+             impl Stats {\n\
+             fn new() -> Self { Stats { tally: counter_u64(0), epoch_flag: AtomicU64::new(0) } }\n\
+             fn bump(&self) { self.tally.fetch_add(1, Ordering::Relaxed); }\n\
+             }\n",
+        ),
+        file(
+            "crates/cluster/src/cluster.rs",
+            "pub struct Cluster;\n\
+             impl Cluster {\n\
+             fn snapshot(&self) -> u64 { self.stats.tally.load(Ordering::Relaxed) }\n\
+             fn peek(&self) -> u64 { self.stats.epoch_flag.load(Ordering::Relaxed) }\n\
+             }\n",
+        ),
+    ];
+    let hits = rules_at(&files, "crates/cluster/src/cluster.rs");
+    let d5: Vec<u32> = hits
+        .iter()
+        .filter(|(r, _)| r == "D5")
+        .map(|(_, l)| *l)
+        .collect();
+    assert_eq!(
+        d5,
+        [4],
+        "renamed counter load passes, sync-atomic load fires: {hits:?}"
+    );
 }
 
 #[test]
@@ -465,10 +506,11 @@ fn d5_bans_raw_std_sync_outside_the_facade() {
 #[test]
 fn d6_flags_stamp_before_publish_and_accepts_the_inverse() {
     // Header stamping before the view store opens the stale-header
-    // window — directly or through a helper call.
+    // window — directly or through a helper call. The publication point
+    // is recognised by the field's declared `ArcSwap` type.
     let bad = vec![file(
         "crates/cluster/src/cluster.rs",
-        "pub struct Cluster;\n\
+        "pub struct Cluster { view: ArcSwap<ClusterView> }\n\
          impl Cluster {\n\
          fn resize(&self) {\n\
          self.headers.record_write(o, v, false);\n\
@@ -485,7 +527,7 @@ fn d6_flags_stamp_before_publish_and_accepts_the_inverse() {
 
     let transitive = vec![file(
         "crates/cluster/src/cluster.rs",
-        "pub struct Cluster;\n\
+        "pub struct Cluster { view: ArcSwap<ClusterView> }\n\
          impl Cluster {\n\
          fn resize(&self) { self.stamp_it(); self.view.store(next); }\n\
          fn stamp_it(&self) { self.headers.record_write(o, v, false); }\n\
@@ -500,7 +542,7 @@ fn d6_flags_stamp_before_publish_and_accepts_the_inverse() {
 
     let good = vec![file(
         "crates/cluster/src/cluster.rs",
-        "pub struct Cluster;\n\
+        "pub struct Cluster { view: ArcSwap<ClusterView> }\n\
          impl Cluster {\n\
          fn resize(&self) {\n\
          self.view.store(next);\n\
@@ -512,10 +554,53 @@ fn d6_flags_stamp_before_publish_and_accepts_the_inverse() {
 }
 
 #[test]
+fn d6_derives_publication_points_from_arcswap_typed_fields() {
+    // A brand-new publication helper over a differently-named ArcSwap
+    // field must be picked up with zero rule edits: the declared field
+    // type makes `membership.swap` a publication, and the call-graph
+    // fixpoint makes `publish_roster` a publishing helper. A store on a
+    // non-ArcSwap field must NOT count as a publication (else the stamp
+    // would be mis-ordered against it).
+    let bad = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster { membership: ArcSwap<Roster>, stop: AtomicBool }\n\
+         impl Cluster {\n\
+         fn publish_roster(&self, next: Roster) { self.membership.swap(next); }\n\
+         fn resize(&self) {\n\
+         self.headers.record_write(o, v, false);\n\
+         self.publish_roster(r);\n\
+         }\n\
+         }\n",
+    )];
+    let hits = analyze(&bad);
+    assert!(
+        hits.iter()
+            .any(|f| f.rule == "D6" && f.key.contains("stamp-before-publish") && f.line == 5),
+        "new helper over a renamed ArcSwap field is a publication: {hits:?}"
+    );
+
+    let non_publication = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster { membership: ArcSwap<Roster>, stop: AtomicBool }\n\
+         impl Cluster {\n\
+         fn shutdown(&self) {\n\
+         self.headers.record_write(o, v, false);\n\
+         self.stop.store(true, Ordering::Release);\n\
+         }\n\
+         }\n",
+    )];
+    assert!(
+        analyze(&non_publication).is_empty(),
+        "a store on a non-ArcSwap field is not a publication: {:?}",
+        analyze(&non_publication)
+    );
+}
+
+#[test]
 fn d6_flags_cache_consults_outside_a_pinned_view() {
     let bad = vec![file(
         "crates/cluster/src/cluster.rs",
-        "pub struct Cluster;\n\
+        "pub struct Cluster { view: ArcSwap<ClusterView> }\n\
          impl Cluster {\n\
          fn locate(&self) { let p = self.cache.place_current(&v, oid); }\n\
          }\n",
@@ -527,11 +612,13 @@ fn d6_flags_cache_consults_outside_a_pinned_view() {
         "{hits:?}"
     );
 
+    // The pin is recognised by the receiver's declared type, so a
+    // renamed snapshot field works unedited.
     let good = vec![file(
         "crates/cluster/src/cluster.rs",
-        "pub struct Cluster;\n\
+        "pub struct Cluster { epochs: ArcSwap<ClusterView> }\n\
          impl Cluster {\n\
-         fn locate(&self) { let p = self.cache.place_current(&self.view.load(), oid); }\n\
+         fn locate(&self) { let p = self.cache.place_current(&self.epochs.load(), oid); }\n\
          }\n",
     )];
     assert!(analyze(&good).is_empty(), "{:?}", analyze(&good));

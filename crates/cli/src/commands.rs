@@ -68,9 +68,14 @@ COMMANDS:
   modelcheck      explore thread interleavings of the cluster's
                   publish/read/reintegrate protocols and report
                   violations with a replayable trace
-                  [--model NAME] [--random true --seed S --iters N]
+                  [--model NAME] [--weak true] [--bound P]
+                  [--random true --seed S --iters N]
                   [--replay TRACE] [--max-preemptions P]
                   [--max-schedules B]
+                  (--weak simulates TSO store buffers: Relaxed stores
+                  drain at explored flush points; --bound is an alias
+                  for --max-preemptions; traces are v2 and carry the
+                  memory mode + bound they were recorded under)
   help            this text
 "
     .to_owned()
@@ -152,6 +157,8 @@ fn lint_cmd(args: &Args) -> Result<String, ParseError> {
 fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
     args.allow_only(&[
         "model",
+        "weak",
+        "bound",
         "random",
         "seed",
         "iters",
@@ -159,12 +166,19 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
         "max-preemptions",
         "max-schedules",
     ])?;
+    let weak: bool = args.get_or("weak", false)?;
+    // `--bound` is the short alias for `--max-preemptions`.
+    let bound: usize = args.get_or("bound", args.get_or("max-preemptions", 2)?)?;
     let cfg = ech_modelcheck::Config {
-        max_preemptions: args.get_or("max-preemptions", 2)?,
+        max_preemptions: bound,
         max_schedules: args.get_or("max-schedules", 20_000)?,
+        weak,
     };
     if let Some(trace) = args.options.get("replay") {
-        return modelcheck_replay(trace);
+        // A v2 trace carries its own memory mode; an explicit `--weak`
+        // is only accepted when it agrees.
+        let explicit_weak = args.options.contains_key("weak").then_some(weak);
+        return modelcheck_replay(trace, explicit_weak);
     }
     let random: bool = args.get_or("random", false)?;
     let seed: u64 = args.get_or("seed", 0xec11)?;
@@ -182,33 +196,39 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
         })?],
         None => crate::mc_models::MODELS.iter().collect(),
     };
+    let mode = if weak {
+        "store-buffer weak memory"
+    } else {
+        "sequentially consistent"
+    };
     let mut out = String::new();
     if random {
         writeln!(
             out,
-            "modelcheck: seeded random exploration (seed {seed}, {iters} schedules per model)"
+            "modelcheck: seeded random exploration (seed {seed}, {iters} schedules per model, {mode})"
         )
         .expect("write to string");
     } else {
         writeln!(
             out,
-            "modelcheck: bounded exhaustive exploration (preemption bound {})",
+            "modelcheck: bounded exhaustive exploration (preemption bound {}, {mode})",
             cfg.max_preemptions
         )
         .expect("write to string");
     }
     let mut problems: Vec<String> = Vec::new();
     for m in selected {
-        // The seeded-bug model always runs the deterministic DFS: its
+        let expect = m.expects_failure(weak);
+        // Expected-failure models always run the deterministic DFS: its
         // point is *finding* the planted violation, and the DFS both
         // finds it within a handful of schedules and reports the same
         // trace every run.
-        let report = if random && !m.expect_failure {
-            ech_modelcheck::explore_random(m.name, seed, iters, m.setup)
+        let report = if random && !expect {
+            ech_modelcheck::explore_random(m.name, &cfg, seed, iters, m.setup)
         } else {
             ech_modelcheck::explore(m.name, &cfg, m.setup)
         };
-        match (&report.failure, m.expect_failure) {
+        match (&report.failure, expect) {
             (None, false) => {
                 let coverage = if report.exhausted {
                     "exhaustive"
@@ -221,9 +241,17 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
                     ));
                     "TRUNCATED"
                 };
+                // A weak-only mutant passing the sequentially consistent
+                // mode is the expected asymmetry, not a clean bill: say
+                // so, so the report is not mistaken for full coverage.
+                let note = if m.weak_only() && !weak {
+                    " [weak-only mutant: stale publication needs --weak]"
+                } else {
+                    ""
+                };
                 writeln!(
                     out,
-                    "  {:<24} pass    {:>6} schedules ({coverage})",
+                    "  {:<30} pass    {:>6} schedules ({coverage}){note}",
                     m.name, report.schedules
                 )
                 .expect("write to string");
@@ -231,7 +259,7 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
             (Some(f), true) => {
                 writeln!(
                     out,
-                    "  {:<24} caught  {:>6} schedules (seeded bug, expected)",
+                    "  {:<30} caught  {:>6} schedules (seeded bug, expected)",
                     m.name, report.schedules
                 )
                 .expect("write to string");
@@ -241,7 +269,7 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
             (Some(f), false) => {
                 writeln!(
                     out,
-                    "  {:<24} FAIL    {:>6} schedules",
+                    "  {:<30} FAIL    {:>6} schedules",
                     m.name, report.schedules
                 )
                 .expect("write to string");
@@ -252,7 +280,7 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
             (None, true) => {
                 writeln!(
                     out,
-                    "  {:<24} MISSED  {:>6} schedules (seeded bug not found)",
+                    "  {:<30} MISSED  {:>6} schedules (seeded bug not found)",
                     m.name, report.schedules
                 )
                 .expect("write to string");
@@ -272,15 +300,31 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
 }
 
 /// `ech modelcheck --replay TRACE`: re-execute one recorded schedule.
-/// The trace names its model; the scheduler forces the recorded
-/// decisions, so the same violation reproduces byte-identically (the
-/// counterexample replay test runs this twice and compares outputs).
-fn modelcheck_replay(trace: &str) -> Result<String, ParseError> {
-    let (model_name, prefix) = ech_modelcheck::parse_trace(trace)
-        .ok_or_else(|| ParseError(format!("malformed trace `{trace}`")))?;
-    let model = crate::mc_models::find(&model_name)
-        .ok_or_else(|| ParseError(format!("trace names unknown model `{model_name}`")))?;
-    let report = ech_modelcheck::replay(model.name, prefix, model.setup);
+/// The v2 trace names its model *and* the memory mode + preemption
+/// bound it was recorded under; the scheduler forces the recorded
+/// decisions under that same configuration, so the same violation
+/// reproduces byte-identically (the counterexample replay tests run
+/// this twice and compare outputs). v1 traces are rejected: they do not
+/// record the memory mode, so a replay could silently diverge.
+fn modelcheck_replay(trace: &str, explicit_weak: Option<bool>) -> Result<String, ParseError> {
+    let parsed = ech_modelcheck::parse_trace(trace).map_err(ParseError)?;
+    if let Some(w) = explicit_weak {
+        if w != parsed.weak {
+            return Err(ParseError(format!(
+                "--weak {w} contradicts the trace's recorded memory mode `{}`; a trace \
+                 replays under the mode that produced it",
+                if parsed.weak { "weak" } else { "sc" }
+            )));
+        }
+    }
+    let model = crate::mc_models::find(&parsed.model)
+        .ok_or_else(|| ParseError(format!("trace names unknown model `{}`", parsed.model)))?;
+    let cfg = ech_modelcheck::Config {
+        max_preemptions: parsed.bound,
+        max_schedules: 1,
+        weak: parsed.weak,
+    };
+    let report = ech_modelcheck::replay(model.name, &cfg, parsed.prefix, model.setup);
     let mut out = String::new();
     match &report.failure {
         Some(f) => {
@@ -769,6 +813,126 @@ mod tests {
         assert!(err.0.contains("publish-vs-read"), "error lists models");
         assert!(run_line("modelcheck --replay not-a-trace").is_err());
         assert!(run_line("modelcheck --replay v1:no-such-model:t0").is_err());
+    }
+
+    /// The fault-aware coverage models must hold on every schedule in
+    /// *both* memory modes: their protocols only use sanctioned
+    /// orderings, so the store-buffer simulation may not change a single
+    /// verdict.
+    #[test]
+    fn modelcheck_coverage_models_pass_exhaustively_in_both_modes() {
+        for model in [
+            "quorum-write-faults",
+            "hedged-read-crash",
+            "worker-stop-flag",
+            "reintegration-pool",
+        ] {
+            for mode in ["", " --weak true"] {
+                let out = run_line(&format!("modelcheck --model {model}{mode}")).unwrap();
+                assert!(out.contains("pass"), "{model}{mode} did not pass:\n{out}");
+                assert!(
+                    out.contains("(exhaustive)"),
+                    "{model}{mode} truncated:\n{out}"
+                );
+            }
+        }
+    }
+
+    /// Find a seeded mutant's counterexample (under the given memory
+    /// mode) and replay its reported trace twice: both replays must
+    /// reproduce the violation and render byte-identical reports. The
+    /// trace itself carries the mode + bound, so the replay needs no
+    /// extra flags.
+    fn assert_caught_and_replayable(model: &str, weak: bool) {
+        let mode = if weak { " --weak true" } else { "" };
+        let out = run_line(&format!("modelcheck --model {model}{mode}")).unwrap();
+        assert!(out.contains("caught"), "{model}{mode} not caught:\n{out}");
+        let trace_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("trace: "))
+            .expect("report carries a trace");
+        let trace = trace_line.trim_start().trim_start_matches("trace: ");
+        let expected_mode = if weak { "v2:weak:" } else { "v2:sc:" };
+        assert!(
+            trace.starts_with(expected_mode),
+            "trace does not record the mode it was found under: {trace}"
+        );
+        let replay_cmd = format!("modelcheck --replay {trace}");
+        let first = run_line(&replay_cmd).unwrap();
+        let second = run_line(&replay_cmd).unwrap();
+        assert!(
+            first.contains("violation reproduced"),
+            "{model} replay lost the violation:\n{first}"
+        );
+        assert_eq!(first, second, "{model} replay is not deterministic");
+        assert!(
+            first.contains(trace),
+            "{model} replay rewrote the trace:\n{first}"
+        );
+    }
+
+    /// Every seeded mutant that sequentially consistent exploration can
+    /// catch is caught, and its counterexample replays byte-identically.
+    #[test]
+    fn modelcheck_catches_and_replays_every_seq_mutant() {
+        for model in [
+            "quorum-dirty-bug",
+            "hedged-stale-bug",
+            "reintegration-lost-replica-bug",
+        ] {
+            assert_caught_and_replayable(model, false);
+            // The same bugs are still bugs under weak memory.
+            assert_caught_and_replayable(model, true);
+        }
+    }
+
+    /// The weak-memory acceptance case: the two Relaxed-publication
+    /// mutants pass *exhaustively* under sequentially consistent
+    /// exploration (the mode provably cannot find them — every schedule
+    /// was checked) and are caught with a replayable stale-publication
+    /// counterexample under `--weak`.
+    #[test]
+    fn modelcheck_weak_mode_catches_what_sc_provably_misses() {
+        for model in ["weak-stop-flag-relaxed", "weak-view-publish-relaxed"] {
+            let sc = run_line(&format!("modelcheck --model {model}")).unwrap();
+            assert!(sc.contains("pass"), "{model} should pass under sc:\n{sc}");
+            assert!(
+                sc.contains("(exhaustive)"),
+                "{model} sc pass must be exhaustive to prove the miss:\n{sc}"
+            );
+            assert!(
+                sc.contains("weak-only mutant"),
+                "{model} sc report lacks the weak-only annotation:\n{sc}"
+            );
+            assert_caught_and_replayable(model, true);
+        }
+    }
+
+    /// v2 traces refuse to replay under a contradicting explicit mode,
+    /// and v1 traces are rejected outright (they record neither mode nor
+    /// bound, so a replay could silently diverge).
+    #[test]
+    fn modelcheck_replay_rejects_mode_mismatch_and_v1() {
+        let err =
+            run_line("modelcheck --replay v2:weak:b2:weak-stop-flag-relaxed:t0,t0 --weak false")
+                .unwrap_err();
+        assert!(
+            err.0.contains("contradicts"),
+            "no mode-conflict error: {}",
+            err.0
+        );
+        let err = run_line("modelcheck --replay v1:seeded-stamp-bug:0,0,1").unwrap_err();
+        assert!(
+            err.0.contains("memory mode") && err.0.contains("v2"),
+            "v1 rejection does not explain itself: {}",
+            err.0
+        );
+        // Agreement is fine: an explicit matching mode replays normally.
+        let ok = run_line(
+            "modelcheck --replay v2:weak:b2:weak-stop-flag-relaxed:t0,t0,t1,t1,t1,t1 --weak true",
+        )
+        .unwrap();
+        assert!(ok.contains("replay weak-stop-flag-relaxed"), "{ok}");
     }
 
     #[test]

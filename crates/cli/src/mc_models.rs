@@ -9,14 +9,23 @@
 //! (data races, relaxed orderings on sync atomics, stale publication
 //! reads, deadlocks).
 //!
+//! Models carry *per-memory-mode* expectations: the deliberately seeded
+//! mutants must be caught, and two of them (`weak-stop-flag-relaxed`,
+//! `weak-view-publish-relaxed`) are invisible to sequentially
+//! consistent exploration by construction — a `Relaxed` publication
+//! only misbehaves when a store buffer can delay it, so they are
+//! expected to be caught under `--weak` and to pass without it. That
+//! asymmetry is the point: it proves the weak mode finds real bugs the
+//! default mode provably cannot.
+//!
 //! The models live in the CLI (not in `ech-modelcheck`) because they
 //! sit at the top of the dependency graph: the checker crate must stay
 //! dependency-free so every layer below can link against it.
 
 use arc_swap::ArcSwap;
 use bytes::Bytes;
-use ech_cluster::cluster::{Cluster, ClusterConfig, WriteQuorum};
-use ech_cluster::fault::{FaultPlan, VirtualClock};
+use ech_cluster::cluster::{Cluster, ClusterConfig, ReadPolicy, WriteQuorum};
+use ech_cluster::fault::{FaultPlan, NodeFaultSpec, VirtualClock};
 use ech_cluster::retry::RetryPolicy;
 use ech_core::cache::ShardedPlacementCache;
 use ech_core::ids::ObjectId;
@@ -25,6 +34,7 @@ use ech_core::placement::Strategy;
 use ech_core::view::ClusterView;
 use ech_modelcheck::Env;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One registered model-checking scenario.
 pub struct Model {
@@ -32,46 +42,135 @@ pub struct Model {
     pub name: &'static str,
     /// One-line description for the report.
     pub about: &'static str,
-    /// True for the deliberately seeded bug: the checker is *expected*
-    /// to find a failing schedule, and not finding one is the error.
+    /// True when sequentially consistent exploration is *expected* to
+    /// find a failing schedule (a deliberately seeded bug), and not
+    /// finding one is the error.
     pub expect_failure: bool,
+    /// Same expectation under the weak-memory (`--weak`) mode. Weak-only
+    /// mutants set this without `expect_failure`: their bug is a
+    /// `Relaxed` publication only a store buffer can delay.
+    pub expect_failure_weak: bool,
     /// Scenario builder handed to the explorer for every schedule.
     pub setup: fn(&mut Env),
 }
 
-/// All registered models, in report order. The seeded-bug model comes
-/// last and is skipped by the default `ech modelcheck` run unless named
-/// explicitly (it exists for the counterexample replay test).
+impl Model {
+    /// The expectation that applies under the given memory mode.
+    pub fn expects_failure(&self, weak: bool) -> bool {
+        if weak {
+            self.expect_failure_weak
+        } else {
+            self.expect_failure
+        }
+    }
+
+    /// A mutant only the weak-memory mode can catch.
+    pub fn weak_only(&self) -> bool {
+        self.expect_failure_weak && !self.expect_failure
+    }
+}
+
+/// All registered models, in report order: correct protocols first,
+/// then the seeded mutants (which every run must *catch*), with the
+/// weak-only mutants last.
 pub const MODELS: &[Model] = &[
     Model {
         name: "publish-vs-read",
         about: "resize publishes a view while a reader resolves the same object",
         expect_failure: false,
+        expect_failure_weak: false,
         setup: publish_vs_read,
     },
     Model {
         name: "cache-coherence",
         about: "placement cache consulted across a concurrent view publication",
         expect_failure: false,
+        expect_failure_weak: false,
         setup: cache_coherence,
     },
     Model {
         name: "reintegrate-vs-resize",
         about: "selective re-integration racing a power-up resize",
         expect_failure: false,
+        expect_failure_weak: false,
         setup: reintegrate_vs_resize,
     },
     Model {
         name: "cache-counters",
         about: "hit/miss pair stays coherent under concurrent lookups",
         expect_failure: false,
+        expect_failure_weak: false,
         setup: cache_counters,
+    },
+    Model {
+        name: "quorum-write-faults",
+        about: "quorum write racing a reader while a secondary injects I/O errors",
+        expect_failure: false,
+        expect_failure_weak: false,
+        setup: quorum_write_faults,
+    },
+    Model {
+        name: "hedged-read-crash",
+        about: "hedged read racing a crash of the primary replica",
+        expect_failure: false,
+        expect_failure_weak: false,
+        setup: hedged_read_crash,
+    },
+    Model {
+        name: "worker-stop-flag",
+        about: "background-worker stop flag handshake (Release/Acquire)",
+        expect_failure: false,
+        expect_failure_weak: false,
+        setup: worker_stop_flag,
+    },
+    Model {
+        name: "reintegration-pool",
+        about: "two re-integration workers draining the same dirty table",
+        expect_failure: false,
+        expect_failure_weak: false,
+        setup: reintegration_pool,
     },
     Model {
         name: "seeded-stamp-bug",
         about: "deliberately re-seeded stamp-before-publish regression (must be caught)",
         expect_failure: true,
+        expect_failure_weak: true,
         setup: seeded_stamp_bug,
+    },
+    Model {
+        name: "quorum-dirty-bug",
+        about: "seeded quorum ack without a dirty entry (must be caught)",
+        expect_failure: true,
+        expect_failure_weak: true,
+        setup: quorum_dirty_bug,
+    },
+    Model {
+        name: "hedged-stale-bug",
+        about: "seeded version-check bypass leaks a stale replica (must be caught)",
+        expect_failure: true,
+        expect_failure_weak: true,
+        setup: hedged_stale_bug,
+    },
+    Model {
+        name: "reintegration-lost-replica-bug",
+        about: "seeded remove-before-copy move loses the replica (must be caught)",
+        expect_failure: true,
+        expect_failure_weak: true,
+        setup: reintegration_lost_replica_bug,
+    },
+    Model {
+        name: "weak-stop-flag-relaxed",
+        about: "seeded Relaxed stop-flag store (caught only under --weak)",
+        expect_failure: false,
+        expect_failure_weak: true,
+        setup: weak_stop_flag_relaxed,
+    },
+    Model {
+        name: "weak-view-publish-relaxed",
+        about: "seeded Relaxed view publication (caught only under --weak)",
+        expect_failure: false,
+        expect_failure_weak: true,
+        setup: weak_view_publish_relaxed,
     },
 ];
 
@@ -85,25 +184,59 @@ pub fn find(name: &str) -> Option<&'static Model> {
 /// time. The empty fault plan injects nothing; it exists only to carry
 /// the clock.
 fn tiny_cluster() -> Arc<Cluster> {
+    tiny_cluster_with(
+        3,
+        2,
+        Strategy::Primary,
+        WriteQuorum::All,
+        FaultPlan::default(),
+    )
+}
+
+/// [`tiny_cluster`] with the knobs the fault-aware models vary. The
+/// single-replica mutants use [`Strategy::Original`]: under the primary
+/// strategy the first replica is pinned to the (single) primary server,
+/// so a one-replica placement could never migrate.
+fn tiny_cluster_with(
+    servers: usize,
+    replicas: usize,
+    strategy: Strategy,
+    write_quorum: WriteQuorum,
+    plan: FaultPlan,
+) -> Arc<Cluster> {
     let cfg = ClusterConfig {
-        servers: 3,
-        replicas: 2,
+        servers,
+        replicas,
         layout_base: 64,
-        strategy: Strategy::Primary,
+        strategy,
         kv_shards: 2,
         capacity_plan: None,
-        write_quorum: WriteQuorum::All,
+        write_quorum,
         retry: RetryPolicy::default(),
         cache_capacity: 64,
         cache_shards: 2,
         reintegration_batch: 1,
         migration_rate: None,
     };
-    Cluster::with_faults_and_clock(cfg, FaultPlan::default(), Arc::new(VirtualClock::new()))
+    Cluster::with_faults_and_clock(cfg, plan, Arc::new(VirtualClock::new()))
+}
+
+/// A standalone view mirroring [`tiny_cluster_with`]'s geometry, for
+/// computing placements during setup (the checker gives models no
+/// cluster-internal access). Matches the cluster's layout choice:
+/// equal-work for the primary strategy, uniform for original hashing.
+fn mirror_view(servers: usize, replicas: usize, strategy: Strategy) -> ClusterView {
+    let layout = match strategy {
+        Strategy::Primary => Layout::equal_work(servers, 64),
+        Strategy::Original => Layout::uniform(servers, 64),
+    };
+    ClusterView::new(layout, strategy, replicas)
 }
 
 const OID: ObjectId = ObjectId(7);
+const OID2: ObjectId = ObjectId(11);
 const PAYLOAD: &[u8] = b"model-payload";
+const PAYLOAD2: &[u8] = b"model-payload-v2";
 
 /// A resize must never make a committed object unreadable: the reader
 /// may pin the old or the new epoch mid-publication, and either way the
@@ -229,6 +362,326 @@ fn cache_counters(env: &mut Env) {
     });
 }
 
+/// A cluster whose last-ranked secondary for [`OID`] always fails with
+/// injected I/O errors, plus that secondary's index. The quorum
+/// (primary + majority) tolerates exactly that one miss.
+fn faulty_quorum_cluster() -> Arc<Cluster> {
+    let view = mirror_view(3, 3, Strategy::Primary);
+    let placement = view.place_current(OID).expect("placement at full power");
+    let faulty = placement.servers()[2].index();
+    let mut plan = FaultPlan {
+        seed: 7,
+        ..FaultPlan::default()
+    };
+    plan.set_node(
+        faulty,
+        NodeFaultSpec {
+            io_error_prob: 1.0,
+            ..NodeFaultSpec::default()
+        },
+    );
+    tiny_cluster_with(
+        3,
+        3,
+        Strategy::Primary,
+        WriteQuorum::PrimaryPlusMajority,
+        plan,
+    )
+}
+
+/// A quorum write under injected faults racing a reader: the ack must
+/// come with a dirty entry for the missed replica (degraded writes stay
+/// self-healing, §III-E), and a racing reader may miss the object but
+/// must never see wrong bytes.
+fn quorum_write_faults(env: &mut Env) {
+    let c = faulty_quorum_cluster();
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.put(OID, Bytes::copy_from_slice(PAYLOAD))
+                .expect("quorum write must ack with one secondary erroring");
+        });
+    }
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            if let Ok(data) = c.get(OID) {
+                assert_eq!(&data[..], PAYLOAD, "racing reader saw wrong bytes");
+            }
+        });
+    }
+    env.after(move || {
+        assert!(
+            c.dirty_len() >= 1,
+            "degraded quorum ack left no dirty entry — missed replica is not self-healing"
+        );
+        let got = c.get(OID).expect("committed object must be readable");
+        assert_eq!(&got[..], PAYLOAD, "read returned wrong bytes");
+    });
+}
+
+/// Seeded mutant of [`quorum_write_faults`]: the write path "forgets"
+/// the dirty-table entry for the replica it missed
+/// ([`Cluster::put_unlogged_for_modelcheck`]), so the degraded ack is
+/// no longer self-healing. Every schedule violates the dirty-entry
+/// assertion — the checker must catch it.
+fn quorum_dirty_bug(env: &mut Env) {
+    let c = faulty_quorum_cluster();
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.put_unlogged_for_modelcheck(OID, Bytes::copy_from_slice(PAYLOAD))
+                .expect("quorum write must ack with one secondary erroring");
+        });
+    }
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            if let Ok(data) = c.get(OID) {
+                assert_eq!(&data[..], PAYLOAD, "racing reader saw wrong bytes");
+            }
+        });
+    }
+    env.after(move || {
+        assert!(
+            c.dirty_len() >= 1,
+            "degraded quorum ack left no dirty entry — missed replica is not self-healing"
+        );
+    });
+}
+
+/// A hedged read racing a crash of the primary replica: whichever side
+/// of the crash the probe lands on, the surviving secondary must serve
+/// the committed bytes (under the checker the hedge probes inline, so
+/// the race is over interleavings, not wall-clock timing).
+fn hedged_read_crash(env: &mut Env) {
+    let c = tiny_cluster();
+    c.put(OID, Bytes::copy_from_slice(PAYLOAD))
+        .expect("setup write at full power");
+    let primary = mirror_view(3, 2, Strategy::Primary)
+        .place_current(OID)
+        .expect("placement at full power")
+        .servers()[0];
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.nodes()[primary.index()].crash();
+        });
+    }
+    env.spawn(move || {
+        let got = c.get_with(
+            OID,
+            ReadPolicy::Hedged {
+                threshold: Duration::from_millis(1),
+            },
+        );
+        match got {
+            Ok(data) => assert_eq!(&data[..], PAYLOAD, "hedged read returned wrong bytes"),
+            Err(e) => panic!("hedged read lost the object to a single crash: {e}"),
+        }
+    });
+}
+
+/// Single-replica geometry whose stale copy survives a rewrite: the
+/// object's placement at full power is node 2, at two active servers it
+/// moves elsewhere. Returns the object and the index holding the fresh
+/// copy after the rewrite.
+fn stale_copy_setup(c: &Arc<Cluster>) -> (ObjectId, usize) {
+    let full = mirror_view(3, 1, Strategy::Original);
+    let mut reduced = mirror_view(3, 1, Strategy::Original);
+    reduced.resize(2);
+    let oid = (0..64)
+        .map(ObjectId)
+        .find(|&o| {
+            full.place_current(o)
+                .is_ok_and(|p| p.servers()[0].index() == 2)
+        })
+        .expect("some object maps to server 2 at full power");
+    let fresh = reduced
+        .place_current(oid)
+        .expect("placement at reduced power")
+        .servers()[0]
+        .index();
+    c.put(oid, Bytes::copy_from_slice(PAYLOAD))
+        .expect("setup write at full power");
+    c.resize(2);
+    c.put(oid, Bytes::copy_from_slice(PAYLOAD2))
+        .expect("rewrite at reduced power");
+    c.resize(3);
+    (oid, fresh)
+}
+
+/// Seeded mutant of the hedged read: the version-acceptance check is
+/// bypassed ([`Cluster::get_accepting_stale_for_modelcheck`]), so the
+/// superseded replica the rewrite left behind escapes to the reader —
+/// racing the crash of the fresh copy only widens the window. The
+/// checker must catch the stale payload.
+fn hedged_stale_bug(env: &mut Env) {
+    let c = tiny_cluster_with(
+        3,
+        1,
+        Strategy::Original,
+        WriteQuorum::All,
+        FaultPlan::default(),
+    );
+    let (oid, fresh) = stale_copy_setup(&c);
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.nodes()[fresh].crash();
+        });
+    }
+    env.spawn(move || {
+        if let Ok(data) = c.get_accepting_stale_for_modelcheck(
+            oid,
+            ReadPolicy::Hedged {
+                threshold: Duration::from_millis(1),
+            },
+        ) {
+            assert!(
+                &data[..] == PAYLOAD2,
+                "stale replica escaped to a hedged reader: got {:?}",
+                String::from_utf8_lossy(&data)
+            );
+        }
+    });
+}
+
+/// The background worker's stop handshake: a `Release` store of the
+/// stop flag must be visible to the worker's `Acquire` poll — and to
+/// anyone after the threads have joined — under every interleaving and
+/// both memory modes.
+fn worker_stop_flag(env: &mut Env) {
+    let c = tiny_cluster();
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.stop_background_worker();
+        });
+    }
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            // One bounded worker-loop iteration: poll the flag, drain a
+            // step when not yet stopped (idle here — nothing is dirty).
+            if !c.stop_requested() {
+                let _ = c.reintegrate_step();
+            }
+        });
+    }
+    env.after(move || {
+        assert!(c.stop_requested(), "stop request never became visible");
+    });
+}
+
+/// Seeded weak-memory mutant of [`worker_stop_flag`]: the stop store is
+/// downgraded to `Relaxed`
+/// ([`Cluster::stop_background_worker_relaxed_for_modelcheck`]).
+/// Sequentially consistent exploration applies the store immediately
+/// and passes every schedule; only the weak mode can leave it in the
+/// store buffer and show the worker (and the post-join observer) a
+/// stale `false` — the stale-publication counterexample.
+fn weak_stop_flag_relaxed(env: &mut Env) {
+    let c = tiny_cluster();
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.stop_background_worker_relaxed_for_modelcheck();
+        });
+    }
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            if !c.stop_requested() {
+                let _ = c.reintegrate_step();
+            }
+        });
+    }
+    env.after(move || {
+        assert!(
+            c.stop_requested(),
+            "stop request never became visible (stale Relaxed publication)"
+        );
+    });
+}
+
+/// Two re-integration workers draining the same dirty table after a
+/// power-up: planning is serialized by the engine lock, execution
+/// races, and no interleaving may lose an object, double-move it into
+/// inconsistency, or leave the table dirty after a full drain.
+fn reintegration_pool(env: &mut Env) {
+    let c = tiny_cluster();
+    c.resize(2);
+    c.put(OID, Bytes::copy_from_slice(PAYLOAD))
+        .expect("setup write at reduced power");
+    c.put(OID2, Bytes::copy_from_slice(PAYLOAD2))
+        .expect("second setup write at reduced power");
+    c.resize(3);
+    for _ in 0..2 {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            let _ = c.reintegrate_step();
+        });
+    }
+    env.after(move || {
+        c.reintegrate_all();
+        assert!(c.dirty_len() == 0, "dirty table not drained by the pool");
+        for (oid, want) in [(OID, PAYLOAD), (OID2, PAYLOAD2)] {
+            match c.get(oid) {
+                Ok(data) => assert_eq!(&data[..], want, "read returned wrong bytes"),
+                Err(e) => panic!("object lost by the re-integration pool: {e}"),
+            }
+        }
+    });
+}
+
+/// Seeded mutant of the re-integration move: remove-before-copy
+/// ([`Cluster::reintegrate_step_remove_first_for_modelcheck`]) racing a
+/// power-down resize. In the window between the remove and the copy the
+/// destination powers off, the copy fails, and the only replica is
+/// gone. The checker must find that interleaving.
+fn reintegration_lost_replica_bug(env: &mut Env) {
+    let c = tiny_cluster_with(
+        2,
+        1,
+        Strategy::Original,
+        WriteQuorum::All,
+        FaultPlan::default(),
+    );
+    // An object whose placement at two active servers is node 1: written
+    // while only node 0 is up, it must migrate 0 → 1 at full power.
+    let oid = (0..64)
+        .map(ObjectId)
+        .find(|&o| {
+            mirror_view(2, 1, Strategy::Original)
+                .place_current(o)
+                .is_ok_and(|p| p.servers()[0].index() == 1)
+        })
+        .expect("some object maps to server 1 at full power");
+    c.resize(1);
+    c.put(oid, Bytes::copy_from_slice(PAYLOAD))
+        .expect("setup write at reduced power");
+    c.resize(2);
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            let _ = c.reintegrate_step_remove_first_for_modelcheck();
+        });
+    }
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.resize(1);
+        });
+    }
+    env.after(move || {
+        assert!(
+            c.nodes().iter().any(|n| n.holds(oid)),
+            "replica lost: remove-before-copy raced a power-down"
+        );
+    });
+}
+
 /// The deliberately re-seeded pre-publish-ordering regression (see
 /// [`Cluster::resize_with_seeded_stamp_bug`]): stamping the header
 /// before the new-version copies land lets a concurrent reader observe
@@ -248,5 +701,38 @@ fn seeded_stamp_bug(env: &mut Env) {
     env.spawn(move || {
         let got = c.get(OID);
         assert!(got.is_ok(), "read during seeded resize failed: {got:?}");
+    });
+}
+
+/// Seeded weak-memory mutant of the view publication: the resize swaps
+/// the membership snapshot with a `Relaxed` pointer store
+/// ([`Cluster::resize_with_relaxed_publish_for_modelcheck`]).
+/// Sequentially consistent exploration cannot tell it apart from the
+/// correct `Release` publication; the weak mode buffers the swap and a
+/// post-join observer still reads the *old* membership version — the
+/// ArcSwap stale-publication counterexample. (Dereferencing the stale
+/// snapshot is memory-safe: the retire list pins every `Arc` ever
+/// published.)
+fn weak_view_publish_relaxed(env: &mut Env) {
+    let c = tiny_cluster();
+    let v0 = c.current_version();
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.resize_with_relaxed_publish_for_modelcheck(2);
+        });
+    }
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            // A racing reader may pin either epoch; both must resolve.
+            let _ = c.current_version();
+        });
+    }
+    env.after(move || {
+        assert!(
+            c.current_version() > v0,
+            "resize publication never became visible (stale Relaxed view swap)"
+        );
     });
 }

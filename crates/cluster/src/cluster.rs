@@ -526,7 +526,7 @@ impl Cluster {
                 let p = view.place_current(oid)?;
                 (p, view.current_version(), view.write_is_dirty())
             };
-            match self.put_at(oid, &data, placement, version, power_dirty) {
+            match self.put_at(oid, &data, placement, version, power_dirty, true) {
                 Err(ClusterError::Node(NodeError::PoweredOff))
                     if epochs < 4 && self.current_version() != version =>
                 {
@@ -538,6 +538,9 @@ impl Cluster {
     }
 
     /// One write attempt against a fixed placement snapshot.
+    /// `record_dirty` is always true on the production path; the seeded
+    /// quorum-dirty mutant below passes false to skip the dirty-table
+    /// entry that makes degraded writes self-healing.
     fn put_at(
         &self,
         oid: ObjectId,
@@ -545,6 +548,7 @@ impl Cluster {
         placement: Placement,
         version: VersionId,
         power_dirty: bool,
+        record_dirty: bool,
     ) -> Result<Placement, ClusterError> {
         let servers = placement.servers();
         let required = self.cfg.write_quorum.required(servers.len());
@@ -591,7 +595,7 @@ impl Cluster {
         }
         let is_dirty = power_dirty || missed > 0;
         self.headers.record_write(oid, version, is_dirty);
-        if is_dirty {
+        if is_dirty && record_dirty {
             self.log_dirty(DirtyEntry::new(oid, version));
         }
         if missed > 0 {
@@ -599,6 +603,27 @@ impl Cluster {
             self.counters.add_replicas_missed(missed as u64);
         }
         Ok(placement)
+    }
+
+    /// **Deliberately seeded quorum bug** (modelcheck builds only): a
+    /// quorum write that skips the dirty-table entry for the replicas it
+    /// missed. The ack looks identical to [`Cluster::put`]'s, but the
+    /// missed replicas are no longer self-healing — [`Cluster::heal_dirty`]
+    /// has nothing to scan. The `quorum-dirty-bug` model drives this
+    /// under an always-failing secondary and asserts the dirty table is
+    /// non-empty after the ack.
+    #[cfg(feature = "modelcheck")]
+    pub fn put_unlogged_for_modelcheck(
+        &self,
+        oid: ObjectId,
+        data: Bytes,
+    ) -> Result<Placement, ClusterError> {
+        let (placement, version, power_dirty) = {
+            let view = self.view.load();
+            let p = view.place_current(oid)?;
+            (p, view.current_version(), view.write_is_dirty())
+        };
+        self.put_at(oid, &data, placement, version, power_dirty, false)
     }
 
     /// Read an object from any live replica.
@@ -625,6 +650,33 @@ impl Cluster {
     /// the authoritative header (§III-E2: the header lets the system
     /// "identify the latest data version and avoid stale data").
     pub fn get_with(&self, oid: ObjectId, policy: ReadPolicy) -> Result<Bytes, ClusterError> {
+        self.get_with_acceptance(oid, policy, true)
+    }
+
+    /// **Deliberately seeded staleness bug** (modelcheck builds only):
+    /// a read that skips the header-version acceptance check, returning
+    /// whatever copy it finds first. Superseded replicas awaiting
+    /// collection become observable — the `hedged-stale-bug` model races
+    /// this against a crash of the fresh replica and catches the stale
+    /// payload escaping to the caller.
+    #[cfg(feature = "modelcheck")]
+    pub fn get_accepting_stale_for_modelcheck(
+        &self,
+        oid: ObjectId,
+        policy: ReadPolicy,
+    ) -> Result<Bytes, ClusterError> {
+        self.get_with_acceptance(oid, policy, false)
+    }
+
+    /// [`Cluster::get_with`] with the version-acceptance check made
+    /// explicit; `enforce_versions` is always true on the production
+    /// path.
+    fn get_with_acceptance(
+        &self,
+        oid: ObjectId,
+        policy: ReadPolicy,
+        enforce_versions: bool,
+    ) -> Result<Bytes, ClusterError> {
         let expected = self.headers.header(oid).map(|h| h.version);
         let view = self.view.load();
         let mut candidates: Vec<ServerId> = Vec::new();
@@ -654,7 +706,9 @@ impl Cluster {
         // version we read: stale (superseded) copies are always strictly
         // older than the header, while a concurrent re-integration may
         // restamp fresh copies *past* the header snapshot we took.
-        let acceptable = |stamp: ech_core::ids::VersionId| expected.is_none_or(|v| stamp >= v);
+        let acceptable = |stamp: ech_core::ids::VersionId| {
+            !enforce_versions || expected.is_none_or(|v| stamp >= v)
+        };
         if let ReadPolicy::Hedged { threshold } = policy {
             if let Some(data) = self.hedged_get(oid, &candidates, &acceptable, threshold) {
                 return Ok(data);
@@ -702,6 +756,28 @@ impl Cluster {
         threshold: std::time::Duration,
     ) -> Option<Bytes> {
         let first = self.node(*candidates.first()?).ok()?.clone();
+        // Under the model checker the probe helper would be a real OS
+        // thread the virtual scheduler cannot see (and cannot preempt),
+        // so probe the first candidate inline and treat any failure as
+        // the timeout: the *race* between the slow original and the
+        // hedge is then modelled by the explorer's interleavings instead
+        // of wall-clock timing.
+        if crate::sync::on_model_thread() {
+            if let Ok(obj) = first.get(oid) {
+                if acceptable(obj.header.version) {
+                    return Some(obj.data);
+                }
+            }
+            self.counters.inc_hedged_reads();
+            for &s in candidates.iter().skip(1) {
+                if let Ok(obj) = self.node(s).ok()?.get(oid) {
+                    if acceptable(obj.header.version) {
+                        return Some(obj.data);
+                    }
+                }
+            }
+            return None;
+        }
         let (tx, rx) = std::sync::mpsc::channel();
         std::thread::spawn(move || {
             let _ = tx.send(first.get(oid));
@@ -843,10 +919,55 @@ impl Cluster {
         Ok(version)
     }
 
+    /// **Deliberately seeded weak-publication bug** (modelcheck builds
+    /// only): [`Cluster::resize`] with the view swap downgraded to a
+    /// `Relaxed` pointer store. Under sequentially consistent
+    /// exploration this is indistinguishable from the correct resize —
+    /// the store still lands before any later read. Only the checker's
+    /// weak-memory mode exhibits the bug: the publication sits in the
+    /// resizing thread's store buffer, and an observer still sees the
+    /// old membership version after the resize "completed".
+    #[cfg(feature = "modelcheck")]
+    pub fn resize_with_relaxed_publish_for_modelcheck(&self, active: usize) -> VersionId {
+        let _writer = self.view_write.lock();
+        let mut next = ClusterView::clone(&self.view.load());
+        let version = next.resize(active);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i < active {
+                node.set_powered(true);
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i >= active {
+                node.set_powered(false);
+            }
+        }
+        // BUG under test: the publication must be `Release` (rule D6's
+        // dynamic analogue); `Relaxed` lets it linger in a store buffer.
+        // It is also this thread's *last* store — a later write-through
+        // store (e.g. the power flips above, which is why they were
+        // hoisted) would drain the buffer in FIFO order and mask the
+        // staleness, exactly as on TSO hardware.
+        self.view.store_relaxed_for_modelcheck(Arc::new(next));
+        version
+    }
+
     /// Execute one selective re-integration task. Returns the stats of
     /// the task, or the idle reason.
     pub fn reintegrate_step(&self) -> Result<ReintegrationStats, Idle> {
         self.reintegrate_batch(1)
+    }
+
+    /// **Deliberately seeded move-ordering bug** (modelcheck builds
+    /// only): plan and execute one re-integration task with the replica
+    /// move inverted to remove-before-copy. A resize that powers the
+    /// destination off in the window between the remove and the copy
+    /// loses the only replica — the `reintegration-lost-replica-bug`
+    /// model finds that interleaving.
+    #[cfg(feature = "modelcheck")]
+    pub fn reintegrate_step_remove_first_for_modelcheck(&self) -> Result<ReintegrationStats, Idle> {
+        let task = self.plan_task()?;
+        Ok(self.execute_task_opts(&task, true))
     }
 
     /// Plan one migration task against the current snapshot. The engine
@@ -943,6 +1064,18 @@ impl Cluster {
 
     /// Execute the byte movement and header restamp of one planned task.
     fn execute_task(&self, task: &MigrationTask) -> ReintegrationStats {
+        self.execute_task_opts(task, false)
+    }
+
+    /// [`Cluster::execute_task`] with the move ordering made explicit;
+    /// `remove_before_copy` is always false on the production path
+    /// (copy-then-remove is what makes a racing failure lose only the
+    /// *copy*, never the source replica).
+    fn execute_task_opts(
+        &self,
+        task: &MigrationTask,
+        remove_before_copy: bool,
+    ) -> ReintegrationStats {
         let mut stats = ReintegrationStats {
             tasks: 1,
             ..Default::default()
@@ -964,6 +1097,12 @@ impl Cluster {
                 Ok(obj) => {
                     let bytes = obj.data.len() as u64;
                     self.throttle_migration(bytes as f64);
+                    if remove_before_copy {
+                        // BUG under test (seeded, modelcheck only): the
+                        // source goes away before the copy exists, so a
+                        // put failure below loses the replica outright.
+                        src.remove(task.oid);
+                    }
                     // The destination is active at the target version by
                     // construction; a put failure here (after transient
                     // retries) means a racing resize, in which case the
@@ -983,7 +1122,9 @@ impl Cluster {
                         },
                     );
                     if put.is_ok() {
-                        src.remove(task.oid);
+                        if !remove_before_copy {
+                            src.remove(task.oid);
+                        }
                         stats.moves += 1;
                         stats.bytes += bytes;
                     }
@@ -1097,6 +1238,28 @@ impl Cluster {
     /// Signal the background worker to exit.
     pub fn stop_background_worker(&self) {
         self.stop_worker.store(true, Ordering::Release);
+    }
+
+    /// Has [`Cluster::stop_background_worker`] been called since the
+    /// worker was (last) started? This is the worker loop's own exit
+    /// test, exposed so tests and model-checking scenarios can observe
+    /// the flag without joining the thread.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_worker.load(Ordering::Acquire)
+    }
+
+    /// **Deliberately seeded weak-publication bug** (modelcheck builds
+    /// only): [`Cluster::stop_background_worker`] with the flag store
+    /// downgraded to `Relaxed`. Sequentially consistent exploration
+    /// cannot distinguish this from the correct `Release` store; the
+    /// checker's weak-memory mode buffers it, and the worker keeps
+    /// observing `false` after the stop "was requested" — the stale
+    /// publication the `weak-stop-flag-relaxed` model must catch.
+    #[cfg(feature = "modelcheck")]
+    pub fn stop_background_worker_relaxed_for_modelcheck(&self) {
+        // ech-allow(D5): deliberate seeded bug — the weak-memory models
+        // need a real Relaxed publication for the checker to catch.
+        self.stop_worker.store(true, Ordering::Relaxed);
     }
 
     /// Heal replicas missed by degraded (quorum) writes: for every dirty

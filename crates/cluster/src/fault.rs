@@ -304,9 +304,9 @@ impl FaultInjector {
     pub fn node_ops(&self, index: usize) -> u64 {
         self.node_ops
             .get(index)
-            // ech-allow(D5): `c` is the per-node op counter advanced with
-            // fetch_add in before_node_op; the closure binding hides the
-            // pairing from the receiver-based counter classification.
+            // ech-allow(D5): `c` is one of the per-node op counters built
+            // with `counter_u64` in `new`; the closure binding hides the
+            // constructed field from the counter classification.
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 

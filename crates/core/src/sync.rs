@@ -28,12 +28,25 @@
 //! guaranteed yield-free.
 
 #[cfg(feature = "modelcheck")]
-pub use ech_modelcheck::sync::{AtomicBool, AtomicU64, Mutex, MutexGuard, Ordering};
+pub use ech_modelcheck::sync::{
+    on_model_thread, AtomicBool, AtomicU64, Mutex, MutexGuard, Ordering,
+};
 
 #[cfg(not(feature = "modelcheck"))]
 pub use parking_lot::{Mutex, MutexGuard};
 #[cfg(not(feature = "modelcheck"))]
 pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Is the caller running on a model-checker virtual thread? Always
+/// false in production builds; under the `modelcheck` feature this is
+/// the checker's own query. Data-path code uses it to avoid spawning
+/// helper OS threads the virtual scheduler cannot see (e.g. the hedged
+/// read probes inline instead).
+#[cfg(not(feature = "modelcheck"))]
+#[inline]
+pub fn on_model_thread() -> bool {
+    false
+}
 
 /// A statistics counter: monotonic tally, `Relaxed` access allowed,
 /// never a model-checker scheduling point.

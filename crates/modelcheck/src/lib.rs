@@ -13,23 +13,37 @@
 //! deadlock — comes back with a [`Failure::trace`] that [`replay`]
 //! re-executes deterministically, byte for byte.
 //!
-//! Two deliberate simplifications, documented here because they bound
-//! what a PASS means:
+//! Two memory modes, selected by [`Config::weak`]:
 //!
-//! * **Sequential value semantics.** Atomic loads always observe the
-//!   latest store (the explorer serializes execution); weak-memory
-//!   staleness is *detected* via the happens-before vector clocks
-//!   (a `Relaxed` operation on a sync-class atomic, or an unordered
-//!   read of [`sync::MData`], is reported as a violation) rather than
-//!   simulated by value branching.
-//! * **Bounded exploration.** [`Config::max_preemptions`] bounds the
-//!   involuntary context switches per schedule (the CHESS result: most
-//!   concurrency bugs need very few) and [`Config::max_schedules`]
-//!   caps the total; [`Report::exhausted`] says whether the bounded
-//!   space was fully covered.
+//! * **Sequential value semantics** (default). Atomic loads always
+//!   observe the latest store (the explorer serializes execution);
+//!   ordering misuse is *detected* via the happens-before vector
+//!   clocks — a `Relaxed` *reading* op on a sync-class atomic, or an
+//!   unordered read of [`sync::MData`], is reported as a violation —
+//!   rather than simulated by value branching.
+//! * **Store buffers** (`weak: true`, [`weak`] module). Each thread
+//!   gets a TSO-style FIFO store buffer: `Relaxed` stores on
+//!   sync-class atomics become globally visible only at
+//!   scheduler-chosen *flush points* (explored like any other
+//!   decision, `f<tid>` in traces) — or never, so a wrongly-`Relaxed`
+//!   publication yields a concrete stale-read counterexample that the
+//!   default mode provably cannot produce. Release-or-stronger stores
+//!   and RMWs write through, so D5-clean code behaves identically in
+//!   both modes.
+//!
+//! And one bound that applies to both: [`Config::max_preemptions`]
+//! bounds the involuntary context switches per schedule (the CHESS
+//! result: most concurrency bugs need very few) and
+//! [`Config::max_schedules`] caps the total; [`Report::exhausted`]
+//! says whether the bounded space was fully covered.
+//!
+//! Traces are versioned (`v2:<mode>:b<bound>:<model>:<steps>`): a
+//! counterexample found under one memory mode is meaningless — and is
+//! rejected, not silently diverging — when replayed under the other.
 
 mod sched;
 pub mod sync;
+pub mod weak;
 
 pub use sched::{preempt_delta, Decision, Env, VClock};
 
@@ -42,6 +56,10 @@ pub struct Config {
     /// Hard cap on schedules executed before reporting a truncated
     /// (non-exhausted) result.
     pub max_schedules: usize,
+    /// Store-buffer (TSO-style) weak-memory semantics: `Relaxed` stores
+    /// on sync-class atomics buffer per thread and become visible at
+    /// scheduler-chosen flush points (see the [`weak`] module docs).
+    pub weak: bool,
 }
 
 impl Default for Config {
@@ -49,6 +67,7 @@ impl Default for Config {
         Config {
             max_preemptions: 2,
             max_schedules: 20_000,
+            weak: false,
         }
     }
 }
@@ -58,7 +77,8 @@ impl Default for Config {
 pub struct Failure {
     /// Human-readable description of what went wrong.
     pub message: String,
-    /// Replayable counterexample trace (`v1:<model>:t…`).
+    /// Replayable counterexample trace
+    /// (`v2:<mode>:b<bound>:<model>:t…/f…`).
     pub trace: String,
 }
 
@@ -76,32 +96,90 @@ pub struct Report {
     pub failure: Option<Failure>,
 }
 
-/// Render a decision sequence as a replayable trace string.
-fn render_trace(model: &str, decisions: &[Decision]) -> String {
-    let steps: Vec<String> = decisions.iter().map(|d| format!("t{}", d.chosen)).collect();
-    if steps.is_empty() {
-        format!("v1:{model}:-")
+/// A parsed `v2:` counterexample trace: the memory mode and preemption
+/// bound it was recorded under travel with the decision prefix, so a
+/// replay cannot silently run under different semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedTrace {
+    /// Model name.
+    pub model: String,
+    /// Recorded memory mode (`weak` ↔ store buffers, `sc` otherwise).
+    pub weak: bool,
+    /// Recorded preemption bound.
+    pub bound: usize,
+    /// Forced decision prefix (thread grants and flush actions).
+    pub prefix: Vec<usize>,
+}
+
+fn render_step(choice: usize) -> String {
+    if choice >= weak::FLUSH_BASE {
+        format!("f{}", choice - weak::FLUSH_BASE)
     } else {
-        format!("v1:{model}:{}", steps.join(","))
+        format!("t{choice}")
     }
 }
 
-/// Parse a trace produced by [`explore`]/[`explore_random`]: returns the
-/// model name and the forced decision prefix.
-pub fn parse_trace(trace: &str) -> Option<(String, Vec<usize>)> {
-    let rest = trace.strip_prefix("v1:")?;
-    let (model, steps) = rest.split_once(':')?;
-    if model.is_empty() {
-        return None;
+/// Render a decision sequence as a replayable trace string.
+fn render_trace(model: &str, cfg: &Config, decisions: &[Decision]) -> String {
+    let mode = if cfg.weak { "weak" } else { "sc" };
+    let steps: Vec<String> = decisions.iter().map(|d| render_step(d.chosen)).collect();
+    let steps = if steps.is_empty() {
+        "-".to_string()
+    } else {
+        steps.join(",")
+    };
+    format!("v2:{mode}:b{}:{model}:{steps}", cfg.max_preemptions)
+}
+
+/// Parse a trace produced by [`explore`]/[`explore_random`]. `v1:`
+/// traces (which did not record the memory mode) are rejected with an
+/// explanation instead of silently diverging under the wrong semantics.
+pub fn parse_trace(trace: &str) -> Result<ParsedTrace, String> {
+    if trace.starts_with("v1:") {
+        return Err(
+            "v1 trace: it does not record the memory mode or preemption bound, so a replay \
+             could silently diverge; re-record the counterexample with this build (v2)"
+                .to_string(),
+        );
     }
-    if steps == "-" {
-        return Some((model.to_string(), Vec::new()));
-    }
+    let malformed =
+        || format!("malformed trace {trace:?}: expected v2:<sc|weak>:b<bound>:<model>:<t…/f…|->");
+    let rest = trace.strip_prefix("v2:").ok_or_else(malformed)?;
+    let mut parts = rest.splitn(4, ':');
+    let weak = match parts.next() {
+        Some("sc") => false,
+        Some("weak") => true,
+        _ => return Err(malformed()),
+    };
+    let bound: usize = parts
+        .next()
+        .and_then(|b| b.strip_prefix('b'))
+        .and_then(|b| b.parse().ok())
+        .ok_or_else(malformed)?;
+    let model = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(malformed)?;
+    let steps = parts.next().ok_or_else(malformed)?;
     let mut prefix = Vec::new();
-    for s in steps.split(',') {
-        prefix.push(s.strip_prefix('t')?.parse().ok()?);
+    if steps != "-" {
+        for s in steps.split(',') {
+            let choice = if let Some(t) = s.strip_prefix('t') {
+                t.parse::<usize>().ok()
+            } else if let Some(f) = s.strip_prefix('f') {
+                f.parse::<usize>().ok().map(|t| weak::FLUSH_BASE + t)
+            } else {
+                None
+            };
+            prefix.push(choice.ok_or_else(malformed)?);
+        }
     }
-    Some((model.to_string(), prefix))
+    Ok(ParsedTrace {
+        model: model.to_string(),
+        weak,
+        bound,
+        prefix,
+    })
 }
 
 /// Exhaustively explore `model` under `cfg` by iterative-deepening DFS
@@ -119,7 +197,7 @@ pub fn explore(model: &str, cfg: &Config, setup: impl Fn(&mut Env)) -> Report {
             break;
         }
         let plen = prefix.len();
-        let exec = sched::run_one(prefix, None, &setup);
+        let exec = sched::run_one(prefix, None, cfg.weak, &setup);
         schedules += 1;
         if let Some(message) = exec.failure {
             return Report {
@@ -127,7 +205,7 @@ pub fn explore(model: &str, cfg: &Config, setup: impl Fn(&mut Env)) -> Report {
                 schedules,
                 exhausted: false,
                 failure: Some(Failure {
-                    trace: render_trace(model, &exec.decisions),
+                    trace: render_trace(model, cfg, &exec.decisions),
                     message,
                 }),
             };
@@ -170,6 +248,7 @@ pub fn explore(model: &str, cfg: &Config, setup: impl Fn(&mut Env)) -> Report {
 /// runs.
 pub fn explore_random(
     model: &str,
+    cfg: &Config,
     seed: u64,
     iterations: usize,
     setup: impl Fn(&mut Env),
@@ -177,7 +256,7 @@ pub fn explore_random(
     let mut schedules = 0;
     for i in 0..iterations {
         let iter_seed = sched::splitmix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9));
-        let exec = sched::run_one(Vec::new(), Some(iter_seed), &setup);
+        let exec = sched::run_one(Vec::new(), Some(iter_seed), cfg.weak, &setup);
         schedules += 1;
         if let Some(message) = exec.failure {
             return Report {
@@ -185,7 +264,7 @@ pub fn explore_random(
                 schedules,
                 exhausted: false,
                 failure: Some(Failure {
-                    trace: render_trace(model, &exec.decisions),
+                    trace: render_trace(model, cfg, &exec.decisions),
                     message,
                 }),
             };
@@ -202,15 +281,16 @@ pub fn explore_random(
 /// Re-execute a single schedule from a counterexample trace. The forced
 /// prefix pins every recorded decision; any decision points beyond it
 /// follow the deterministic default policy, so the same trace always
-/// produces the same execution.
-pub fn replay(model: &str, prefix: Vec<usize>, setup: impl Fn(&mut Env)) -> Report {
-    let exec = sched::run_one(prefix, None, &setup);
+/// produces the same execution. `cfg` must carry the memory mode and
+/// bound the trace was recorded under (see [`parse_trace`]).
+pub fn replay(model: &str, cfg: &Config, prefix: Vec<usize>, setup: impl Fn(&mut Env)) -> Report {
+    let exec = sched::run_one(prefix, None, cfg.weak, &setup);
     Report {
         model: model.to_string(),
         schedules: 1,
         exhausted: false,
         failure: exec.failure.map(|message| Failure {
-            trace: render_trace(model, &exec.decisions),
+            trace: render_trace(model, cfg, &exec.decisions),
             message,
         }),
     }
@@ -360,10 +440,17 @@ mod tests {
         };
         let report = explore("replay", &Config::default(), model);
         let failure = report.failure.expect("race expected");
-        let (name, prefix) = parse_trace(&failure.trace).expect("trace parses");
-        assert_eq!(name, "replay");
-        let r1 = replay(&name, prefix.clone(), model);
-        let r2 = replay(&name, prefix, model);
+        let parsed = parse_trace(&failure.trace).expect("trace parses");
+        assert_eq!(parsed.model, "replay");
+        assert!(!parsed.weak);
+        assert_eq!(parsed.bound, Config::default().max_preemptions);
+        let cfg = Config {
+            max_preemptions: parsed.bound,
+            weak: parsed.weak,
+            ..Config::default()
+        };
+        let r1 = replay(&parsed.model, &cfg, parsed.prefix.clone(), model);
+        let r2 = replay(&parsed.model, &cfg, parsed.prefix, model);
         let f1 = r1.failure.expect("replay reproduces");
         let f2 = r2.failure.expect("replay reproduces");
         assert_eq!(f1.message, f2.message);
@@ -384,20 +471,229 @@ mod tests {
                 });
             }
         };
-        let r1 = explore_random("rnd", 7, 64, model);
-        let r2 = explore_random("rnd", 7, 64, model);
+        let r1 = explore_random("rnd", &Config::default(), 7, 64, model);
+        let r2 = explore_random("rnd", &Config::default(), 7, 64, model);
         let f1 = r1.failure.expect("race found");
         let f2 = r2.failure.expect("race found");
         assert_eq!((r1.schedules, &f1.trace), (r2.schedules, &f2.trace));
     }
 
     #[test]
-    fn trace_round_trips() {
+    fn trace_v2_round_trips() {
         assert_eq!(
-            parse_trace("v1:m:t0,t1,t0"),
-            Some(("m".to_string(), vec![0, 1, 0]))
+            parse_trace("v2:sc:b2:m:t0,t1,t0"),
+            Ok(ParsedTrace {
+                model: "m".to_string(),
+                weak: false,
+                bound: 2,
+                prefix: vec![0, 1, 0],
+            })
         );
-        assert_eq!(parse_trace("v1:m:-"), Some(("m".to_string(), vec![])));
-        assert_eq!(parse_trace("garbage"), None);
+        assert_eq!(
+            parse_trace("v2:weak:b3:m:t0,f0,t1"),
+            Ok(ParsedTrace {
+                model: "m".to_string(),
+                weak: true,
+                bound: 3,
+                prefix: vec![0, weak::FLUSH_BASE, 1],
+            })
+        );
+        assert_eq!(
+            parse_trace("v2:sc:b2:m:-"),
+            Ok(ParsedTrace {
+                model: "m".to_string(),
+                weak: false,
+                bound: 2,
+                prefix: vec![],
+            })
+        );
+        assert!(parse_trace("garbage").is_err());
+        assert!(parse_trace("v2:tso:b2:m:t0").is_err());
+    }
+
+    /// Schema-version fix: a v1 trace (no recorded memory mode) is
+    /// rejected with an explanation, never replayed under the wrong
+    /// semantics.
+    #[test]
+    fn trace_v1_is_rejected() {
+        let err = parse_trace("v1:m:t0,t1,t0").expect_err("v1 must be rejected");
+        assert!(err.contains("memory mode"), "{err}");
+        assert!(err.contains("v2"), "{err}");
+    }
+
+    fn weak_cfg() -> Config {
+        Config {
+            weak: true,
+            ..Config::default()
+        }
+    }
+
+    /// The tentpole litmus test: a `Relaxed` publication that the
+    /// default mode passes (sequential value semantics + the heuristic
+    /// deliberately narrowed to reading ops) but the weak mode catches
+    /// with a concrete stale value — the store sits in t0's buffer and
+    /// the post-join assertion observes global memory without it.
+    #[test]
+    fn weak_mode_finds_stale_relaxed_publication_that_sc_misses() {
+        let model = |env: &mut Env| {
+            let flag = Arc::new(MAtomicU64::new(0));
+            {
+                let flag = Arc::clone(&flag);
+                env.spawn(move || flag.store(1, Ordering::Relaxed));
+            }
+            let after = Arc::clone(&flag);
+            env.after(move || {
+                assert_eq!(
+                    after.load(Ordering::Acquire),
+                    1,
+                    "stale publication: relaxed store never became globally visible"
+                );
+            });
+        };
+        let sc = explore("pub-relaxed", &Config::default(), model);
+        assert!(
+            sc.failure.is_none(),
+            "sc mode must miss the relaxed store: {:?}",
+            sc.failure
+        );
+        assert!(sc.exhausted);
+        let weak = explore("pub-relaxed", &weak_cfg(), model);
+        let failure = weak
+            .failure
+            .expect("weak mode must catch the stale publication");
+        assert!(
+            failure.message.contains("stale publication"),
+            "{}",
+            failure.message
+        );
+        assert!(
+            failure.trace.starts_with("v2:weak:b2:pub-relaxed:"),
+            "{}",
+            failure.trace
+        );
+    }
+
+    /// A correctly `Release`d publication writes through: identical
+    /// behaviour in both modes, no spurious weak-mode failures.
+    #[test]
+    fn weak_mode_release_publication_stays_visible() {
+        let model = |env: &mut Env| {
+            let flag = Arc::new(MAtomicU64::new(0));
+            {
+                let flag = Arc::clone(&flag);
+                env.spawn(move || flag.store(1, Ordering::Release));
+            }
+            let after = Arc::clone(&flag);
+            env.after(move || assert_eq!(after.load(Ordering::Acquire), 1));
+        };
+        let weak = explore("pub-release", &weak_cfg(), model);
+        assert!(weak.failure.is_none(), "{:?}", weak.failure);
+        assert!(weak.exhausted);
+    }
+
+    /// TSO store forwarding: a thread reads its own buffered store even
+    /// before any flush.
+    #[test]
+    fn weak_mode_thread_reads_its_own_buffer() {
+        let report = explore("own-buffer", &weak_cfg(), |env| {
+            let flag = Arc::new(MAtomicU64::new(0));
+            env.spawn(move || {
+                flag.store(7, Ordering::Relaxed);
+                assert_eq!(flag.load(Ordering::Acquire), 7, "own store must forward");
+            });
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted);
+    }
+
+    /// Flush points are real scheduler decisions: the explorer finds the
+    /// schedule where the buffered store flushes before the reader runs,
+    /// and the trace records the flush (`f0`).
+    #[test]
+    fn weak_mode_explores_flush_points() {
+        let report = explore("flush-points", &weak_cfg(), |env| {
+            let flag = Arc::new(MAtomicU64::new(0));
+            {
+                let flag = Arc::clone(&flag);
+                env.spawn(move || flag.store(1, Ordering::Relaxed));
+            }
+            env.spawn(move || {
+                assert_ne!(
+                    flag.load(Ordering::Acquire),
+                    1,
+                    "reader saw the flushed store"
+                );
+            });
+        });
+        let failure = report
+            .failure
+            .expect("some schedule must flush before the read");
+        assert!(
+            failure.message.contains("flushed store"),
+            "{}",
+            failure.message
+        );
+        assert!(
+            failure.trace.contains("f0"),
+            "trace must record the flush: {}",
+            failure.trace
+        );
+    }
+
+    /// RMW operations flush: after a fetch_add the previously buffered
+    /// relaxed store is globally visible.
+    #[test]
+    fn weak_mode_rmw_flushes_the_buffer() {
+        let report = explore("rmw-flush", &weak_cfg(), |env| {
+            let flag = Arc::new(MAtomicU64::new(0));
+            let other = Arc::new(MAtomicU64::new(0));
+            {
+                let (flag, other) = (Arc::clone(&flag), Arc::clone(&other));
+                env.spawn(move || {
+                    flag.store(1, Ordering::Relaxed);
+                    // RMW on another location still drains this
+                    // thread's whole buffer (TSO is per-thread FIFO).
+                    other.fetch_add(1, Ordering::AcqRel);
+                });
+            }
+            let after = Arc::clone(&flag);
+            env.after(move || assert_eq!(after.load(Ordering::Acquire), 1));
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted);
+    }
+
+    /// A weak-mode counterexample replays byte-identically from its
+    /// trace, flush decisions included.
+    #[test]
+    fn weak_trace_replays_deterministically() {
+        let model = |env: &mut Env| {
+            let flag = Arc::new(MAtomicU64::new(0));
+            {
+                let flag = Arc::clone(&flag);
+                env.spawn(move || flag.store(1, Ordering::Relaxed));
+            }
+            env.spawn(move || {
+                assert_ne!(
+                    flag.load(Ordering::Acquire),
+                    1,
+                    "reader saw the flushed store"
+                );
+            });
+        };
+        let report = explore("weak-replay", &weak_cfg(), model);
+        let failure = report.failure.expect("flush schedule fails");
+        let parsed = parse_trace(&failure.trace).expect("trace parses");
+        assert!(parsed.weak);
+        let cfg = Config {
+            max_preemptions: parsed.bound,
+            weak: parsed.weak,
+            ..Config::default()
+        };
+        let replayed = replay(&parsed.model, &cfg, parsed.prefix, model)
+            .failure
+            .expect("replay reproduces");
+        assert_eq!(replayed.message, failure.message);
+        assert_eq!(replayed.trace, failure.trace);
     }
 }

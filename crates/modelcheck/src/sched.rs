@@ -14,8 +14,9 @@
 //! free and keep single-threaded stretches such as per-schedule cluster
 //! construction from exploding the schedule space.
 
+use crate::weak::{self, Cell, Pending, RmwOp, FLUSH_BASE};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
 
@@ -119,12 +120,16 @@ enum TStatus {
     Finished,
 }
 
-/// One decision point: several threads were enabled and one was chosen.
+/// One decision point: several choices were enabled and one was taken.
+///
+/// Choices `< FLUSH_BASE` grant the thread with that id; in weak-memory
+/// mode choices `>= FLUSH_BASE` flush one buffered store from thread
+/// `choice - FLUSH_BASE` (rendered `f<tid>` in traces).
 #[derive(Clone, Debug)]
 pub struct Decision {
-    /// Threads that were enabled, ascending.
+    /// Enabled choices, threads ascending then flush actions ascending.
     pub enabled: Vec<usize>,
-    /// The thread granted.
+    /// The choice taken.
     pub chosen: usize,
     /// The thread that ran immediately before this point (if any).
     pub prev: Option<usize>,
@@ -133,8 +138,12 @@ pub struct Decision {
 }
 
 /// Was choosing `chosen` at a point where `prev` was still enabled a
-/// preemption (i.e. an involuntary context switch)?
+/// preemption (i.e. an involuntary context switch)? Flush actions are
+/// memory-system steps, never preemptions.
 pub fn preempt_delta(prev: Option<usize>, enabled: &[usize], chosen: usize) -> usize {
+    if chosen >= FLUSH_BASE {
+        return 0;
+    }
     match prev {
         Some(p) if p != chosen && enabled.contains(&p) => 1,
         _ => 0,
@@ -162,12 +171,19 @@ struct State {
     next_token: usize,
     steps: u64,
     step_limit: u64,
+    /// Per-thread store buffers (weak mode; always empty otherwise).
+    buffers: Vec<VecDeque<Pending>>,
+    /// Session-side atomic state: happens-before metadata plus — in
+    /// weak mode — the authoritative globally-visible value.
+    cells: BTreeMap<usize, Cell>,
 }
 
 /// One schedule execution: owns the turn-taking state shared by the
 /// controller and the virtual threads.
 pub(crate) struct Session {
     pub(crate) epoch: u64,
+    /// Store-buffer (weak-memory) mode for this schedule execution.
+    weak: bool,
     state: Mutex<State>,
     cv: Condvar,
 }
@@ -183,9 +199,10 @@ fn lk(m: &Mutex<State>) -> MutexGuard<'_, State> {
 }
 
 impl Session {
-    fn new(nthreads: usize, prefix: Vec<usize>, rng: Option<u64>) -> Arc<Self> {
+    fn new(nthreads: usize, prefix: Vec<usize>, rng: Option<u64>, weak: bool) -> Arc<Self> {
         Arc::new(Session {
             epoch: SESSION_EPOCH.fetch_add(1, Ordering::Relaxed),
+            weak,
             state: Mutex::new(State {
                 threads: (0..nthreads).map(|_| TStatus::Starting).collect(),
                 bail: false,
@@ -201,9 +218,16 @@ impl Session {
                 next_token: 0,
                 steps: 0,
                 step_limit: 1_000_000,
+                buffers: (0..nthreads).map(|_| VecDeque::new()).collect(),
+                cells: BTreeMap::new(),
             }),
             cv: Condvar::new(),
         })
+    }
+
+    /// Is this session running under the store-buffer semantics?
+    pub(crate) fn weak_active(&self) -> bool {
+        self.weak
     }
 
     /// Allocate a fresh identity token for a sync object (mutex).
@@ -301,6 +325,141 @@ impl Session {
         lk(&self.state).clocks[tid].join(other);
     }
 
+    /// Weak-mode load by virtual thread `tid`: the thread's own newest
+    /// buffered store if any (TSO store forwarding), otherwise the
+    /// globally visible cell value — which never contains other
+    /// threads' unflushed stores. Acquire loads join the release clock
+    /// deposited by write-through stores.
+    pub(crate) fn weak_load(&self, tid: usize, token: usize, acquire: bool, init: u64) -> u64 {
+        let mut st = lk(&self.state);
+        let st = &mut *st;
+        let cell = st
+            .cells
+            .entry(token)
+            .or_insert_with(|| Cell::with_value(init));
+        let global = cell.value;
+        let rel = cell.release.clone();
+        let v = weak::own_buffered(&st.buffers, tid, token).unwrap_or(global);
+        if acquire {
+            if let Some(r) = rel {
+                st.clocks[tid].join(&r);
+            }
+        }
+        v
+    }
+
+    /// Weak-mode store by virtual thread `tid`. A `Relaxed` store is
+    /// buffered (globally invisible until a flush point) and the caller
+    /// must NOT write the real atomic; a release-or-stronger store
+    /// drains the thread's own buffer and writes through — the caller
+    /// mirrors it into the real atomic. Returns whether to write
+    /// through.
+    pub(crate) fn weak_store(
+        &self,
+        tid: usize,
+        token: usize,
+        release: bool,
+        relaxed: bool,
+        value: u64,
+        init: u64,
+    ) -> bool {
+        let mut st = lk(&self.state);
+        let st = &mut *st;
+        let clock = st.clocks[tid].clone();
+        st.cells
+            .entry(token)
+            .or_insert_with(|| Cell::with_value(init));
+        if relaxed {
+            st.buffers[tid].push_back(Pending {
+                token,
+                value,
+                clock,
+            });
+            return false;
+        }
+        weak::drain(&mut st.cells, &mut st.buffers, tid);
+        let cell = st.cells.entry(token).or_default();
+        cell.value = value;
+        cell.last_write = Some((tid, clock.clone()));
+        if release {
+            match &mut cell.release {
+                Some(r) => r.join(&clock),
+                None => cell.release = Some(clock),
+            }
+        }
+        true
+    }
+
+    /// Weak-mode read-modify-write: RMWs always flush (drain own buffer)
+    /// and operate on the latest globally visible value. Returns the
+    /// previous value and, when the op wrote, the new value the caller
+    /// mirrors into the real atomic.
+    pub(crate) fn weak_rmw(
+        &self,
+        tid: usize,
+        token: usize,
+        acquire: bool,
+        release: bool,
+        op: RmwOp,
+        init: u64,
+    ) -> (u64, Option<u64>) {
+        let mut st = lk(&self.state);
+        let st = &mut *st;
+        let clock = st.clocks[tid].clone();
+        weak::drain(&mut st.cells, &mut st.buffers, tid);
+        let cell = st
+            .cells
+            .entry(token)
+            .or_insert_with(|| Cell::with_value(init));
+        let (prev, new) = weak::apply_rmw(cell.value, op);
+        let rel = cell.release.clone();
+        if let Some(n) = new {
+            cell.value = n;
+            cell.last_write = Some((tid, clock.clone()));
+            if release {
+                match &mut cell.release {
+                    Some(r) => r.join(&clock),
+                    None => cell.release = Some(clock),
+                }
+            }
+        }
+        if acquire {
+            if let Some(r) = rel {
+                st.clocks[tid].join(&r);
+            }
+        }
+        (prev, new)
+    }
+
+    /// Controller read of a weak-mode cell: `Some` only when a virtual
+    /// thread has touched the atomic this session, in which case the
+    /// session-side value (excluding unflushed buffers) is
+    /// authoritative — this is how post-join assertions observe stale
+    /// publications.
+    pub(crate) fn ctrl_cell_value(&self, token: usize) -> Option<u64> {
+        lk(&self.state).cells.get(&token).map(|c| c.value)
+    }
+
+    /// Controller store: keep an existing cell in sync so later virtual
+    /// thread reads observe controller-written values.
+    pub(crate) fn ctrl_cell_store(&self, token: usize, value: u64) {
+        if let Some(c) = lk(&self.state).cells.get_mut(&token) {
+            c.value = value;
+        }
+    }
+
+    /// Controller read-modify-write against an existing cell. Returns
+    /// `None` when the atomic has no cell yet (caller passes through).
+    pub(crate) fn ctrl_cell_rmw(&self, token: usize, op: RmwOp) -> Option<(u64, Option<u64>)> {
+        let mut st = lk(&self.state);
+        let cell = st.cells.get_mut(&token)?;
+        let (prev, new) = weak::apply_rmw(cell.value, op);
+        if let Some(n) = new {
+            cell.value = n;
+        }
+        Some((prev, new))
+    }
+
     fn mark_finished(&self, tid: usize) {
         let mut st = lk(&self.state);
         st.threads[tid] = TStatus::Finished;
@@ -331,7 +490,7 @@ impl Session {
             if st.threads.iter().all(|t| matches!(t, TStatus::Finished)) {
                 return;
             }
-            let enabled: Vec<usize> = st
+            let mut enabled: Vec<usize> = st
                 .threads
                 .iter()
                 .enumerate()
@@ -341,6 +500,17 @@ impl Session {
                     _ => None,
                 })
                 .collect();
+            // Weak mode: a non-empty store buffer enables a flush
+            // pseudo-action (one store becomes globally visible). The
+            // all-Finished return above deliberately precedes this, so
+            // a buffer that is never flushed stays invisible to the
+            // after-hook — a legal weak execution exhibiting stale
+            // publication.
+            for (i, b) in st.buffers.iter().enumerate() {
+                if !b.is_empty() {
+                    enabled.push(FLUSH_BASE + i);
+                }
+            }
             if enabled.is_empty() {
                 let waiting: Vec<String> = st
                     .threads
@@ -361,6 +531,14 @@ impl Session {
             } else {
                 Self::choose(&mut st, &enabled)
             };
+            if chosen >= FLUSH_BASE {
+                // Memory-system step: apply the oldest buffered store of
+                // that thread; no thread is granted and `last_granted`
+                // is untouched (a flush is not a context switch).
+                let stm = &mut *st;
+                weak::flush_one(&mut stm.cells, &mut stm.buffers, chosen - FLUSH_BASE);
+                continue;
+            }
             st.threads[chosen] = TStatus::Running;
             st.last_granted = Some(chosen);
             self.cv.notify_all();
@@ -447,13 +625,14 @@ fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
 pub(crate) fn run_one(
     prefix: Vec<usize>,
     rng: Option<u64>,
+    weak: bool,
     setup: &dyn Fn(&mut Env),
 ) -> ExecOutcome {
     install_quiet_hook();
     // Build the model under a provisional session so that primitives
     // created during setup bind to this session's epoch.
     let mut env = Env::default();
-    let sess = Session::new(0, prefix, rng);
+    let sess = Session::new(0, prefix, rng, weak);
     set_current(Some(Ctx {
         sess: Arc::clone(&sess),
         tid: None,
@@ -471,6 +650,7 @@ pub(crate) fn run_one(
         let mut st = lk(&sess.state);
         st.threads = (0..n).map(|_| TStatus::Starting).collect();
         st.clocks = (0..n).map(|_| VClock::new(n)).collect();
+        st.buffers = (0..n).map(|_| VecDeque::new()).collect();
     }
     let handles: Vec<_> = env
         .threads

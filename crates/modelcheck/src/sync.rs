@@ -11,9 +11,14 @@
 //!
 //! Three atomic classes:
 //! * **sync** ([`MAtomicU64::new`] etc.) — full instrumentation: every
-//!   op is a yield point, `Relaxed` operations are reported as
-//!   violations (the dynamic analog of the analyzer's D5 rule), and
-//!   acquire/release edges join vector clocks.
+//!   op is a yield point, `Relaxed` *reading* ops (loads and RMWs) are
+//!   reported as violations (the dynamic analog of the analyzer's D5
+//!   rule), and acquire/release edges join vector clocks. A `Relaxed`
+//!   store is not flagged heuristically: its hazard — delayed
+//!   publication — is executed operationally by the weak-memory mode
+//!   ([`crate::weak`]), which buffers it in the writer's store buffer
+//!   so readers observe a concrete stale value; the static D5 rule
+//!   still bans the ordering at the source level.
 //! * **observed counter** ([`MAtomicU64::new_counter_observed`]) — ops
 //!   are yield points (so the explorer interleaves around them) but
 //!   `Relaxed` is permitted and no happens-before edges are recorded:
@@ -25,6 +30,7 @@
 //!   yield points there.
 
 use crate::sched::{self, Bail, Op, VClock};
+use crate::weak::RmwOp;
 use std::sync::atomic::Ordering as StdOrdering;
 use std::sync::Arc;
 use std::sync::Mutex as StdMutex;
@@ -55,6 +61,16 @@ fn vthread() -> Option<(Arc<sched::Session>, usize)> {
     }
 }
 
+/// Is the calling thread a scheduled virtual thread of a model-check
+/// session? Production code may branch on this to substitute a
+/// scheduler-visible synchronous path for machinery the explorer cannot
+/// observe (e.g. a helper OS thread plus a real-time wait). The
+/// non-modelcheck facades ship a constant-`false` shim, so such
+/// branches compile away in release builds.
+pub fn on_model_thread() -> bool {
+    vthread().is_some()
+}
+
 fn is_acquire(ord: StdOrdering) -> bool {
     matches!(
         ord,
@@ -73,7 +89,11 @@ fn is_release(ord: StdOrdering) -> bool {
 /// new session epoch first touches the instance.
 struct AtomicMeta {
     epoch: u64,
-    /// Clock released into the atomic by release-or-stronger writes.
+    /// Session identity token (weak mode keys the session-side word
+    /// cell by it); allocated on first instrumented touch.
+    token: Option<usize>,
+    /// Clock released into the atomic by release-or-stronger writes
+    /// (default mode; weak mode keeps this in the session cell).
     release: Option<VClock>,
     /// The last write event: thread and its clock at the write.
     last_write: Option<(usize, VClock)>,
@@ -83,6 +103,7 @@ impl AtomicMeta {
     const fn new() -> Self {
         AtomicMeta {
             epoch: 0,
+            token: None,
             release: None,
             last_write: None,
         }
@@ -98,11 +119,84 @@ fn meta_lock(m: &StdMutex<AtomicMeta>, epoch: u64) -> std::sync::MutexGuard<'_, 
     g
 }
 
-/// Shared instrumentation for one atomic access. `writes` says whether
-/// the op stores a value; `reads` whether it observes one.
+/// The atomic's identity token within `sess`, allocated on first touch
+/// (deterministic: touches happen in schedule order).
+fn meta_token(meta: &StdMutex<AtomicMeta>, sess: &Arc<sched::Session>) -> usize {
+    let mut g = meta_lock(meta, sess.epoch);
+    if g.token.is_none() {
+        g.token = Some(sess.alloc_token());
+    }
+    g.token.expect("token just ensured")
+}
+
+/// Value transport between typed atomics and the session-side word
+/// cells of the weak mode.
+trait Word: Copy {
+    fn to_word(self) -> u64;
+    fn from_word(w: u64) -> Self;
+}
+
+impl Word for u64 {
+    fn to_word(self) -> u64 {
+        self
+    }
+    fn from_word(w: u64) -> Self {
+        w
+    }
+}
+
+impl Word for usize {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as usize
+    }
+}
+
+impl Word for bool {
+    fn to_word(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_word(w: u64) -> Self {
+        w != 0
+    }
+}
+
+impl<T> Word for *mut T {
+    fn to_word(self) -> u64 {
+        self as usize as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as usize as *mut T
+    }
+}
+
+/// Outcome of an instrumented load.
+enum ReadPath {
+    /// Read the real atomic (default mode / pass-through).
+    Through,
+    /// Weak mode: use this session-side word instead.
+    Value(u64),
+}
+
+/// Outcome of an instrumented read-modify-write.
+enum RmwOut {
+    /// Perform the real RMW (default mode / pass-through).
+    Through,
+    /// Weak mode: the op was performed against the session cell; the
+    /// caller mirrors `store` (when present) into the real atomic.
+    Weak { prev: u64, store: Option<u64> },
+}
+
+/// Default-mode (sequential value semantics) happens-before
+/// bookkeeping and heuristics for one access by a virtual thread.
+/// `writes` says whether the op stores a value; `reads` whether it
+/// observes one.
 #[allow(clippy::too_many_arguments)]
-fn atomic_access(
-    kind: Kind,
+fn seq_access(
+    sess: &Arc<sched::Session>,
+    tid: usize,
     label: &str,
     meta: &StdMutex<AtomicMeta>,
     ord: StdOrdering,
@@ -110,24 +204,20 @@ fn atomic_access(
     writes: bool,
     op_name: &str,
 ) {
-    let Some((sess, tid)) = vthread() else {
-        return;
-    };
-    if kind == Kind::Counter {
-        return;
-    }
-    sess.yield_op(tid, Op::Step);
-    if kind == Kind::CounterObserved {
-        return;
-    }
     let clock = sess.clock_of(tid);
     let mut g = meta_lock(meta, sess.epoch);
-    if ord == StdOrdering::Relaxed {
+    if ord == StdOrdering::Relaxed && reads {
+        // Reading ops only: a relaxed *store*'s hazard is delayed
+        // publication, which the weak mode executes operationally
+        // (store buffers) instead of flagging heuristically — that is
+        // what lets `--weak` find counterexamples this mode provably
+        // misses. The static D5 rule still bans the ordering at the
+        // source level.
         let msg = format!(
             "relaxed {op_name} on sync atomic {label}: unordered access could observe/publish a stale value (use Acquire/Release or a counter constructor)"
         );
         drop(g);
-        violation(&sess, msg);
+        violation(sess, msg);
     }
     if reads {
         // Pure loads only: an RMW always reads the latest value in the
@@ -138,7 +228,7 @@ fn atomic_access(
                     "stale read of {label}: write by t{wtid} is not ordered before this load"
                 );
                 drop(g);
-                violation(&sess, msg);
+                violation(sess, msg);
             }
         }
         if is_acquire(ord) {
@@ -159,6 +249,128 @@ fn atomic_access(
         }
         g.last_write = Some((tid, clock));
     }
+}
+
+/// Instrumented load. `init` reads the real atomic's current word (used
+/// to seed the session cell on first weak-mode touch).
+fn instrumented_load(
+    kind: Kind,
+    label: &str,
+    meta: &StdMutex<AtomicMeta>,
+    ord: StdOrdering,
+    init: &dyn Fn() -> u64,
+) -> ReadPath {
+    let Some(ctx) = sched::current() else {
+        return ReadPath::Through;
+    };
+    let Some(tid) = ctx.tid else {
+        // Controller (setup / after-hook): in weak mode the session
+        // cell — which excludes unflushed store buffers — is
+        // authoritative once a virtual thread has touched the atomic.
+        if kind == Kind::Sync && ctx.sess.weak_active() {
+            let token = meta_token(meta, &ctx.sess);
+            if let Some(v) = ctx.sess.ctrl_cell_value(token) {
+                return ReadPath::Value(v);
+            }
+        }
+        return ReadPath::Through;
+    };
+    let sess = ctx.sess;
+    if kind == Kind::Counter {
+        return ReadPath::Through;
+    }
+    sess.yield_op(tid, Op::Step);
+    if kind == Kind::CounterObserved {
+        return ReadPath::Through;
+    }
+    if sess.weak_active() {
+        let token = meta_token(meta, &sess);
+        return ReadPath::Value(sess.weak_load(tid, token, is_acquire(ord), init()));
+    }
+    seq_access(&sess, tid, label, meta, ord, true, false, "load");
+    ReadPath::Through
+}
+
+/// Instrumented store. Returns whether the caller should write the real
+/// atomic (false only for a buffered weak-mode store).
+fn instrumented_store(
+    kind: Kind,
+    label: &str,
+    meta: &StdMutex<AtomicMeta>,
+    ord: StdOrdering,
+    value: u64,
+    init: &dyn Fn() -> u64,
+) -> bool {
+    let Some(ctx) = sched::current() else {
+        return true;
+    };
+    let Some(tid) = ctx.tid else {
+        if kind == Kind::Sync && ctx.sess.weak_active() {
+            let token = meta_token(meta, &ctx.sess);
+            ctx.sess.ctrl_cell_store(token, value);
+        }
+        return true;
+    };
+    let sess = ctx.sess;
+    if kind == Kind::Counter {
+        return true;
+    }
+    sess.yield_op(tid, Op::Step);
+    if kind == Kind::CounterObserved {
+        return true;
+    }
+    if sess.weak_active() {
+        let token = meta_token(meta, &sess);
+        return sess.weak_store(
+            tid,
+            token,
+            is_release(ord),
+            ord == StdOrdering::Relaxed,
+            value,
+            init(),
+        );
+    }
+    seq_access(&sess, tid, label, meta, ord, false, true, "store");
+    true
+}
+
+/// Instrumented read-modify-write.
+fn instrumented_rmw(
+    kind: Kind,
+    label: &str,
+    meta: &StdMutex<AtomicMeta>,
+    ord: StdOrdering,
+    op: RmwOp,
+    op_name: &str,
+    init: &dyn Fn() -> u64,
+) -> RmwOut {
+    let Some(ctx) = sched::current() else {
+        return RmwOut::Through;
+    };
+    let Some(tid) = ctx.tid else {
+        if kind == Kind::Sync && ctx.sess.weak_active() {
+            let token = meta_token(meta, &ctx.sess);
+            if let Some((prev, store)) = ctx.sess.ctrl_cell_rmw(token, op) {
+                return RmwOut::Weak { prev, store };
+            }
+        }
+        return RmwOut::Through;
+    };
+    let sess = ctx.sess;
+    if kind == Kind::Counter {
+        return RmwOut::Through;
+    }
+    sess.yield_op(tid, Op::Step);
+    if kind == Kind::CounterObserved {
+        return RmwOut::Through;
+    }
+    if sess.weak_active() {
+        let token = meta_token(meta, &sess);
+        let (prev, store) = sess.weak_rmw(tid, token, is_acquire(ord), is_release(ord), op, init());
+        return RmwOut::Weak { prev, store };
+    }
+    seq_access(&sess, tid, label, meta, ord, true, true, op_name);
+    RmwOut::Through
 }
 
 macro_rules! int_atomic {
@@ -200,60 +412,74 @@ macro_rules! int_atomic {
                 }
             }
 
+            fn word(&self) -> u64 {
+                Word::to_word(self.inner.load(StdOrdering::SeqCst))
+            }
+
             /// Atomic load.
             pub fn load(&self, ord: StdOrdering) -> $int {
-                atomic_access(
-                    self.kind,
-                    stringify!($name),
-                    &self.meta,
-                    ord,
-                    true,
-                    false,
-                    "load",
-                );
-                self.inner.load(ord)
+                match instrumented_load(self.kind, stringify!($name), &self.meta, ord, &|| {
+                    self.word()
+                }) {
+                    ReadPath::Value(w) => Word::from_word(w),
+                    ReadPath::Through => self.inner.load(ord),
+                }
             }
 
             /// Atomic store.
             pub fn store(&self, v: $int, ord: StdOrdering) {
-                atomic_access(
+                if instrumented_store(
                     self.kind,
                     stringify!($name),
                     &self.meta,
                     ord,
-                    false,
-                    true,
-                    "store",
-                );
-                self.inner.store(v, ord)
+                    Word::to_word(v),
+                    &|| self.word(),
+                ) {
+                    self.inner.store(v, ord)
+                }
             }
 
             /// Atomic add, returning the previous value.
             pub fn fetch_add(&self, v: $int, ord: StdOrdering) -> $int {
-                atomic_access(
+                match instrumented_rmw(
                     self.kind,
                     stringify!($name),
                     &self.meta,
                     ord,
-                    true,
-                    true,
+                    RmwOp::Add(Word::to_word(v)),
                     "fetch_add",
-                );
-                self.inner.fetch_add(v, ord)
+                    &|| self.word(),
+                ) {
+                    RmwOut::Through => self.inner.fetch_add(v, ord),
+                    RmwOut::Weak { prev, store } => {
+                        if let Some(n) = store {
+                            self.inner.store(Word::from_word(n), StdOrdering::SeqCst);
+                        }
+                        Word::from_word(prev)
+                    }
+                }
             }
 
             /// Atomic subtract, returning the previous value.
             pub fn fetch_sub(&self, v: $int, ord: StdOrdering) -> $int {
-                atomic_access(
+                match instrumented_rmw(
                     self.kind,
                     stringify!($name),
                     &self.meta,
                     ord,
-                    true,
-                    true,
+                    RmwOp::Sub(Word::to_word(v)),
                     "fetch_sub",
-                );
-                self.inner.fetch_sub(v, ord)
+                    &|| self.word(),
+                ) {
+                    RmwOut::Through => self.inner.fetch_sub(v, ord),
+                    RmwOut::Weak { prev, store } => {
+                        if let Some(n) = store {
+                            self.inner.store(Word::from_word(n), StdOrdering::SeqCst);
+                        }
+                        Word::from_word(prev)
+                    }
+                }
             }
 
             /// Atomic compare-exchange.
@@ -264,16 +490,28 @@ macro_rules! int_atomic {
                 success: StdOrdering,
                 failure: StdOrdering,
             ) -> Result<$int, $int> {
-                atomic_access(
+                match instrumented_rmw(
                     self.kind,
                     stringify!($name),
                     &self.meta,
                     success,
-                    true,
-                    true,
+                    RmwOp::Cex {
+                        expected: Word::to_word(current),
+                        new: Word::to_word(new),
+                    },
                     "compare_exchange",
-                );
-                self.inner.compare_exchange(current, new, success, failure)
+                    &|| self.word(),
+                ) {
+                    RmwOut::Through => self.inner.compare_exchange(current, new, success, failure),
+                    RmwOut::Weak { prev, store } => {
+                        if let Some(n) = store {
+                            self.inner.store(Word::from_word(n), StdOrdering::SeqCst);
+                            Ok(Word::from_word(prev))
+                        } else {
+                            Err(Word::from_word(prev))
+                        }
+                    }
+                }
             }
 
             /// Mutable access (no concurrency, no instrumentation).
@@ -313,46 +551,51 @@ impl MAtomicBool {
         }
     }
 
+    fn word(&self) -> u64 {
+        Word::to_word(self.inner.load(StdOrdering::SeqCst))
+    }
+
     /// Atomic load.
     pub fn load(&self, ord: StdOrdering) -> bool {
-        atomic_access(
-            Kind::Sync,
-            "MAtomicBool",
-            &self.meta,
-            ord,
-            true,
-            false,
-            "load",
-        );
-        self.inner.load(ord)
+        match instrumented_load(Kind::Sync, "MAtomicBool", &self.meta, ord, &|| self.word()) {
+            ReadPath::Value(w) => Word::from_word(w),
+            ReadPath::Through => self.inner.load(ord),
+        }
     }
 
     /// Atomic store.
     pub fn store(&self, v: bool, ord: StdOrdering) {
-        atomic_access(
+        if instrumented_store(
             Kind::Sync,
             "MAtomicBool",
             &self.meta,
             ord,
-            false,
-            true,
-            "store",
-        );
-        self.inner.store(v, ord)
+            Word::to_word(v),
+            &|| self.word(),
+        ) {
+            self.inner.store(v, ord)
+        }
     }
 
     /// Atomic swap.
     pub fn swap(&self, v: bool, ord: StdOrdering) -> bool {
-        atomic_access(
+        match instrumented_rmw(
             Kind::Sync,
             "MAtomicBool",
             &self.meta,
             ord,
-            true,
-            true,
+            RmwOp::Swap(Word::to_word(v)),
             "swap",
-        );
-        self.inner.swap(v, ord)
+            &|| self.word(),
+        ) {
+            RmwOut::Through => self.inner.swap(v, ord),
+            RmwOut::Weak { prev, store } => {
+                if let Some(n) = store {
+                    self.inner.store(Word::from_word(n), StdOrdering::SeqCst);
+                }
+                Word::from_word(prev)
+            }
+        }
     }
 }
 
@@ -382,32 +625,30 @@ impl<T> MAtomicPtr<T> {
         }
     }
 
+    fn word(&self) -> u64 {
+        Word::to_word(self.inner.load(StdOrdering::SeqCst))
+    }
+
     /// Atomic load.
     pub fn load(&self, ord: StdOrdering) -> *mut T {
-        atomic_access(
-            Kind::Sync,
-            "MAtomicPtr",
-            &self.meta,
-            ord,
-            true,
-            false,
-            "load",
-        );
-        self.inner.load(ord)
+        match instrumented_load(Kind::Sync, "MAtomicPtr", &self.meta, ord, &|| self.word()) {
+            ReadPath::Value(w) => Word::from_word(w),
+            ReadPath::Through => self.inner.load(ord),
+        }
     }
 
     /// Atomic store.
     pub fn store(&self, p: *mut T, ord: StdOrdering) {
-        atomic_access(
+        if instrumented_store(
             Kind::Sync,
             "MAtomicPtr",
             &self.meta,
             ord,
-            false,
-            true,
-            "store",
-        );
-        self.inner.store(p, ord)
+            Word::to_word(p),
+            &|| self.word(),
+        ) {
+            self.inner.store(p, ord)
+        }
     }
 }
 

@@ -117,6 +117,24 @@ impl<T> ArcSwap<T> {
         self.current.store(ptr, Ordering::Release);
     }
 
+    /// **Deliberately weakened publication** (modelcheck builds only):
+    /// [`ArcSwap::store`] with the pointer swap downgraded to `Relaxed`.
+    /// Under the checker's weak-memory mode the store sits in the
+    /// publishing thread's store buffer, so readers can pin a *stale*
+    /// snapshot arbitrarily long after the "publication" — the exact
+    /// regression the D5 ordering discipline prevents. Memory-safe even
+    /// when stale: the retire list pins every `Arc` ever published, so
+    /// the old pointer still refers to a live allocation.
+    #[cfg(feature = "modelcheck")]
+    pub fn store_relaxed_for_modelcheck(&self, new: Arc<T>) {
+        let ptr = Arc::as_ptr(&new).cast_mut();
+        let mut retired = lock(&self.retired);
+        retired.push(new);
+        // ech-allow(D5): deliberate seeded bug — the weak-memory models
+        // need a real Relaxed publication for the checker to catch.
+        self.current.store(ptr, Ordering::Relaxed);
+    }
+
     /// Replace the snapshot and return the previously published one.
     pub fn swap(&self, new: Arc<T>) -> Arc<T> {
         let old = self.load();
