@@ -101,6 +101,7 @@ fn d1_scoped(path: &str) -> bool {
         || path.starts_with("crates/sim/src/")
         || path == "crates/traces/src/synth.rs"
         || path == "crates/cluster/src/fault.rs"
+        || path == "crates/cluster/src/net.rs"
 }
 
 fn d1_determinism(units: &[Unit], out: &mut Vec<Finding>) {

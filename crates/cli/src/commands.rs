@@ -59,6 +59,8 @@ COMMANDS:
                   live cluster and print the report
                   [--seed S] [--objects N] [--error-rate P]
                   [--crash1 OP] [--crash2 OP] [--servers N] [--replicas R]
+                  [--net true]  add the message fault plane: flaky links,
+                  an asymmetric partition, breakers and deadline budgets
   bench           run a benchmark group on the live cluster, JSON to
                   stdout (group: hotpath)
                   [--smoke true] [--check-against FILE] [--tolerance T]
@@ -568,8 +570,12 @@ fn latency_cmd(args: &Args) -> Result<String, ParseError> {
 fn chaos_cmd(args: &Args) -> Result<String, ParseError> {
     use bytes::Bytes;
     use ech_cluster::fault::splitmix64;
-    use ech_cluster::{Cluster, ClusterConfig, FaultPlan, VirtualClock};
+    use ech_cluster::{
+        BreakerConfig, Cluster, ClusterConfig, FaultPlan, LinkFaultSpec, NetPlan,
+        PartitionDirection, PartitionWindow, VirtualClock,
+    };
     use std::sync::Arc;
+    use std::time::Duration;
     args.allow_only(&[
         "seed",
         "objects",
@@ -578,6 +584,7 @@ fn chaos_cmd(args: &Args) -> Result<String, ParseError> {
         "crash2",
         "servers",
         "replicas",
+        "net",
     ])?;
     let seed: u64 = args.get_or("seed", 0xEC0_5EED)?;
     let objects: u64 = args.get_or("objects", 200)?;
@@ -586,6 +593,7 @@ fn chaos_cmd(args: &Args) -> Result<String, ParseError> {
     let rate: f64 = args.get_or("error-rate", 0.08)?;
     let crash1: u64 = args.get_or("crash1", 12)?;
     let crash2: u64 = args.get_or("crash2", 25)?;
+    let net: bool = args.get_or("net", false)?;
     if servers < 2 {
         return Err(ParseError("--servers must be at least 2".into()));
     }
@@ -614,13 +622,48 @@ fn chaos_cmd(args: &Args) -> Result<String, ParseError> {
     plan.node_faults[node_a].crash_at_op = Some(crash1);
     plan.node_faults[node_b].crash_at_op = Some(crash2);
 
+    // `--net true` layers the message fault plane on top of the disk
+    // faults: flaky links everywhere, plus an asymmetric partition
+    // cutting requests into the high-index ~30% of the ring for the
+    // whole write phase (healed before convergence). Breakers and the
+    // per-operation deadline budget come on with it.
+    let breaker_cooldown = Duration::from_millis(10);
+    if net {
+        let dark = servers.div_ceil(3).min(servers - 1);
+        plan.net = Some(NetPlan {
+            seed,
+            default_link: LinkFaultSpec {
+                drop_prob: 0.02,
+                dup_prob: 0.01,
+                reorder_prob: 0.01,
+                delay: Some((Duration::from_micros(20), Duration::from_micros(120))),
+            },
+            partitions: vec![PartitionWindow {
+                from: Duration::ZERO,
+                until: Duration::MAX, // healed explicitly after the write phase
+                isolated: ((servers - dark) as u32..servers as u32).collect(),
+                direction: PartitionDirection::Inbound,
+            }],
+            rpc_timeout: Duration::from_millis(2),
+            ..NetPlan::default()
+        });
+    }
+
     let mut cfg = ClusterConfig::paper();
     cfg.servers = servers;
     cfg.replicas = replicas;
+    if net {
+        cfg.op_deadline = Some(Duration::from_millis(100));
+        cfg.breaker = Some(BreakerConfig {
+            failure_threshold: 4,
+            cooldown: breaker_cooldown,
+        });
+    }
     // A virtual clock makes the whole drill wall-clock-free: retry
     // backoff, brown-out waits and hedged-read thresholds advance the
     // same logical nanoseconds on every run, so replays are exact.
-    let c = Cluster::with_faults_and_clock(cfg, plan, Arc::new(VirtualClock::new()));
+    let clock = Arc::new(VirtualClock::new());
+    let c = Cluster::with_faults_and_clock(cfg, plan, clock.clone());
     let value = |i: u64| Bytes::from(format!("chaos-object-{i}"));
 
     // Write phase under fire, with power resizes at the quarter marks.
@@ -669,6 +712,14 @@ fn chaos_cmd(args: &Args) -> Result<String, ParseError> {
         }
     }
 
+    // Lift the partition before converging, and let the breaker
+    // cooldowns elapse — the virtual clock only moves when something
+    // sleeps, and breaker fast-fails deliberately don't.
+    if let Some(fabric) = c.net_fabric() {
+        fabric.heal_partitions();
+        clock.advance(breaker_cooldown * 2);
+    }
+
     // Converge: fix membership, re-replicate, return to full power, heal
     // degraded writes and drain the dirty table.
     c.detect_and_mark_crashed();
@@ -704,6 +755,24 @@ fn chaos_cmd(args: &Args) -> Result<String, ParseError> {
         ("acked_readable", readable as u64),
     ] {
         writeln!(out, "{name},{v}").expect("write to string");
+    }
+    // Message-plane metrics only exist when `--net true` installed the
+    // fabric; the base report stays byte-identical without it.
+    if let Some(ns) = c.net_stats() {
+        let bs = c.breaker_stats().expect("--net enables breakers");
+        for (name, v) in [
+            ("net_sends", ns.sends),
+            ("net_dropped", ns.dropped),
+            ("net_duplicated", ns.duplicated),
+            ("net_delayed", ns.delayed),
+            ("net_reordered", ns.reordered),
+            ("net_partitioned_sends", ns.partitioned_sends),
+            ("breaker_trips", bs.trips),
+            ("breaker_fastfails", bs.fastfails),
+            ("deadline_exceeded", path.deadline_exceeded),
+        ] {
+            writeln!(out, "{name},{v}").expect("write to string");
+        }
     }
     let verdict = if lost == 0 {
         "SURVIVED".to_owned()
@@ -877,6 +946,7 @@ mod tests {
     fn modelcheck_catches_and_replays_every_seq_mutant() {
         for model in [
             "quorum-dirty-bug",
+            "partition-quorum-bug",
             "hedged-stale-bug",
             "reintegration-lost-replica-bug",
         ] {
@@ -1043,6 +1113,43 @@ mod tests {
         assert_eq!(
             out,
             run_line("chaos --objects 40 --seed 7 --error-rate 0.06").unwrap()
+        );
+    }
+
+    /// The message fault plane composes with the disk-fault drill: the
+    /// partition and link faults must actually fire, the drill must
+    /// still converge with zero acked-write loss, and the seeded report
+    /// must replay byte-identically. Without `--net` the report must not
+    /// change shape (no message-plane rows).
+    #[test]
+    fn chaos_net_report_is_deterministic_and_survives() {
+        let base = run_line("chaos --objects 40 --seed 7 --error-rate 0.06").unwrap();
+        assert!(
+            !base.contains("net_sends"),
+            "message-plane rows leaked into the base report:\n{base}"
+        );
+        let out = run_line("chaos --objects 40 --seed 7 --error-rate 0.06 --net true").unwrap();
+        for metric in [
+            "writes_attempted,40",
+            "under_replicated,0",
+            "dirty_entries,0",
+        ] {
+            assert!(out.contains(metric), "report missing `{metric}`:\n{out}");
+        }
+        for row in ["net_sends", "net_partitioned_sends", "net_dropped"] {
+            let v: u64 = out
+                .lines()
+                .find_map(|l| l.strip_prefix(&format!("{row},")))
+                .unwrap_or_else(|| panic!("report missing `{row}`:\n{out}"))
+                .parse()
+                .expect("numeric metric");
+            assert!(v > 0, "`{row}` never fired:\n{out}");
+        }
+        assert!(out.contains("# verdict=SURVIVED"), "report:\n{out}");
+        // Same seed, same drill, byte-identical report.
+        assert_eq!(
+            out,
+            run_line("chaos --objects 40 --seed 7 --error-rate 0.06 --net true").unwrap()
         );
     }
 

@@ -110,6 +110,13 @@ pub const MODELS: &[Model] = &[
         setup: quorum_write_faults,
     },
     Model {
+        name: "partition-quorum",
+        about: "quorum write degrades under an asymmetric partition, heals after it lifts",
+        expect_failure: false,
+        expect_failure_weak: false,
+        setup: partition_quorum,
+    },
+    Model {
         name: "hedged-read-crash",
         about: "hedged read racing a crash of the primary replica",
         expect_failure: false,
@@ -143,6 +150,13 @@ pub const MODELS: &[Model] = &[
         expect_failure: true,
         expect_failure_weak: true,
         setup: quorum_dirty_bug,
+    },
+    Model {
+        name: "partition-quorum-bug",
+        about: "seeded partitioned-quorum ack without a dirty entry (must be caught)",
+        expect_failure: true,
+        expect_failure_weak: true,
+        setup: partition_quorum_bug,
     },
     Model {
         name: "hedged-stale-bug",
@@ -217,6 +231,8 @@ fn tiny_cluster_with(
         cache_shards: 2,
         reintegration_batch: 1,
         migration_rate: None,
+        op_deadline: None,
+        breaker: None,
     };
     Cluster::with_faults_and_clock(cfg, plan, Arc::new(VirtualClock::new()))
 }
@@ -446,6 +462,117 @@ fn quorum_dirty_bug(env: &mut Env) {
         assert!(
             c.dirty_len() >= 1,
             "degraded quorum ack left no dirty entry — missed replica is not self-healing"
+        );
+    });
+}
+
+/// A cluster whose last-ranked secondary for [`OID`] sits behind a
+/// scripted asymmetric partition (requests into it are lost), plus that
+/// secondary's index. The message-fault twin of
+/// [`faulty_quorum_cluster`]: the miss comes from the network plane, not
+/// the disk, so the write path must classify `Partitioned` exactly like
+/// any other transient secondary failure.
+fn partitioned_quorum_cluster() -> Arc<Cluster> {
+    use ech_cluster::net::{NetPlan, PartitionDirection, PartitionWindow};
+    let view = mirror_view(3, 3, Strategy::Primary);
+    let placement = view.place_current(OID).expect("placement at full power");
+    let cut = placement.servers()[2].index();
+    let net = NetPlan {
+        seed: 7,
+        partitions: vec![PartitionWindow {
+            from: Duration::ZERO,
+            until: Duration::MAX, // holds until heal_partitions()
+            isolated: vec![cut as u32],
+            direction: PartitionDirection::Inbound,
+        }],
+        rpc_timeout: Duration::from_millis(2),
+        ..NetPlan::default()
+    };
+    let plan = FaultPlan {
+        seed: 7,
+        net: Some(net),
+        ..FaultPlan::default()
+    };
+    tiny_cluster_with(
+        3,
+        3,
+        Strategy::Primary,
+        WriteQuorum::PrimaryPlusMajority,
+        plan,
+    )
+}
+
+/// A quorum write under an active partition racing a reader: the ack
+/// must degrade (dirty entry recorded for the unreachable secondary),
+/// the reader must never see wrong bytes, and once the partition lifts
+/// a heal-and-drain pass must fully restore replication — the model
+/// form of the paper's self-healing degraded-write contract, driven by
+/// message loss instead of disk faults.
+fn partition_quorum(env: &mut Env) {
+    let c = partitioned_quorum_cluster();
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.put(OID, Bytes::copy_from_slice(PAYLOAD))
+                .expect("quorum write must ack with one secondary partitioned");
+        });
+    }
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            if let Ok(data) = c.get(OID) {
+                assert_eq!(&data[..], PAYLOAD, "racing reader saw wrong bytes");
+            }
+        });
+    }
+    env.after(move || {
+        assert!(
+            c.dirty_len() >= 1,
+            "partitioned quorum ack left no dirty entry — missed replica is not self-healing"
+        );
+        c.net_fabric()
+            .expect("net plan installed")
+            .heal_partitions();
+        c.heal_dirty();
+        c.reintegrate_all();
+        c.repair();
+        assert_eq!(c.dirty_len(), 0, "dirty table must drain after the heal");
+        assert_eq!(
+            c.under_replicated(),
+            0,
+            "replication must be restored once the partition lifts"
+        );
+        let got = c.get(OID).expect("committed object must be readable");
+        assert_eq!(&got[..], PAYLOAD, "read returned wrong bytes after heal");
+    });
+}
+
+/// Seeded mutant of [`partition_quorum`]: the degraded ack "forgets"
+/// its dirty-table entry ([`Cluster::put_unlogged_for_modelcheck`])
+/// while the secondary is cut off by the partition. Every schedule
+/// violates the dirty-entry assertion — the checker must catch it under
+/// both memory modes (the bug is schedule-independent).
+fn partition_quorum_bug(env: &mut Env) {
+    let c = partitioned_quorum_cluster();
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.put_unlogged_for_modelcheck(OID, Bytes::copy_from_slice(PAYLOAD))
+                .expect("quorum write must ack with one secondary partitioned");
+        });
+    }
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            if let Ok(data) = c.get(OID) {
+                assert_eq!(&data[..], PAYLOAD, "racing reader saw wrong bytes");
+            }
+        });
+    }
+    env.after(move || {
+        assert!(
+            c.dirty_len() >= 1,
+            "partitioned quorum ack left no dirty entry — missed replica is not self-healing"
         );
     });
 }

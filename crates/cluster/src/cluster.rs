@@ -13,9 +13,10 @@
 
 use crate::dirty_store::{KvDirtyTable, KvHeaderStore};
 use crate::fault::{Clock, FaultInjector, FaultPlan, FaultStatsSnapshot, SystemClock};
+use crate::net::{BreakerSnapshot, NetFabric, NetStatsSnapshot, ReplicaBreakers, SendVerdict};
 use crate::node::{NodeError, StorageNode};
 use crate::repair::RepairStats;
-use crate::retry::{Classify, RetryPolicy};
+use crate::retry::{Classify, Deadline, RetryPolicy};
 use crate::sync::{counter_u64, AtomicBool, AtomicU64, Mutex, Ordering};
 use arc_swap::ArcSwap;
 use bytes::Bytes;
@@ -63,6 +64,17 @@ pub struct ClusterConfig {
     /// Migration throttle in payload bytes per second; `None` leaves
     /// re-integration unthrottled. Must be positive when set.
     pub migration_rate: Option<f64>,
+    /// Per-operation deadline budget for puts and gets: once spent,
+    /// retries stop, remaining secondaries are skipped (and recorded as
+    /// missed), and the op fails with [`ClusterError::DeadlineExceeded`]
+    /// if it cannot degrade. `None` = no budget (retry policy alone
+    /// bounds the op).
+    pub op_deadline: Option<Duration>,
+    /// Per-replica circuit breaker ([`crate::net::BreakerConfig`]):
+    /// after enough consecutive message-level failures, sends to that
+    /// replica fail fast instead of burning an rpc timeout each. `None`
+    /// disables health tracking.
+    pub breaker: Option<crate::net::BreakerConfig>,
 }
 
 impl ClusterConfig {
@@ -82,6 +94,8 @@ impl ClusterConfig {
             cache_shards: 16,
             reintegration_batch: 8,
             migration_rate: None,
+            op_deadline: None,
+            breaker: None,
         }
     }
 }
@@ -138,6 +152,10 @@ pub enum ClusterError {
     },
     /// A node rejected an operation (unexpected power race).
     Node(NodeError),
+    /// The operation's deadline budget ([`ClusterConfig::op_deadline`])
+    /// ran out before it could complete *or* degrade cleanly. Permanent:
+    /// any further attempt would start already expired.
+    DeadlineExceeded,
     /// A coordinator invariant failed (e.g. a placement named a server
     /// outside the cluster). Indicates a bug; the data path reports it
     /// instead of panicking so degraded mode stays degraded (rule D2).
@@ -172,6 +190,9 @@ impl std::fmt::Display for ClusterError {
                 "write quorum not reached ({written} of {required} required acks)"
             ),
             ClusterError::Node(e) => write!(f, "node error: {e}"),
+            ClusterError::DeadlineExceeded => {
+                write!(f, "operation deadline budget exhausted")
+            }
             ClusterError::Internal(what) => {
                 write!(f, "cluster invariant violated: {what}")
             }
@@ -190,6 +211,9 @@ pub struct ReintegrationStats {
     pub moves: usize,
     /// Payload bytes copied.
     pub bytes: u64,
+    /// Replica moves that failed on message-level faults after retries
+    /// (the task's entry is re-logged so a post-heal drain re-plans it).
+    pub failed_moves: usize,
 }
 
 impl ReintegrationStats {
@@ -198,6 +222,7 @@ impl ReintegrationStats {
         self.tasks += other.tasks;
         self.moves += other.moves;
         self.bytes += other.bytes;
+        self.failed_moves += other.failed_moves;
     }
 }
 
@@ -220,11 +245,14 @@ pub enum ReadPolicy {
     /// proportional to data stored ("read performance proportionality",
     /// §III-C).
     Balanced,
-    /// Probe the first replica, and if it has not answered within the
-    /// threshold, race a second candidate against it (tail-latency
-    /// hedging against slow replicas).
+    /// Probe the first replica under a latency budget, and hedge to the
+    /// remaining candidates when the probe fails or overruns it
+    /// (tail-latency hedging against slow replicas). The budget is
+    /// measured on the cluster clock, so virtual-clock drills hedge
+    /// deterministically.
     Hedged {
-        /// How long to wait for the first candidate before hedging.
+        /// Latency budget granted to the first candidate before the
+        /// hedge fires.
         threshold: std::time::Duration,
     },
 }
@@ -257,6 +285,11 @@ pub struct Cluster {
     migrated_bytes: AtomicU64,
     read_rr: AtomicU64,
     fault: Option<Arc<FaultInjector>>,
+    /// Message fault plane: every data-path send to a node crosses this
+    /// fabric (when installed) via [`Cluster::rpc`].
+    net: Option<Arc<NetFabric>>,
+    /// Per-replica circuit breakers consulted by [`Cluster::rpc`].
+    breakers: Option<ReplicaBreakers>,
     clock: Arc<dyn Clock>,
     counters: PathCounters,
 }
@@ -318,6 +351,11 @@ impl Cluster {
                 ))
             })
             .collect();
+        let net = fault
+            .as_ref()
+            .and_then(|inj| inj.plan().net.clone())
+            .map(|plan| Arc::new(NetFabric::new(cfg.servers, plan, clock.clone())));
+        let breakers = cfg.breaker.map(|b| ReplicaBreakers::new(cfg.servers, b));
         Arc::new(Cluster {
             nodes,
             view: ArcSwap::from_pointee(view),
@@ -331,8 +369,10 @@ impl Cluster {
             migrated_bytes: counter_u64(0),
             read_rr: counter_u64(0),
             kv,
-            cfg,
             fault,
+            net,
+            breakers,
+            cfg,
             clock,
             counters: PathCounters::default(),
         })
@@ -412,6 +452,15 @@ impl Cluster {
             migrated_bytes: counter_u64(0),
             read_rr: counter_u64(0),
             fault: self.fault.clone(),
+            // The fabric (and its message counters) survives the restart:
+            // the network does not reset because the coordinator did.
+            // Breaker state is process-local health tracking and starts
+            // fresh, like the re-integration engine.
+            net: self.net.clone(),
+            breakers: self
+                .cfg
+                .breaker
+                .map(|b| ReplicaBreakers::new(self.cfg.servers, b)),
             clock: self.clock.clone(),
             counters: PathCounters::default(),
             kv,
@@ -494,6 +543,103 @@ impl Cluster {
         self.fault.as_ref().map(|f| f.stats())
     }
 
+    /// The message fault fabric, when the fault plan carries a
+    /// [`crate::net::NetPlan`].
+    pub fn net_fabric(&self) -> Option<&Arc<NetFabric>> {
+        self.net.as_ref()
+    }
+
+    /// Counters of injected message faults, when a fabric is installed.
+    pub fn net_stats(&self) -> Option<NetStatsSnapshot> {
+        self.net.as_ref().map(|n| n.stats())
+    }
+
+    /// Circuit-breaker counters, when breakers are configured.
+    pub fn breaker_stats(&self) -> Option<BreakerSnapshot> {
+        self.breakers.as_ref().map(|b| b.snapshot(self.clock.now()))
+    }
+
+    /// A fresh [`Deadline`] for one client operation, from the
+    /// configured budget.
+    fn op_deadline(&self) -> Deadline {
+        Deadline::from_config(&*self.clock, self.cfg.op_deadline)
+    }
+
+    /// One message-level node operation: the single choke point every
+    /// data-path send crosses, so the breaker and the fault fabric see
+    /// the whole conversation.
+    ///
+    /// Order of business: (1) an open breaker fails the send fast —
+    /// no clock cost, no fabric traffic; (2) the fabric rules on the
+    /// message (deliver/delay/drop/partition); (3) the outcome feeds the
+    /// breaker. Lost messages cost the sender the plan's rpc timeout on
+    /// the clock before surfacing as [`NodeError::Timeout`] /
+    /// [`NodeError::Partitioned`] — an `Outbound` partition and a
+    /// dropped *response* still execute `op` (the node did the work;
+    /// only the ack vanished), which is what makes acked-write
+    /// accounting under partitions honest.
+    pub(crate) fn rpc<T>(
+        &self,
+        server: ServerId,
+        node: &StorageNode,
+        op: impl Fn(&StorageNode) -> Result<T, NodeError>,
+    ) -> Result<T, NodeError> {
+        let idx = server.index();
+        if let Some(b) = &self.breakers {
+            if !b.try_acquire(idx, self.clock.now()) {
+                return Err(NodeError::BreakerOpen);
+            }
+        }
+        let result = match &self.net {
+            None => op(node),
+            Some(net) => match net.before_send(idx) {
+                SendVerdict::Deliver { delay, duplicate } => {
+                    if let Some(d) = delay {
+                        self.clock.sleep(d);
+                    }
+                    let r = op(node);
+                    if duplicate && r.is_ok() {
+                        // A retransmitted request executes twice; node
+                        // ops are idempotent so only the op counters see
+                        // it (the duplicate's own faults are swallowed —
+                        // the first reply already answered the sender).
+                        let _ = op(node);
+                    }
+                    r
+                }
+                SendVerdict::DropRequest => {
+                    self.clock.sleep(net.rpc_timeout());
+                    Err(NodeError::Timeout)
+                }
+                SendVerdict::DropResponse => {
+                    let _ = op(node);
+                    self.clock.sleep(net.rpc_timeout());
+                    Err(NodeError::Timeout)
+                }
+                SendVerdict::Partitioned { request_delivered } => {
+                    if request_delivered {
+                        let _ = op(node);
+                    }
+                    self.clock.sleep(net.rpc_timeout());
+                    Err(NodeError::Partitioned)
+                }
+            },
+        };
+        if let Some(b) = &self.breakers {
+            match &result {
+                Ok(_) => b.record_success(idx),
+                // Only message-level failures are link health signals;
+                // application verdicts (NotFound, PoweredOff, DiskFull)
+                // mean the link worked fine.
+                Err(NodeError::Timeout | NodeError::Partitioned | NodeError::Io) => {
+                    b.record_failure(idx, self.clock.now());
+                }
+                Err(_) => {}
+            }
+        }
+        result
+    }
+
     /// Where `oid`'s replicas should live right now.
     pub fn locate(&self, oid: ObjectId) -> Result<Placement, ClusterError> {
         Ok(self.cache.place_current(&self.view.load(), oid)?)
@@ -516,6 +662,8 @@ impl Cluster {
         // health: re-place at the new membership version and try again
         // (bounded — each extra pass requires the version to have moved).
         let mut epochs = 0;
+        // One budget for the whole put, epoch re-placements included.
+        let deadline = self.op_deadline();
         loop {
             let (placement, version, power_dirty) = {
                 let view = self.view.load();
@@ -526,7 +674,7 @@ impl Cluster {
                 let p = view.place_current(oid)?;
                 (p, view.current_version(), view.write_is_dirty())
             };
-            match self.put_at(oid, &data, placement, version, power_dirty, true) {
+            match self.put_at(oid, &data, placement, version, power_dirty, true, deadline) {
                 Err(ClusterError::Node(NodeError::PoweredOff))
                     if epochs < 4 && self.current_version() != version =>
                 {
@@ -541,6 +689,7 @@ impl Cluster {
     /// `record_dirty` is always true on the production path; the seeded
     /// quorum-dirty mutant below passes false to skip the dirty-table
     /// entry that makes degraded writes self-healing.
+    #[allow(clippy::too_many_arguments)]
     fn put_at(
         &self,
         oid: ObjectId,
@@ -549,6 +698,7 @@ impl Cluster {
         version: VersionId,
         power_dirty: bool,
         record_dirty: bool,
+        deadline: Deadline,
     ) -> Result<Placement, ClusterError> {
         let servers = placement.servers();
         let required = self.cfg.write_quorum.required(servers.len());
@@ -557,12 +707,25 @@ impl Cluster {
         let mut permanent: Option<NodeError> = None;
         for (rank, &server) in servers.iter().enumerate() {
             let node = self.node(server)?;
+            if rank > 0 && deadline.expired(&*self.clock) {
+                // Budget gone: don't even send to the remaining
+                // secondaries — count them missed and let the quorum
+                // accounting below decide whether the write can still
+                // degrade into an ack.
+                missed += 1;
+                continue;
+            }
             let token = oid.raw() ^ ((server.index() as u64) << 48) ^ version.raw();
-            let (result, retries) = self.cfg.retry.run_counted_with(
+            let (result, retries) = self.cfg.retry.run_counted_deadline(
                 &*self.clock,
+                deadline,
                 token,
                 NodeError::is_transient,
-                || node.put(oid, data.clone(), version, power_dirty),
+                || {
+                    self.rpc(server, node, |n| {
+                        n.put(oid, data.clone(), version, power_dirty)
+                    })
+                },
             );
             self.counters.add_retries(retries as u64);
             match result {
@@ -571,13 +734,25 @@ impl Cluster {
                     // The primary anchors the header-version placement
                     // that degraded reads and healing rely on; a write
                     // that misses it is not acknowledged.
+                    if deadline.expired(&*self.clock)
+                        && matches!(e, NodeError::Timeout | NodeError::Partitioned)
+                    {
+                        self.counters.inc_deadline_exceeded();
+                        return Err(ClusterError::DeadlineExceeded);
+                    }
                     return Err(match e {
                         NodeError::Io => ClusterError::Unavailable,
                         other => ClusterError::Node(other),
                     });
                 }
                 Err(e) => {
-                    if !e.is_transient() && permanent.is_none() {
+                    // BreakerOpen is a routing verdict, not a node
+                    // verdict: the replica is skipped and healed later,
+                    // never allowed to veto the quorum as "permanent".
+                    if !matches!(e, NodeError::BreakerOpen)
+                        && !e.is_transient()
+                        && permanent.is_none()
+                    {
                         permanent = Some(e);
                     }
                     missed += 1;
@@ -590,6 +765,13 @@ impl Cluster {
             // amount of retrying will reach the quorum.
             if let Some(e) = permanent {
                 return Err(ClusterError::Node(e));
+            }
+            if deadline.expired(&*self.clock) {
+                // The budget, not the cluster, decided the shortfall:
+                // fail cleanly within (just past) the deadline instead
+                // of inviting a retry that would start expired.
+                self.counters.inc_deadline_exceeded();
+                return Err(ClusterError::DeadlineExceeded);
             }
             return Err(ClusterError::QuorumNotReached { written, required });
         }
@@ -623,7 +805,15 @@ impl Cluster {
             let p = view.place_current(oid)?;
             (p, view.current_version(), view.write_is_dirty())
         };
-        self.put_at(oid, &data, placement, version, power_dirty, false)
+        self.put_at(
+            oid,
+            &data,
+            placement,
+            version,
+            power_dirty,
+            false,
+            self.op_deadline(),
+        )
     }
 
     /// Read an object from any live replica.
@@ -634,11 +824,18 @@ impl Cluster {
     /// known, it is able to accurately find the servers that contain the
     /// latest replicas" (§III-E1).
     pub fn get(&self, oid: ObjectId) -> Result<Bytes, ClusterError> {
+        // One budget spans the whole read, retries included.
+        let deadline = self.op_deadline();
         self.cfg
             .retry
-            .run_with(&*self.clock, oid.raw(), ClusterError::is_retryable, || {
-                self.get_with(oid, ReadPolicy::FirstReplica)
-            })
+            .run_counted_deadline(
+                &*self.clock,
+                deadline,
+                oid.raw(),
+                ClusterError::is_retryable,
+                || self.get_with_acceptance(oid, ReadPolicy::FirstReplica, true, deadline),
+            )
+            .0
     }
 
     /// Read an object, choosing the starting replica per `policy`.
@@ -650,7 +847,7 @@ impl Cluster {
     /// the authoritative header (§III-E2: the header lets the system
     /// "identify the latest data version and avoid stale data").
     pub fn get_with(&self, oid: ObjectId, policy: ReadPolicy) -> Result<Bytes, ClusterError> {
-        self.get_with_acceptance(oid, policy, true)
+        self.get_with_acceptance(oid, policy, true, self.op_deadline())
     }
 
     /// **Deliberately seeded staleness bug** (modelcheck builds only):
@@ -665,7 +862,7 @@ impl Cluster {
         oid: ObjectId,
         policy: ReadPolicy,
     ) -> Result<Bytes, ClusterError> {
-        self.get_with_acceptance(oid, policy, false)
+        self.get_with_acceptance(oid, policy, false, self.op_deadline())
     }
 
     /// [`Cluster::get_with`] with the version-acceptance check made
@@ -676,6 +873,7 @@ impl Cluster {
         oid: ObjectId,
         policy: ReadPolicy,
         enforce_versions: bool,
+        deadline: Deadline,
     ) -> Result<Bytes, ClusterError> {
         let expected = self.headers.header(oid).map(|h| h.version);
         let view = self.view.load();
@@ -716,23 +914,38 @@ impl Cluster {
         }
         // Transient failures must not masquerade as authoritative misses:
         // track them and report `Unavailable` (retryable) instead of
-        // `NotFound` when every failure could have been a fault.
+        // `NotFound` when every failure could have been a fault. An open
+        // breaker counts too — it is a routing verdict about the link,
+        // never an authoritative statement about the object.
         let mut saw_transient = false;
         for &server in candidates.iter().cycle().skip(start).take(candidates.len()) {
-            match self.node(server)?.get(oid) {
+            if deadline.expired(&*self.clock) {
+                self.counters.inc_deadline_exceeded();
+                return Err(ClusterError::DeadlineExceeded);
+            }
+            let node = self.node(server)?;
+            match self.rpc(server, node, |n| n.get(oid)) {
                 Ok(obj) if acceptable(obj.header.version) => return Ok(obj.data),
                 Ok(_) => {}
-                Err(e) => saw_transient |= e.is_transient(),
+                Err(e) => {
+                    saw_transient |= e.is_transient() || matches!(e, NodeError::BreakerOpen);
+                }
             }
         }
         // Placement-guided candidates failed (e.g. the fresh copy sits on
         // a server an intermediate re-integration chose); sweep all
         // powered nodes for a version-matching copy before giving up.
-        for node in &self.nodes {
-            match node.get(oid) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if deadline.expired(&*self.clock) {
+                self.counters.inc_deadline_exceeded();
+                return Err(ClusterError::DeadlineExceeded);
+            }
+            match self.rpc(ServerId(i as u32), node, |n| n.get(oid)) {
                 Ok(obj) if acceptable(obj.header.version) => return Ok(obj.data),
                 Ok(_) => {}
-                Err(e) => saw_transient |= e.is_transient(),
+                Err(e) => {
+                    saw_transient |= e.is_transient() || matches!(e, NodeError::BreakerOpen);
+                }
             }
         }
         if saw_transient {
@@ -743,11 +956,18 @@ impl Cluster {
         }
     }
 
-    /// Race the first candidate against a hedge: probe it on a helper
-    /// thread, and when it has not answered within `threshold`, try the
-    /// remaining candidates while it keeps running. Whoever returns an
-    /// acceptable copy first wins; as a last resort the slow original is
-    /// awaited. `None` falls back to the caller's sequential sweep.
+    /// Probe the first candidate under a per-probe latency budget of
+    /// `threshold`, and hedge to the remaining candidates when the probe
+    /// either failed or overran the budget on the cluster clock. `None`
+    /// falls back to the caller's sequential sweep.
+    ///
+    /// The probe runs inline through [`Cluster::rpc`]: a slow replica
+    /// charges its injected delay to the clock, so "did it answer within
+    /// the threshold" is a pure clock comparison — no helper thread, no
+    /// channel polling, no wall-time dependence. The threshold is a
+    /// *freshness* budget, not a race: a first replica that answers late
+    /// (or returns a stale copy) loses to any acceptable secondary, and
+    /// is used only as the last resort.
     fn hedged_get(
         &self,
         oid: ObjectId,
@@ -755,80 +975,30 @@ impl Cluster {
         acceptable: &impl Fn(VersionId) -> bool,
         threshold: std::time::Duration,
     ) -> Option<Bytes> {
-        let first = self.node(*candidates.first()?).ok()?.clone();
-        // Under the model checker the probe helper would be a real OS
-        // thread the virtual scheduler cannot see (and cannot preempt),
-        // so probe the first candidate inline and treat any failure as
-        // the timeout: the *race* between the slow original and the
-        // hedge is then modelled by the explorer's interleavings instead
-        // of wall-clock timing.
-        if crate::sync::on_model_thread() {
-            if let Ok(obj) = first.get(oid) {
-                if acceptable(obj.header.version) {
-                    return Some(obj.data);
-                }
-            }
-            self.counters.inc_hedged_reads();
-            for &s in candidates.iter().skip(1) {
-                if let Ok(obj) = self.node(s).ok()?.get(oid) {
-                    if acceptable(obj.header.version) {
-                        return Some(obj.data);
-                    }
-                }
-            }
-            return None;
-        }
-        let (tx, rx) = std::sync::mpsc::channel();
-        std::thread::spawn(move || {
-            let _ = tx.send(first.get(oid));
-        });
-        // Wait out the threshold on the injected clock rather than
-        // `recv_timeout` (which only understands wall time): poll the
-        // channel in small clock-sleeps so a virtual clock can expire the
-        // threshold without any real-time dependence.
+        let first_id = *candidates.first()?;
+        let first = self.node(first_id).ok()?;
         let t0 = self.clock.now();
-        let poll = (threshold / 20).clamp(
-            std::time::Duration::from_micros(20),
-            std::time::Duration::from_millis(1),
-        );
-        let mut first_result = None;
-        loop {
-            match rx.try_recv() {
-                Ok(r) => {
-                    first_result = Some(r);
-                    break;
-                }
-                Err(std::sync::mpsc::TryRecvError::Empty) => {}
-                Err(std::sync::mpsc::TryRecvError::Disconnected) => break,
-            }
-            if self.clock.now().saturating_sub(t0) >= threshold {
-                break;
-            }
-            self.clock.sleep(poll);
-        }
-        if let Some(Ok(obj)) = &first_result {
-            if acceptable(obj.header.version) {
+        let first_result = self.rpc(first_id, first, |n| n.get(oid));
+        let overran = self.clock.now().saturating_sub(t0) >= threshold;
+        if let Ok(obj) = &first_result {
+            if acceptable(obj.header.version) && !overran {
                 return Some(obj.data.clone());
             }
         }
-        if first_result.is_none() {
-            // The first replica is slow — fire the hedge.
-            self.counters.inc_hedged_reads();
-        }
+        // The first replica was slow, stale, or unreachable — hedge.
+        self.counters.inc_hedged_reads();
         for &s in candidates.iter().skip(1) {
-            if let Ok(obj) = self.node(s).ok()?.get(oid) {
+            if let Ok(obj) = self.rpc(s, self.node(s).ok()?, |n| n.get(oid)) {
                 if acceptable(obj.header.version) {
                     return Some(obj.data);
                 }
             }
         }
-        if first_result.is_none() {
-            // The hedge lost too; wait out the slow original rather than
-            // abandoning a probe that may still succeed.
-            if let Ok(Ok(obj)) = rx.recv() {
-                if acceptable(obj.header.version) {
-                    return Some(obj.data);
-                }
+        // Every hedge lost; a late-but-acceptable original still wins
+        // over giving up.
+        if let Ok(obj) = first_result {
+            if acceptable(obj.header.version) {
+                return Some(obj.data);
             }
         }
         None
@@ -996,7 +1166,15 @@ impl Cluster {
     /// qualify and pop without planning work.
     pub fn reintegrate_batch(&self, max_tasks: usize) -> Result<ReintegrationStats, Idle> {
         let max_tasks = max_tasks.max(1);
-        if self.fault.is_some() || max_tasks == 1 {
+        let workers_cap = std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1);
+        // Adaptive cutover: the pooled path pays for batch planning,
+        // per-task stat slots and real thread spawns, which only ever
+        // amortises with both hardware parallelism and a batch worth
+        // sharing. Small batches — and any machine the scheduler caps at
+        // one thread — drain faster through the sequential engine.
+        if self.fault.is_some() || max_tasks < 4 || workers_cap <= 1 {
             let mut total = ReintegrationStats::default();
             for planned in 0..max_tasks {
                 match self.plan_task() {
@@ -1027,10 +1205,7 @@ impl Cluster {
         // One worker thread per hardware thread, not per task: each
         // worker takes a strided share of the batch, so a small machine
         // does not drown the drain in thread-spawn overhead.
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZero::get)
-            .unwrap_or(1)
-            .min(tasks.len());
+        let workers = workers_cap.min(tasks.len());
         let mut total = ReintegrationStats::default();
         if workers <= 1 {
             for task in &tasks {
@@ -1080,6 +1255,21 @@ impl Cluster {
             tasks: 1,
             ..Default::default()
         };
+        // A move can fail for benign reasons (the replica already moved,
+        // the source raced off) or because the *network* got in the way
+        // after retries. The distinction matters: a fault-failed move
+        // must not let the header restamp below pretend the migration
+        // happened — that would strand the object behind a header no
+        // copy can satisfy.
+        let fault_failed = |e: &NodeError| {
+            matches!(
+                e,
+                NodeError::Io
+                    | NodeError::Timeout
+                    | NodeError::Partitioned
+                    | NodeError::BreakerOpen
+            )
+        };
         for m in &task.moves {
             let (Ok(src), Ok(dst)) = (self.node(m.from), self.node(m.to)) else {
                 // A move naming a server outside the cluster is a planner
@@ -1091,7 +1281,7 @@ impl Cluster {
                 self.cfg
                     .retry
                     .run_with(&*self.clock, src_token, NodeError::is_transient, || {
-                        src.get(task.oid)
+                        self.rpc(m.from, src, |n| n.get(task.oid))
                     });
             match got {
                 Ok(obj) => {
@@ -1105,34 +1295,62 @@ impl Cluster {
                     }
                     // The destination is active at the target version by
                     // construction; a put failure here (after transient
-                    // retries) means a racing resize, in which case the
-                    // entry will be re-planned.
+                    // retries) means a racing resize — or a message-level
+                    // fault — in which case the entry is re-planned.
                     let dst_token = task.oid.raw() ^ ((m.to.index() as u64) << 48);
                     let put = self.cfg.retry.run_with(
                         &*self.clock,
                         dst_token,
                         NodeError::is_transient,
                         || {
-                            dst.put(
-                                task.oid,
-                                obj.data.clone(),
-                                task.target_version,
-                                obj.header.dirty,
-                            )
+                            self.rpc(m.to, dst, |n| {
+                                n.put(
+                                    task.oid,
+                                    obj.data.clone(),
+                                    task.target_version,
+                                    obj.header.dirty,
+                                )
+                            })
                         },
                     );
-                    if put.is_ok() {
-                        if !remove_before_copy {
-                            src.remove(task.oid);
+                    match put {
+                        Ok(()) => {
+                            if !remove_before_copy {
+                                src.remove(task.oid);
+                            }
+                            stats.moves += 1;
+                            stats.bytes += bytes;
                         }
-                        stats.moves += 1;
-                        stats.bytes += bytes;
+                        Err(e) if fault_failed(&e) => stats.failed_moves += 1,
+                        Err(_) => {}
                     }
+                }
+                Err(e) if fault_failed(&e) => {
+                    // The source may well hold the replica — the fabric
+                    // just would not let us read it.
+                    stats.failed_moves += 1;
                 }
                 Err(_) => {
                     // Replica already moved or source raced off: skip.
                 }
             }
+        }
+        if stats.failed_moves > 0 {
+            // The migration is incomplete through no fault of the plan:
+            // message-level faults blocked at least one move. Advancing
+            // the header now could strand the object (no copy would
+            // satisfy the new stamp), so leave the header alone and put
+            // the entry back — a drain after the faults clear re-plans
+            // exactly this work.
+            let version = self
+                .headers
+                .header(task.oid)
+                .map(|h| h.version)
+                .unwrap_or(task.target_version);
+            self.log_dirty(DirtyEntry::new(task.oid, version));
+            self.migrated_bytes
+                .fetch_add(stats.bytes, Ordering::Relaxed);
+            return stats;
         }
         // Advance the object header to the re-integration target (see
         // Figure 6: the header version moves with every migration); the
@@ -1208,7 +1426,18 @@ impl Cluster {
         let mut total = ReintegrationStats::default();
         loop {
             match self.reintegrate_batch(batch) {
-                Ok(s) => total.absorb(s),
+                Ok(s) => {
+                    let stalled = s.moves == 0 && s.failed_moves > 0;
+                    total.absorb(s);
+                    if stalled {
+                        // Every move in the batch died on message-level
+                        // faults (e.g. an unhealed partition): the
+                        // entries are re-logged, but draining harder now
+                        // would just loop against the same dead links.
+                        // Come back after the network heals.
+                        return total;
+                    }
+                }
                 Err(_) => return total,
             }
         }
@@ -1277,6 +1506,11 @@ impl Cluster {
         let entries: Vec<DirtyEntry> = (0..self.dirty.len())
             .filter_map(|i| self.dirty.get(i))
             .collect();
+        // One pinned view for the whole scan: entries healed against a
+        // placement snapshot, not a per-entry reload (a resize racing
+        // the scan is caught by the next heal pass either way).
+        let view = self.view.load();
+        let full_power = view.current_membership().is_full_power();
         let mut seen = std::collections::HashSet::new();
         let mut stats = RepairStats::default();
         for entry in entries {
@@ -1288,50 +1522,79 @@ impl Cluster {
             let Some(h) = self.headers.header(oid) else {
                 continue;
             };
-            let Ok(placement) = self.cache.place_at(&self.view.load(), oid, h.version) else {
+            // Placements here are one-shot (each entry names a distinct
+            // object, usually at a historical version): computing them
+            // straight off the ring is cheaper than a cache round-trip
+            // and keeps the shared cache free of never-again-used keys.
+            let Ok(placement) = view.place_at(oid, h.version) else {
                 continue;
             };
-            // Find a fresh source, retrying transient probe failures so
-            // an injected fault cannot make a healthy replica invisible.
-            let mut source = None;
-            for (i, n) in self.nodes.iter().enumerate() {
-                if !n.is_powered() {
-                    continue;
+            // Most dirty entries are power-dirty, not degraded: every
+            // placement target already holds the object and the copy
+            // loop below would skip them all. Checking local presence
+            // first keeps the common case off the (retry-wrapped,
+            // fault-injected) probe path — this is what keeps the
+            // reintegration drain rate intact, since `reintegrate_all`
+            // leads with a full heal scan.
+            let all_held = placement
+                .servers()
+                .iter()
+                .all(|&s| self.node(s).is_ok_and(|n| n.holds(oid)));
+            if !all_held {
+                // Find a fresh source, retrying transient probe failures
+                // so an injected fault cannot make a healthy replica
+                // invisible.
+                let mut source = None;
+                for (i, n) in self.nodes.iter().enumerate() {
+                    if !n.is_powered() {
+                        continue;
+                    }
+                    let token = oid.raw() ^ ((i as u64) << 48) ^ 0x6EA1_0001;
+                    let got = self.cfg.retry.run_with(
+                        &*self.clock,
+                        token,
+                        NodeError::is_transient,
+                        || self.rpc(ServerId(i as u32), n, |node| node.get(oid)),
+                    );
+                    if let Ok(obj) = got {
+                        if obj.header.version >= h.version {
+                            source = Some(obj);
+                            break;
+                        }
+                    }
                 }
-                let token = oid.raw() ^ ((i as u64) << 48) ^ 0x6EA1_0001;
-                let got =
-                    self.cfg
-                        .retry
-                        .run_with(&*self.clock, token, NodeError::is_transient, || n.get(oid));
-                if let Ok(obj) = got {
-                    if obj.header.version >= h.version {
-                        source = Some(obj);
-                        break;
+                let Some(obj) = source else { continue };
+                for &target in placement.servers() {
+                    let Ok(node) = self.node(target) else {
+                        continue;
+                    };
+                    if node.holds(oid) {
+                        continue;
+                    }
+                    let token = oid.raw() ^ ((target.index() as u64) << 48) ^ 0x6EA1_0002;
+                    let put = self.cfg.retry.run_with(
+                        &*self.clock,
+                        token,
+                        NodeError::is_transient,
+                        || {
+                            self.rpc(target, node, |n| {
+                                n.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty)
+                            })
+                        },
+                    );
+                    if put.is_ok() {
+                        stats.recreated += 1;
+                        stats.bytes += obj.data.len() as u64;
                     }
                 }
             }
-            let Some(obj) = source else { continue };
-            for &target in placement.servers() {
-                let Ok(node) = self.node(target) else {
-                    continue;
-                };
-                if node.holds(oid) {
-                    continue;
-                }
-                let token = oid.raw() ^ ((target.index() as u64) << 48) ^ 0x6EA1_0002;
-                let put =
-                    self.cfg
-                        .retry
-                        .run_with(&*self.clock, token, NodeError::is_transient, || {
-                            node.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty)
-                        });
-                if put.is_ok() {
-                    stats.recreated += 1;
-                    stats.bytes += obj.data.len() as u64;
-                }
-            }
-            let full_power = self.view.load().current_membership().is_full_power();
-            if full_power && self.is_fully_placed(oid) {
+            let placed_now = full_power
+                && view.place_current(oid).is_ok_and(|p| {
+                    p.servers()
+                        .iter()
+                        .all(|&s| self.node(s).is_ok_and(|n| n.holds(oid)))
+                });
+            if placed_now {
                 self.headers.mark_clean(oid, h.version);
                 for &server in placement.servers() {
                     if let Ok(node) = self.node(server) {
@@ -1842,7 +2105,7 @@ mod tests {
 
     #[test]
     fn hedged_reads_dodge_a_slow_replica() {
-        use crate::fault::{FaultPlan, NodeFaultSpec};
+        use crate::fault::{FaultPlan, NodeFaultSpec, VirtualClock};
         use std::time::Duration;
         let cfg = ClusterConfig::paper();
         let oid = ObjectId(9000);
@@ -1855,12 +2118,14 @@ mod tests {
                 ..NodeFaultSpec::default()
             },
         );
-        let c = Cluster::with_faults(cfg, plan);
+        // The probe's latency budget runs on the injected clock: the
+        // slow replica's 150 ms delay is pure virtual time, and
+        // overrunning the 2 ms threshold fires the hedge
+        // deterministically.
+        let clock = Arc::new(VirtualClock::new());
+        let c = Cluster::with_faults_and_clock(cfg, plan, clock.clone());
         c.put(oid, payload(9000)).unwrap();
-        // Latency is measured on the cluster's own clock — the same one
-        // the hedge threshold runs on — so the test holds under any
-        // injected clock, not just the wall clock.
-        let clock = c.clock().clone();
+        let hedged_before = c.counters().hedged_reads;
         let t0 = clock.now();
         let data = c
             .get_with(
@@ -1871,10 +2136,30 @@ mod tests {
             )
             .unwrap();
         assert_eq!(data, payload(9000));
-        assert!(c.counters().hedged_reads >= 1, "the hedge must have fired");
         assert!(
-            clock.now().saturating_sub(t0) < Duration::from_millis(100),
-            "the hedge answered without waiting out the slow replica"
+            c.counters().hedged_reads > hedged_before,
+            "overrunning the threshold must fire the hedge"
+        );
+        assert!(
+            clock.now().saturating_sub(t0) >= Duration::from_millis(2),
+            "the slow probe must have consumed the latency budget"
+        );
+        // A read that stays under the budget must NOT hedge: the fast
+        // secondary answers within threshold once it is probed first.
+        let hedged_mid = c.counters().hedged_reads;
+        let fast = c
+            .get_with(
+                oid,
+                ReadPolicy::Hedged {
+                    threshold: Duration::from_secs(1),
+                },
+            )
+            .unwrap();
+        assert_eq!(fast, payload(9000));
+        assert_eq!(
+            c.counters().hedged_reads,
+            hedged_mid,
+            "a probe inside its budget must not hedge"
         );
     }
 

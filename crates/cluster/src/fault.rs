@@ -119,8 +119,9 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Map a hash to a uniform sample in `[0, 1)`.
-fn unit(hash: u64) -> f64 {
+/// Map a hash to a uniform sample in `[0, 1)`. Shared with the message
+/// fault plane ([`crate::net`]), which rolls its verdicts the same way.
+pub(crate) fn unit(hash: u64) -> f64 {
     (hash >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -174,6 +175,10 @@ pub struct FaultPlan {
     pub node_faults: Vec<NodeFaultSpec>,
     /// Shard-unavailability windows of the backing key-value store.
     pub kv_outages: Vec<ShardOutage>,
+    /// Message-level fault schedule (drops, duplicates, delays,
+    /// partitions) executed by [`crate::net::NetFabric`]; `None` leaves
+    /// the network perfect.
+    pub net: Option<crate::net::NetPlan>,
 }
 
 impl FaultPlan {
@@ -189,7 +194,7 @@ impl FaultPlan {
                 };
                 nodes
             ],
-            kv_outages: Vec::new(),
+            ..FaultPlan::default()
         }
     }
 
@@ -459,12 +464,12 @@ mod tests {
     fn kv_outage_window_closes_as_ops_flow() {
         let plan = FaultPlan {
             seed: 0,
-            node_faults: Vec::new(),
             kv_outages: vec![ShardOutage {
                 shard: 2,
                 from_op: 3,
                 until_op: 6,
             }],
+            ..FaultPlan::default()
         };
         let inj = FaultInjector::new(0, plan);
         let outcomes: Vec<bool> = (0..10).map(|_| inj.shard_available(2)).collect();

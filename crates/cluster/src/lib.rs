@@ -27,6 +27,7 @@
 pub mod cluster;
 pub mod dirty_store;
 pub mod fault;
+pub mod net;
 pub mod node;
 pub mod repair;
 pub mod retry;
@@ -41,7 +42,11 @@ pub use fault::{
     Clock, FaultInjector, FaultPlan, FaultStatsSnapshot, InjectedFault, NodeFaultSpec, ShardOutage,
     SystemClock, VirtualClock,
 };
+pub use net::{
+    BreakerConfig, BreakerSnapshot, LinkFaultSpec, NetFabric, NetPlan, NetStatsSnapshot,
+    PartitionDirection, PartitionWindow, ReplicaBreakers, SendVerdict,
+};
 pub use node::{NodeError, StorageNode, StoredObject};
 pub use repair::RepairStats;
-pub use retry::RetryPolicy;
+pub use retry::{Deadline, RetryPolicy};
 pub use vdi::{VdiError, VirtualDisk};

@@ -41,6 +41,17 @@ pub enum NodeError {
         /// Bytes that would be stored after the write.
         needed: u64,
     },
+    /// No reply arrived within the message timeout: the request or its
+    /// response was lost in flight ([`crate::net`]). The op may or may
+    /// not have executed — at-least-once retries must tolerate both.
+    Timeout,
+    /// A partition window cuts the link to this node; sends lose their
+    /// budget until the window heals ([`crate::net::PartitionWindow`]).
+    Partitioned,
+    /// The per-replica circuit breaker is open: recent sends kept
+    /// failing, so this one failed fast instead of burning another rpc
+    /// timeout ([`crate::net::ReplicaBreakers`]).
+    BreakerOpen,
     /// A transient I/O error (injected by a fault plan). Unlike the
     /// other variants this one is worth retrying: the next attempt rolls
     /// a fresh fault decision.
@@ -66,6 +77,9 @@ impl std::fmt::Display for NodeError {
                     "disk full: capacity {capacity} bytes, write needs {needed}"
                 )
             }
+            NodeError::Timeout => write!(f, "no reply within the message timeout"),
+            NodeError::Partitioned => write!(f, "link cut by an active partition"),
+            NodeError::BreakerOpen => write!(f, "replica circuit breaker is open"),
             NodeError::Io => write!(f, "transient i/o error"),
         }
     }

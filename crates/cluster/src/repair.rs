@@ -83,7 +83,7 @@ impl Cluster {
             if let Some(ver) = expected {
                 for node in self.nodes() {
                     if node.is_powered() {
-                        if let Ok(obj) = node.get(oid) {
+                        if let Ok(obj) = self.rpc(node.id(), node, |n| n.get(oid)) {
                             if obj.header.version < ver {
                                 node.remove(oid);
                             }
@@ -102,7 +102,7 @@ impl Cluster {
                             &*clock,
                             oid.raw() ^ ((n.id().index() as u64) << 48),
                             NodeError::is_transient,
-                            || n.get(oid),
+                            || self.rpc(n.id(), n, |node| node.get(oid)),
                         )
                         .map(|o| expected.is_none_or(|v| o.header.version == v))
                         .unwrap_or(false)
@@ -119,7 +119,7 @@ impl Cluster {
                 continue;
             };
             let Ok(obj) = retry.run_with(&*clock, oid.raw(), NodeError::is_transient, || {
-                source.get(oid)
+                self.rpc(source.id(), source, |n| n.get(oid))
             }) else {
                 continue;
             };
@@ -134,7 +134,11 @@ impl Cluster {
                     &*clock,
                     oid.raw() ^ ((target.index() as u64) << 48),
                     NodeError::is_transient,
-                    || node.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty),
+                    || {
+                        self.rpc(target, node, |n| {
+                            n.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty)
+                        })
+                    },
                 );
                 match put {
                     Ok(()) => {

@@ -45,6 +45,16 @@ impl Classify for NodeError {
         match self {
             // A fresh attempt rolls a fresh fault decision.
             NodeError::Io => ErrorClass::Retryable,
+            // A lost message may be a one-off drop; the retransmit rolls
+            // a fresh verdict (the deadline budget bounds the bill).
+            NodeError::Timeout => ErrorClass::Retryable,
+            // Partition windows heal on the clock; retrying toward the
+            // heal is correct and the deadline budget keeps it bounded.
+            NodeError::Partitioned => ErrorClass::Retryable,
+            // An open breaker rejects every send until its cooldown
+            // elapses — retrying into it only burns budget. Fail fast
+            // and let quorum accounting route around the replica.
+            NodeError::BreakerOpen => ErrorClass::Permanent,
             // Power state and membership only change via resize/repair.
             NodeError::PoweredOff => ErrorClass::Permanent,
             NodeError::NotFound => ErrorClass::Permanent,
@@ -86,8 +96,61 @@ impl Classify for ClusterError {
             ClusterError::Placement(e) => e.class(),
             ClusterError::NotFound => ErrorClass::Permanent,
             ClusterError::Node(e) => e.class(),
+            // The budget is spent; any further attempt would start
+            // already expired.
+            ClusterError::DeadlineExceeded => ErrorClass::Permanent,
             ClusterError::Internal(_) => ErrorClass::Permanent,
         }
+    }
+}
+
+/// A per-operation deadline budget on an injected [`Clock`].
+///
+/// A deadline is an absolute clock reading, fixed once when the
+/// operation starts and threaded by value through retries, hedged reads
+/// and per-replica sends — every layer asks the same question
+/// ("expired yet?") against the same instant, so nested retry loops
+/// cannot each spend a full budget of their own. On a
+/// [`crate::fault::VirtualClock`] the budget is consumed purely by
+/// injected sleeps (backoff, message delays, rpc timeouts), which keeps
+/// deadline behaviour deterministic under a seeded fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    /// Absolute expiry on the operation's clock; `None` = unbounded.
+    at: Option<Duration>,
+}
+
+impl Deadline {
+    /// No deadline: the operation may take as long as its retry budget
+    /// allows.
+    pub fn unbounded() -> Self {
+        Deadline { at: None }
+    }
+
+    /// A deadline `budget` from now on `clock`.
+    pub fn after(clock: &dyn Clock, budget: Duration) -> Self {
+        Deadline {
+            at: Some(clock.now().saturating_add(budget)),
+        }
+    }
+
+    /// [`Deadline::after`] when a budget is configured, unbounded
+    /// otherwise.
+    pub fn from_config(clock: &dyn Clock, budget: Option<Duration>) -> Self {
+        match budget {
+            Some(b) => Deadline::after(clock, b),
+            None => Deadline::unbounded(),
+        }
+    }
+
+    /// Has the budget run out?
+    pub fn expired(&self, clock: &dyn Clock) -> bool {
+        self.at.is_some_and(|at| clock.now() >= at)
+    }
+
+    /// Budget left on the clock; `None` = unbounded.
+    pub fn remaining(&self, clock: &dyn Clock) -> Option<Duration> {
+        self.at.map(|at| at.saturating_sub(clock.now()))
     }
 }
 
@@ -135,6 +198,23 @@ impl RetryPolicy {
         clock: &dyn Clock,
         token: u64,
         retryable: impl Fn(&E) -> bool,
+        op: impl FnMut() -> Result<T, E>,
+    ) -> (Result<T, E>, u32) {
+        self.run_counted_deadline(clock, Deadline::unbounded(), token, retryable, op)
+    }
+
+    /// [`RetryPolicy::run_counted_with`] under a [`Deadline`]: a retry
+    /// is only granted while the deadline has budget left, and backoff
+    /// sleeps are clamped to the remaining budget so the loop never
+    /// overshoots the expiry by more than the op itself takes. An
+    /// already-expired deadline still allows the first attempt — the
+    /// caller decides whether to even start — but no retries.
+    pub fn run_counted_deadline<T, E>(
+        &self,
+        clock: &dyn Clock,
+        deadline: Deadline,
+        token: u64,
+        retryable: impl Fn(&E) -> bool,
         mut op: impl FnMut() -> Result<T, E>,
     ) -> (Result<T, E>, u32) {
         let attempts = self.max_attempts.max(1);
@@ -144,12 +224,15 @@ impl RetryPolicy {
         loop {
             match op() {
                 Ok(v) => return (Ok(v), retry),
-                Err(e) if retry + 1 < attempts && retryable(&e) => {
+                Err(e) if retry + 1 < attempts && retryable(&e) && !deadline.expired(clock) => {
                     rng = splitmix64(rng);
                     let base_ns = self.base.as_nanos() as u64;
                     let span =
                         (prev.as_nanos() as u64).saturating_mul(3).max(base_ns + 1) - base_ns;
-                    let sleep_ns = (base_ns + rng % span).min(self.cap.as_nanos() as u64);
+                    let mut sleep_ns = (base_ns + rng % span).min(self.cap.as_nanos() as u64);
+                    if let Some(left) = deadline.remaining(clock) {
+                        sleep_ns = sleep_ns.min(left.as_nanos() as u64);
+                    }
                     prev = Duration::from_nanos(sleep_ns);
                     clock.sleep(prev);
                     retry += 1;
@@ -287,6 +370,21 @@ mod tests {
         use ech_core::placement::PlacementError;
         use ech_kvstore::KvError;
         assert_eq!(NodeError::Io.class(), ErrorClass::Retryable);
+        assert_eq!(
+            NodeError::Timeout.class(),
+            ErrorClass::Retryable,
+            "a retransmit rolls a fresh drop verdict"
+        );
+        assert_eq!(
+            NodeError::Partitioned.class(),
+            ErrorClass::Retryable,
+            "partition windows heal on the clock"
+        );
+        assert_eq!(
+            NodeError::BreakerOpen.class(),
+            ErrorClass::Permanent,
+            "retrying into an open breaker only burns budget"
+        );
         assert_eq!(NodeError::PoweredOff.class(), ErrorClass::Permanent);
         assert_eq!(NodeError::NotFound.class(), ErrorClass::Permanent);
         assert_eq!(
@@ -322,6 +420,11 @@ mod tests {
             ErrorClass::Permanent
         );
         assert_eq!(
+            ClusterError::DeadlineExceeded.class(),
+            ErrorClass::Permanent,
+            "a spent budget cannot be retried into"
+        );
+        assert_eq!(
             ClusterError::Internal("invariant").class(),
             ErrorClass::Permanent
         );
@@ -334,6 +437,63 @@ mod tests {
             ErrorClass::Retryable,
             "a racing reader re-resolves on a fresh view"
         );
+    }
+
+    #[test]
+    fn deadline_cuts_retries_short() {
+        use crate::fault::VirtualClock;
+        let clock = VirtualClock::new();
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(2),
+        };
+        // Budget for roughly two backoff sleeps, not nine.
+        let deadline = Deadline::after(&clock, Duration::from_millis(5));
+        let mut calls = 0;
+        let (r, retries) = p.run_counted_deadline(
+            &clock,
+            deadline,
+            5,
+            |_: &&str| true,
+            || {
+                calls += 1;
+                Err::<(), _>("down")
+            },
+        );
+        assert_eq!(r, Err("down"));
+        assert!(
+            (1..9).contains(&retries),
+            "deadline must stop the loop early, got {retries} retries"
+        );
+        assert_eq!(calls, retries + 1);
+        assert!(deadline.expired(&clock), "loop ran the budget out");
+        // The clamp keeps the overshoot below one full backoff step.
+        assert!(clock.now() <= Duration::from_millis(5 + 2));
+    }
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        use crate::fault::VirtualClock;
+        let clock = VirtualClock::new();
+        let d = Deadline::unbounded();
+        clock.advance(Duration::from_secs(3600));
+        assert!(!d.expired(&clock));
+        assert_eq!(d.remaining(&clock), None);
+        assert_eq!(Deadline::from_config(&clock, None), Deadline::unbounded());
+    }
+
+    #[test]
+    fn deadline_remaining_counts_down_and_saturates() {
+        use crate::fault::VirtualClock;
+        let clock = VirtualClock::new();
+        let d = Deadline::after(&clock, Duration::from_millis(10));
+        assert_eq!(d.remaining(&clock), Some(Duration::from_millis(10)));
+        clock.advance(Duration::from_millis(4));
+        assert_eq!(d.remaining(&clock), Some(Duration::from_millis(6)));
+        clock.advance(Duration::from_millis(20));
+        assert_eq!(d.remaining(&clock), Some(Duration::ZERO));
+        assert!(d.expired(&clock));
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub struct PathCounters {
     replicas_missed: AtomicU64,
     hedged_reads: AtomicU64,
     unavailable_errors: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 impl Default for PathCounters {
@@ -31,6 +32,7 @@ impl Default for PathCounters {
             replicas_missed: counter_u64(0),
             hedged_reads: counter_u64(0),
             unavailable_errors: counter_u64(0),
+            deadline_exceeded: counter_u64(0),
         }
     }
 }
@@ -63,6 +65,11 @@ impl PathCounters {
         self.unavailable_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One operation that ran out its deadline budget before completing.
+    pub fn inc_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of the counters.
     pub fn snapshot(&self) -> PathSnapshot {
         PathSnapshot {
@@ -71,6 +78,7 @@ impl PathCounters {
             replicas_missed: self.replicas_missed.load(Ordering::Relaxed),
             hedged_reads: self.hedged_reads.load(Ordering::Relaxed),
             unavailable_errors: self.unavailable_errors.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
         }
     }
 }
@@ -89,6 +97,8 @@ pub struct PathSnapshot {
     pub hedged_reads: u64,
     /// Operations that exhausted their retry budget on transient errors.
     pub unavailable_errors: u64,
+    /// Operations that ran out their deadline budget before completing.
+    pub deadline_exceeded: u64,
 }
 
 /// Counters for the sharded placement cache: hits, misses and shard-lock
@@ -341,12 +351,14 @@ mod tests {
         c.add_replicas_missed(2);
         c.inc_hedged_reads();
         c.inc_unavailable();
+        c.inc_deadline_exceeded();
         let s = c.snapshot();
         assert_eq!(s.retries, 3);
         assert_eq!(s.quorum_acks, 1);
         assert_eq!(s.replicas_missed, 2);
         assert_eq!(s.hedged_reads, 1);
         assert_eq!(s.unavailable_errors, 1);
+        assert_eq!(s.deadline_exceeded, 1);
     }
 
     #[test]
