@@ -1,7 +1,7 @@
 //! `ech-analyzer`: a dependency-free static analyzer for this
 //! workspace's invariants.
 //!
-//! Six rule families (see `DESIGN.md` §9):
+//! Eight rule families (see `DESIGN.md` §9):
 //!
 //! - **D1 determinism** — no wall clocks, OS entropy or order-sensitive
 //!   hash iteration in seed-deterministic code (placement, sim, trace
@@ -22,6 +22,16 @@
 //!   stored on writer paths; placement-cache consults only under a
 //!   pinned view. Publication and pin points are derived from
 //!   `ArcSwap`-typed field declarations, not receiver names.
+//! - **D7 RPC choke-point discipline** — `StorageNode` I/O methods
+//!   reachable from the `Cluster` data path are called only through the
+//!   `Cluster::rpc` choke point (the op closure handed to `rpc(..)` is
+//!   the sanctioned direct call); a bypass dodges the breaker, the
+//!   fault fabric and the model checker's message scheduler.
+//! - **D8 deadline propagation** — every function that issues rpc sends
+//!   holds an operation budget (a `Deadline` parameter or a minted
+//!   `op_deadline()`); deadline-free retry runners and fresh
+//!   `Deadline::unbounded()` constructions are banned wherever rpc is
+//!   reachable.
 //!
 //! Findings carry stable line-number-free keys; a checked-in baseline
 //! (`analyzer-baseline.txt`) records accepted debt and `--deny-new`
@@ -206,7 +216,7 @@ pub fn run_cli(args: &[String]) -> i32 {
 
 fn print_help() {
     println!(
-        "ech-analyzer: workspace invariant linter (rules D1-D6)\n\n\
+        "ech-analyzer: workspace invariant linter (rules D1-D8)\n\n\
          USAGE: ech-analyzer [--root DIR] [--baseline FILE] [--deny-new] [--write-baseline]\n\n\
          OPTIONS:\n  \
          --root DIR         workspace root (default: .)\n  \

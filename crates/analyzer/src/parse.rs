@@ -21,6 +21,10 @@ pub struct FnInfo {
     pub is_test: bool,
     /// Token-index range of the body, **including** both braces.
     pub body: (usize, usize),
+    /// Token index of the `fn` keyword — the signature spans
+    /// `decl..body.0`, so rules can scan the declared parameter and
+    /// return types (e.g. D8 checks for a `Deadline` parameter).
+    pub decl: usize,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
     /// Base type of the declared return type, if any — wrapper types
@@ -471,6 +475,7 @@ pub fn parse(lexed: &Lexed) -> ParsedFile {
                     qual,
                     is_test: attr_test || in_test(&stack),
                     body: (open, close),
+                    decl: i,
                     line: tok.line,
                     ret,
                 });

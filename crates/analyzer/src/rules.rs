@@ -1,4 +1,4 @@
-//! The six rule families (D1–D6) over parsed source files.
+//! The eight rule families (D1–D8) over parsed source files.
 //!
 //! Each rule produces [`Finding`]s with a stable, line-number-free
 //! `key` so the baseline survives unrelated edits, plus a 1-based line
@@ -13,7 +13,7 @@ use crate::SourceFile;
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
-    /// Rule id (`"D1"`..`"D6"`).
+    /// Rule id (`"D1"`..`"D8"`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -83,6 +83,8 @@ pub fn run_all(units: &[Unit]) -> Vec<Finding> {
     d4_lock_discipline(units, &mut findings);
     d5_atomic_discipline(units, &mut findings);
     d6_publish_order(units, &mut findings);
+    d7_rpc_choke_point(units, &mut findings);
+    d8_deadline_propagation(units, &mut findings);
     findings.retain(|f| {
         let unit = units.iter().find(|u| u.path == f.file);
         !unit.is_some_and(|u| suppressed(u, f.rule, f.line))
@@ -190,6 +192,22 @@ const D2_ROOTS: &[&str] = &[
     "Cluster::is_fully_placed",
     "Cluster::under_replicated",
     "Cluster::node",
+    // The network fault plane (`cluster::net`) sits on every data-path
+    // send inside `Cluster::rpc`. Its entry points are rooted explicitly
+    // rather than relying on call resolution alone: the rpc layer binds
+    // the fabric through `if let Some(net) = &self.net` patterns whose
+    // receivers only resolve by bare-name fallback, and the no-panic /
+    // lock-discipline guarantees must not silently lapse if that
+    // fallback ever stops firing.
+    "NetFabric::before_send",
+    "NetFabric::partition_active",
+    "NetFabric::heal_partitions",
+    "NetFabric::rpc_timeout",
+    "NetFabric::stats",
+    "ReplicaBreakers::try_acquire",
+    "ReplicaBreakers::record_success",
+    "ReplicaBreakers::record_failure",
+    "ReplicaBreakers::snapshot",
 ];
 
 /// Crates whose fns participate in D2/D4 call-graph resolution.
@@ -1481,6 +1499,235 @@ fn d6_publish_order(units: &[Unit], out: &mut Vec<Finding>) {
                         "`cache.{}` without a pinned view epoch in {} — load the view once \
                          and consult the cache against that snapshot",
                         tok.text, f.qual
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D7
+
+/// The message choke point: every data-path node I/O crosses it so the
+/// per-replica breaker, the network fault fabric and the model checker's
+/// message scheduler see the whole conversation.
+const D7_CHOKE: &str = "Cluster::rpc";
+
+/// The node type whose I/O surface must stay fabric-visible.
+const D7_NODE: &str = "StorageNode";
+
+/// StorageNode I/O methods that carry data-plane messages.
+const D7_NODE_IO: &[&str] = &["put", "get", "remove", "restamp"];
+
+/// D7: RPC choke-point discipline.
+///
+/// Any [`D7_NODE_IO`] call in the data-path call graph (the same
+/// reachable set D2 scans) must be issued *through* [`D7_CHOKE`]: the
+/// op closure handed to `rpc(..)` is the sanctioned direct call, and
+/// its argument span is masked. A node I/O call outside that span
+/// bypasses the breaker, the fault fabric and the message scheduler —
+/// faults stop being injected, health stops being tracked, and the
+/// model checker silently loses a message it believes it controls.
+///
+/// Targets resolve with the same receiver-typed machinery as D2/D4
+/// (declared fields, helper return types, aliases, unique bare names);
+/// an unresolvable receiver produces no finding, which is the
+/// under-approximation documented in DESIGN.md §9. Reconciliation sends
+/// that are *deliberately* fabric-exempt (reliable-queue removes and
+/// restamps, DESIGN §8) carry `ech-allow(D7)` with a reason.
+fn d7_rpc_choke_point(units: &[Unit], out: &mut Vec<Finding>) {
+    let g = build_graph(units);
+    let reach = d2_reachable(units, &g);
+    for q in &reach {
+        if *q == D7_CHOKE {
+            continue;
+        }
+        let (ui, f) = g.fns[q];
+        let u = &units[ui];
+        // The discipline governs the coordinator's rpc plane; StorageNode
+        // itself is the callee side of the choke point, and crates below
+        // the cluster never hold a node handle.
+        if !u.path.starts_with("crates/cluster/src/") || f.owner.as_deref() == Some(D7_NODE) {
+            continue;
+        }
+        let t = &u.lexed.tokens;
+        let (a, b) = f.body;
+        let b = b.min(t.len().saturating_sub(1));
+        let aliases = local_aliases(t, f);
+        // Mask every `rpc(..)` argument span: the op closure inside it
+        // is how the choke point is *used*.
+        let masked: Vec<(usize, usize)> = (a..=b)
+            .filter(|&i| t[i].is_ident("rpc") && t.get(i + 1).is_some_and(|x| x.is_punct('(')))
+            .map(|i| (i + 1, matching_paren(t, i + 1)))
+            .collect();
+        for i in a..=b {
+            let tok = &t[i];
+            if tok.kind != TokKind::Ident
+                || !D7_NODE_IO.contains(&tok.text.as_str())
+                || i == 0
+                || !t[i - 1].is_punct('.')
+                || !t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                || masked.iter().any(|&(s, e)| i > s && i < e)
+            {
+                continue;
+            }
+            let want = format!("{D7_NODE}::{}", tok.text);
+            if resolve_call(&g, t, i, f, &aliases)
+                .iter()
+                .any(|k| **k == want)
+            {
+                out.push(Finding {
+                    rule: "D7",
+                    file: u.path.clone(),
+                    line: tok.line,
+                    key: format!("D7 {} {} direct-node-{}", u.path, f.qual, tok.text),
+                    message: format!(
+                        "direct `StorageNode::{}` call in {} bypasses the `Cluster::rpc` \
+                         choke point — the breaker, the fault fabric and the message \
+                         scheduler never see this send; route it through rpc, or justify \
+                         the reconciliation bypass with ech-allow(D7)",
+                        tok.text, f.qual
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D8
+
+/// Deadline-less retry runners: banned wherever an rpc send is in
+/// reach. Every lost message burns the plan's rpc timeout on the clock,
+/// so a retry loop that never consults a [`Deadline`] can stall a
+/// client operation indefinitely against a dark fabric.
+const D8_UNBOUNDED_RUNNERS: &[&str] = &["run", "run_with", "run_counted", "run_counted_with"];
+
+/// D8: deadline-propagation exhaustiveness.
+///
+/// Three checks over the data-path call graph (the D2 reachable set):
+///
+/// 1. **missing-deadline** — a function that *directly* issues
+///    `.rpc(..)` sends must hold an operation budget: either a
+///    `Deadline` parameter threaded by value from the entry point, or a
+///    fresh `op_deadline()` minted at its own scope boundary. A sender
+///    with neither has unbounded exposure to rpc-timeout burns.
+/// 2. **deadline-free-runner** — anywhere rpc is reachable, the retry
+///    facade must be entered through its `*_deadline` runners; the
+///    legacy [`D8_UNBOUNDED_RUNNERS`] never consult a budget between
+///    backoffs.
+/// 3. **fresh-unbounded-deadline** — minting `Deadline::unbounded()` in
+///    rpc-reaching code launders an infinite budget into the plumbing
+///    that exists to bound it (config-driven `None` budgets flow through
+///    `Deadline::from_config`, which is the sanctioned spelling).
+fn d8_deadline_propagation(units: &[Unit], out: &mut Vec<Finding>) {
+    let g = build_graph(units);
+    let reach = d2_reachable(units, &g);
+    // Direct rpc senders: fns whose own body invokes `.rpc(..)`.
+    let mut direct: BTreeSet<&str> = BTreeSet::new();
+    for (q, (ui, f)) in &g.fns {
+        let t = &units[*ui].lexed.tokens;
+        let (a, b) = f.body;
+        for i in a..=b.min(t.len().saturating_sub(1)) {
+            if t[i].is_ident("rpc")
+                && i > 0
+                && t[i - 1].is_punct('.')
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            {
+                direct.insert(q);
+                break;
+            }
+        }
+    }
+    // Transitive closure: fns from which an rpc send is reachable.
+    let calls: BTreeMap<&str, Vec<&str>> = g
+        .fns
+        .iter()
+        .map(|(q, (ui, f))| (*q, callees(units, &g, *ui, f)))
+        .collect();
+    let mut reaches_rpc: BTreeSet<&str> = direct.clone();
+    loop {
+        let mut changed = false;
+        for (q, cs) in &calls {
+            if !reaches_rpc.contains(q) && cs.iter().any(|c| reaches_rpc.contains(c)) {
+                reaches_rpc.insert(q);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for q in &reach {
+        if *q == D7_CHOKE || !reaches_rpc.contains(q) {
+            continue;
+        }
+        let (ui, f) = g.fns[q];
+        let u = &units[ui];
+        if !u.path.starts_with("crates/cluster/src/") {
+            continue;
+        }
+        let t = &u.lexed.tokens;
+        let (a, b) = f.body;
+        let b = b.min(t.len().saturating_sub(1));
+        if direct.contains(q) {
+            let sig_has_deadline =
+                (f.decl..a).any(|i| t.get(i).is_some_and(|x| x.is_ident("Deadline")));
+            let mints_deadline = (a..=b).any(|i| {
+                t[i].is_ident("op_deadline") && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            });
+            if !sig_has_deadline && !mints_deadline {
+                out.push(Finding {
+                    rule: "D8",
+                    file: u.path.clone(),
+                    line: f.line,
+                    key: format!("D8 {} {} missing-deadline", u.path, f.qual),
+                    message: format!(
+                        "{} issues rpc sends with no operation budget — accept a \
+                         `Deadline` parameter by value or mint `op_deadline()` at the \
+                         operation boundary, so lost-message timeout burns stay bounded",
+                        f.qual
+                    ),
+                });
+            }
+        }
+        for i in a..=b {
+            let tok = &t[i];
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            if D8_UNBOUNDED_RUNNERS.contains(&tok.text.as_str())
+                && i > 0
+                && t[i - 1].is_punct('.')
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            {
+                out.push(Finding {
+                    rule: "D8",
+                    file: u.path.clone(),
+                    line: tok.line,
+                    key: format!("D8 {} {} deadline-free-runner {}", u.path, f.qual, tok.text),
+                    message: format!(
+                        "retry runner `.{}(..)` in rpc-reaching code ({}) never consults \
+                         a deadline between backoffs; use the `*_deadline` runner and \
+                         thread the operation's budget",
+                        tok.text, f.qual
+                    ),
+                });
+            }
+            if tok.is_ident("Deadline")
+                && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                && t.get(i + 3).is_some_and(|x| x.is_ident("unbounded"))
+            {
+                out.push(Finding {
+                    rule: "D8",
+                    file: u.path.clone(),
+                    line: tok.line,
+                    key: format!("D8 {} {} fresh-unbounded-deadline", u.path, f.qual),
+                    message: format!(
+                        "`Deadline::unbounded()` minted in rpc-reaching code ({}) — \
+                         unbounded budgets must come from configuration via \
+                         `Deadline::from_config`, not be constructed on the data path",
+                        f.qual
                     ),
                 });
             }

@@ -624,6 +624,178 @@ fn d6_flags_cache_consults_outside_a_pinned_view() {
     assert!(analyze(&good).is_empty(), "{:?}", analyze(&good));
 }
 
+// ---------------------------------------------------------------- D7
+
+/// A minimal coordinator whose `Cluster::put` (a data-path root) holds
+/// a node handle and an rpc choke point; `body` is put's body.
+fn d7_fixture(body: &str) -> Vec<SourceFile> {
+    vec![
+        file(
+            "crates/cluster/src/cluster.rs",
+            &format!(
+                "pub struct Cluster;\n\
+                 impl Cluster {{\n\
+                 fn rpc(&self, id: u32, node: &StorageNode, op: F) -> R {{ op(node) }}\n\
+                 pub fn put(&self, node: &StorageNode, deadline: Deadline) {{\n{body}\n}}\n\
+                 }}\n"
+            ),
+        ),
+        file(
+            "crates/cluster/src/node.rs",
+            "pub struct StorageNode;\n\
+             impl StorageNode {\n\
+             pub fn put(&self, x: u8) {}\n\
+             pub fn remove(&self, x: u8) {}\n\
+             pub fn restamp(&self, x: u8) { self.remove(x); }\n\
+             }\n",
+        ),
+    ]
+}
+
+#[test]
+fn d7_flags_direct_node_io_outside_the_rpc_choke_point() {
+    // The op closure handed to rpc(..) is sanctioned (masked span); the
+    // bare remove/restamp sends outside it bypass breaker + fabric.
+    let files = d7_fixture(
+        "self.rpc(0, node, |n| n.put(1));\n\
+         node.remove(1);\n\
+         node.restamp(2);",
+    );
+    let hits = analyze(&files);
+    let d7: Vec<&ech_analyzer::Finding> = hits.iter().filter(|f| f.rule == "D7").collect();
+    assert_eq!(d7.len(), 2, "remove + restamp, nothing else: {hits:?}");
+    assert!(d7
+        .iter()
+        .any(|f| f.key.contains("direct-node-remove") && f.line == 6));
+    assert!(d7
+        .iter()
+        .any(|f| f.key.contains("direct-node-restamp") && f.line == 7));
+    // StorageNode's own internals (`restamp` calling `self.remove`) are
+    // the callee side of the choke point, not a bypass.
+    assert!(hits.iter().all(|f| f.file != "crates/cluster/src/node.rs"));
+}
+
+#[test]
+fn d7_accepts_rpc_routed_and_allowed_calls() {
+    let files = d7_fixture(
+        "self.rpc(0, node, |n| n.remove(1));\n\
+         // ech-allow(D7): reconciliation message, repeatable at will\n\
+         node.restamp(2);",
+    );
+    assert!(analyze(&files).is_empty(), "{:?}", analyze(&files));
+}
+
+#[test]
+fn d7_ignores_unreachable_and_non_cluster_code() {
+    // Same bypass shape, but the caller is not in the data-path
+    // reachable set — and a kvstore-side `remove` on a foreign receiver
+    // must not be name-guessed into StorageNode::remove.
+    let files = vec![
+        file(
+            "crates/cluster/src/cluster.rs",
+            "pub struct Cluster;\n\
+             impl Cluster {\n\
+             fn rpc(&self, id: u32, node: &StorageNode, op: F) -> R { op(node) }\n\
+             fn debug_dump(&self, node: &StorageNode) { node.remove(1); }\n\
+             }\n",
+        ),
+        file(
+            "crates/cluster/src/node.rs",
+            "pub struct StorageNode;\n\
+             impl StorageNode { pub fn remove(&self, x: u8) {} }\n",
+        ),
+        file(
+            "crates/kvstore/src/shard.rs",
+            "pub struct Shard { map: BTreeMap<u64, u8> }\n\
+             impl Shard {\n\
+             pub fn evict(&self) { self.map.remove(&1); }\n\
+             }\n",
+        ),
+    ];
+    assert!(analyze(&files).is_empty(), "{:?}", analyze(&files));
+}
+
+// ---------------------------------------------------------------- D8
+
+#[test]
+fn d8_flags_budgetless_senders_runners_and_fresh_unbounded() {
+    let files = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster;\n\
+         impl Cluster {\n\
+         fn rpc(&self, op: F) -> R { op() }\n\
+         pub fn put(&self) {\n\
+         let d = Deadline::unbounded();\n\
+         self.retryer.run_with(tok, f, op);\n\
+         self.rpc(op);\n\
+         }\n\
+         }\n",
+    )];
+    let hits = analyze(&files);
+    let d8: Vec<&ech_analyzer::Finding> = hits.iter().filter(|f| f.rule == "D8").collect();
+    assert_eq!(d8.len(), 3, "all three checks fire: {hits:?}");
+    assert!(d8
+        .iter()
+        .any(|f| f.key.contains("missing-deadline") && f.line == 4));
+    assert!(d8
+        .iter()
+        .any(|f| f.key.contains("fresh-unbounded-deadline") && f.line == 5));
+    assert!(d8
+        .iter()
+        .any(|f| f.key.contains("deadline-free-runner run_with") && f.line == 6));
+}
+
+#[test]
+fn d8_flags_runners_in_transitively_rpc_reaching_code() {
+    // `put` never issues rpc itself, but reaches it through `step`; its
+    // deadline-free runner still stalls against a dark fabric. `step`
+    // mints its own budget, so only the runner fires.
+    let files = vec![file(
+        "crates/cluster/src/cluster.rs",
+        "pub struct Cluster;\n\
+         impl Cluster {\n\
+         fn rpc(&self, op: F) -> R { op() }\n\
+         pub fn put(&self) { self.retryer.run(tok, f, op); self.step(); }\n\
+         fn step(&self) { let d = self.op_deadline(); self.rpc(op); }\n\
+         }\n",
+    )];
+    let hits = analyze(&files);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, "D8");
+    assert!(hits[0].key.contains("deadline-free-runner run"));
+    assert_eq!(hits[0].line, 4);
+}
+
+#[test]
+fn d8_accepts_threaded_and_minted_budgets_and_ignores_non_rpc_code() {
+    // put threads a Deadline parameter through the *_deadline runner;
+    // repair mints op_deadline() at its own boundary; the retry facade
+    // itself never reaches rpc, so its legitimate Deadline::unbounded
+    // (the `from_config` plumbing) is out of scope.
+    let files = vec![
+        file(
+            "crates/cluster/src/cluster.rs",
+            "pub struct Cluster;\n\
+             impl Cluster {\n\
+             fn rpc(&self, op: F) -> R { op() }\n\
+             pub fn put(&self, deadline: Deadline) {\n\
+             self.cfg.retry.run_deadline(c, deadline, t, f, op);\n\
+             self.rpc(op);\n\
+             }\n\
+             pub fn repair(&self) { let deadline = self.op_deadline(); self.rpc(op); }\n\
+             }\n",
+        ),
+        file(
+            "crates/cluster/src/retry.rs",
+            "pub struct Deadline;\n\
+             impl Deadline {\n\
+             pub fn from_config(budget: Option<Duration>) -> Self { Deadline::unbounded() }\n\
+             }\n",
+        ),
+    ];
+    assert!(analyze(&files).is_empty(), "{:?}", analyze(&files));
+}
+
 // ------------------------------------------------------ suppressions
 
 #[test]

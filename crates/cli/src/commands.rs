@@ -64,20 +64,25 @@ COMMANDS:
   bench           run a benchmark group on the live cluster, JSON to
                   stdout (group: hotpath)
                   [--smoke true] [--check-against FILE] [--tolerance T]
-  lint            run the workspace invariant analyzer (rules D1-D6)
+  lint            run the workspace invariant analyzer (rules D1-D8)
                   [--root DIR] [--baseline FILE] [--deny-new true]
                   [--write-baseline true]
   modelcheck      explore thread interleavings of the cluster's
                   publish/read/reintegrate protocols and report
                   violations with a replayable trace
                   [--model NAME] [--weak true] [--bound P]
+                  [--msg true] [--msg-budget N]
                   [--random true --seed S --iters N]
                   [--replay TRACE] [--max-preemptions P]
                   [--max-schedules B]
                   (--weak simulates TSO store buffers: Relaxed stores
-                  drain at explored flush points; --bound is an alias
-                  for --max-preemptions; traces are v2 and carry the
-                  memory mode + bound they were recorded under)
+                  drain at explored flush points; --msg routes every
+                  Cluster::rpc send through the explorer, which
+                  enumerates per-message fates — drops, duplicates,
+                  reorders, partition edges — under each model's fault
+                  budget; --bound is an alias for --max-preemptions;
+                  traces are v3 and carry the memory mode, preemption
+                  bound and message budget they were recorded under)
   help            this text
 "
     .to_owned()
@@ -160,6 +165,8 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
     args.allow_only(&[
         "model",
         "weak",
+        "msg",
+        "msg-budget",
         "bound",
         "random",
         "seed",
@@ -169,15 +176,27 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
         "max-schedules",
     ])?;
     let weak: bool = args.get_or("weak", false)?;
-    // `--bound` is the short alias for `--max-preemptions`.
-    let bound: usize = args.get_or("bound", args.get_or("max-preemptions", 2)?)?;
-    let cfg = ech_modelcheck::Config {
-        max_preemptions: bound,
-        max_schedules: args.get_or("max-schedules", 20_000)?,
-        weak,
+    let msg: bool = args.get_or("msg", false)?;
+    // `--bound` is the short alias for `--max-preemptions`; without
+    // either flag every model runs at its own declared bound.
+    let bound_override: Option<usize> =
+        if args.options.contains_key("bound") || args.options.contains_key("max-preemptions") {
+            Some(args.get_or("bound", args.get_or("max-preemptions", 2)?)?)
+        } else {
+            None
+        };
+    // Same shape for the message-fault budget: `--msg-budget` pins it
+    // for the whole run, otherwise each model's declared budget applies
+    // (zero for the memory-protocol models, so `--msg` sweeps stay
+    // affordable).
+    let budget_override: Option<usize> = if args.options.contains_key("msg-budget") {
+        Some(args.get_or("msg-budget", 1)?)
+    } else {
+        None
     };
+    let max_schedules: usize = args.get_or("max-schedules", 20_000)?;
     if let Some(trace) = args.options.get("replay") {
-        // A v2 trace carries its own memory mode; an explicit `--weak`
+        // A v3 trace carries its own memory mode; an explicit `--weak`
         // is only accepted when it agrees.
         let explicit_weak = args.options.contains_key("weak").then_some(weak);
         return modelcheck_replay(trace, explicit_weak);
@@ -203,24 +222,43 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
     } else {
         "sequentially consistent"
     };
+    let fates = if msg {
+        ", message fates enumerated"
+    } else {
+        ""
+    };
+    let bound_desc = match bound_override {
+        Some(b) => format!("preemption bound {b}"),
+        None => "per-model preemption bounds".to_owned(),
+    };
     let mut out = String::new();
     if random {
         writeln!(
             out,
-            "modelcheck: seeded random exploration (seed {seed}, {iters} schedules per model, {mode})"
+            "modelcheck: seeded random exploration (seed {seed}, {iters} schedules per model, {mode}{fates})"
         )
         .expect("write to string");
     } else {
         writeln!(
             out,
-            "modelcheck: bounded exhaustive exploration (preemption bound {}, {mode})",
-            cfg.max_preemptions
+            "modelcheck: bounded exhaustive exploration ({bound_desc}, {mode}{fates})"
         )
         .expect("write to string");
     }
     let mut problems: Vec<String> = Vec::new();
     for m in selected {
-        let expect = m.expects_failure(weak);
+        let msg_budget = if msg {
+            budget_override.unwrap_or(m.msg_budget)
+        } else {
+            0
+        };
+        let cfg = ech_modelcheck::Config {
+            max_preemptions: bound_override.unwrap_or(m.bound),
+            max_schedules,
+            weak,
+            msg_budget,
+        };
+        let expect = m.expects_failure_in(weak, msg_budget > 0);
         // Expected-failure models always run the deterministic DFS: its
         // point is *finding* the planted violation, and the DFS both
         // finds it within a handful of schedules and reports the same
@@ -248,6 +286,8 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
                 // so, so the report is not mistaken for full coverage.
                 let note = if m.weak_only() && !weak {
                     " [weak-only mutant: stale publication needs --weak]"
+                } else if m.msg_only() && msg_budget == 0 {
+                    " [message-only mutant: fault enumeration needs --msg]"
                 } else {
                     ""
                 };
@@ -302,12 +342,13 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
 }
 
 /// `ech modelcheck --replay TRACE`: re-execute one recorded schedule.
-/// The v2 trace names its model *and* the memory mode + preemption
-/// bound it was recorded under; the scheduler forces the recorded
-/// decisions under that same configuration, so the same violation
-/// reproduces byte-identically (the counterexample replay tests run
-/// this twice and compare outputs). v1 traces are rejected: they do not
-/// record the memory mode, so a replay could silently diverge.
+/// The v3 trace names its model *and* the memory mode, preemption bound
+/// and message-fault budget it was recorded under; the scheduler forces
+/// the recorded decisions under that same configuration, so the same
+/// violation reproduces byte-identically (the counterexample replay
+/// tests run this twice and compare outputs). v1/v2 traces are
+/// rejected: they do not record everything the schedule depends on, so
+/// a replay could silently diverge.
 fn modelcheck_replay(trace: &str, explicit_weak: Option<bool>) -> Result<String, ParseError> {
     let parsed = ech_modelcheck::parse_trace(trace).map_err(ParseError)?;
     if let Some(w) = explicit_weak {
@@ -325,6 +366,7 @@ fn modelcheck_replay(trace: &str, explicit_weak: Option<bool>) -> Result<String,
         max_preemptions: parsed.bound,
         max_schedules: 1,
         weak: parsed.weak,
+        msg_budget: parsed.msg_budget,
     };
     let report = ech_modelcheck::replay(model.name, &cfg, parsed.prefix, model.setup);
     let mut out = String::new();
@@ -921,10 +963,45 @@ mod tests {
             .find(|l| l.trim_start().starts_with("trace: "))
             .expect("report carries a trace");
         let trace = trace_line.trim_start().trim_start_matches("trace: ");
-        let expected_mode = if weak { "v2:weak:" } else { "v2:sc:" };
+        let expected_mode = if weak { "v3:weak:" } else { "v3:sc:" };
         assert!(
             trace.starts_with(expected_mode),
             "trace does not record the mode it was found under: {trace}"
+        );
+        let replay_cmd = format!("modelcheck --replay {trace}");
+        let first = run_line(&replay_cmd).unwrap();
+        let second = run_line(&replay_cmd).unwrap();
+        assert!(
+            first.contains("violation reproduced"),
+            "{model} replay lost the violation:\n{first}"
+        );
+        assert_eq!(first, second, "{model} replay is not deterministic");
+        assert!(
+            first.contains(trace),
+            "{model} replay rewrote the trace:\n{first}"
+        );
+    }
+
+    /// Message-mode analogue of [`assert_caught_and_replayable`]: find
+    /// the mutant's counterexample under `--msg`, check the trace
+    /// records the message budget and at least one enumerated fate, and
+    /// replay it byte-identically twice.
+    fn assert_caught_and_replayable_msg(model: &str) {
+        let out = run_line(&format!("modelcheck --model {model} --msg true")).unwrap();
+        assert!(out.contains("caught"), "{model} --msg not caught:\n{out}");
+        let trace_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("trace: "))
+            .expect("report carries a trace");
+        let trace = trace_line.trim_start().trim_start_matches("trace: ");
+        assert!(
+            trace.starts_with("v3:sc:") && trace.contains(":m1:"),
+            "trace does not record the message budget it was found under: {trace}"
+        );
+        let steps = trace.rsplit(':').next().expect("trace has steps");
+        assert!(
+            steps.split(',').any(|s| s.starts_with('m')),
+            "counterexample carries no message-fate decision: {trace}"
         );
         let replay_cmd = format!("modelcheck --replay {trace}");
         let first = run_line(&replay_cmd).unwrap();
@@ -978,13 +1055,14 @@ mod tests {
         }
     }
 
-    /// v2 traces refuse to replay under a contradicting explicit mode,
-    /// and v1 traces are rejected outright (they record neither mode nor
-    /// bound, so a replay could silently diverge).
+    /// v3 traces refuse to replay under a contradicting explicit mode,
+    /// and v1/v2 traces are rejected outright (they do not record
+    /// everything the schedule depends on, so a replay could silently
+    /// diverge).
     #[test]
-    fn modelcheck_replay_rejects_mode_mismatch_and_v1() {
+    fn modelcheck_replay_rejects_mode_mismatch_and_legacy_traces() {
         let err =
-            run_line("modelcheck --replay v2:weak:b2:weak-stop-flag-relaxed:t0,t0 --weak false")
+            run_line("modelcheck --replay v3:weak:b2:m0:weak-stop-flag-relaxed:t0,t0 --weak false")
                 .unwrap_err();
         assert!(
             err.0.contains("contradicts"),
@@ -993,16 +1071,72 @@ mod tests {
         );
         let err = run_line("modelcheck --replay v1:seeded-stamp-bug:0,0,1").unwrap_err();
         assert!(
-            err.0.contains("memory mode") && err.0.contains("v2"),
+            err.0.contains("memory mode") && err.0.contains("v3"),
             "v1 rejection does not explain itself: {}",
+            err.0
+        );
+        let err =
+            run_line("modelcheck --replay v2:weak:b2:weak-stop-flag-relaxed:t0,t0").unwrap_err();
+        assert!(
+            err.0.contains("message fault budget") && err.0.contains("v3"),
+            "v2 rejection does not explain itself: {}",
             err.0
         );
         // Agreement is fine: an explicit matching mode replays normally.
         let ok = run_line(
-            "modelcheck --replay v2:weak:b2:weak-stop-flag-relaxed:t0,t0,t1,t1,t1,t1 --weak true",
+            "modelcheck --replay v3:weak:b2:m0:weak-stop-flag-relaxed:t0,t0,t1,t1,t1,t1 --weak true",
         )
         .unwrap();
         assert!(ok.contains("replay weak-stop-flag-relaxed"), "{ok}");
+    }
+
+    /// The message-mode acceptance case: the three message mutants pass
+    /// *exhaustively* under thread-only exploration (the mode provably
+    /// cannot find them — every schedule was checked and none
+    /// retransmits, drops, or delays anything) and are caught with a
+    /// replayable message-fate counterexample under `--msg`.
+    #[test]
+    fn modelcheck_msg_mode_catches_what_thread_only_provably_misses() {
+        for model in [
+            "msg-quorum-ack-loss-bug",
+            "msg-breaker-notfound-bug",
+            "msg-dup-append-bug",
+        ] {
+            let sc = run_line(&format!("modelcheck --model {model}")).unwrap();
+            assert!(
+                sc.contains("pass"),
+                "{model} should pass thread-only:\n{sc}"
+            );
+            assert!(
+                sc.contains("(exhaustive)"),
+                "{model} thread-only pass must be exhaustive to prove the miss:\n{sc}"
+            );
+            assert!(
+                sc.contains("message-only mutant"),
+                "{model} report lacks the msg-only annotation:\n{sc}"
+            );
+            assert_caught_and_replayable_msg(model);
+        }
+    }
+
+    /// The correct-protocol message models hold on every schedule with
+    /// fates enumerated: quorum writes stay self-healing under any
+    /// single message fault, the breaker recovers through its half-open
+    /// probe, and duplicate delivery is idempotent.
+    #[test]
+    fn modelcheck_msg_models_pass_exhaustively_with_fates_enumerated() {
+        for model in [
+            "msg-quorum-ack-loss",
+            "msg-breaker-probe",
+            "msg-dup-idempotence",
+        ] {
+            let out = run_line(&format!("modelcheck --model {model} --msg true")).unwrap();
+            assert!(out.contains("pass"), "{model} --msg did not pass:\n{out}");
+            assert!(
+                out.contains("(exhaustive)"),
+                "{model} --msg truncated:\n{out}"
+            );
+        }
     }
 
     #[test]

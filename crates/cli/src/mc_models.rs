@@ -9,7 +9,7 @@
 //! (data races, relaxed orderings on sync atomics, stale publication
 //! reads, deadlocks).
 //!
-//! Models carry *per-memory-mode* expectations: the deliberately seeded
+//! Models carry *per-mode* expectations: the deliberately seeded
 //! mutants must be caught, and two of them (`weak-stop-flag-relaxed`,
 //! `weak-view-publish-relaxed`) are invisible to sequentially
 //! consistent exploration by construction — a `Relaxed` publication
@@ -18,14 +18,26 @@
 //! asymmetry is the point: it proves the weak mode finds real bugs the
 //! default mode provably cannot.
 //!
+//! The message-scheduler mode (`--msg`) has the same structure one
+//! layer down: the `msg-*` models route every `Cluster::rpc` send
+//! through the explorer, which enumerates per-message fates (delivered,
+//! dropped request, dropped ack, duplicate, reordered, partition edges)
+//! under the model's fault budget. Their `-bug` twins are mutants whose
+//! misbehaviour *requires* a message fault — a retransmission, a lost
+//! ack, a tripped breaker — so thread-only exploration passes them
+//! exhaustively and only `--msg` catches them. Each model also declares
+//! the preemption bound and fault budget it wants explored, so the CI
+//! sweep pays for depth only where a scenario needs it.
+//!
 //! The models live in the CLI (not in `ech-modelcheck`) because they
 //! sit at the top of the dependency graph: the checker crate must stay
 //! dependency-free so every layer below can link against it.
 
 use arc_swap::ArcSwap;
 use bytes::Bytes;
-use ech_cluster::cluster::{Cluster, ClusterConfig, ReadPolicy, WriteQuorum};
+use ech_cluster::cluster::{Cluster, ClusterConfig, ClusterError, ReadPolicy, WriteQuorum};
 use ech_cluster::fault::{FaultPlan, NodeFaultSpec, VirtualClock};
+use ech_cluster::net::BreakerConfig;
 use ech_cluster::retry::RetryPolicy;
 use ech_core::cache::ShardedPlacementCache;
 use ech_core::ids::ObjectId;
@@ -50,6 +62,20 @@ pub struct Model {
     /// mutants set this without `expect_failure`: their bug is a
     /// `Relaxed` publication only a store buffer can delay.
     pub expect_failure_weak: bool,
+    /// Additional expectation under the message-scheduler (`--msg`)
+    /// mode. Message-only mutants set this alone: their bug needs a
+    /// retransmission or a lost message that thread-only exploration
+    /// cannot produce, so they pass exhaustively without `--msg`.
+    pub expect_failure_msg: bool,
+    /// Preemption bound the sweep explores this model at (the `--bound`
+    /// flag overrides it for the whole run).
+    pub bound: usize,
+    /// Message-fault budget the explorer rations in `--msg` mode (the
+    /// `--msg-budget` flag overrides it). Zero keeps the model
+    /// thread-only even under `--msg` — the right default for the
+    /// memory-protocol models, whose schedule spaces would otherwise
+    /// multiply by seven fates per rpc for no new coverage.
+    pub msg_budget: usize,
     /// Scenario builder handed to the explorer for every schedule.
     pub setup: fn(&mut Env),
 }
@@ -64,9 +90,22 @@ impl Model {
         }
     }
 
+    /// The expectation that applies under the given memory mode *and*
+    /// message mode. Message faults only add schedules — the fault-free
+    /// branch is always explored — so a mutant caught without `--msg`
+    /// stays caught with it.
+    pub fn expects_failure_in(&self, weak: bool, msg: bool) -> bool {
+        self.expects_failure(weak) || (msg && self.expect_failure_msg)
+    }
+
     /// A mutant only the weak-memory mode can catch.
     pub fn weak_only(&self) -> bool {
         self.expect_failure_weak && !self.expect_failure
+    }
+
+    /// A mutant only the message-scheduler mode can catch.
+    pub fn msg_only(&self) -> bool {
+        self.expect_failure_msg && !self.expect_failure && !self.expect_failure_weak
     }
 }
 
@@ -79,6 +118,9 @@ pub const MODELS: &[Model] = &[
         about: "resize publishes a view while a reader resolves the same object",
         expect_failure: false,
         expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: publish_vs_read,
     },
     Model {
@@ -86,6 +128,9 @@ pub const MODELS: &[Model] = &[
         about: "placement cache consulted across a concurrent view publication",
         expect_failure: false,
         expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: cache_coherence,
     },
     Model {
@@ -93,6 +138,9 @@ pub const MODELS: &[Model] = &[
         about: "selective re-integration racing a power-up resize",
         expect_failure: false,
         expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: reintegrate_vs_resize,
     },
     Model {
@@ -100,6 +148,9 @@ pub const MODELS: &[Model] = &[
         about: "hit/miss pair stays coherent under concurrent lookups",
         expect_failure: false,
         expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: cache_counters,
     },
     Model {
@@ -107,6 +158,9 @@ pub const MODELS: &[Model] = &[
         about: "quorum write racing a reader while a secondary injects I/O errors",
         expect_failure: false,
         expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: quorum_write_faults,
     },
     Model {
@@ -114,6 +168,9 @@ pub const MODELS: &[Model] = &[
         about: "quorum write degrades under an asymmetric partition, heals after it lifts",
         expect_failure: false,
         expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: partition_quorum,
     },
     Model {
@@ -121,6 +178,9 @@ pub const MODELS: &[Model] = &[
         about: "hedged read racing a crash of the primary replica",
         expect_failure: false,
         expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: hedged_read_crash,
     },
     Model {
@@ -128,6 +188,9 @@ pub const MODELS: &[Model] = &[
         about: "background-worker stop flag handshake (Release/Acquire)",
         expect_failure: false,
         expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: worker_stop_flag,
     },
     Model {
@@ -135,6 +198,9 @@ pub const MODELS: &[Model] = &[
         about: "two re-integration workers draining the same dirty table",
         expect_failure: false,
         expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: reintegration_pool,
     },
     Model {
@@ -142,6 +208,9 @@ pub const MODELS: &[Model] = &[
         about: "deliberately re-seeded stamp-before-publish regression (must be caught)",
         expect_failure: true,
         expect_failure_weak: true,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: seeded_stamp_bug,
     },
     Model {
@@ -149,6 +218,9 @@ pub const MODELS: &[Model] = &[
         about: "seeded quorum ack without a dirty entry (must be caught)",
         expect_failure: true,
         expect_failure_weak: true,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: quorum_dirty_bug,
     },
     Model {
@@ -156,6 +228,9 @@ pub const MODELS: &[Model] = &[
         about: "seeded partitioned-quorum ack without a dirty entry (must be caught)",
         expect_failure: true,
         expect_failure_weak: true,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: partition_quorum_bug,
     },
     Model {
@@ -163,6 +238,9 @@ pub const MODELS: &[Model] = &[
         about: "seeded version-check bypass leaks a stale replica (must be caught)",
         expect_failure: true,
         expect_failure_weak: true,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: hedged_stale_bug,
     },
     Model {
@@ -170,6 +248,9 @@ pub const MODELS: &[Model] = &[
         about: "seeded remove-before-copy move loses the replica (must be caught)",
         expect_failure: true,
         expect_failure_weak: true,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: reintegration_lost_replica_bug,
     },
     Model {
@@ -177,6 +258,9 @@ pub const MODELS: &[Model] = &[
         about: "seeded Relaxed stop-flag store (caught only under --weak)",
         expect_failure: false,
         expect_failure_weak: true,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: weak_stop_flag_relaxed,
     },
     Model {
@@ -184,7 +268,70 @@ pub const MODELS: &[Model] = &[
         about: "seeded Relaxed view publication (caught only under --weak)",
         expect_failure: false,
         expect_failure_weak: true,
+        expect_failure_msg: false,
+        bound: 2,
+        msg_budget: 0,
         setup: weak_view_publish_relaxed,
+    },
+    Model {
+        name: "msg-quorum-ack-loss",
+        about: "quorum write stays self-healing under every enumerated ack loss",
+        expect_failure: false,
+        expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 1,
+        msg_budget: 1,
+        setup: msg_quorum_ack_loss,
+    },
+    Model {
+        name: "msg-breaker-probe",
+        about: "breaker trips on enumerated faults, probes half-open, recovers",
+        expect_failure: false,
+        expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 1,
+        msg_budget: 2,
+        setup: msg_breaker_probe,
+    },
+    Model {
+        name: "msg-dup-idempotence",
+        about: "duplicate delivery of a quorum write is harmless (puts overwrite)",
+        expect_failure: false,
+        expect_failure_weak: false,
+        expect_failure_msg: false,
+        bound: 1,
+        msg_budget: 1,
+        setup: msg_dup_idempotence,
+    },
+    Model {
+        name: "msg-quorum-ack-loss-bug",
+        about: "seeded unlogged degraded ack under message loss (caught only under --msg)",
+        expect_failure: false,
+        expect_failure_weak: false,
+        expect_failure_msg: true,
+        bound: 1,
+        msg_budget: 1,
+        setup: msg_quorum_ack_loss_bug,
+    },
+    Model {
+        name: "msg-breaker-notfound-bug",
+        about: "seeded breaker-as-NotFound read misclassification (caught only under --msg)",
+        expect_failure: false,
+        expect_failure_weak: false,
+        expect_failure_msg: true,
+        bound: 1,
+        msg_budget: 1,
+        setup: msg_breaker_notfound_bug,
+    },
+    Model {
+        name: "msg-dup-append-bug",
+        about: "seeded non-idempotent append doubled by a retransmission (caught only under --msg)",
+        expect_failure: false,
+        expect_failure_weak: false,
+        expect_failure_msg: true,
+        bound: 1,
+        msg_budget: 1,
+        setup: msg_dup_append_bug,
     },
 ];
 
@@ -861,5 +1008,195 @@ fn weak_view_publish_relaxed(env: &mut Env) {
             c.current_version() > v0,
             "resize publication never became visible (stale Relaxed view swap)"
         );
+    });
+}
+
+/// A cluster shaped for message-mode exploration: no seed-hashed fault
+/// fabric (the explorer *is* the network) and no retries. Retries
+/// matter doubly here: with a budget of one fault, a retry would
+/// re-send the rpc, meet the exhausted budget's forced delivery, and
+/// silently heal every enumerated fault — the whole mode would prove
+/// nothing. `RetryPolicy::none()` keeps each send's fate decisive and
+/// the schedule space small.
+fn msg_cluster(
+    servers: usize,
+    replicas: usize,
+    write_quorum: WriteQuorum,
+    breaker: Option<BreakerConfig>,
+) -> Arc<Cluster> {
+    let cfg = ClusterConfig {
+        servers,
+        replicas,
+        layout_base: 64,
+        strategy: Strategy::Primary,
+        kv_shards: 2,
+        capacity_plan: None,
+        write_quorum,
+        retry: RetryPolicy::none(),
+        cache_capacity: 64,
+        cache_shards: 2,
+        reintegration_batch: 1,
+        migration_rate: None,
+        op_deadline: None,
+        breaker,
+    };
+    Cluster::with_faults_and_clock(cfg, FaultPlan::default(), Arc::new(VirtualClock::new()))
+}
+
+/// Breaker for the recovery model: a single failure trips it, and the
+/// cooldown is shorter than one backoff charge, so an open breaker's
+/// own fast-fail ages it into half-open — the probe path is reachable
+/// in every schedule that trips it.
+const PROBE_BREAKER: BreakerConfig = BreakerConfig {
+    failure_threshold: 1,
+    cooldown: Duration::from_micros(50),
+};
+
+/// Breaker for the misclassification mutant: the cooldown is stretched
+/// past anything the read loop can charge, so a read that arrives while
+/// the breaker is open meets *only* fast-fails — the window where the
+/// mutant fabricates `NotFound`.
+const NOTFOUND_BREAKER: BreakerConfig = BreakerConfig {
+    failure_threshold: 1,
+    cooldown: Duration::from_millis(10),
+};
+
+/// A quorum write (primary + majority of three) under enumerated
+/// message fates: a lost request, a lost ack, a duplicate, a reorder,
+/// or a partition edge may cost one secondary, and an acknowledged
+/// write must then leave either full placement or a dirty entry that
+/// keeps the miss self-healing (§III-E's degraded-write contract,
+/// driven by the message plane). Thread-only exploration delivers every
+/// message and passes trivially; `--msg` proves the contract over every
+/// single-fault placement.
+fn msg_quorum_ack_loss(env: &mut Env) {
+    let c = msg_cluster(3, 3, WriteQuorum::PrimaryPlusMajority, None);
+    env.spawn(move || {
+        if c.put(OID, Bytes::copy_from_slice(PAYLOAD)).is_ok() {
+            assert!(
+                c.is_fully_placed(OID) || c.dirty_len() >= 1,
+                "degraded quorum ack left no dirty entry under message loss"
+            );
+        }
+    });
+}
+
+/// Seeded mutant of [`msg_quorum_ack_loss`]: the degraded ack "forgets"
+/// its dirty-table entry ([`Cluster::put_unlogged_for_modelcheck`]).
+/// Unlike `quorum-dirty-bug`, *nothing else* fails — the only way to
+/// miss a secondary is a message fault, so thread-only exploration
+/// (where every send delivers and the placement completes) passes
+/// exhaustively, and only `--msg` produces the lost-update schedule.
+fn msg_quorum_ack_loss_bug(env: &mut Env) {
+    let c = msg_cluster(3, 3, WriteQuorum::PrimaryPlusMajority, None);
+    env.spawn(move || {
+        if c.put_unlogged_for_modelcheck(OID, Bytes::copy_from_slice(PAYLOAD))
+            .is_ok()
+        {
+            assert!(
+                c.is_fully_placed(OID) || c.dirty_len() >= 1,
+                "degraded quorum ack left no dirty entry under message loss"
+            );
+        }
+    });
+}
+
+/// The breaker state machine driven by enumerated message faults: each
+/// fault trips the threshold-one breaker, the fast-fail's backoff
+/// charge outlives the cooldown, and the next read probes half-open and
+/// closes it again. Over the read loop a committed object must never be
+/// reported `NotFound` (an open breaker is a routing verdict, not an
+/// authoritative miss), every successful read returns the exact bytes,
+/// and each enumerated fault may cost at most one read.
+fn msg_breaker_probe(env: &mut Env) {
+    let c = msg_cluster(1, 1, WriteQuorum::All, Some(PROBE_BREAKER));
+    c.put(OID, Bytes::copy_from_slice(PAYLOAD))
+        .expect("setup write on a fault-free fabric");
+    env.spawn(move || {
+        let mut ok = 0u32;
+        for _ in 0..6 {
+            match c.get(OID) {
+                Ok(data) => {
+                    assert_eq!(&data[..], PAYLOAD, "read returned wrong bytes");
+                    ok += 1;
+                }
+                Err(e) => assert!(
+                    !matches!(e, ClusterError::NotFound),
+                    "open breaker misreported a committed object as NotFound"
+                ),
+            }
+        }
+        assert!(
+            ok >= 4,
+            "breaker never recovered: only {ok}/6 reads succeeded"
+        );
+    });
+}
+
+/// Seeded mutant of [`msg_breaker_probe`]: the read path stops counting
+/// an open breaker as transient
+/// ([`Cluster::get_treating_breaker_as_notfound_for_modelcheck`]), and
+/// the stretched cooldown pins the breaker open for a whole read — so a
+/// get that arrives behind a tripped breaker sees only fast-fails and
+/// fabricates an authoritative `NotFound` for a committed object.
+/// Thread-only exploration has no fault to trip the breaker with and
+/// passes exhaustively; `--msg` needs a single fault to catch it.
+fn msg_breaker_notfound_bug(env: &mut Env) {
+    let c = msg_cluster(1, 1, WriteQuorum::All, Some(NOTFOUND_BREAKER));
+    c.put(OID, Bytes::copy_from_slice(PAYLOAD))
+        .expect("setup write on a fault-free fabric");
+    env.spawn(move || {
+        for _ in 0..2 {
+            match c.get_treating_breaker_as_notfound_for_modelcheck(OID) {
+                Ok(data) => assert_eq!(&data[..], PAYLOAD, "read returned wrong bytes"),
+                Err(e) => assert!(
+                    !matches!(e, ClusterError::NotFound),
+                    "open breaker misreported a committed object as NotFound"
+                ),
+            }
+        }
+    });
+}
+
+/// Duplicate delivery against the production write path:
+/// [`ech_cluster::node::StorageNode::put`] overwrites, so a
+/// retransmitted request that executes twice is harmless and a read
+/// after an acknowledged write returns exactly the committed bytes.
+/// `--msg` proves the idempotence over every single-fault placement;
+/// thread-only exploration never retransmits anything.
+fn msg_dup_idempotence(env: &mut Env) {
+    let c = msg_cluster(3, 3, WriteQuorum::PrimaryPlusMajority, None);
+    env.spawn(move || {
+        if c.put(OID, Bytes::copy_from_slice(PAYLOAD)).is_ok() {
+            let got = c.get(OID).expect("acked object must stay readable");
+            assert_eq!(
+                &got[..],
+                PAYLOAD,
+                "retransmitted write corrupted the payload"
+            );
+        }
+    });
+}
+
+/// Seeded mutant of [`msg_dup_idempotence`]: the write is rebuilt on a
+/// non-idempotent append store
+/// ([`Cluster::put_appending_for_modelcheck`]). On a fault-free fabric
+/// it is byte-for-byte a first write — the appended-to slot is empty —
+/// so thread-only exploration passes exhaustively; under the `Duplicate`
+/// fate the retransmission appends twice and the reader observes the
+/// doubled payload. Only `--msg` catches it.
+fn msg_dup_append_bug(env: &mut Env) {
+    let c = msg_cluster(3, 3, WriteQuorum::PrimaryPlusMajority, None);
+    env.spawn(move || {
+        if c.put_appending_for_modelcheck(OID, Bytes::copy_from_slice(PAYLOAD))
+            .is_ok()
+        {
+            let got = c.get(OID).expect("acked object must stay readable");
+            assert_eq!(
+                &got[..],
+                PAYLOAD,
+                "retransmitted write corrupted the payload"
+            );
+        }
     });
 }

@@ -13,11 +13,13 @@
 
 use crate::dirty_store::{KvDirtyTable, KvHeaderStore};
 use crate::fault::{Clock, FaultInjector, FaultPlan, FaultStatsSnapshot, SystemClock};
-use crate::net::{BreakerSnapshot, NetFabric, NetStatsSnapshot, ReplicaBreakers, SendVerdict};
+use crate::net::{
+    BreakerSnapshot, NetFabric, NetPlan, NetStatsSnapshot, ReplicaBreakers, SendVerdict,
+};
 use crate::node::{NodeError, StorageNode};
 use crate::repair::RepairStats;
 use crate::retry::{Classify, Deadline, RetryPolicy};
-use crate::sync::{counter_u64, AtomicBool, AtomicU64, Mutex, Ordering};
+use crate::sync::{counter_u64, msg_fate, AtomicBool, AtomicU64, MsgFate, Mutex, Ordering};
 use arc_swap::ArcSwap;
 use bytes::Bytes;
 use ech_core::cache::ShardedPlacementCache;
@@ -561,7 +563,7 @@ impl Cluster {
 
     /// A fresh [`Deadline`] for one client operation, from the
     /// configured budget.
-    fn op_deadline(&self) -> Deadline {
+    pub(crate) fn op_deadline(&self) -> Deadline {
         Deadline::from_config(&*self.clock, self.cfg.op_deadline)
     }
 
@@ -569,15 +571,19 @@ impl Cluster {
     /// data-path send crosses, so the breaker and the fault fabric see
     /// the whole conversation.
     ///
-    /// Order of business: (1) an open breaker fails the send fast —
-    /// no clock cost, no fabric traffic; (2) the fabric rules on the
-    /// message (deliver/delay/drop/partition); (3) the outcome feeds the
-    /// breaker. Lost messages cost the sender the plan's rpc timeout on
-    /// the clock before surfacing as [`NodeError::Timeout`] /
-    /// [`NodeError::Partitioned`] — an `Outbound` partition and a
-    /// dropped *response* still execute `op` (the node did the work;
-    /// only the ack vanished), which is what makes acked-write
-    /// accounting under partitions honest.
+    /// Order of business: (1) an open breaker fails the send fast,
+    /// charging one backoff base on the clock (a zero-cost rejection
+    /// would let poll loops spin against an open breaker without
+    /// advancing virtual time); (2) the fabric rules on the message
+    /// (deliver/delay/drop/partition) — unless the model checker's
+    /// message-scheduler mode is active, in which case the explorer's
+    /// enumerated [`MsgFate`] overrides the seed-hashed fabric; (3) the
+    /// outcome feeds the breaker. Lost messages cost the sender the
+    /// plan's rpc timeout on the clock before surfacing as
+    /// [`NodeError::Timeout`] / [`NodeError::Partitioned`] — an
+    /// `Outbound` partition and a dropped *response* still execute `op`
+    /// (the node did the work; only the ack vanished), which is what
+    /// makes acked-write accounting under partitions honest.
     pub(crate) fn rpc<T>(
         &self,
         server: ServerId,
@@ -587,42 +593,87 @@ impl Cluster {
         let idx = server.index();
         if let Some(b) = &self.breakers {
             if !b.try_acquire(idx, self.clock.now()) {
+                self.clock.sleep(self.cfg.retry.base);
                 return Err(NodeError::BreakerOpen);
             }
         }
-        let result = match &self.net {
-            None => op(node),
-            Some(net) => match net.before_send(idx) {
-                SendVerdict::Deliver { delay, duplicate } => {
-                    if let Some(d) = delay {
-                        self.clock.sleep(d);
+        let result = match msg_fate() {
+            // Message-scheduler mode: the explorer chose this send's
+            // fate; emulate it with the same clock charges and
+            // execute/ack split as the fabric verdicts below.
+            Some(fate) => {
+                let timeout = self
+                    .net
+                    .as_ref()
+                    .map(|n| n.rpc_timeout())
+                    .unwrap_or_else(NetPlan::default_rpc_timeout);
+                match fate {
+                    MsgFate::Deliver => op(node),
+                    MsgFate::DropRequest => {
+                        self.clock.sleep(timeout);
+                        Err(NodeError::Timeout)
                     }
-                    let r = op(node);
-                    if duplicate && r.is_ok() {
-                        // A retransmitted request executes twice; node
-                        // ops are idempotent so only the op counters see
-                        // it (the duplicate's own faults are swallowed —
-                        // the first reply already answered the sender).
+                    MsgFate::DropResponse => {
                         let _ = op(node);
+                        self.clock.sleep(timeout);
+                        Err(NodeError::Timeout)
                     }
-                    r
-                }
-                SendVerdict::DropRequest => {
-                    self.clock.sleep(net.rpc_timeout());
-                    Err(NodeError::Timeout)
-                }
-                SendVerdict::DropResponse => {
-                    let _ = op(node);
-                    self.clock.sleep(net.rpc_timeout());
-                    Err(NodeError::Timeout)
-                }
-                SendVerdict::Partitioned { request_delivered } => {
-                    if request_delivered {
+                    MsgFate::Duplicate => {
+                        let r = op(node);
+                        if r.is_ok() {
+                            let _ = op(node);
+                        }
+                        r
+                    }
+                    MsgFate::Reorder => {
+                        self.clock.sleep(timeout);
+                        op(node)
+                    }
+                    MsgFate::PartitionedInbound => {
+                        self.clock.sleep(timeout);
+                        Err(NodeError::Partitioned)
+                    }
+                    MsgFate::PartitionedOutbound => {
                         let _ = op(node);
+                        self.clock.sleep(timeout);
+                        Err(NodeError::Partitioned)
                     }
-                    self.clock.sleep(net.rpc_timeout());
-                    Err(NodeError::Partitioned)
                 }
+            }
+            None => match &self.net {
+                None => op(node),
+                Some(net) => match net.before_send(idx) {
+                    SendVerdict::Deliver { delay, duplicate } => {
+                        if let Some(d) = delay {
+                            self.clock.sleep(d);
+                        }
+                        let r = op(node);
+                        if duplicate && r.is_ok() {
+                            // A retransmitted request executes twice; node
+                            // ops are idempotent so only the op counters see
+                            // it (the duplicate's own faults are swallowed —
+                            // the first reply already answered the sender).
+                            let _ = op(node);
+                        }
+                        r
+                    }
+                    SendVerdict::DropRequest => {
+                        self.clock.sleep(net.rpc_timeout());
+                        Err(NodeError::Timeout)
+                    }
+                    SendVerdict::DropResponse => {
+                        let _ = op(node);
+                        self.clock.sleep(net.rpc_timeout());
+                        Err(NodeError::Timeout)
+                    }
+                    SendVerdict::Partitioned { request_delivered } => {
+                        if request_delivered {
+                            let _ = op(node);
+                        }
+                        self.clock.sleep(net.rpc_timeout());
+                        Err(NodeError::Partitioned)
+                    }
+                },
             },
         };
         if let Some(b) = &self.breakers {
@@ -816,6 +867,46 @@ impl Cluster {
         )
     }
 
+    /// **Deliberately seeded retransmission-safety bug** (modelcheck
+    /// builds only): a quorum write built on the non-idempotent
+    /// [`StorageNode::append_for_modelcheck`] store. On a fault-free
+    /// fabric it is byte-for-byte identical to a first write — the
+    /// appended-to slot is empty — so thread-only exploration passes
+    /// exhaustively. Under the message scheduler's `Duplicate` fate the
+    /// retransmitted request appends twice and a reader observes the
+    /// doubled payload; the `msg-dup-append-bug` model catches it.
+    #[cfg(feature = "modelcheck")]
+    pub fn put_appending_for_modelcheck(
+        &self,
+        oid: ObjectId,
+        data: Bytes,
+    ) -> Result<(), ClusterError> {
+        let (placement, version, power_dirty) = {
+            let view = self.view.load();
+            let p = view.place_current(oid)?;
+            (p, view.current_version(), view.write_is_dirty())
+        };
+        let servers = placement.servers();
+        let required = self.cfg.write_quorum.required(servers.len());
+        let mut written = 0usize;
+        for (rank, &server) in servers.iter().enumerate() {
+            let node = self.node(server)?;
+            let result = self.rpc(server, node, |n| {
+                n.append_for_modelcheck(oid, data.clone(), version, power_dirty)
+            });
+            match result {
+                Ok(()) => written += 1,
+                Err(e) if rank == 0 => return Err(ClusterError::Node(e)),
+                Err(_) => {}
+            }
+        }
+        if written < required {
+            return Err(ClusterError::QuorumNotReached { written, required });
+        }
+        self.headers.record_write(oid, version, power_dirty);
+        Ok(())
+    }
+
     /// Read an object from any live replica.
     ///
     /// First tries the current placement; if the object has not been
@@ -865,6 +956,29 @@ impl Cluster {
         self.get_with_acceptance(oid, policy, false, self.op_deadline())
     }
 
+    /// **Deliberately seeded breaker-misclassification bug** (modelcheck
+    /// builds only): a read that does not count an open breaker toward
+    /// the "could this miss be transient?" verdict. When every replica
+    /// hides behind a tripped breaker, a committed object is reported
+    /// [`ClusterError::NotFound`] — an authoritative answer fabricated
+    /// from a routing veto. Thread-only exploration never trips a
+    /// breaker (no message faults exist to feed it), so the bug is
+    /// invisible without `--msg`; the `msg-breaker-notfound-bug` model
+    /// catches it with a single enumerated fault.
+    #[cfg(feature = "modelcheck")]
+    pub fn get_treating_breaker_as_notfound_for_modelcheck(
+        &self,
+        oid: ObjectId,
+    ) -> Result<Bytes, ClusterError> {
+        self.get_with_acceptance_opts(
+            oid,
+            ReadPolicy::FirstReplica,
+            true,
+            self.op_deadline(),
+            false,
+        )
+    }
+
     /// [`Cluster::get_with`] with the version-acceptance check made
     /// explicit; `enforce_versions` is always true on the production
     /// path.
@@ -874,6 +988,23 @@ impl Cluster {
         policy: ReadPolicy,
         enforce_versions: bool,
         deadline: Deadline,
+    ) -> Result<Bytes, ClusterError> {
+        self.get_with_acceptance_opts(oid, policy, enforce_versions, deadline, true)
+    }
+
+    /// [`Cluster::get_with_acceptance`] with the breaker classification
+    /// made explicit. `breaker_is_transient` is always true on the
+    /// production path: an open breaker is a routing verdict about the
+    /// link, never an authoritative statement about the object, so a
+    /// read that saw only tripped breakers must report `Unavailable`,
+    /// not `NotFound`. The seeded mutant below passes false.
+    fn get_with_acceptance_opts(
+        &self,
+        oid: ObjectId,
+        policy: ReadPolicy,
+        enforce_versions: bool,
+        deadline: Deadline,
+        breaker_is_transient: bool,
     ) -> Result<Bytes, ClusterError> {
         let expected = self.headers.header(oid).map(|h| h.version);
         let view = self.view.load();
@@ -908,7 +1039,8 @@ impl Cluster {
             !enforce_versions || expected.is_none_or(|v| stamp >= v)
         };
         if let ReadPolicy::Hedged { threshold } = policy {
-            if let Some(data) = self.hedged_get(oid, &candidates, &acceptable, threshold) {
+            if let Some(data) = self.hedged_get(oid, &candidates, &acceptable, threshold, deadline)
+            {
                 return Ok(data);
             }
         }
@@ -928,7 +1060,8 @@ impl Cluster {
                 Ok(obj) if acceptable(obj.header.version) => return Ok(obj.data),
                 Ok(_) => {}
                 Err(e) => {
-                    saw_transient |= e.is_transient() || matches!(e, NodeError::BreakerOpen);
+                    saw_transient |= e.is_transient()
+                        || (breaker_is_transient && matches!(e, NodeError::BreakerOpen));
                 }
             }
         }
@@ -944,7 +1077,8 @@ impl Cluster {
                 Ok(obj) if acceptable(obj.header.version) => return Ok(obj.data),
                 Ok(_) => {}
                 Err(e) => {
-                    saw_transient |= e.is_transient() || matches!(e, NodeError::BreakerOpen);
+                    saw_transient |= e.is_transient()
+                        || (breaker_is_transient && matches!(e, NodeError::BreakerOpen));
                 }
             }
         }
@@ -968,12 +1102,17 @@ impl Cluster {
     /// *freshness* budget, not a race: a first replica that answers late
     /// (or returns a stale copy) loses to any acceptable secondary, and
     /// is used only as the last resort.
+    ///
+    /// The operation's [`Deadline`] is consulted before every hedge
+    /// probe: hedging is an optimisation, and a spent budget means the
+    /// caller's sequential sweep should surface the failure instead.
     fn hedged_get(
         &self,
         oid: ObjectId,
         candidates: &[ServerId],
         acceptable: &impl Fn(VersionId) -> bool,
         threshold: std::time::Duration,
+        deadline: Deadline,
     ) -> Option<Bytes> {
         let first_id = *candidates.first()?;
         let first = self.node(first_id).ok()?;
@@ -988,6 +1127,9 @@ impl Cluster {
         // The first replica was slow, stale, or unreachable — hedge.
         self.counters.inc_hedged_reads();
         for &s in candidates.iter().skip(1) {
+            if deadline.expired(&*self.clock) {
+                break;
+            }
             if let Ok(obj) = self.rpc(s, self.node(s).ok()?, |n| n.get(oid)) {
                 if acceptable(obj.header.version) {
                     return Some(obj.data);
@@ -1270,6 +1412,10 @@ impl Cluster {
                     | NodeError::BreakerOpen
             )
         };
+        // One budget for the whole task: every per-move retry loop
+        // consults the same expiry (rule D8), so a task against a dark
+        // fabric gives up instead of spending a fresh budget per move.
+        let deadline = self.op_deadline();
         for m in &task.moves {
             let (Ok(src), Ok(dst)) = (self.node(m.from), self.node(m.to)) else {
                 // A move naming a server outside the cluster is a planner
@@ -1277,12 +1423,13 @@ impl Cluster {
                 continue;
             };
             let src_token = task.oid.raw() ^ ((m.from.index() as u64) << 48);
-            let got =
-                self.cfg
-                    .retry
-                    .run_with(&*self.clock, src_token, NodeError::is_transient, || {
-                        self.rpc(m.from, src, |n| n.get(task.oid))
-                    });
+            let got = self.cfg.retry.run_deadline(
+                &*self.clock,
+                deadline,
+                src_token,
+                NodeError::is_transient,
+                || self.rpc(m.from, src, |n| n.get(task.oid)),
+            );
             match got {
                 Ok(obj) => {
                     let bytes = obj.data.len() as u64;
@@ -1291,6 +1438,7 @@ impl Cluster {
                         // BUG under test (seeded, modelcheck only): the
                         // source goes away before the copy exists, so a
                         // put failure below loses the replica outright.
+                        // ech-allow(D7): replica removes are reconciliation messages the coordinator repeats at will; they ride the reliable queue and bypass the fabric (DESIGN §8)
                         src.remove(task.oid);
                     }
                     // The destination is active at the target version by
@@ -1298,8 +1446,9 @@ impl Cluster {
                     // retries) means a racing resize — or a message-level
                     // fault — in which case the entry is re-planned.
                     let dst_token = task.oid.raw() ^ ((m.to.index() as u64) << 48);
-                    let put = self.cfg.retry.run_with(
+                    let put = self.cfg.retry.run_deadline(
                         &*self.clock,
+                        deadline,
                         dst_token,
                         NodeError::is_transient,
                         || {
@@ -1316,6 +1465,7 @@ impl Cluster {
                     match put {
                         Ok(()) => {
                             if !remove_before_copy {
+                                // ech-allow(D7): replica removes are reconciliation messages the coordinator repeats at will; they ride the reliable queue and bypass the fabric (DESIGN §8)
                                 src.remove(task.oid);
                             }
                             stats.moves += 1;
@@ -1374,6 +1524,7 @@ impl Cluster {
             }
             for &server in task.to.servers() {
                 if let Ok(node) = self.node(server) {
+                    // ech-allow(D7): header restamps are reconciliation messages the coordinator repeats at will; they ride the reliable queue and bypass the fabric (DESIGN §8)
                     node.restamp(task.oid, task.target_version, still_dirty);
                 }
             }
@@ -1541,6 +1692,10 @@ impl Cluster {
                 .iter()
                 .all(|&s| self.node(s).is_ok_and(|n| n.holds(oid)));
             if !all_held {
+                // One budget per healed object, shared by the source
+                // probe and every target copy (rule D8): a dark fabric
+                // costs one deadline per entry, not one per replica.
+                let deadline = self.op_deadline();
                 // Find a fresh source, retrying transient probe failures
                 // so an injected fault cannot make a healthy replica
                 // invisible.
@@ -1550,8 +1705,9 @@ impl Cluster {
                         continue;
                     }
                     let token = oid.raw() ^ ((i as u64) << 48) ^ 0x6EA1_0001;
-                    let got = self.cfg.retry.run_with(
+                    let got = self.cfg.retry.run_deadline(
                         &*self.clock,
+                        deadline,
                         token,
                         NodeError::is_transient,
                         || self.rpc(ServerId(i as u32), n, |node| node.get(oid)),
@@ -1572,8 +1728,9 @@ impl Cluster {
                         continue;
                     }
                     let token = oid.raw() ^ ((target.index() as u64) << 48) ^ 0x6EA1_0002;
-                    let put = self.cfg.retry.run_with(
+                    let put = self.cfg.retry.run_deadline(
                         &*self.clock,
+                        deadline,
                         token,
                         NodeError::is_transient,
                         || {
@@ -1598,6 +1755,7 @@ impl Cluster {
                 self.headers.mark_clean(oid, h.version);
                 for &server in placement.servers() {
                     if let Ok(node) = self.node(server) {
+                        // ech-allow(D7): header restamps are reconciliation messages the coordinator repeats at will; they ride the reliable queue and bypass the fabric (DESIGN §8)
                         node.restamp(oid, h.version, false);
                     }
                 }
@@ -2160,6 +2318,54 @@ mod tests {
             c.counters().hedged_reads,
             hedged_mid,
             "a probe inside its budget must not hedge"
+        );
+    }
+
+    #[test]
+    fn open_breaker_fast_fails_charge_the_clock() {
+        use crate::fault::{FaultPlan, NodeFaultSpec, VirtualClock};
+        use crate::net::BreakerConfig;
+        let mut cfg = ClusterConfig::paper();
+        cfg.breaker = Some(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(3600),
+        });
+        let backoff_base = cfg.retry.base;
+        let oid = ObjectId(31);
+        let servers = placement_of(&cfg, oid);
+        let mut plan = FaultPlan::default();
+        plan.set_node(
+            servers[0].index(),
+            NodeFaultSpec {
+                io_error_prob: 1.0,
+                ..NodeFaultSpec::default()
+            },
+        );
+        let clock = Arc::new(VirtualClock::new());
+        let c = Cluster::with_faults_and_clock(cfg, plan, clock.clone());
+        // Trip the primary's breaker with two message-level failures.
+        let node = c.node(servers[0]).unwrap();
+        for _ in 0..2 {
+            assert!(matches!(
+                c.rpc(servers[0], node, |n| n.get(oid)),
+                Err(NodeError::Io)
+            ));
+        }
+        // Every fast-fail must advance the virtual clock by at least one
+        // backoff base — a zero-cost rejection would let a poll loop spin
+        // against the open breaker without time ever passing, so the
+        // cooldown (and any deadline) could never expire.
+        let t0 = clock.now();
+        let spins = 50u32;
+        for _ in 0..spins {
+            assert!(matches!(
+                c.rpc(servers[0], node, |n| n.get(oid)),
+                Err(NodeError::BreakerOpen)
+            ));
+        }
+        assert!(
+            clock.now().saturating_sub(t0) >= backoff_base * spins,
+            "open-breaker fast-fails must charge the clock"
         );
     }
 

@@ -76,6 +76,10 @@ impl Cluster {
             let Ok(placement) = self.locate(oid) else {
                 continue;
             };
+            // One budget per repaired object, threaded through every
+            // retry loop below (rule D8): a dark fabric costs one
+            // deadline per object, not one per probe.
+            let deadline = self.op_deadline();
             // Garbage-collect stale replicas first: copies written at an
             // older version than the authoritative header were superseded
             // by a rewrite and must never serve reads or act as repair
@@ -85,6 +89,7 @@ impl Cluster {
                     if node.is_powered() {
                         if let Ok(obj) = self.rpc(node.id(), node, |n| n.get(oid)) {
                             if obj.header.version < ver {
+                                // ech-allow(D7): stale-replica GC is a reconciliation message the coordinator repeats at will; it rides the reliable queue and bypasses the fabric (DESIGN §8)
                                 node.remove(oid);
                             }
                         }
@@ -98,8 +103,9 @@ impl Cluster {
             let fresh = |n: &crate::node::StorageNode| -> bool {
                 n.is_powered()
                     && retry
-                        .run_with(
+                        .run_deadline(
                             &*clock,
+                            deadline,
                             oid.raw() ^ ((n.id().index() as u64) << 48),
                             NodeError::is_transient,
                             || self.rpc(n.id(), n, |node| node.get(oid)),
@@ -118,9 +124,13 @@ impl Cluster {
                 }
                 continue;
             };
-            let Ok(obj) = retry.run_with(&*clock, oid.raw(), NodeError::is_transient, || {
-                self.rpc(source.id(), source, |n| n.get(oid))
-            }) else {
+            let Ok(obj) = retry.run_deadline(
+                &*clock,
+                deadline,
+                oid.raw(),
+                NodeError::is_transient,
+                || self.rpc(source.id(), source, |n| n.get(oid)),
+            ) else {
                 continue;
             };
             for &target in placement.servers() {
@@ -130,8 +140,9 @@ impl Cluster {
                 if node.holds(oid) {
                     continue;
                 }
-                let put = retry.run_with(
+                let put = retry.run_deadline(
                     &*clock,
+                    deadline,
                     oid.raw() ^ ((target.index() as u64) << 48),
                     NodeError::is_transient,
                     || {

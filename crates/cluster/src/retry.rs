@@ -252,6 +252,22 @@ impl RetryPolicy {
         self.run_counted_with(&SystemClock::new(), token, retryable, op)
     }
 
+    /// [`RetryPolicy::run_counted_deadline`] without the retry count:
+    /// the standard runner for data-path call sites, which thread their
+    /// operation's [`Deadline`] through every retry loop (analyzer rule
+    /// D8 checks rpc-reachable code uses a deadline-aware runner).
+    pub fn run_deadline<T, E>(
+        &self,
+        clock: &dyn Clock,
+        deadline: Deadline,
+        token: u64,
+        retryable: impl Fn(&E) -> bool,
+        op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_counted_deadline(clock, deadline, token, retryable, op)
+            .0
+    }
+
     /// [`RetryPolicy::run_counted_with`] without the retry count.
     pub fn run_with<T, E>(
         &self,

@@ -135,7 +135,7 @@ proptest! {
         c.net_fabric().expect("fabric installed").heal_partitions();
         // Let the breaker cooldown elapse (on a wall clock this happens
         // by itself; the virtual clock only moves when something sleeps,
-        // and breaker fast-fails deliberately don't).
+        // and breaker fast-fails only charge a backoff base each).
         clock.advance(Duration::from_millis(20));
         converge(&c);
 

@@ -31,19 +31,34 @@
 //!   and RMWs write through, so D5-clean code behaves identically in
 //!   both modes.
 //!
-//! And one bound that applies to both: [`Config::max_preemptions`]
+//! A third, orthogonal dimension is the **message-scheduler mode**
+//! ([`Config::msg_budget`], [`msg`] module): models built over the real
+//! `Cluster` route every `Cluster::rpc` send through
+//! [`sync::msg_fate`], and the explorer enumerates per-message fates —
+//! deliver, drop (request or response), duplicate, reorder, partition
+//! (inbound or outbound) — as first-class decisions (`m<code>` in
+//! traces), rationed by a per-schedule fault budget. With the budget at
+//! zero (the default) sends never yield and thread-only models keep
+//! their schedule spaces bit-for-bit.
+//!
+//! And bounds that apply throughout: [`Config::max_preemptions`]
 //! bounds the involuntary context switches per schedule (the CHESS
-//! result: most concurrency bugs need very few) and
-//! [`Config::max_schedules`] caps the total; [`Report::exhausted`]
+//! result: most concurrency bugs need very few),
+//! [`Config::msg_budget`] bounds injected message faults the same way,
+//! and [`Config::max_schedules`] caps the total; [`Report::exhausted`]
 //! says whether the bounded space was fully covered.
 //!
-//! Traces are versioned (`v2:<mode>:b<bound>:<model>:<steps>`): a
-//! counterexample found under one memory mode is meaningless — and is
-//! rejected, not silently diverging — when replayed under the other.
+//! Traces are versioned (`v3:<mode>:b<bound>:m<budget>:<model>:<steps>`):
+//! a counterexample found under one memory mode or fault budget is
+//! meaningless — and is rejected, not silently diverging — when
+//! replayed under another.
 
+pub mod msg;
 mod sched;
 pub mod sync;
 pub mod weak;
+
+pub use msg::MsgFate;
 
 pub use sched::{preempt_delta, Decision, Env, VClock};
 
@@ -60,6 +75,10 @@ pub struct Config {
     /// on sync-class atomics buffer per thread and become visible at
     /// scheduler-chosen flush points (see the [`weak`] module docs).
     pub weak: bool,
+    /// Message-fate fault budget per schedule (see the [`msg`] module
+    /// docs). `0` (the default) disables message-scheduler mode: sends
+    /// never yield and never branch.
+    pub msg_budget: usize,
 }
 
 impl Default for Config {
@@ -68,6 +87,7 @@ impl Default for Config {
             max_preemptions: 2,
             max_schedules: 20_000,
             weak: false,
+            msg_budget: 0,
         }
     }
 }
@@ -78,7 +98,7 @@ pub struct Failure {
     /// Human-readable description of what went wrong.
     pub message: String,
     /// Replayable counterexample trace
-    /// (`v2:<mode>:b<bound>:<model>:t…/f…`).
+    /// (`v3:<mode>:b<bound>:m<budget>:<model>:t…/f…/m…`).
     pub trace: String,
 }
 
@@ -96,9 +116,10 @@ pub struct Report {
     pub failure: Option<Failure>,
 }
 
-/// A parsed `v2:` counterexample trace: the memory mode and preemption
-/// bound it was recorded under travel with the decision prefix, so a
-/// replay cannot silently run under different semantics.
+/// A parsed `v3:` counterexample trace: the memory mode, preemption
+/// bound, and message fault budget it was recorded under travel with
+/// the decision prefix, so a replay cannot silently run under
+/// different semantics.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParsedTrace {
     /// Model name.
@@ -107,12 +128,17 @@ pub struct ParsedTrace {
     pub weak: bool,
     /// Recorded preemption bound.
     pub bound: usize,
-    /// Forced decision prefix (thread grants and flush actions).
+    /// Recorded message fault budget (`0` = thread-only exploration).
+    pub msg_budget: usize,
+    /// Forced decision prefix (thread grants, flush actions, and
+    /// message fates).
     pub prefix: Vec<usize>,
 }
 
 fn render_step(choice: usize) -> String {
-    if choice >= weak::FLUSH_BASE {
+    if choice >= msg::MSG_BASE {
+        format!("m{}", choice - msg::MSG_BASE)
+    } else if choice >= weak::FLUSH_BASE {
         format!("f{}", choice - weak::FLUSH_BASE)
     } else {
         format!("t{choice}")
@@ -128,24 +154,40 @@ fn render_trace(model: &str, cfg: &Config, decisions: &[Decision]) -> String {
     } else {
         steps.join(",")
     };
-    format!("v2:{mode}:b{}:{model}:{steps}", cfg.max_preemptions)
+    format!(
+        "v3:{mode}:b{}:m{}:{model}:{steps}",
+        cfg.max_preemptions, cfg.msg_budget
+    )
 }
 
-/// Parse a trace produced by [`explore`]/[`explore_random`]. `v1:`
-/// traces (which did not record the memory mode) are rejected with an
-/// explanation instead of silently diverging under the wrong semantics.
+/// Parse a trace produced by [`explore`]/[`explore_random`]. `v1:` and
+/// `v2:` traces (which did not record the memory mode, respectively the
+/// message fault budget) are rejected with an explanation instead of
+/// silently diverging under the wrong semantics.
 pub fn parse_trace(trace: &str) -> Result<ParsedTrace, String> {
     if trace.starts_with("v1:") {
         return Err(
             "v1 trace: it does not record the memory mode or preemption bound, so a replay \
-             could silently diverge; re-record the counterexample with this build (v2)"
+             could silently diverge; re-record the counterexample with this build (v3)"
                 .to_string(),
         );
     }
-    let malformed =
-        || format!("malformed trace {trace:?}: expected v2:<sc|weak>:b<bound>:<model>:<t…/f…|->");
-    let rest = trace.strip_prefix("v2:").ok_or_else(malformed)?;
-    let mut parts = rest.splitn(4, ':');
+    if trace.starts_with("v2:") {
+        return Err(
+            "v2 trace: it does not record the message fault budget, so a replay could \
+             silently diverge under message-scheduler mode; re-record the counterexample \
+             with this build (v3)"
+                .to_string(),
+        );
+    }
+    let malformed = || {
+        format!(
+            "malformed trace {trace:?}: expected \
+             v3:<sc|weak>:b<bound>:m<budget>:<model>:<t…/f…/m…|->"
+        )
+    };
+    let rest = trace.strip_prefix("v3:").ok_or_else(malformed)?;
+    let mut parts = rest.splitn(5, ':');
     let weak = match parts.next() {
         Some("sc") => false,
         Some("weak") => true,
@@ -155,6 +197,11 @@ pub fn parse_trace(trace: &str) -> Result<ParsedTrace, String> {
         .next()
         .and_then(|b| b.strip_prefix('b'))
         .and_then(|b| b.parse().ok())
+        .ok_or_else(malformed)?;
+    let msg_budget: usize = parts
+        .next()
+        .and_then(|m| m.strip_prefix('m'))
+        .and_then(|m| m.parse().ok())
         .ok_or_else(malformed)?;
     let model = parts
         .next()
@@ -168,6 +215,11 @@ pub fn parse_trace(trace: &str) -> Result<ParsedTrace, String> {
                 t.parse::<usize>().ok()
             } else if let Some(f) = s.strip_prefix('f') {
                 f.parse::<usize>().ok().map(|t| weak::FLUSH_BASE + t)
+            } else if let Some(m) = s.strip_prefix('m') {
+                m.parse::<usize>()
+                    .ok()
+                    .filter(|&c| c < msg::MsgFate::COUNT)
+                    .map(|c| msg::MSG_BASE + c)
             } else {
                 None
             };
@@ -178,6 +230,7 @@ pub fn parse_trace(trace: &str) -> Result<ParsedTrace, String> {
         model: model.to_string(),
         weak,
         bound,
+        msg_budget,
         prefix,
     })
 }
@@ -197,7 +250,7 @@ pub fn explore(model: &str, cfg: &Config, setup: impl Fn(&mut Env)) -> Report {
             break;
         }
         let plen = prefix.len();
-        let exec = sched::run_one(prefix, None, cfg.weak, &setup);
+        let exec = sched::run_one(prefix, None, cfg.weak, cfg.msg_budget, &setup);
         schedules += 1;
         if let Some(message) = exec.failure {
             return Report {
@@ -256,7 +309,13 @@ pub fn explore_random(
     let mut schedules = 0;
     for i in 0..iterations {
         let iter_seed = sched::splitmix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9));
-        let exec = sched::run_one(Vec::new(), Some(iter_seed), cfg.weak, &setup);
+        let exec = sched::run_one(
+            Vec::new(),
+            Some(iter_seed),
+            cfg.weak,
+            cfg.msg_budget,
+            &setup,
+        );
         schedules += 1;
         if let Some(message) = exec.failure {
             return Report {
@@ -281,10 +340,11 @@ pub fn explore_random(
 /// Re-execute a single schedule from a counterexample trace. The forced
 /// prefix pins every recorded decision; any decision points beyond it
 /// follow the deterministic default policy, so the same trace always
-/// produces the same execution. `cfg` must carry the memory mode and
-/// bound the trace was recorded under (see [`parse_trace`]).
+/// produces the same execution. `cfg` must carry the memory mode,
+/// bound, and message fault budget the trace was recorded under (see
+/// [`parse_trace`]).
 pub fn replay(model: &str, cfg: &Config, prefix: Vec<usize>, setup: impl Fn(&mut Env)) -> Report {
-    let exec = sched::run_one(prefix, None, cfg.weak, &setup);
+    let exec = sched::run_one(prefix, None, cfg.weak, cfg.msg_budget, &setup);
     Report {
         model: model.to_string(),
         schedules: 1,
@@ -479,46 +539,64 @@ mod tests {
     }
 
     #[test]
-    fn trace_v2_round_trips() {
+    fn trace_v3_round_trips() {
         assert_eq!(
-            parse_trace("v2:sc:b2:m:t0,t1,t0"),
+            parse_trace("v3:sc:b2:m0:m:t0,t1,t0"),
             Ok(ParsedTrace {
                 model: "m".to_string(),
                 weak: false,
                 bound: 2,
+                msg_budget: 0,
                 prefix: vec![0, 1, 0],
             })
         );
         assert_eq!(
-            parse_trace("v2:weak:b3:m:t0,f0,t1"),
+            parse_trace("v3:weak:b3:m0:m:t0,f0,t1"),
             Ok(ParsedTrace {
                 model: "m".to_string(),
                 weak: true,
                 bound: 3,
+                msg_budget: 0,
                 prefix: vec![0, weak::FLUSH_BASE, 1],
             })
         );
         assert_eq!(
-            parse_trace("v2:sc:b2:m:-"),
+            parse_trace("v3:sc:b2:m2:m:t0,m0,m2,t1"),
             Ok(ParsedTrace {
                 model: "m".to_string(),
                 weak: false,
                 bound: 2,
+                msg_budget: 2,
+                prefix: vec![0, msg::MSG_BASE, msg::MSG_BASE + 2, 1],
+            })
+        );
+        assert_eq!(
+            parse_trace("v3:sc:b2:m0:m:-"),
+            Ok(ParsedTrace {
+                model: "m".to_string(),
+                weak: false,
+                bound: 2,
+                msg_budget: 0,
                 prefix: vec![],
             })
         );
         assert!(parse_trace("garbage").is_err());
-        assert!(parse_trace("v2:tso:b2:m:t0").is_err());
+        assert!(parse_trace("v3:tso:b2:m0:m:t0").is_err());
+        // A fate code beyond the known set must not parse.
+        assert!(parse_trace("v3:sc:b2:m1:m:m7").is_err());
     }
 
-    /// Schema-version fix: a v1 trace (no recorded memory mode) is
-    /// rejected with an explanation, never replayed under the wrong
-    /// semantics.
+    /// Schema-version fix: v1 traces (no recorded memory mode) and v2
+    /// traces (no recorded message fault budget) are rejected with an
+    /// explanation, never replayed under the wrong semantics.
     #[test]
-    fn trace_v1_is_rejected() {
+    fn trace_v1_and_v2_are_rejected() {
         let err = parse_trace("v1:m:t0,t1,t0").expect_err("v1 must be rejected");
         assert!(err.contains("memory mode"), "{err}");
-        assert!(err.contains("v2"), "{err}");
+        assert!(err.contains("v3"), "{err}");
+        let err = parse_trace("v2:sc:b2:m:t0,t1,t0").expect_err("v2 must be rejected");
+        assert!(err.contains("fault budget"), "{err}");
+        assert!(err.contains("v3"), "{err}");
     }
 
     fn weak_cfg() -> Config {
@@ -567,7 +645,7 @@ mod tests {
             failure.message
         );
         assert!(
-            failure.trace.starts_with("v2:weak:b2:pub-relaxed:"),
+            failure.trace.starts_with("v3:weak:b2:m0:pub-relaxed:"),
             "{}",
             failure.trace
         );
@@ -695,5 +773,113 @@ mod tests {
             .expect("replay reproduces");
         assert_eq!(replayed.message, failure.message);
         assert_eq!(replayed.trace, failure.trace);
+    }
+
+    fn msg_cfg(budget: usize) -> Config {
+        Config {
+            msg_budget: budget,
+            ..Config::default()
+        }
+    }
+
+    /// With the budget at zero, `msg_fate` returns `None` without
+    /// yielding: a sender model is a zero-decision single schedule.
+    #[test]
+    fn msg_mode_off_is_inert() {
+        let report = explore("msg-off", &Config::default(), |env| {
+            env.spawn(move || {
+                assert_eq!(sync::msg_fate(), None, "budget 0 must never assign fates");
+            });
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted);
+        assert_eq!(report.schedules, 1, "a send must not be a decision point");
+    }
+
+    /// With a budget, the explorer enumerates every fate: a model that
+    /// asserts faults never happen is refuted, and the counterexample
+    /// records the fate (`m<code>`) and replays byte-identically.
+    #[test]
+    fn msg_mode_enumerates_fates_and_replays() {
+        let model = |env: &mut Env| {
+            env.spawn(move || {
+                let fate = sync::msg_fate().expect("budget 1 must assign a fate");
+                assert!(!fate.is_fault(), "injected fault: {fate:?}");
+            });
+        };
+        let report = explore("msg-fates", &msg_cfg(1), model);
+        let failure = report.failure.expect("a fault fate must be explored");
+        assert!(
+            failure.trace.starts_with("v3:sc:b2:m1:msg-fates:"),
+            "{}",
+            failure.trace
+        );
+        let parsed = parse_trace(&failure.trace).expect("trace parses");
+        assert_eq!(parsed.msg_budget, 1);
+        assert!(
+            parsed.prefix.iter().any(|&c| c >= msg::MSG_BASE),
+            "trace must record the fate: {}",
+            failure.trace
+        );
+        let cfg = Config {
+            max_preemptions: parsed.bound,
+            weak: parsed.weak,
+            msg_budget: parsed.msg_budget,
+            ..Config::default()
+        };
+        let r1 = replay(&parsed.model, &cfg, parsed.prefix.clone(), model);
+        let r2 = replay(&parsed.model, &cfg, parsed.prefix, model);
+        let f1 = r1.failure.expect("replay reproduces");
+        let f2 = r2.failure.expect("replay reproduces");
+        assert_eq!(f1.message, failure.message);
+        assert_eq!(f1.trace, failure.trace);
+        assert_eq!(f2.trace, failure.trace);
+    }
+
+    /// The fault budget is a hard ration: with budget 1 and two sends,
+    /// no schedule injects two faults, and exhausted sends are forced
+    /// `Deliver` without recording a decision.
+    #[test]
+    fn msg_fault_budget_is_rationed() {
+        let report = explore("msg-budget", &msg_cfg(1), |env| {
+            env.spawn(move || {
+                let faults = (0..2)
+                    .filter(|_| sync::msg_fate().expect("fate assigned").is_fault())
+                    .count();
+                assert!(faults <= 1, "budget exceeded: {faults} faults injected");
+            });
+        });
+        assert!(report.failure.is_none(), "{:?}", report.failure);
+        assert!(report.exhausted);
+        // First send: 7 fates. Second send: 7 more only on the
+        // fault-free branch — the six fault branches exhaust the budget
+        // and force-deliver. 1 + 6 + 6 = 13 schedules.
+        assert_eq!(report.schedules, 13);
+    }
+
+    /// Fate decisions are never preemptions: the whole fate space is
+    /// explored even at preemption bound 0.
+    #[test]
+    fn msg_fates_are_free_under_preemption_bound() {
+        let cfg = Config {
+            max_preemptions: 0,
+            ..msg_cfg(1)
+        };
+        let report = explore("msg-free", &cfg, |env| {
+            env.spawn(move || {
+                let fate = sync::msg_fate().expect("fate assigned");
+                assert_ne!(
+                    fate,
+                    MsgFate::Duplicate,
+                    "duplicate fate reached at bound 0"
+                );
+            });
+        });
+        let failure = report.failure.expect("duplicate fate must be explored");
+        assert!(
+            failure.message.contains("duplicate fate"),
+            "{}",
+            failure.message
+        );
     }
 }

@@ -14,6 +14,7 @@
 //! free and keep single-threaded stretches such as per-schedule cluster
 //! construction from exploding the schedule space.
 
+use crate::msg::{MsgFate, MSG_BASE};
 use crate::weak::{self, Cell, Pending, RmwOp, FLUSH_BASE};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -123,8 +124,10 @@ enum TStatus {
 /// One decision point: several choices were enabled and one was taken.
 ///
 /// Choices `< FLUSH_BASE` grant the thread with that id; in weak-memory
-/// mode choices `>= FLUSH_BASE` flush one buffered store from thread
-/// `choice - FLUSH_BASE` (rendered `f<tid>` in traces).
+/// mode choices in `FLUSH_BASE..MSG_BASE` flush one buffered store from
+/// thread `choice - FLUSH_BASE` (rendered `f<tid>` in traces); in
+/// message mode choices `>= MSG_BASE` assign the message fate with code
+/// `choice - MSG_BASE` (rendered `m<code>`).
 #[derive(Clone, Debug)]
 pub struct Decision {
     /// Enabled choices, threads ascending then flush actions ascending.
@@ -138,8 +141,8 @@ pub struct Decision {
 }
 
 /// Was choosing `chosen` at a point where `prev` was still enabled a
-/// preemption (i.e. an involuntary context switch)? Flush actions are
-/// memory-system steps, never preemptions.
+/// preemption (i.e. an involuntary context switch)? Flush actions and
+/// message fates are environment steps, never preemptions.
 pub fn preempt_delta(prev: Option<usize>, enabled: &[usize], chosen: usize) -> usize {
     if chosen >= FLUSH_BASE {
         return 0;
@@ -171,6 +174,8 @@ struct State {
     next_token: usize,
     steps: u64,
     step_limit: u64,
+    /// Message faults injected so far this schedule (message mode).
+    msg_faults_used: usize,
     /// Per-thread store buffers (weak mode; always empty otherwise).
     buffers: Vec<VecDeque<Pending>>,
     /// Session-side atomic state: happens-before metadata plus — in
@@ -184,6 +189,9 @@ pub(crate) struct Session {
     pub(crate) epoch: u64,
     /// Store-buffer (weak-memory) mode for this schedule execution.
     weak: bool,
+    /// Message-fate fault budget; `0` disables message-scheduler mode
+    /// entirely (sends never yield, never decide).
+    msg_budget: usize,
     state: Mutex<State>,
     cv: Condvar,
 }
@@ -199,10 +207,17 @@ fn lk(m: &Mutex<State>) -> MutexGuard<'_, State> {
 }
 
 impl Session {
-    fn new(nthreads: usize, prefix: Vec<usize>, rng: Option<u64>, weak: bool) -> Arc<Self> {
+    fn new(
+        nthreads: usize,
+        prefix: Vec<usize>,
+        rng: Option<u64>,
+        weak: bool,
+        msg_budget: usize,
+    ) -> Arc<Self> {
         Arc::new(Session {
             epoch: SESSION_EPOCH.fetch_add(1, Ordering::Relaxed),
             weak,
+            msg_budget,
             state: Mutex::new(State {
                 threads: (0..nthreads).map(|_| TStatus::Starting).collect(),
                 bail: false,
@@ -218,6 +233,7 @@ impl Session {
                 next_token: 0,
                 steps: 0,
                 step_limit: 1_000_000,
+                msg_faults_used: 0,
                 buffers: (0..nthreads).map(|_| VecDeque::new()).collect(),
                 cells: BTreeMap::new(),
             }),
@@ -228,6 +244,38 @@ impl Session {
     /// Is this session running under the store-buffer semantics?
     pub(crate) fn weak_active(&self) -> bool {
         self.weak
+    }
+
+    /// Message-scheduler mode: the explorer assigns a fate to the
+    /// message virtual thread `tid` is about to send. Returns `None`
+    /// when the session has no fault budget (message mode off) —
+    /// *without* yielding, so thread-only models keep their schedule
+    /// spaces bit-for-bit. With a budget, every send is a yield point;
+    /// while fault budget remains the fate is a recorded seven-way
+    /// decision (`m<code>` in traces), and once the budget is spent
+    /// each remaining send is a forced, unrecorded `Deliver` — the same
+    /// compaction rule as single-choice thread grants.
+    pub(crate) fn msg_fate(&self, tid: usize) -> Option<MsgFate> {
+        if self.msg_budget == 0 {
+            return None;
+        }
+        self.yield_op(tid, Op::Step);
+        let mut st = lk(&self.state);
+        let enabled: Vec<usize> = if st.msg_faults_used < self.msg_budget {
+            MsgFate::ALL.iter().map(|f| MSG_BASE + f.code()).collect()
+        } else {
+            vec![MSG_BASE]
+        };
+        let chosen = if enabled.len() == 1 {
+            enabled[0]
+        } else {
+            Self::choose(&mut st, &enabled)
+        };
+        let fate = MsgFate::from_code(chosen - MSG_BASE).unwrap_or(MsgFate::Deliver);
+        if fate.is_fault() {
+            st.msg_faults_used += 1;
+        }
+        Some(fate)
     }
 
     /// Allocate a fresh identity token for a sync object (mutex).
@@ -626,13 +674,14 @@ pub(crate) fn run_one(
     prefix: Vec<usize>,
     rng: Option<u64>,
     weak: bool,
+    msg_budget: usize,
     setup: &dyn Fn(&mut Env),
 ) -> ExecOutcome {
     install_quiet_hook();
     // Build the model under a provisional session so that primitives
     // created during setup bind to this session's epoch.
     let mut env = Env::default();
-    let sess = Session::new(0, prefix, rng, weak);
+    let sess = Session::new(0, prefix, rng, weak, msg_budget);
     set_current(Some(Ctx {
         sess: Arc::clone(&sess),
         tid: None,

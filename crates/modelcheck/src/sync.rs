@@ -71,6 +71,36 @@ pub fn on_model_thread() -> bool {
     vthread().is_some()
 }
 
+pub use crate::msg::MsgFate;
+
+/// The instrumented network facade (`MNet`), alongside `MAtomic*` /
+/// `MMutex`: in message-scheduler mode every `Cluster::rpc` send asks
+/// the explorer for the message's fate. The facade is stateless —
+/// message identity is positional, the k-th send of a schedule meets
+/// the k-th fate decision — which is exactly what makes `m<code>` trace
+/// steps replayable.
+pub struct MNet;
+
+impl MNet {
+    /// See [`msg_fate`].
+    pub fn fate() -> Option<MsgFate> {
+        msg_fate()
+    }
+}
+
+/// Fate of the message the calling thread is about to send: `Some` only
+/// on a scheduled virtual thread of a session whose
+/// [`crate::Config::msg_budget`] is non-zero (a yield point and, while
+/// fault budget remains, an explored decision). `None` everywhere else
+/// — controller, foreign threads, message mode off — in which case the
+/// caller keeps its production behaviour (the seed-hashed fault
+/// fabric). The non-modelcheck facades ship a constant-`None` shim, so
+/// the branch compiles away in release builds.
+pub fn msg_fate() -> Option<MsgFate> {
+    let (sess, tid) = vthread()?;
+    sess.msg_fate(tid)
+}
+
 fn is_acquire(ord: StdOrdering) -> bool {
     matches!(
         ord,
