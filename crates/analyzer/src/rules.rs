@@ -100,6 +100,7 @@ pub fn run_all(units: &[Unit]) -> Vec<Finding> {
 /// Files whose behaviour must be bit-deterministic under a fixed seed.
 fn d1_scoped(path: &str) -> bool {
     path == "crates/core/src/placement.rs"
+        || path == "crates/core/src/engine.rs"
         || path.starts_with("crates/sim/src/")
         || path == "crates/traces/src/synth.rs"
         || path == "crates/cluster/src/fault.rs"

@@ -1,0 +1,9 @@
+//! Standalone runner for the placement-engine scaling harness (the same
+//! measurement `ech bench placement` exposes). Prints the JSON report to
+//! stdout; pass `--smoke` for the short CI-sized workload.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let report = ech_bench::placement::run(smoke);
+    println!("{}", report.to_json());
+}

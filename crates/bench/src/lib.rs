@@ -28,6 +28,7 @@
 use std::fmt::Display;
 
 pub mod hotpath;
+pub mod placement;
 
 /// Print a header line for an experiment harness.
 pub fn banner(id: &str, caption: &str) {

@@ -40,6 +40,7 @@ use ech_cluster::fault::{FaultPlan, NodeFaultSpec, VirtualClock};
 use ech_cluster::net::BreakerConfig;
 use ech_cluster::retry::RetryPolicy;
 use ech_core::cache::ShardedPlacementCache;
+use ech_core::engine::EngineKind;
 use ech_core::ids::ObjectId;
 use ech_core::layout::Layout;
 use ech_core::placement::Strategy;
@@ -370,6 +371,9 @@ fn tiny_cluster_with(
         replicas,
         layout_base: 64,
         strategy,
+        // Models replay pinned schedules; the engine stays the ring so
+        // traces are byte-identical regardless of ECH_PLACEMENT.
+        placement: EngineKind::Ring,
         kv_shards: 2,
         capacity_plan: None,
         write_quorum,
@@ -1029,6 +1033,7 @@ fn msg_cluster(
         replicas,
         layout_base: 64,
         strategy: Strategy::Primary,
+        placement: EngineKind::Ring,
         kv_shards: 2,
         capacity_plan: None,
         write_quorum,

@@ -24,6 +24,7 @@ use arc_swap::ArcSwap;
 use bytes::Bytes;
 use ech_core::cache::ShardedPlacementCache;
 use ech_core::dirty::{DirtyEntry, DirtyTable, HeaderSource};
+use ech_core::engine::EngineKind;
 use ech_core::ids::{ObjectId, ServerId, VersionId};
 use ech_core::layout::Layout;
 use ech_core::placement::{Placement, PlacementError, Strategy};
@@ -46,6 +47,9 @@ pub struct ClusterConfig {
     pub layout_base: u32,
     /// Placement algorithm (Primary = the paper's elastic design).
     pub strategy: Strategy,
+    /// Candidate-stream engine the strategy walks (ring = the paper's
+    /// consistent-hash ring; jump/dx/power = O(1)-lookup backends).
+    pub placement: EngineKind,
     /// Shards of the backing key-value store.
     pub kv_shards: usize,
     /// Optional per-node disk capacities (§III-D tiered provisioning);
@@ -82,12 +86,24 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// The paper's deployment shape: 10 nodes, 2-way replication,
     /// primary placement over the equal-work layout.
+    ///
+    /// The placement engine defaults to the ring but honours the
+    /// `ECH_PLACEMENT` environment variable (`ring|jump|dx|power`), so
+    /// whole drill suites (chaos, stress, model replay) can be re-run
+    /// under an O(1) backend without touching their configs. An
+    /// unparseable value falls back to the ring rather than failing a
+    /// drill over an env typo.
     pub fn paper() -> Self {
+        let placement = std::env::var("ECH_PLACEMENT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default();
         ClusterConfig {
             servers: 10,
             replicas: 2,
             layout_base: 10_000,
             strategy: Strategy::Primary,
+            placement,
             kv_shards: 10,
             capacity_plan: None,
             write_quorum: WriteQuorum::default(),
@@ -333,7 +349,7 @@ impl Cluster {
             Strategy::Primary => Layout::equal_work(cfg.servers, cfg.layout_base),
             Strategy::Original => Layout::uniform(cfg.servers, cfg.layout_base),
         };
-        let view = ClusterView::new(layout, cfg.strategy, cfg.replicas);
+        let view = ClusterView::with_engine(layout, cfg.strategy, cfg.replicas, cfg.placement);
         let kv = Arc::new(KvStore::new(cfg.kv_shards));
         if let Some(inj) = &fault {
             kv.set_fault_hook(Some(inj.clone() as Arc<dyn ShardFaultHook>));
@@ -1301,11 +1317,11 @@ impl Cluster {
     /// which keeps deterministic drills (`ech chaos`) byte-identical to
     /// the sequential engine.
     ///
-    /// Batch planning consumes dirty entries before any byte moves, so a
-    /// batch may surface several entries for one object; only the first
-    /// is executed. The interleaved engine behaves identically: after
-    /// the first task's header restamp the later entries no longer
-    /// qualify and pop without planning work.
+    /// Batch planning consumes dirty entries before any byte moves;
+    /// duplicate entries for one object collapse into a single task
+    /// inside [`Reintegrator::next_tasks`]. The interleaved engine
+    /// behaves identically: after the first task's header restamp the
+    /// later entries no longer qualify and pop without planning work.
     pub fn reintegrate_batch(&self, max_tasks: usize) -> Result<ReintegrationStats, Idle> {
         let max_tasks = max_tasks.max(1);
         let workers_cap = std::thread::available_parallelism()
@@ -1327,22 +1343,18 @@ impl Cluster {
             }
             return Ok(total);
         }
-        let mut tasks: Vec<MigrationTask> = Vec::new();
-        let idle = loop {
-            if tasks.len() >= max_tasks {
-                break None;
-            }
-            match self.plan_task() {
-                Ok(t) => {
-                    if !tasks.iter().any(|p| p.oid == t.oid) {
-                        tasks.push(t);
-                    }
-                }
-                Err(i) => break Some(i),
-            }
+        // Plan the whole batch in one engine call: `next_tasks` reads
+        // the table in chunked LRANGEs and drains consumed entries with
+        // one batched LPOP per chunk, instead of a table round-trip per
+        // entry as the task-at-a-time loop above pays.
+        let tasks: Vec<MigrationTask> = {
+            let view = self.view.load();
+            let mut engine = self.engine.lock();
+            let mut dirty = self.dirty.clone();
+            engine.next_tasks(&view, &mut dirty, &self.headers, max_tasks)?
         };
         if tasks.is_empty() {
-            return Err(idle.unwrap_or(Idle::NothingQualifies));
+            return Err(Idle::NothingQualifies);
         }
         // One worker thread per hardware thread, not per task: each
         // worker takes a strided share of the batch, so a small machine
@@ -1654,9 +1666,11 @@ impl Cluster {
     /// duplicates the engine's migration work. At full power, objects
     /// that end up fully placed get their dirty bit cleared.
     pub fn heal_dirty(&self) -> RepairStats {
-        let entries: Vec<DirtyEntry> = (0..self.dirty.len())
-            .filter_map(|i| self.dirty.get(i))
-            .collect();
+        // One batched LRANGE instead of a per-index LINDEX each: the
+        // kv-backed table locks a shard per call, so reading the scan's
+        // worth of entries in one op is what keeps a large backlog from
+        // turning the heal pass into a lock convoy.
+        let entries: Vec<DirtyEntry> = self.dirty.get_range(0, self.dirty.len());
         // One pinned view for the whole scan: entries healed against a
         // placement snapshot, not a per-entry reload (a resize racing
         // the scan is caught by the next heal pass either way).

@@ -103,6 +103,30 @@ impl DirtyTable for KvDirtyTable {
             .and_then(|b| decode_entry(&b))
     }
 
+    fn get_range(&self, start: usize, count: usize) -> Vec<DirtyEntry> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let stop = start.saturating_add(count - 1);
+        kv_retry(&*self.clock, "LRANGE dirty entries", || {
+            self.kv.lrange(DIRTY_KEY, start, stop)
+        })
+        .iter()
+        // map_while: a malformed record truncates the batch, matching the
+        // per-index `get` contract (a None mid-table halts the scan).
+        .map_while(|b| decode_entry(b))
+        .collect()
+    }
+
+    fn pop_front_n(&mut self, count: usize) -> Vec<DirtyEntry> {
+        kv_retry(&*self.clock, "LPOP dirty entries", || {
+            self.kv.lpop_n(DIRTY_KEY, count)
+        })
+        .iter()
+        .filter_map(|b| decode_entry(b))
+        .collect()
+    }
+
     fn len(&self) -> usize {
         kv_retry(&*self.clock, "LLEN dirty table", || self.kv.llen(DIRTY_KEY))
     }
@@ -216,6 +240,25 @@ mod tests {
         assert_eq!(t.pop_front().unwrap().oid, ObjectId(100));
         assert_eq!(t.len(), 2);
         assert!(t.get(5).is_none());
+    }
+
+    #[test]
+    fn batched_range_and_pop_match_sequential_ops() {
+        let (mut t, _) = table();
+        let entries: Vec<DirtyEntry> = (0..6u64)
+            .map(|i| DirtyEntry::new(ObjectId(100 + i), VersionId(2 + i / 3)))
+            .collect();
+        for &e in &entries {
+            t.push_back(e);
+        }
+        assert_eq!(t.get_range(0, 6), entries);
+        assert_eq!(t.get_range(4, 10), entries[4..6]);
+        assert!(t.get_range(6, 2).is_empty());
+        assert!(t.get_range(0, 0).is_empty());
+        assert_eq!(t.pop_front_n(4), entries[0..4]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.pop_front_n(100), entries[4..6]);
+        assert!(t.is_empty());
     }
 
     #[test]

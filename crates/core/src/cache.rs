@@ -18,6 +18,22 @@
 //! through [`crate::stats::CacheCounters`]. Because placements are
 //! immutable per `(object, version)`, entries cached under one epoch stay
 //! correct forever — epoch transitions need no invalidation.
+//!
+//! ## Epoch-class keying
+//!
+//! Both caches key entries by `(object, epoch class)` rather than
+//! `(object, version)`: the class of a version is the *first* version
+//! whose membership table is content-equal
+//! ([`crate::membership::MembershipHistory::epoch_class`]). Placement is
+//! a pure function of (membership content, object), so every version of
+//! a class shares one entry. The payoff is that epoch transitions which
+//! *revisit* a membership — powering back to full, oscillating between
+//! two sizes, the reintegration drain finishing at full power — resume
+//! warm instead of refilling the cache from scratch. Entries of classes
+//! no longer being queried are not swept eagerly; they age out through
+//! ordinary FIFO capacity pressure, and each such lazy eviction (victim
+//! class ≠ inserting class) is counted as an *epoch eviction* in the
+//! cache stats.
 
 use crate::ids::{ObjectId, VersionId};
 use crate::placement::{Placement, PlacementError};
@@ -59,7 +75,11 @@ impl PlacementCache {
         oid: ObjectId,
         version: VersionId,
     ) -> Result<Placement, PlacementError> {
-        let key = (oid, version);
+        // Key by epoch class so content-equal memberships share entries
+        // (module docs). Unrecorded versions fall through to the view,
+        // which classifies them as errors — nothing gets cached.
+        let class = view.history().epoch_class(version).unwrap_or(version);
+        let key = (oid, class);
         if let Some(p) = self.map.get(&key) {
             self.hits += 1;
             return Ok(p.clone());
@@ -139,23 +159,31 @@ impl CacheShard {
         }
     }
 
-    fn insert(&mut self, key: (ObjectId, VersionId), placement: Placement) {
+    /// Insert, returning how many evicted victims belonged to a
+    /// different epoch class than the inserted key — the lazy
+    /// epoch-eviction count surfaced in the cache stats.
+    fn insert(&mut self, key: (ObjectId, VersionId), placement: Placement) -> u64 {
         if self.map.contains_key(&key) {
             // A racing miss on the same key already inserted the same
             // immutable value; re-inserting would only duplicate the
             // FIFO entry.
-            return;
+            return 0;
         }
+        let mut stale_evicted = 0u64;
         if self.map.len() >= self.capacity {
             // FIFO eviction; skip keys already evicted by re-insertion.
             while let Some(old) = self.order.pop_front() {
                 if self.map.remove(&old).is_some() {
+                    if old.1 != key.1 {
+                        stale_evicted += 1;
+                    }
                     break;
                 }
             }
         }
         self.map.insert(key, placement);
         self.order.push_back(key);
+        stale_evicted
     }
 }
 
@@ -208,16 +236,23 @@ impl ShardedPlacementCache {
     }
 
     /// Resolve `oid` at `version` through the cache. The result is
-    /// identical to `view.place_at(oid, version)` — for *any* view built
-    /// over the same topology, since placements are pure in the key.
+    /// identical to `view.place_at(oid, version)` — for *any* view
+    /// snapshot of the same cluster, since placements are pure in the
+    /// key and epoch classes are append-only facts of the shared
+    /// history (an older snapshot assigns every version it knows the
+    /// same class a newer one does).
     pub fn place_at(
         &self,
         view: &ClusterView,
         oid: ObjectId,
         version: VersionId,
     ) -> Result<Placement, PlacementError> {
-        let key = (oid, version);
-        let idx = (shard_hash(oid, version) & self.mask) as usize;
+        // Key by epoch class so content-equal memberships share entries
+        // (module docs). Unrecorded versions fall through to the view,
+        // which classifies them as errors — nothing gets cached.
+        let class = view.history().epoch_class(version).unwrap_or(version);
+        let key = (oid, class);
+        let idx = (shard_hash(oid, class) & self.mask) as usize;
         let Some(shard) = self.shards.get(idx) else {
             // Unreachable by construction (mask < shards.len()), but the
             // data path must stay panic-free: fall back to computing.
@@ -233,7 +268,8 @@ impl ShardedPlacementCache {
         // Miss: compute off-lock so the walk doesn't serialize the shard.
         let p = view.place_at(oid, version)?;
         self.counters.inc_miss();
-        self.lock_shard(shard).insert(key, p.clone());
+        let stale = self.lock_shard(shard).insert(key, p.clone());
+        self.counters.add_epoch_evictions(stale);
         Ok(p)
     }
 
@@ -448,5 +484,65 @@ mod tests {
         let s = cache.snapshot();
         assert_eq!(s.hits + s.misses, 16_000);
         assert!(s.hits > 0, "repeated keys must hit");
+    }
+
+    #[test]
+    fn repeated_memberships_share_epoch_class_entries() {
+        let mut v = view();
+        let cache = ShardedPlacementCache::new(1024, 4);
+        // Warm the cache at full power (version 1).
+        for k in 0..100u64 {
+            cache.place_at(&v, ObjectId(k), VersionId(1)).unwrap();
+        }
+        let warmed = cache.snapshot();
+        assert_eq!(warmed.misses, 100);
+        // Power down and back to full: version 3 has version 1's class.
+        v.resize(6);
+        v.resize(10);
+        for k in 0..100u64 {
+            let got = cache.place_at(&v, ObjectId(k), VersionId(3)).unwrap();
+            assert_eq!(got, v.place_at(ObjectId(k), VersionId(3)).unwrap());
+        }
+        let s = cache.snapshot();
+        assert_eq!(
+            s.misses, warmed.misses,
+            "returning to a seen membership must not refill the cache"
+        );
+        assert_eq!(s.hits, warmed.hits + 100);
+        // Same for the single-threaded cache.
+        let mut st = PlacementCache::new(1024);
+        for k in 0..50u64 {
+            st.place_at(&v, ObjectId(k), VersionId(1)).unwrap();
+        }
+        for k in 0..50u64 {
+            st.place_at(&v, ObjectId(k), VersionId(3)).unwrap();
+        }
+        assert_eq!(st.stats(), (50, 50));
+    }
+
+    #[test]
+    fn epoch_evictions_count_stale_class_victims() {
+        let mut v = view();
+        // One shard, tiny capacity: insertions at the new class must
+        // evict the old class's entries one by one.
+        let cache = ShardedPlacementCache::new(8, 1);
+        for k in 0..8u64 {
+            cache.place_at(&v, ObjectId(k), VersionId(1)).unwrap();
+        }
+        assert_eq!(cache.snapshot().epoch_evictions, 0);
+        v.resize(6);
+        for k in 0..8u64 {
+            cache.place_at(&v, ObjectId(k), VersionId(2)).unwrap();
+        }
+        let s = cache.snapshot();
+        assert_eq!(
+            s.epoch_evictions, 8,
+            "every class-1 victim displaced by a class-2 insert counts"
+        );
+        // Same-class churn is not an epoch eviction.
+        for k in 100..120u64 {
+            cache.place_at(&v, ObjectId(k), VersionId(2)).unwrap();
+        }
+        assert_eq!(cache.snapshot().epoch_evictions, s.epoch_evictions);
     }
 }

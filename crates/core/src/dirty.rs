@@ -48,6 +48,34 @@ pub trait DirtyTable {
     /// Remove and return the head entry (LPOP).
     fn pop_front(&mut self) -> Option<DirtyEntry>;
 
+    /// Up to `count` entries starting at FIFO position `start` (LRANGE
+    /// start start+count-1) — fewer near the tail, empty past the end.
+    ///
+    /// The default delegates to [`get`](DirtyTable::get); backends with
+    /// per-call overhead (locks, RPCs) should override with one batched
+    /// read, which is what lets the re-integration planner amortize
+    /// table access across a whole batch.
+    fn get_range(&self, start: usize, count: usize) -> Vec<DirtyEntry> {
+        (start..start.saturating_add(count))
+            .map_while(|i| self.get(i))
+            .collect()
+    }
+
+    /// Remove and return up to `count` head entries (LPOP with a count).
+    ///
+    /// Default delegates to [`pop_front`](DirtyTable::pop_front);
+    /// backends should override with a single batched take.
+    fn pop_front_n(&mut self, count: usize) -> Vec<DirtyEntry> {
+        let mut out = Vec::with_capacity(count.min(self.len()));
+        for _ in 0..count {
+            match self.pop_front() {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out
+    }
+
     /// Number of entries.
     fn len(&self) -> usize;
 
@@ -86,6 +114,21 @@ impl DirtyTable for InMemoryDirtyTable {
 
     fn pop_front(&mut self) -> Option<DirtyEntry> {
         self.entries.pop_front()
+    }
+
+    fn get_range(&self, start: usize, count: usize) -> Vec<DirtyEntry> {
+        self.entries
+            .iter()
+            .skip(start)
+            .take(count)
+            .copied()
+            .collect()
+    }
+
+    fn pop_front_n(&mut self, count: usize) -> Vec<DirtyEntry> {
+        self.entries
+            .drain(..count.min(self.entries.len()))
+            .collect()
     }
 
     fn len(&self) -> usize {
@@ -207,6 +250,28 @@ mod tests {
         assert!(t.is_empty());
         assert!(t.pop_front().is_none());
         assert!(t.get(0).is_none());
+        assert!(t.get_range(0, 10).is_empty());
+        assert!(t.pop_front_n(10).is_empty());
+    }
+
+    #[test]
+    fn batched_ops_match_sequential_semantics() {
+        let entries: Vec<DirtyEntry> = (0..10u64)
+            .map(|i| DirtyEntry::new(ObjectId(i), VersionId(1 + i / 4)))
+            .collect();
+        let mut t = InMemoryDirtyTable::new();
+        for &e in &entries {
+            t.push_back(e);
+        }
+        // get_range == per-index gets, clamped at the tail.
+        assert_eq!(t.get_range(0, 3), entries[0..3]);
+        assert_eq!(t.get_range(7, 10), entries[7..10]);
+        assert_eq!(t.get_range(10, 5), vec![]);
+        // pop_front_n == repeated pop_front.
+        assert_eq!(t.pop_front_n(4), entries[0..4]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.pop_front_n(100), entries[4..10]);
+        assert!(t.is_empty());
     }
 
     #[test]

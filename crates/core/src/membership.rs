@@ -26,6 +26,10 @@ pub enum PowerState {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MembershipTable {
     states: Vec<PowerState>,
+    /// Cached count of `On` entries. Placement consults the active count
+    /// on every lookup, so it must not cost an O(n) scan — at 10⁴
+    /// servers that scan, not the hash, dominates lookup latency.
+    active: usize,
 }
 
 impl MembershipTable {
@@ -34,6 +38,7 @@ impl MembershipTable {
         assert!(n > 0, "cluster must have at least one server");
         MembershipTable {
             states: vec![PowerState::On; n],
+            active: n,
         }
     }
 
@@ -50,14 +55,15 @@ impl MembershipTable {
         );
         let mut states = vec![PowerState::On; active];
         states.resize(n, PowerState::Off);
-        MembershipTable { states }
+        MembershipTable { states, active }
     }
 
     /// Build from an explicit state vector (for irregular states in tests
     /// and failure-injection scenarios).
     pub fn from_states(states: Vec<PowerState>) -> Self {
         assert!(!states.is_empty(), "cluster must have at least one server");
-        MembershipTable { states }
+        let active = states.iter().filter(|&&s| s == PowerState::On).count();
+        MembershipTable { states, active }
     }
 
     /// Number of servers in the cluster (on or off).
@@ -81,15 +87,17 @@ impl MembershipTable {
     }
 
     /// Number of active servers.
+    #[inline]
     pub fn active_count(&self) -> usize {
-        self.states.iter().filter(|&&s| s == PowerState::On).count()
+        self.active
     }
 
     /// True when every server is on. Re-integration completing under a
     /// full-power version is what allows dirty entries to be dropped
     /// (Algorithm 2, lines 11–13).
+    #[inline]
     pub fn is_full_power(&self) -> bool {
-        self.states.iter().all(|&s| s == PowerState::On)
+        self.active == self.states.len()
     }
 
     /// Iterator over active servers in rank order.
@@ -112,7 +120,11 @@ impl MembershipTable {
         // ech-allow(D2): a power transition for an out-of-range server is
         // a caller logic bug; masking it as a no-op would corrupt the
         // membership history that every placement decision derives from.
-        t.states[server.index()] = state;
+        let slot = &mut t.states[server.index()];
+        let old = *slot;
+        *slot = state;
+        t.active =
+            t.active - usize::from(old == PowerState::On) + usize::from(state == PowerState::On);
         t
     }
 }
@@ -124,6 +136,13 @@ impl MembershipTable {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MembershipHistory {
     tables: Vec<MembershipTable>,
+    /// `classes[i]` is the *epoch class* of version `i + 1`: the first
+    /// version whose table is content-equal. Placement is a pure function
+    /// of (table content, object), so any two versions in the same class
+    /// place identically — the placement cache keys by class to survive
+    /// resize round-trips (down to `k` and back to full power repeats the
+    /// full-power class, so warm entries keep serving).
+    classes: Vec<VersionId>,
 }
 
 impl MembershipHistory {
@@ -131,6 +150,7 @@ impl MembershipHistory {
     pub fn new(initial: MembershipTable) -> Self {
         MembershipHistory {
             tables: vec![initial],
+            classes: vec![VersionId(1)],
         }
     }
 
@@ -149,8 +169,34 @@ impl MembershipHistory {
             fixed,
             "membership history is for a fixed server set"
         );
+        let class = self.class_of(&table);
         self.tables.push(table);
+        self.classes.push(class);
         self.current_version()
+    }
+
+    /// The class a table joins: the first version with identical content,
+    /// or the about-to-be-recorded version itself. Only class heads are
+    /// compared (entries that are their own class), so the scan costs one
+    /// table comparison per *distinct* membership seen so far.
+    fn class_of(&self, table: &MembershipTable) -> VersionId {
+        for (i, t) in self.tables.iter().enumerate() {
+            let head = VersionId(i as u64 + 1);
+            if self.classes.get(i) == Some(&head) && t == table {
+                return head;
+            }
+        }
+        VersionId(self.tables.len() as u64 + 1)
+    }
+
+    /// Epoch class of `version` (`None` for unrecorded versions): the
+    /// first version whose membership content equals `version`'s.
+    /// Placements at two versions of the same class are identical.
+    pub fn epoch_class(&self, version: VersionId) -> Option<VersionId> {
+        if version.0 == 0 {
+            return None;
+        }
+        self.classes.get(version.0 as usize - 1).copied()
     }
 
     /// The newest version.
@@ -273,5 +319,35 @@ mod tests {
     fn history_rejects_resized_tables() {
         let mut h = MembershipHistory::new(MembershipTable::full_power(3));
         h.record(MembershipTable::full_power(4));
+    }
+
+    #[test]
+    fn epoch_classes_collapse_repeated_memberships() {
+        let mut h = MembershipHistory::new(MembershipTable::full_power(10));
+        let v2 = h.record(MembershipTable::active_prefix(10, 6)); // new class
+        let v3 = h.record(MembershipTable::full_power(10)); // = v1
+        let v4 = h.record(MembershipTable::active_prefix(10, 6)); // = v2
+        let v5 = h.record(MembershipTable::active_prefix(10, 7)); // new class
+        assert_eq!(h.epoch_class(VersionId(1)), Some(VersionId(1)));
+        assert_eq!(h.epoch_class(v2), Some(v2));
+        assert_eq!(h.epoch_class(v3), Some(VersionId(1)));
+        assert_eq!(h.epoch_class(v4), Some(v2));
+        assert_eq!(h.epoch_class(v5), Some(v5));
+        assert_eq!(h.epoch_class(VersionId(0)), None);
+        assert_eq!(h.epoch_class(VersionId(99)), None);
+    }
+
+    #[test]
+    fn epoch_classes_distinguish_content_not_count() {
+        // Same active count, different shape => different classes.
+        let mut h = MembershipHistory::new(MembershipTable::full_power(4));
+        let a = h.record(MembershipTable::active_prefix(4, 2));
+        let b = h.record(MembershipTable::from_states(vec![
+            PowerState::Off,
+            PowerState::Off,
+            PowerState::On,
+            PowerState::On,
+        ]));
+        assert_ne!(h.epoch_class(a), h.epoch_class(b));
     }
 }

@@ -15,8 +15,16 @@
 //! §III-B's special case: if fewer than `r − 1` secondaries are active,
 //! primaries are temporarily treated as secondaries so the replication
 //! level survives, as long as `r` active servers exist at all.
+//!
+//! Both algorithms are *adapters* over a [`PlacementEngine`] candidate
+//! stream: the skip rules above never mention the ring, only "the next
+//! candidate server". The `*_with` variants run the same adapter over
+//! any backend (ring, jump, DxHash, power — see [`crate::engine`]); the
+//! classic `place_original`/`place_primary` entry points are the ring
+//! instantiation and produce byte-identical results to the pre-trait
+//! code.
 
-use crate::hash::object_position;
+use crate::engine::{PlacementEngine, RingEngine};
 use crate::ids::{ObjectId, ServerId};
 use crate::layout::Layout;
 use crate::membership::MembershipTable;
@@ -146,6 +154,17 @@ pub fn place_original(
     oid: ObjectId,
     replicas: usize,
 ) -> Result<Placement, PlacementError> {
+    place_original_with(&RingEngine::new(ring), membership, oid, replicas)
+}
+
+/// [`place_original`] generalized over any [`PlacementEngine`]: take the
+/// first `r` distinct active servers of the engine's candidate stream.
+pub fn place_original_with<E: PlacementEngine>(
+    engine: &E,
+    membership: &MembershipTable,
+    oid: ObjectId,
+    replicas: usize,
+) -> Result<Placement, PlacementError> {
     if replicas == 0 {
         return Err(PlacementError::ZeroReplicas);
     }
@@ -156,13 +175,24 @@ pub fn place_original(
             active,
         });
     }
-    let servers: Vec<ServerId> = ring
-        .distinct_servers_from(object_position(oid))
-        .filter(|&s| membership.is_active(s))
-        .take(replicas)
-        .collect();
-    debug_assert_eq!(servers.len(), replicas);
-    Ok(Placement { servers })
+    let mut chosen: Vec<ServerId> = Vec::with_capacity(replicas);
+    let mut cursor = engine.start(oid);
+    while chosen.len() < replicas {
+        let found = engine.search(oid, cursor, |s| {
+            membership.is_active(s) && !chosen.contains(&s)
+        });
+        // `active >= replicas` plus engine coverage guarantees a hit; if
+        // not, degrade with a classified error rather than panicking
+        // mid-put (analyzer rule D2).
+        let Some((server, next)) = found else {
+            return Err(PlacementError::Internal(
+                "candidate walk found no active unchosen server",
+            ));
+        };
+        chosen.push(server);
+        cursor = next;
+    }
+    Ok(Placement { servers: chosen })
 }
 
 /// What kind of server the current replica may use.
@@ -193,6 +223,20 @@ pub fn place_primary(
     oid: ObjectId,
     replicas: usize,
 ) -> Result<Placement, PlacementError> {
+    place_primary_with(&RingEngine::new(ring), layout, membership, oid, replicas)
+}
+
+/// [`place_primary`] generalized over any [`PlacementEngine`]: Algorithm
+/// 1's skip rules applied to the engine's candidate stream. Each replica
+/// resumes the stream at the cursor returned for the previous one — the
+/// backend-neutral form of "continue clockwise".
+pub fn place_primary_with<E: PlacementEngine>(
+    engine: &E,
+    layout: &Layout,
+    membership: &MembershipTable,
+    oid: ObjectId,
+    replicas: usize,
+) -> Result<Placement, PlacementError> {
     if replicas == 0 {
         return Err(PlacementError::ZeroReplicas);
     }
@@ -204,18 +248,25 @@ pub fn place_primary(
         });
     }
 
-    let active_primaries = membership
-        .active_servers()
-        .filter(|&s| layout.is_primary(s))
-        .count();
-    let active_secondaries = active - active_primaries;
     // §III-B special case: not enough active secondaries for the r-1
-    // non-primary copies — let primaries stand in as secondaries.
-    let primaries_as_secondaries = active_secondaries < replicas.saturating_sub(1);
+    // non-primary copies — let primaries stand in as secondaries. Even if
+    // every primary is active, secondaries number at least
+    // `active - primary_count`, so the common well-provisioned case
+    // resolves in O(1); only the scarce regime pays the exact O(n) count.
+    let primaries_as_secondaries = if active >= layout.primary_count() + replicas.saturating_sub(1)
+    {
+        false
+    } else {
+        let active_primaries = membership
+            .active_servers()
+            .filter(|&s| layout.is_primary(s))
+            .count();
+        active - active_primaries < replicas.saturating_sub(1)
+    };
 
     let mut chosen: Vec<ServerId> = Vec::with_capacity(replicas);
     let mut has_primary = false;
-    let mut cursor = object_position(oid);
+    let mut cursor = engine.start(oid);
 
     for i in 1..=replicas {
         let need = if i == replicas {
@@ -233,43 +284,50 @@ pub fn place_primary(
             Need::Any
         };
 
-        let eligible = |s: ServerId, need: Need| -> bool {
-            if !membership.is_active(s) || chosen.contains(&s) {
-                return false;
-            }
-            match need {
-                Need::Any => true,
-                Need::Secondary => !layout.is_primary(s) || primaries_as_secondaries,
-                Need::Primary => layout.is_primary(s),
-            }
-        };
-
-        // One full lap from the cursor; a second pass relaxes the need to
-        // `Any` so replication survives degenerate memberships (e.g. no
-        // active primary at all).
+        // One full search from the cursor; a second pass relaxes the
+        // need to `Any` so replication survives degenerate memberships
+        // (e.g. no active primary at all). The primary-only search is
+        // routed through the engine's prefix-restricted walk — for
+        // uniform hashed streams a needle-in-haystack filter over all n
+        // servers degrades to an O(n) sweep, while a draw over the
+        // `0..p` prefix is O(1); the ring's default just delegates to
+        // its weighted walk, unchanged.
         let mut found = None;
-        'search: for pass in 0..2 {
-            let need = if pass == 0 { need } else { Need::Any };
-            for v in ring.walk_from(cursor) {
-                if eligible(v.server, need) {
-                    found = Some(v);
-                    break 'search;
+        for pass in 0..2 {
+            let pass_need = if pass == 0 { need } else { Need::Any };
+            let accept = |s: ServerId| {
+                if !membership.is_active(s) || chosen.contains(&s) {
+                    return false;
                 }
+                match pass_need {
+                    Need::Any => true,
+                    Need::Secondary => !layout.is_primary(s) || primaries_as_secondaries,
+                    Need::Primary => layout.is_primary(s),
+                }
+            };
+            found = if pass_need == Need::Primary {
+                let p = layout.primary_count().min(u32::MAX as usize) as u32;
+                engine.search_primaries(oid, cursor, p, accept)
+            } else {
+                engine.search(oid, cursor, accept)
+            };
+            if found.is_some() {
+                break;
             }
         }
         // `active >= replicas` guarantees the relaxed pass finds a
         // server; if it somehow does not, degrade with a classified error
         // rather than panicking mid-put (analyzer rule D2).
-        let Some(v) = found else {
+        let Some((server, next)) = found else {
             return Err(PlacementError::Internal(
-                "relaxed ring walk found no active unchosen server",
+                "relaxed candidate walk found no active unchosen server",
             ));
         };
-        if layout.is_primary(v.server) {
+        if layout.is_primary(server) {
             has_primary = true;
         }
-        chosen.push(v.server);
-        cursor = v.position.wrapping_add(1);
+        chosen.push(server);
+        cursor = next;
     }
 
     Ok(Placement { servers: chosen })
@@ -287,6 +345,21 @@ pub fn place(
     match strategy {
         Strategy::Original => place_original(ring, membership, oid, replicas),
         Strategy::Primary => place_primary(ring, layout, membership, oid, replicas),
+    }
+}
+
+/// [`place`] generalized over any [`PlacementEngine`].
+pub fn place_with<E: PlacementEngine>(
+    engine: &E,
+    strategy: Strategy,
+    layout: &Layout,
+    membership: &MembershipTable,
+    oid: ObjectId,
+    replicas: usize,
+) -> Result<Placement, PlacementError> {
+    match strategy {
+        Strategy::Original => place_original_with(engine, membership, oid, replicas),
+        Strategy::Primary => place_primary_with(engine, layout, membership, oid, replicas),
     }
 }
 

@@ -117,6 +117,9 @@ pub struct CacheCounters {
     /// Packed `hits << 32 | misses`.
     hits_misses: AtomicU64,
     shard_contention: AtomicU64,
+    /// Entries of a stale epoch class lazily evicted on capacity
+    /// pressure (see the cache module docs on epoch-class keying).
+    epoch_evictions: AtomicU64,
 }
 
 /// Bit offset of the hit count inside the packed pair.
@@ -127,6 +130,7 @@ impl Default for CacheCounters {
         CacheCounters {
             hits_misses: counter_observed_u64(0),
             shard_contention: counter_u64(0),
+            epoch_evictions: counter_u64(0),
         }
     }
 }
@@ -148,6 +152,13 @@ impl CacheCounters {
         self.shard_contention.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Account `n` stale-epoch entries lazily evicted by insertions.
+    pub fn add_epoch_evictions(&self, n: u64) {
+        if n > 0 {
+            self.epoch_evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of the counters. The hit/miss pair comes
     /// from one atomic load, so it is coherent by construction.
     pub fn snapshot(&self) -> CacheSnapshot {
@@ -156,6 +167,7 @@ impl CacheCounters {
             hits: packed >> HIT_SHIFT,
             misses: packed & u64::from(u32::MAX),
             shard_contention: self.shard_contention.load(Ordering::Relaxed),
+            epoch_evictions: self.epoch_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -169,6 +181,8 @@ pub struct CacheSnapshot {
     pub misses: u64,
     /// Shard locks found busy on first try.
     pub shard_contention: u64,
+    /// Stale-epoch-class entries lazily evicted by insertions.
+    pub epoch_evictions: u64,
 }
 
 impl CacheSnapshot {
@@ -371,10 +385,13 @@ mod tests {
         c.inc_hit();
         c.inc_miss();
         c.inc_contention();
+        c.add_epoch_evictions(2);
+        c.add_epoch_evictions(0); // no-op
         let s = c.snapshot();
         assert_eq!(s.hits, 3);
         assert_eq!(s.misses, 1);
         assert_eq!(s.shard_contention, 1);
+        assert_eq!(s.epoch_evictions, 2);
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
     }
 

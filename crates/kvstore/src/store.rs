@@ -295,6 +295,17 @@ impl KvStore {
         self.with_list(key, false, |list| list.and_then(VecDeque::pop_front))
     }
 
+    /// `LPOP key count` — removes and returns up to `count` head entries
+    /// under one lock acquisition. The batched form of [`lpop`] the
+    /// re-integration planner drains with (one shard-lock round per
+    /// batch instead of per entry).
+    pub fn lpop_n(&self, key: &str, count: usize) -> KvResult<Vec<Bytes>> {
+        self.with_list(key, false, |list| match list {
+            None => Vec::new(),
+            Some(l) => l.drain(..count.min(l.len())).collect(),
+        })
+    }
+
     /// `RPOP key` — removes and returns the tail.
     pub fn rpop(&self, key: &str) -> KvResult<Option<Bytes>> {
         self.with_list(key, false, |list| list.and_then(VecDeque::pop_back))
@@ -431,6 +442,26 @@ mod tests {
         assert_eq!(kv.lpop("q").unwrap().unwrap(), Bytes::from("1"));
         assert_eq!(kv.rpop("q").unwrap().unwrap(), Bytes::from("3"));
         assert_eq!(kv.llen("q").unwrap(), 1);
+    }
+
+    #[test]
+    fn lpop_n_drains_head_in_order() {
+        let kv = KvStore::new(4);
+        for i in 0..5 {
+            kv.rpush("q", i.to_string()).unwrap();
+        }
+        assert_eq!(
+            kv.lpop_n("q", 3).unwrap(),
+            vec![Bytes::from("0"), Bytes::from("1"), Bytes::from("2")]
+        );
+        assert_eq!(kv.llen("q").unwrap(), 2);
+        // Over-asking drains the rest; missing keys and empty lists
+        // yield nothing.
+        assert_eq!(kv.lpop_n("q", 100).unwrap().len(), 2);
+        assert!(kv.lpop_n("q", 3).unwrap().is_empty());
+        assert!(kv.lpop_n("missing", 3).unwrap().is_empty());
+        kv.set("s", "x");
+        assert!(matches!(kv.lpop_n("s", 1), Err(KvError::WrongType { .. })));
     }
 
     #[test]
