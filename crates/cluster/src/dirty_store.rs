@@ -119,12 +119,26 @@ impl DirtyTable for KvDirtyTable {
     }
 
     fn pop_front_n(&mut self, count: usize) -> Vec<DirtyEntry> {
-        kv_retry(&*self.clock, "LPOP dirty entries", || {
-            self.kv.lpop_n(DIRTY_KEY, count)
+        if count == 0 {
+            return Vec::new();
+        }
+        // Peek before popping: the batch must stop at the first
+        // undecodable record *without consuming it*, matching
+        // `get_range`'s map_while policy — a bare counted LPOP would
+        // remove the corrupt record and everything behind it, popping
+        // entries the planner's preceding peek never surfaced.
+        let decoded: Vec<DirtyEntry> = kv_retry(&*self.clock, "LRANGE dirty entries", || {
+            self.kv.lrange(DIRTY_KEY, 0, count - 1)
         })
         .iter()
-        .filter_map(|b| decode_entry(b))
-        .collect()
+        .map_while(|b| decode_entry(b))
+        .collect();
+        if !decoded.is_empty() {
+            kv_retry(&*self.clock, "LPOP dirty entries", || {
+                self.kv.lpop_n(DIRTY_KEY, decoded.len())
+            });
+        }
+        decoded
     }
 
     fn len(&self) -> usize {
@@ -259,6 +273,37 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.pop_front_n(100), entries[4..6]);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn batched_ops_stop_at_first_malformed_record_without_consuming_it() {
+        let kv = Arc::new(KvStore::new(4));
+        let mut t = KvDirtyTable::new(kv.clone());
+        let clean = [
+            DirtyEntry::new(ObjectId(1), VersionId(2)),
+            DirtyEntry::new(ObjectId(2), VersionId(2)),
+        ];
+        for e in clean {
+            t.push_back(e);
+        }
+        kv.rpush(DIRTY_KEY, "garbage").unwrap();
+        t.push_back(DirtyEntry::new(ObjectId(3), VersionId(3)));
+
+        // Both batched ops truncate at the corrupt record, and the pop
+        // consumes only the prefix it returned — the corrupt record
+        // stays at the head instead of being dropped along with the
+        // entries behind it (which the peek never surfaced).
+        assert_eq!(t.get_range(0, 10), clean);
+        assert_eq!(t.pop_front_n(10), clean);
+        assert_eq!(t.len(), 2);
+        assert!(t.pop_front_n(10).is_empty());
+        assert_eq!(t.len(), 2);
+        // The per-entry pop is what consumes the corrupt head.
+        assert!(t.pop_front().is_none());
+        assert_eq!(
+            t.pop_front(),
+            Some(DirtyEntry::new(ObjectId(3), VersionId(3)))
+        );
     }
 
     #[test]

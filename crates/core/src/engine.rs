@@ -28,11 +28,15 @@
 //!   table state). Growth from `n` to `n+1` only moves keys *into* the
 //!   new bucket, the minimal-disruption property.
 //!
-//! Every engine guarantees **coverage**: a full search visits every
-//! server, so the adapter's replication invariants (`r` distinct active
-//! servers whenever `r` are active) hold for all backends. The hashed
-//! backends do this with a bounded probe phase followed by one
-//! deterministic sweep lap over all servers.
+//! Every engine guarantees **coverage**: every `search` call visits
+//! every server at least once before giving up, so the adapter's
+//! replication invariants (`r` distinct active servers whenever `r` are
+//! active) hold for all backends. The ring re-laps the whole ring per
+//! call; the hashed backends treat their stream — a bounded probe phase
+//! followed by one deterministic sweep lap over all servers — as
+//! *cyclic*, walking exactly one full period from wherever the cursor
+//! landed. A candidate one call rejects (say, for a need mismatch) is
+//! therefore re-offered to later calls, exactly as on the ring.
 //!
 //! Engines are pure functions of `(n, oid, cursor)` — no interior state,
 //! no clocks, no ambient randomness (analyzer rule D1) — so placements
@@ -113,9 +117,11 @@ impl FromStr for EngineKind {
 /// adapter can resume the walk for the next replica exactly where the
 /// previous one left off (Algorithm 1's "continue clockwise" rule).
 /// Candidates may repeat servers; the adapter's accept closure filters
-/// repeats along with inactive and need-mismatched servers. A `None`
-/// return means the walk is exhausted: every server was offered at
-/// least once and rejected.
+/// repeats along with inactive and need-mismatched servers. Streams
+/// never run dry across calls: each call offers every server at least
+/// once (the ring re-laps the ring, the hashed streams are cyclic), so
+/// a `None` return means the accept closure rejected every server —
+/// not that earlier calls consumed the stream.
 pub trait PlacementEngine {
     /// Number of physical servers the engine places over.
     fn server_count(&self) -> usize;
@@ -146,9 +152,12 @@ pub trait PlacementEngine {
     /// itself*: same probes-then-sweep shape, domain `0..primaries`, O(1)
     /// expected and O(primaries) worst case.
     ///
-    /// A `None` return means no acceptable primary from `cursor` on; the
-    /// caller's relaxed pass re-searches the full stream from the same
-    /// cursor, so coverage guarantees are unaffected.
+    /// The cursor handed in is whatever the full-stream walk advanced to
+    /// — possibly far past the band stream's period. Implementations must
+    /// still cover the whole prefix (the hashed engines' band walk is
+    /// cyclic, so any cursor value works), and a `None` return means no
+    /// acceptable primary exists at all; the caller's relaxed pass then
+    /// re-searches the full stream from the same cursor.
     fn search_primaries<F: FnMut(ServerId) -> bool>(
         &self,
         oid: ObjectId,
@@ -242,9 +251,17 @@ fn rekey(h: u64, attempt: u64) -> u64 {
     }
 }
 
-/// Shared candidate walk for the hashed engines: `PROBES` re-keyed
-/// probes, then one deterministic lap over all servers starting at the
-/// key's owner. Cursor = number of candidates already offered.
+/// Shared candidate walk for the hashed engines: a *cyclic* stream of
+/// period `PROBES + n` — `PROBES` re-keyed probes, then one
+/// deterministic lap over all servers starting at the key's owner.
+/// Cursor = number of candidates already offered; each call walks
+/// exactly one full period from `cursor % period`, so every server is
+/// offered at least once per call no matter how far earlier searches
+/// advanced the cursor. That mirrors the ring (which re-laps per
+/// `search`) and is what keeps two adapter paths correct: the relaxed
+/// `Any` pass after need-mismatch rejections consumed most of a lap,
+/// and the forced-primary band walk fed a full-stream cursor far past
+/// the band's own period.
 ///
 /// `probe` must return values in `0..servers` — each backend's bucket
 /// function already guarantees that, and a defensive `% servers` here
@@ -252,7 +269,7 @@ fn rekey(h: u64, attempt: u64) -> u64 {
 fn probe_then_sweep<F, P>(
     servers: u32,
     h: u64,
-    mut cursor: u64,
+    cursor: u64,
     mut accept: F,
     probe: P,
 ) -> Option<(ServerId, u64)>
@@ -261,19 +278,20 @@ where
     P: Fn(u64, u64) -> u32,
 {
     let n = u64::from(servers);
-    let end = PROBES + n;
-    while cursor < end {
-        let idx = if cursor < PROBES {
-            let b = probe(h, cursor);
+    let period = PROBES + n;
+    for step in 0..period {
+        let at = cursor.wrapping_add(step);
+        let pos = at % period;
+        let idx = if pos < PROBES {
+            let b = probe(h, pos);
             debug_assert!(b < servers, "probe out of range: {b} >= {servers}");
             b
         } else {
-            ((u64::from(probe(h, 0)) + (cursor - PROBES)) % n) as u32
+            ((u64::from(probe(h, 0)) + (pos - PROBES)) % n) as u32
         };
-        cursor += 1;
         let s = ServerId(idx);
         if accept(s) {
-            return Some((s, cursor));
+            return Some((s, at.wrapping_add(1)));
         }
     }
     None
@@ -724,6 +742,73 @@ mod tests {
                 let mut idx: Vec<usize> = servers.iter().map(|s| s.index()).collect();
                 idx.sort_unstable();
                 assert_eq!(idx, (0..p as usize).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn search_relaps_after_consuming_the_stream() {
+        // Regression: candidates rejected by one call must be re-offered
+        // by later calls. A call that accepts only the *last* server of
+        // the distinct walk advances the cursor near the stream period;
+        // a follow-up call from there hunting the *first* server used to
+        // hit the old non-wrapping end and return None — turning a
+        // placeable put into PlacementError::Internal.
+        fn check<E: PlacementEngine>(engine: &E, oid: ObjectId) {
+            let order = collect_all(engine, oid);
+            let (first, last) = (order[0], *order.last().unwrap());
+            let (got, cursor) = engine
+                .search(oid, engine.start(oid), |s| s == last)
+                .expect("last server reachable");
+            assert_eq!(got, last);
+            let (got, _) = engine
+                .search(oid, cursor, |s| s == first)
+                .expect("stream must wrap: earlier candidates re-offered");
+            assert_eq!(got, first);
+        }
+        for n in [2usize, 5, 17, 64] {
+            for k in [0u64, 7, 12345] {
+                let oid = ObjectId(k);
+                check(&JumpEngine::new(n), oid);
+                check(&DxEngine::new(n), oid);
+                check(&PowerEngine::new(n), oid);
+            }
+        }
+    }
+
+    #[test]
+    fn primary_band_is_covered_from_any_cursor() {
+        // Regression: the forced-primary pass hands search_primaries the
+        // *full-stream* cursor, which under heavy power-down sits far
+        // past the band stream's own period. The band walk must still
+        // offer every primary (the old walk ended at PROBES + band and
+        // returned None immediately, letting the relaxed pass place a
+        // secondary and break the exactly-one-primary invariant).
+        let n = 64usize;
+        let p = 5u32;
+        fn check<E: PlacementEngine>(engine: &E, oid: ObjectId, band: u32, start: u64) {
+            let mut out: Vec<ServerId> = Vec::new();
+            let mut cursor = start;
+            while let Some((s, next)) =
+                engine.search_primaries(oid, cursor, band, |s| !out.contains(&s))
+            {
+                out.push(s);
+                cursor = next;
+            }
+            let mut idx: Vec<usize> = out.iter().map(|s| s.index()).collect();
+            idx.sort_unstable();
+            assert_eq!(
+                idx,
+                (0..band as usize).collect::<Vec<_>>(),
+                "band not covered from cursor {start}"
+            );
+        }
+        for start in [0u64, 7, PROBES + u64::from(p), PROBES + n as u64, 10_000] {
+            for k in [0u64, 7, 12345] {
+                let oid = ObjectId(k);
+                check(&JumpEngine::new(n), oid, p, start);
+                check(&DxEngine::new(n), oid, p, start);
+                check(&PowerEngine::new(n), oid, p, start);
             }
         }
     }

@@ -540,6 +540,45 @@ mod tests {
     }
 
     #[test]
+    fn hashed_backends_keep_primary_invariant_under_deep_cursors() {
+        // Regression for the forced-primary pass over hashed engines:
+        // with most secondaries off, the first r-1 replicas routinely
+        // consume far more than PROBES candidates, handing the last
+        // replica's primary-band search a cursor past the band stream's
+        // period. The old non-cyclic band walk returned None there and
+        // the relaxed pass could place a third secondary, breaking the
+        // exactly-one-on-a-primary invariant.
+        use crate::engine::{DxEngine, JumpEngine, PowerEngine};
+        let n = 64usize;
+        let layout = Layout::equal_work(n, 10_000);
+        let p = layout.primary_count();
+        assert_eq!(p, 9);
+        // All primaries plus three tail secondaries active: secondaries
+        // plentiful enough (3 >= r - 1) that the exactly-one invariant
+        // applies, scarce enough that secondary hunts run deep into the
+        // sweep phase.
+        let mut states = vec![PowerState::Off; n];
+        for s in (0..p).chain(n - 3..n) {
+            states[s] = PowerState::On;
+        }
+        let m = MembershipTable::from_states(states);
+        fn check<E: PlacementEngine>(engine: &E, layout: &Layout, m: &MembershipTable) {
+            for k in 0..4000u64 {
+                let pl = place_primary_with(engine, layout, m, ObjectId(k), 3).unwrap();
+                assert_eq!(pl.len(), 3);
+                assert_eq!(
+                    pl.primary_replicas(layout).count(),
+                    1,
+                    "oid {k}: placement {pl}"
+                );
+            }
+        }
+        check(&JumpEngine::new(n), &layout, &m);
+        check(&DxEngine::new(n), &layout, &m);
+        check(&PowerEngine::new(n), &layout, &m);
+    }
+
+    #[test]
     fn offloading_redirects_only_affected_replicas() {
         // Turning off the tail servers must not disturb replicas that were
         // already on active servers (the first-copy stability behind
