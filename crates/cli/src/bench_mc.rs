@@ -1,0 +1,250 @@
+//! `ech bench modelcheck`: measure what the partial-order reduction
+//! buys at the declared per-model bounds.
+//!
+//! Every registered model runs twice per mode — reduction on and off —
+//! in each mode where it is meaningful (sequentially consistent always,
+//! weak memory always, message fates when the model declares a budget).
+//! Schedule counts are fully deterministic (rule D1: the explorer is
+//! seed-free DFS), so the committed `BENCH_modelcheck.json` doubles as a
+//! regression gate: the CI smoke job re-runs the grid and compares
+//! counts exactly, plus the aggregate reduction ratio against the
+//! acceptance floor.
+//!
+//! Wall times are reported for context but never gated on — they vary
+//! with the machine; the schedule counts do not.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Acceptance floor for the aggregate reduction: the full sweep must
+/// shrink by at least this factor under reduction.
+pub const MIN_REDUCTION_RATIO: f64 = 3.0;
+
+/// Schedule budget per run: generous enough that every model stays
+/// exhaustive at its declared bound even with reduction off.
+const MAX_SCHEDULES: usize = 500_000;
+
+/// One (model, mode) measurement.
+pub struct Entry {
+    pub model: &'static str,
+    pub mode: &'static str,
+    pub bound: usize,
+    pub msg_budget: usize,
+    /// Schedules explored with reduction off.
+    pub full_schedules: usize,
+    /// Schedules run to completion with reduction on.
+    pub reduced_schedules: usize,
+    /// Runs abandoned mid-execution by the sleep set (reduction on).
+    pub reduced_blocked: usize,
+    pub full_ms: f64,
+    pub reduced_ms: f64,
+}
+
+/// The whole grid plus aggregates.
+pub struct McBenchReport {
+    pub entries: Vec<Entry>,
+    pub total_full: usize,
+    pub total_reduced: usize,
+}
+
+impl McBenchReport {
+    /// `total_full / total_reduced` — the factor the reduction removes.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.total_reduced == 0 {
+            0.0
+        } else {
+            self.total_full as f64 / self.total_reduced as f64
+        }
+    }
+
+    /// Hand-rolled JSON with a stable field order (the committed report
+    /// is diffed across PRs, so ordering must not depend on a map).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"modelcheck\",\n");
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            writeln!(
+                s,
+                "    {{\"model\": \"{}\", \"mode\": \"{}\", \"bound\": {}, \
+                 \"msg_budget\": {}, \"full_schedules\": {}, \
+                 \"reduced_schedules\": {}, \"reduced_blocked\": {}, \
+                 \"full_ms\": {:.1}, \"reduced_ms\": {:.1}}}{comma}",
+                e.model,
+                e.mode,
+                e.bound,
+                e.msg_budget,
+                e.full_schedules,
+                e.reduced_schedules,
+                e.reduced_blocked,
+                e.full_ms,
+                e.reduced_ms,
+            )
+            .expect("write to string");
+        }
+        s.push_str("  ],\n");
+        writeln!(s, "  \"total_full_schedules\": {},", self.total_full).expect("write to string");
+        writeln!(s, "  \"total_reduced_schedules\": {},", self.total_reduced)
+            .expect("write to string");
+        writeln!(s, "  \"reduction_ratio\": {:.2}", self.reduction_ratio())
+            .expect("write to string");
+        s.push('}');
+        s
+    }
+}
+
+/// Explore `model` once under `cfg`, returning (schedules, blocked,
+/// wall ms). Expected-failure mutants stop at the planted violation in
+/// both configurations, so their counts are comparable too.
+fn measure(
+    m: &'static crate::mc_models::Model,
+    weak: bool,
+    msg_budget: usize,
+    reduce: bool,
+) -> (usize, usize, f64) {
+    let cfg = ech_modelcheck::Config {
+        max_preemptions: m.bound,
+        max_schedules: MAX_SCHEDULES,
+        weak,
+        msg_budget,
+        reduce,
+    };
+    let t = Instant::now();
+    let report = ech_modelcheck::explore(m.name, &cfg, m.setup);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    (report.schedules, report.blocked, ms)
+}
+
+/// Run the measurement grid. `smoke` currently runs the identical grid
+/// (the schedule space is small enough for CI); the flag is accepted
+/// for symmetry with the other bench groups.
+pub fn run(_smoke: bool) -> McBenchReport {
+    let mut entries = Vec::new();
+    for m in crate::mc_models::MODELS {
+        let mut modes: Vec<(&'static str, bool, usize)> = vec![("sc", false, 0), ("weak", true, 0)];
+        if m.msg_budget > 0 {
+            modes.push(("msg", false, m.msg_budget));
+        }
+        for (mode, weak, budget) in modes {
+            let (full, _, full_ms) = measure(m, weak, budget, false);
+            let (reduced, blocked, reduced_ms) = measure(m, weak, budget, true);
+            entries.push(Entry {
+                model: m.name,
+                mode,
+                bound: m.bound,
+                msg_budget: budget,
+                full_schedules: full,
+                reduced_schedules: reduced,
+                reduced_blocked: blocked,
+                full_ms,
+                reduced_ms,
+            });
+        }
+    }
+    let total_full = entries.iter().map(|e| e.full_schedules).sum();
+    let total_reduced = entries.iter().map(|e| e.reduced_schedules).sum();
+    McBenchReport {
+        entries,
+        total_full,
+        total_reduced,
+    }
+}
+
+/// Mirror of the committed report for parsing; timing fields are read
+/// but never compared.
+#[derive(serde::Deserialize)]
+struct RefEntry {
+    model: String,
+    mode: String,
+    #[allow(dead_code)]
+    bound: usize,
+    #[allow(dead_code)]
+    msg_budget: usize,
+    full_schedules: usize,
+    reduced_schedules: usize,
+    #[allow(dead_code)]
+    reduced_blocked: usize,
+    #[allow(dead_code)]
+    full_ms: f64,
+    #[allow(dead_code)]
+    reduced_ms: f64,
+}
+
+#[derive(serde::Deserialize)]
+struct RefReport {
+    #[allow(dead_code)]
+    bench: String,
+    entries: Vec<RefEntry>,
+    total_full_schedules: usize,
+    total_reduced_schedules: usize,
+    #[allow(dead_code)]
+    reduction_ratio: f64,
+}
+
+/// Compare fresh numbers against the committed reference. Schedule
+/// counts must match exactly (they are deterministic); the aggregate
+/// ratio must clear [`MIN_REDUCTION_RATIO`]. Returns a verdict line on
+/// success, an error description on any mismatch.
+pub fn check_against(report: &McBenchReport, reference: &str) -> Result<String, String> {
+    let parsed: RefReport = serde_json::from_str(reference)
+        .map_err(|e| format!("reference is not a valid modelcheck bench report: {e}"))?;
+    let mut problems = Vec::new();
+    if report.total_full != parsed.total_full_schedules {
+        problems.push(format!(
+            "total full-DFS schedules changed: reference {}, fresh {}",
+            parsed.total_full_schedules, report.total_full
+        ));
+    }
+    if report.total_reduced != parsed.total_reduced_schedules {
+        problems.push(format!(
+            "total reduced schedules changed: reference {}, fresh {}",
+            parsed.total_reduced_schedules, report.total_reduced
+        ));
+    }
+    let ratio = report.reduction_ratio();
+    if ratio < MIN_REDUCTION_RATIO {
+        problems.push(format!(
+            "reduction ratio {ratio:.2} below the {MIN_REDUCTION_RATIO:.1}x acceptance floor"
+        ));
+    }
+    // Per-entry drill-down so a drift names the model, not just totals.
+    for (e, r) in report.entries.iter().zip(&parsed.entries) {
+        let same = r.model == e.model
+            && r.mode == e.mode
+            && r.full_schedules == e.full_schedules
+            && r.reduced_schedules == e.reduced_schedules;
+        if !same {
+            problems.push(format!(
+                "entry drifted: {} ({}) now full {} / reduced {} (reference: {} ({}) full {} / reduced {})",
+                e.model,
+                e.mode,
+                e.full_schedules,
+                e.reduced_schedules,
+                r.model,
+                r.mode,
+                r.full_schedules,
+                r.reduced_schedules
+            ));
+        }
+    }
+    if parsed.entries.len() != report.entries.len() {
+        problems.push(format!(
+            "entry count changed: reference {}, fresh {}",
+            parsed.entries.len(),
+            report.entries.len()
+        ));
+    }
+    if problems.is_empty() {
+        Ok(format!(
+            "modelcheck bench check: ok ({} -> {} schedules, {ratio:.2}x reduction)",
+            report.total_full, report.total_reduced
+        ))
+    } else {
+        Err(format!(
+            "modelcheck bench check failed: {}",
+            problems.join("; ")
+        ))
+    }
+}

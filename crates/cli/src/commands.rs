@@ -64,11 +64,14 @@ COMMANDS:
                   [--placement ring|jump|dx|power]  candidate-stream
                   engine the drill's cluster places with
   bench           run a benchmark group on the live cluster, JSON to
-                  stdout (group: hotpath | placement)
+                  stdout (group: hotpath | placement | modelcheck)
                   [--smoke true] [--check-against FILE] [--tolerance T]
                   (placement measures every engine backend — lookup
                   rate, resident bytes, remap fraction — at the
-                  million-key × 10³/10⁴-node grid)
+                  million-key × 10³/10⁴-node grid; modelcheck runs every
+                  model with reduction on and off at its declared bound
+                  and reports schedules explored/pruned — counts are
+                  deterministic, so --check-against compares exactly)
   lint            run the workspace invariant analyzer (rules D1-D8)
                   [--root DIR] [--baseline FILE] [--deny-new true]
                   [--write-baseline true]
@@ -79,7 +82,13 @@ COMMANDS:
                   [--msg true] [--msg-budget N]
                   [--random true --seed S --iters N]
                   [--replay TRACE] [--max-preemptions P]
-                  [--max-schedules B]
+                  [--max-schedules B] [--no-reduce true] [--stats true]
+                  (partial-order reduction is on by default: sleep sets
+                  plus dynamically inserted backtrack points prune
+                  schedules equivalent up to reordering of independent
+                  steps; --no-reduce restores the full bounded DFS and
+                  must reach the same verdicts; --stats prints per-model
+                  schedules run and runs abandoned by sleep sets)
                   (--weak simulates TSO store buffers: Relaxed stores
                   drain at explored flush points; --msg routes every
                   Cluster::rpc send through the explorer, which
@@ -108,9 +117,9 @@ fn bench_cmd(args: &Args) -> Result<String, ParseError> {
             )))
         }
     };
-    if group != "hotpath" && group != "placement" {
+    if group != "hotpath" && group != "placement" && group != "modelcheck" {
         return Err(ParseError(format!(
-            "unknown bench group `{group}` (available: hotpath, placement)"
+            "unknown bench group `{group}` (available: hotpath, placement, modelcheck)"
         )));
     }
     let smoke: bool = args.get_or("smoke", false)?;
@@ -127,6 +136,19 @@ fn bench_cmd(args: &Args) -> Result<String, ParseError> {
         ),
         None => None,
     };
+    if group == "modelcheck" {
+        // Schedule counts are deterministic, so the check is exact —
+        // `--tolerance` only applies to the wall-clock bench groups.
+        let report = crate::bench_mc::run(smoke);
+        let mut out = report.to_json();
+        if let Some(reference) = reference {
+            let verdict =
+                crate::bench_mc::check_against(&report, &reference).map_err(ParseError)?;
+            out.push('\n');
+            out.push_str(&verdict);
+        }
+        return Ok(out);
+    }
     if group == "placement" {
         let report = ech_bench::placement::run(smoke);
         let mut out = report.to_json();
@@ -190,9 +212,13 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
         "replay",
         "max-preemptions",
         "max-schedules",
+        "no-reduce",
+        "stats",
     ])?;
     let weak: bool = args.get_or("weak", false)?;
     let msg: bool = args.get_or("msg", false)?;
+    let no_reduce: bool = args.get_or("no-reduce", false)?;
+    let stats: bool = args.get_or("stats", false)?;
     // `--bound` is the short alias for `--max-preemptions`; without
     // either flag every model runs at its own declared bound.
     let bound_override: Option<usize> =
@@ -247,6 +273,11 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
         Some(b) => format!("preemption bound {b}"),
         None => "per-model preemption bounds".to_owned(),
     };
+    let reduction = if no_reduce {
+        ", reduction off"
+    } else {
+        ", partial-order reduction"
+    };
     let mut out = String::new();
     if random {
         writeln!(
@@ -257,7 +288,7 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
     } else {
         writeln!(
             out,
-            "modelcheck: bounded exhaustive exploration ({bound_desc}, {mode}{fates})"
+            "modelcheck: bounded exhaustive exploration ({bound_desc}, {mode}{fates}{reduction})"
         )
         .expect("write to string");
     }
@@ -273,6 +304,7 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
             max_schedules,
             weak,
             msg_budget,
+            reduce: !no_reduce,
         };
         let expect = m.expects_failure_in(weak, msg_budget > 0);
         // Expected-failure models always run the deterministic DFS: its
@@ -345,6 +377,14 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
                 problems.push(format!("{}: seeded bug not found", m.name));
             }
         }
+        if stats {
+            writeln!(
+                out,
+                "    stats: {} schedules run, {} abandoned by sleep sets",
+                report.schedules, report.blocked
+            )
+            .expect("write to string");
+        }
     }
     if problems.is_empty() {
         writeln!(out, "modelcheck: ok").expect("write to string");
@@ -378,11 +418,34 @@ fn modelcheck_replay(trace: &str, explicit_weak: Option<bool>) -> Result<String,
     }
     let model = crate::mc_models::find(&parsed.model)
         .ok_or_else(|| ParseError(format!("trace names unknown model `{}`", parsed.model)))?;
+    // A trace recorded under a different bound or budget than the model
+    // now declares replays against a scheduler configured differently
+    // from the one that produced it — the prefix may name choices that
+    // no longer exist at the same decision points. Mismatches are hard
+    // errors, same policy as a mode-contradicting `--weak`.
+    if parsed.bound != model.bound {
+        return Err(ParseError(format!(
+            "trace records preemption bound {} but model `{}` declares bound {}; \
+             a trace replays under the configuration that produced it",
+            parsed.bound, model.name, model.bound
+        )));
+    }
+    if parsed.msg_budget != 0 && parsed.msg_budget != model.msg_budget {
+        return Err(ParseError(format!(
+            "trace records message budget {} but model `{}` declares budget {}; \
+             a trace replays under the configuration that produced it",
+            parsed.msg_budget, model.name, model.msg_budget
+        )));
+    }
     let cfg = ech_modelcheck::Config {
         max_preemptions: parsed.bound,
         max_schedules: 1,
         weak: parsed.weak,
         msg_budget: parsed.msg_budget,
+        // Replay bypasses reduction entirely: the prefix pins every
+        // decision, so there is nothing to prune and no sleep state to
+        // consult.
+        reduce: false,
     };
     let report = ech_modelcheck::replay(model.name, &cfg, parsed.prefix, model.setup);
     let mut out = String::new();

@@ -2,8 +2,11 @@
 //! toolkit. See `ech help` for usage.
 
 mod args;
+mod bench_mc;
 mod commands;
 mod mc_models;
+#[cfg(test)]
+mod reduction_soundness;
 
 use std::process::ExitCode;
 

@@ -19,7 +19,10 @@ use crate::net::{
 use crate::node::{NodeError, StorageNode};
 use crate::repair::RepairStats;
 use crate::retry::{Classify, Deadline, RetryPolicy};
-use crate::sync::{counter_u64, msg_fate, AtomicBool, AtomicU64, MsgFate, Mutex, Ordering};
+use crate::sync::{
+    counter_u64, footprint, footprint_write, msg_fate, AtomicBool, AtomicU64, MsgFate, Mutex,
+    Ordering,
+};
 use arc_swap::ArcSwap;
 use bytes::Bytes;
 use ech_core::cache::ShardedPlacementCache;
@@ -615,6 +618,13 @@ impl Cluster {
         op: impl Fn(&StorageNode) -> Result<T, NodeError>,
     ) -> Result<T, NodeError> {
         let idx = server.index();
+        if self.breakers.is_some() || self.net.is_some() {
+            // Breaker health counters and fabric budgets are
+            // checker-invisible (`counter_u64` internals); every send
+            // mutates this link's channel state, so declare a coarse
+            // per-server write for the partial-order reduction.
+            footprint_write(footprint::RPC_BASE | idx as u64);
+        }
         if let Some(b) = &self.breakers {
             if !b.try_acquire(idx, self.clock.now()) {
                 self.clock.sleep(self.cfg.retry.base);
@@ -1197,6 +1207,111 @@ impl Cluster {
             }
         }
         version
+    }
+
+    /// Swap the placement engine, migrating every tracked object to its
+    /// placement under the new backend. Returns the number of objects
+    /// whose replicas moved.
+    ///
+    /// An engine swap changes the id→node mapping on the *same*
+    /// membership, so it is sequenced like a careful resize: copies land
+    /// at the new-engine placement first, the swapped view publishes
+    /// second, and stale old-engine replicas are removed last. Readers
+    /// pinning the pre-swap snapshot keep resolving against the old
+    /// engine (their replicas are removed only after the publish, and
+    /// the full-placement sweep fallback in `get` covers the removal
+    /// window); readers of the new snapshot find their copies already
+    /// in place. Placement caches key on the engine, so neither side
+    /// ever serves the other's entries. Writes racing the swap are
+    /// healed by the dirty/repair machinery like any degraded write —
+    /// the writer lock held here serialises the swap against resizes,
+    /// not against data-path I/O.
+    pub fn set_engine(&self, engine: EngineKind) -> Result<usize, ClusterError> {
+        let _writer = self.view_write.lock();
+        let old = self.view.load();
+        if old.engine() == engine {
+            return Ok(0);
+        }
+        let mut next = ClusterView::clone(&old);
+        // ech-allow(D4): this is the view's engine setter, not a
+        // re-entrant swap — the bare-name fallback conflates it with
+        // this method.
+        next.set_engine(engine);
+        let version = next.current_version();
+        let mut moved = 0usize;
+        let mut stale: Vec<(ObjectId, Vec<ServerId>)> = Vec::new();
+        // ech-allow(D4): the header scan and the copy fan-out below run
+        // under the writer lock on purpose — a resize landing mid-swap
+        // would be clobbered by the publish of `next`, which was cloned
+        // before it. An engine swap is a rare admin operation; blocking
+        // resizes for its duration is the contract, and the data path
+        // (get/put) never takes this lock so I/O keeps flowing.
+        for oid in self.headers.all_objects() {
+            let from = old.place_at(oid, version)?;
+            let to = next.place_at(oid, version)?;
+            if from == to {
+                continue;
+            }
+            // Read the payload from any current replica; an object whose
+            // replicas are all dark stays where it is and is left to the
+            // repair scan (the swap must not turn one unreadable object
+            // into a failed migration of everything else).
+            let Some(obj) = from
+                .servers()
+                .iter()
+                .filter_map(|&s| self.node(s).ok())
+                .find_map(|n| self.rpc(n.id(), n, |n| n.get(oid)).ok())
+            else {
+                continue;
+            };
+            let mut copied = false;
+            for &server in to.servers() {
+                if from.servers().contains(&server) {
+                    copied = true;
+                    continue;
+                }
+                let node = self.node(server)?;
+                if self
+                    .rpc(server, node, |n| {
+                        // ech-allow(D4, D6): replica copy, not an
+                        // authoritative stamp — it lands at the
+                        // already-stamped header version *before* the
+                        // swapped view publishes, which is exactly the
+                        // careful-resize order (copies first, publish
+                        // second, stale removal last). The writer lock
+                        // stays held across the faultable copy by
+                        // design; see the header-scan note above.
+                        n.put(oid, obj.data.clone(), obj.header.version, obj.header.dirty)
+                    })
+                    .is_ok()
+                {
+                    self.migrated_bytes
+                        .fetch_add(obj.data.len() as u64, Ordering::Relaxed);
+                    copied = true;
+                }
+            }
+            if !copied {
+                continue;
+            }
+            moved += 1;
+            stale.push((
+                oid,
+                from.servers()
+                    .iter()
+                    .copied()
+                    .filter(|s| !to.servers().contains(s))
+                    .collect(),
+            ));
+        }
+        self.view.store(Arc::new(next));
+        for (oid, servers) in stale {
+            for server in servers {
+                if let Ok(node) = self.node(server) {
+                    node.remove(oid);
+                }
+            }
+        }
+        Ok(moved)
     }
 
     /// **Deliberately seeded publish-order bug** (modelcheck builds

@@ -8,6 +8,7 @@
 //! HASH alongside.
 
 use crate::fault::{Clock, SystemClock};
+use crate::sync::{footprint, footprint_read, footprint_write};
 use ech_core::dirty::{DirtyEntry, DirtyTable, HeaderSource, ObjectHeader};
 use ech_core::ids::{ObjectId, VersionId};
 use ech_kvstore::{KvError, KvStore};
@@ -86,12 +87,14 @@ impl KvDirtyTable {
 
 impl DirtyTable for KvDirtyTable {
     fn push_back(&mut self, entry: DirtyEntry) {
+        footprint_write(footprint::DIRTY);
         kv_retry(&*self.clock, "RPUSH dirty entry", || {
             self.kv.rpush(DIRTY_KEY, encode_entry(&entry))
         });
     }
 
     fn get(&self, index: usize) -> Option<DirtyEntry> {
+        footprint_read(footprint::DIRTY);
         kv_retry(&*self.clock, "LINDEX dirty entry", || {
             self.kv.lindex(DIRTY_KEY, index)
         })
@@ -99,6 +102,7 @@ impl DirtyTable for KvDirtyTable {
     }
 
     fn pop_front(&mut self) -> Option<DirtyEntry> {
+        footprint_write(footprint::DIRTY);
         kv_retry(&*self.clock, "LPOP dirty entry", || self.kv.lpop(DIRTY_KEY))
             .and_then(|b| decode_entry(&b))
     }
@@ -108,6 +112,7 @@ impl DirtyTable for KvDirtyTable {
             return Vec::new();
         }
         let stop = start.saturating_add(count - 1);
+        footprint_read(footprint::DIRTY);
         kv_retry(&*self.clock, "LRANGE dirty entries", || {
             self.kv.lrange(DIRTY_KEY, start, stop)
         })
@@ -127,6 +132,7 @@ impl DirtyTable for KvDirtyTable {
         // `get_range`'s map_while policy — a bare counted LPOP would
         // remove the corrupt record and everything behind it, popping
         // entries the planner's preceding peek never surfaced.
+        footprint_write(footprint::DIRTY);
         let decoded: Vec<DirtyEntry> = kv_retry(&*self.clock, "LRANGE dirty entries", || {
             self.kv.lrange(DIRTY_KEY, 0, count - 1)
         })
@@ -142,6 +148,7 @@ impl DirtyTable for KvDirtyTable {
     }
 
     fn len(&self) -> usize {
+        footprint_read(footprint::DIRTY);
         kv_retry(&*self.clock, "LLEN dirty table", || self.kv.llen(DIRTY_KEY))
     }
 }
@@ -167,6 +174,7 @@ impl KvHeaderStore {
 
     /// Record a write of `oid` at `version` with the given dirty bit.
     pub fn record_write(&self, oid: ObjectId, version: VersionId, dirty: bool) {
+        footprint_write(footprint::HEADERS);
         kv_retry(&*self.clock, "HSET object header", || {
             self.kv.hset(
                 HEADER_KEY,
@@ -178,6 +186,7 @@ impl KvHeaderStore {
 
     /// Clear the dirty bit after re-integration to a full-power version.
     pub fn mark_clean(&self, oid: ObjectId, version: VersionId) {
+        footprint_write(footprint::HEADERS);
         kv_retry(&*self.clock, "HSET clean header", || {
             self.kv.hset(
                 HEADER_KEY,
@@ -189,6 +198,7 @@ impl KvHeaderStore {
 
     /// Number of tracked objects.
     pub fn len(&self) -> usize {
+        footprint_read(footprint::HEADERS);
         kv_retry(&*self.clock, "HLEN header store", || {
             self.kv.hlen(HEADER_KEY)
         })
@@ -199,6 +209,7 @@ impl KvHeaderStore {
     /// (the kv hash iterates in process-random order), which keeps
     /// fault-injection replays byte-identical across runs.
     pub fn all_objects(&self) -> Vec<ObjectId> {
+        footprint_read(footprint::HEADERS);
         let mut oids: Vec<ObjectId> = kv_retry(&*self.clock, "HKEYS header store", || {
             self.kv.hkeys(HEADER_KEY)
         })
@@ -217,6 +228,7 @@ impl KvHeaderStore {
 
 impl HeaderSource for KvHeaderStore {
     fn header(&self, oid: ObjectId) -> Option<ObjectHeader> {
+        footprint_read(footprint::HEADERS);
         let raw = kv_retry(&*self.clock, "HGET object header", || {
             self.kv.hget(HEADER_KEY, &oid.raw().to_string())
         })?;

@@ -13,7 +13,7 @@
 //! hold it as an `Option<Arc<FaultInjector>>`-shaped hook, so the default
 //! fault-free path pays only a branch on a pointer.
 
-use crate::sync::{counter_u64, AtomicU64, Ordering};
+use crate::sync::{counter_u64, footprint, footprint_read, footprint_write, AtomicU64, Ordering};
 use ech_kvstore::ShardFaultHook;
 use std::sync::Arc;
 use std::time::Duration;
@@ -95,12 +95,17 @@ impl VirtualClock {
 
     /// Manually advance the clock (test hooks).
     pub fn advance(&self, d: Duration) {
+        // The backing counter is deliberately checker-invisible
+        // (`counter_u64`), but clock advances order deadline checks and
+        // breaker half-open probes — declare the dependence coarsely.
+        footprint_write(footprint::CLOCK);
         self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
 impl Clock for VirtualClock {
     fn now(&self) -> Duration {
+        footprint_read(footprint::CLOCK);
         Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
     }
 

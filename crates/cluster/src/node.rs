@@ -7,7 +7,9 @@
 //! survive for the moment it rejoins.
 
 use crate::fault::{FaultInjector, InjectedFault};
-use crate::sync::{counter_u64, AtomicBool, AtomicU64, Ordering};
+use crate::sync::{
+    counter_u64, footprint, footprint_read, footprint_write, AtomicBool, AtomicU64, Ordering,
+};
 use bytes::Bytes;
 use ech_core::dirty::ObjectHeader;
 use ech_core::ids::{ObjectId, ServerId, VersionId};
@@ -158,6 +160,13 @@ impl StorageNode {
         self.capacity
     }
 
+    /// Footprint key covering this node's raw-locked object map and its
+    /// byte accounting (the state the checker cannot instrument).
+    #[inline]
+    fn foot_key(&self) -> u64 {
+        footprint::NODE_BASE | self.id.index() as u64
+    }
+
     /// This node's server id.
     pub fn id(&self) -> ServerId {
         self.id
@@ -185,6 +194,7 @@ impl StorageNode {
         if !self.is_powered() {
             return Err(NodeError::PoweredOff);
         }
+        footprint_write(self.foot_key());
         let obj = StoredObject {
             data,
             header: ObjectHeader { version, dirty },
@@ -237,6 +247,7 @@ impl StorageNode {
         if !self.is_powered() {
             return Err(NodeError::PoweredOff);
         }
+        footprint_read(self.foot_key());
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.objects
             .read()
@@ -249,6 +260,7 @@ impl StorageNode {
     /// node is off — the coordinator may reconcile state lazily; a real
     /// system would queue the delete until power-on.
     pub fn remove(&self, oid: ObjectId) -> bool {
+        footprint_write(self.foot_key());
         let mut map = self.objects.write();
         if let Some(obj) = map.remove(&oid) {
             self.bytes_stored
@@ -264,6 +276,7 @@ impl StorageNode {
     /// placement at the new version. Returns true when the header was
     /// updated.
     pub fn restamp(&self, oid: ObjectId, version: VersionId, dirty: bool) -> bool {
+        footprint_write(self.foot_key());
         let mut map = self.objects.write();
         match map.get_mut(&oid) {
             Some(obj) if obj.header.version <= version => {
@@ -277,6 +290,7 @@ impl StorageNode {
     /// Simulate a disk-losing crash: all replicas on this node vanish and
     /// the node goes dark. Returns how many objects were lost locally.
     pub fn crash(&self) -> usize {
+        footprint_write(self.foot_key());
         self.set_powered(false);
         let mut map = self.objects.write();
         let lost = map.len();
@@ -290,16 +304,19 @@ impl StorageNode {
 
     /// Does this node hold `oid` (regardless of power state)?
     pub fn holds(&self, oid: ObjectId) -> bool {
+        footprint_read(self.foot_key());
         self.objects.read().contains_key(&oid)
     }
 
     /// Number of replicas stored.
     pub fn object_count(&self) -> usize {
+        footprint_read(self.foot_key());
         self.objects.read().len()
     }
 
     /// Bytes stored.
     pub fn bytes_stored(&self) -> u64 {
+        footprint_read(self.foot_key());
         self.bytes_stored.load(Ordering::Relaxed)
     }
 

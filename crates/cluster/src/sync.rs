@@ -5,3 +5,23 @@
 //! `parking_lot` directly (analyzer rule D5).
 
 pub use ech_core::sync::*;
+
+/// Coarse footprint keys for shared state the checker's instrumentation
+/// cannot see (raw-locked maps, kv-store tables, the virtual clock).
+/// Turns that touch the same key — at least one writing — are treated
+/// as dependent by the partial-order reduction; disjoint keys commute.
+/// Keys are namespaced in the upper half of the u64 so subsystems never
+/// collide with per-object tokens.
+pub mod footprint {
+    /// Per-node object map + byte accounting: `NODE_BASE | node index`.
+    pub const NODE_BASE: u64 = 1 << 32;
+    /// The dirty-object table (kv-backed FIFO queue).
+    pub const DIRTY: u64 = 2 << 32;
+    /// The kv header store (object id → last written header).
+    pub const HEADERS: u64 = 3 << 32;
+    /// The shared virtual clock.
+    pub const CLOCK: u64 = 4 << 32;
+    /// Per-server rpc channel state (breakers, partition windows,
+    /// fabric budgets): `RPC_BASE | server index`.
+    pub const RPC_BASE: u64 = 5 << 32;
+}

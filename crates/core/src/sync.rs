@@ -29,7 +29,8 @@
 
 #[cfg(feature = "modelcheck")]
 pub use ech_modelcheck::sync::{
-    msg_fate, on_model_thread, AtomicBool, AtomicU64, MsgFate, Mutex, MutexGuard, Ordering,
+    footprint_read, footprint_write, msg_fate, on_model_thread, AtomicBool, AtomicU64, MsgFate,
+    Mutex, MutexGuard, Ordering,
 };
 
 #[cfg(not(feature = "modelcheck"))]
@@ -79,6 +80,21 @@ pub enum MsgFate {
 pub fn msg_fate() -> Option<MsgFate> {
     None
 }
+
+/// Declare a *read* of coarse shared state the model checker's
+/// instrumentation cannot see (raw-locked maps, kv-store backed tables)
+/// under the caller-chosen footprint key. Production shim: compiles
+/// away. Under the `modelcheck` feature this feeds the partial-order
+/// reduction's dependence relation — two turns touching the same
+/// footprint key (at least one writing) do not commute.
+#[cfg(not(feature = "modelcheck"))]
+#[inline]
+pub fn footprint_read(_key: u64) {}
+
+/// Declare a *write* of coarse shared state; see [`footprint_read`].
+#[cfg(not(feature = "modelcheck"))]
+#[inline]
+pub fn footprint_write(_key: u64) {}
 
 /// A statistics counter: monotonic tally, `Relaxed` access allowed,
 /// never a model-checker scheduling point.

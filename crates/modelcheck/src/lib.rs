@@ -79,6 +79,14 @@ pub struct Config {
     /// docs). `0` (the default) disables message-scheduler mode: sends
     /// never yield and never branch.
     pub msg_budget: usize,
+    /// Dynamic partial-order reduction (the default). The explorer
+    /// tracks the shared-state accesses of every executed grant, prunes
+    /// schedules Mazurkiewicz-equivalent to explored ones via sleep
+    /// sets, and inserts backtrack points only where conflicting
+    /// concurrent events demand them. `false` restores the brute-force
+    /// DFS over every enabled alternative (`--no-reduce`); both settings
+    /// must produce identical verdicts on every model.
+    pub reduce: bool,
 }
 
 impl Default for Config {
@@ -88,6 +96,7 @@ impl Default for Config {
             max_schedules: 20_000,
             weak: false,
             msg_budget: 0,
+            reduce: true,
         }
     }
 }
@@ -107,8 +116,12 @@ pub struct Failure {
 pub struct Report {
     /// Model name (also embedded in traces).
     pub model: String,
-    /// Schedules executed.
+    /// Schedules executed (including partially executed pruned runs).
     pub schedules: usize,
+    /// Runs abandoned mid-execution by the sleep set: the continuation
+    /// was Mazurkiewicz-equivalent to an already-explored schedule.
+    /// Always `0` without reduction.
+    pub blocked: usize,
     /// True when the whole bounded-preemption space was covered without
     /// hitting `max_schedules`.
     pub exhausted: bool,
@@ -235,12 +248,25 @@ pub fn parse_trace(trace: &str) -> Result<ParsedTrace, String> {
     })
 }
 
-/// Exhaustively explore `model` under `cfg` by iterative-deepening DFS
-/// over schedules with at most `cfg.max_preemptions` preemptions. The
-/// `setup` closure runs once per schedule: build fresh state, spawn the
-/// virtual threads ([`Env::spawn`]), optionally register a post-join
-/// assertion ([`Env::after`]).
+/// Exhaustively explore `model` under `cfg` by DFS over schedules with
+/// at most `cfg.max_preemptions` preemptions. The `setup` closure runs
+/// once per schedule: build fresh state, spawn the virtual threads
+/// ([`Env::spawn`]), optionally register a post-join assertion
+/// ([`Env::after`]). With `cfg.reduce` (the default) the DFS is
+/// dynamically partial-order reduced: only schedules that are *not*
+/// Mazurkiewicz-equivalent to an explored one are executed.
 pub fn explore(model: &str, cfg: &Config, setup: impl Fn(&mut Env)) -> Report {
+    if cfg.reduce {
+        explore_reduced(model, cfg, &setup)
+    } else {
+        explore_full(model, cfg, &setup)
+    }
+}
+
+/// The pre-reduction brute-force DFS: branch on every enabled
+/// alternative of every free decision. Kept verbatim as the reference
+/// the reduced explorer is checked against (`--no-reduce`).
+fn explore_full(model: &str, cfg: &Config, setup: &dyn Fn(&mut Env)) -> Report {
     let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
     let mut schedules = 0;
     let mut truncated = false;
@@ -250,12 +276,13 @@ pub fn explore(model: &str, cfg: &Config, setup: impl Fn(&mut Env)) -> Report {
             break;
         }
         let plen = prefix.len();
-        let exec = sched::run_one(prefix, None, cfg.weak, cfg.msg_budget, &setup);
+        let exec = sched::run_one(prefix, None, cfg.weak, cfg.msg_budget, Vec::new(), setup);
         schedules += 1;
         if let Some(message) = exec.failure {
             return Report {
                 model: model.to_string(),
                 schedules,
+                blocked: 0,
                 exhausted: false,
                 failure: Some(Failure {
                     trace: render_trace(model, cfg, &exec.decisions),
@@ -290,6 +317,323 @@ pub fn explore(model: &str, cfg: &Config, setup: impl Fn(&mut Env)) -> Report {
     Report {
         model: model.to_string(),
         schedules,
+        blocked: 0,
+        exhausted: !truncated,
+        failure: None,
+    }
+}
+
+/// One node on the reduced explorer's DFS stack: a decision point of
+/// the current schedule path plus the bookkeeping DPOR needs.
+struct Level {
+    /// Enabled choices recorded at this decision.
+    enabled: Vec<usize>,
+    /// Unit granted immediately before (preemption accounting).
+    prev: Option<usize>,
+    /// Cumulative preemptions before this decision.
+    cum_before: usize,
+    /// Index of the event this level's grant creates (meaningless for
+    /// fate levels, whose decisions create no event).
+    nevents: usize,
+    /// Fate decisions are data nondeterminism: every choice is seeded
+    /// into `backtrack` up front and none is ever slept.
+    fate: bool,
+    /// Sleep set on entry: choices whose exploration from this state is
+    /// covered by an already-explored sibling subtree.
+    entry_sleep: Vec<sched::SleepEntry>,
+    /// Choices already explored from this level, with the footprint of
+    /// their first event (the sleep payload handed to later siblings).
+    done: Vec<sched::SleepEntry>,
+    /// Choices scheduled for exploration; grown by race-directed
+    /// insertion.
+    backtrack: Vec<usize>,
+    /// Choice taken on the current path.
+    chosen: usize,
+}
+
+/// Happens-before state of one location during the race sweep.
+#[derive(Default)]
+struct TokState {
+    /// Last write: (event index, unit index, event clock).
+    last_write: Option<(usize, usize, VClock)>,
+    /// Reads since that write, one per unit.
+    reads: Vec<(usize, usize, VClock)>,
+}
+
+/// Clock-component index of an event unit: threads `0..n`, flush units
+/// `n..2n`.
+fn unit_index(unit: usize, n: usize) -> usize {
+    if unit >= weak::FLUSH_BASE {
+        n + (unit - weak::FLUSH_BASE)
+    } else {
+        unit
+    }
+}
+
+/// Offline Flanagan–Godefroid race sweep over one run's event log:
+/// every `(i, j)` returned is a pair of conflicting events (same
+/// location, at least one write) that are *concurrent* — not ordered by
+/// the happens-before closure of per-unit program order plus the
+/// dependence edges of earlier conflicts. These are exactly the pairs
+/// whose reversal reaches a different Mazurkiewicz trace.
+fn find_races(events: &[sched::Event], n: usize) -> Vec<(usize, usize)> {
+    let nu = 2 * n;
+    let mut unit_clock: Vec<VClock> = (0..nu).map(|_| VClock(vec![0; nu])).collect();
+    let mut toks: std::collections::BTreeMap<u64, TokState> = std::collections::BTreeMap::new();
+    let mut races = Vec::new();
+    for (j, ev) in events.iter().enumerate() {
+        let u = unit_index(ev.unit, n);
+        let pre = unit_clock[u].clone();
+        let mut vj = pre.clone();
+        for &(token, write) in &ev.accesses {
+            let ts = toks.entry(token).or_default();
+            if let Some((i, ui, vi)) = &ts.last_write {
+                if vi.0[*ui] > pre.0[*ui] {
+                    races.push((*i, j));
+                }
+                vj.join(vi);
+            }
+            if write {
+                for (i, ui, vi) in &ts.reads {
+                    if vi.0[*ui] > pre.0[*ui] {
+                        races.push((*i, j));
+                    }
+                    vj.join(vi);
+                }
+            }
+        }
+        vj.0[u] += 1;
+        unit_clock[u] = vj.clone();
+        for &(token, write) in &ev.accesses {
+            let ts = toks.entry(token).or_default();
+            if write {
+                ts.last_write = Some((j, u, vj.clone()));
+                ts.reads.clear();
+            } else {
+                ts.reads.retain(|&(_, ui, _)| ui != u);
+                ts.reads.push((j, u, vj.clone()));
+            }
+        }
+    }
+    races
+}
+
+/// Dynamic partial-order reduction (Flanagan–Godefroid) with per-state
+/// sleep sets over the bounded-preemption schedule space.
+///
+/// Each executed run is analysed offline: the scheduler's event log
+/// (one event per grant, with the shared-state accesses the
+/// instrumented primitives declared during that turn) is swept for
+/// racing event pairs, and for each race a backtrack point is inserted
+/// at the deepest decision at or before the earlier event — the racing
+/// unit itself when it is schedulable and affordable there, every
+/// affordable alternative otherwise. Because the preemption bound can
+/// make the direct insertion unaffordable, a conservative extra point
+/// is planted at the closest earlier decision where scheduling the
+/// racing unit costs no preemption (the bounded-POR safety net).
+///
+/// Sleep sets carry the pruning to the scheduler: descending into a
+/// sibling passes the already-explored siblings (with their first-event
+/// footprints) into the run, which steers the default policy away from
+/// them, wakes them on conflicting accesses, and abandons the run
+/// (`Report::blocked`) when a sleeping choice becomes the only way
+/// forward. An explored sibling is only put to sleep when its schedule
+/// cost no more preemptions than the new branch, so the subtree that
+/// covered it had at least this branch's remaining budget.
+fn explore_reduced(model: &str, cfg: &Config, setup: &dyn Fn(&mut Env)) -> Report {
+    let mut levels: Vec<Level> = Vec::new();
+    let mut schedules = 0usize;
+    let mut blocked = 0usize;
+    let mut truncated = false;
+    let bound = cfg.max_preemptions;
+    let mut next: Option<(Vec<usize>, Vec<sched::SleepEntry>)> = Some((Vec::new(), Vec::new()));
+    while let Some((prefix, sleep)) = next.take() {
+        if schedules >= cfg.max_schedules {
+            truncated = true;
+            break;
+        }
+        let plen = prefix.len();
+        let exec = sched::run_one(prefix, None, cfg.weak, cfg.msg_budget, sleep.clone(), setup);
+        schedules += 1;
+        if exec.pruned {
+            blocked += 1;
+        }
+        if let Some(message) = exec.failure {
+            return Report {
+                model: model.to_string(),
+                schedules,
+                blocked,
+                exhausted: false,
+                failure: Some(Failure {
+                    trace: render_trace(model, cfg, &exec.decisions),
+                    message,
+                }),
+            };
+        }
+        // Extend the stack with this run's new decisions. A pruned
+        // run's levels are extended too: its executed prefix is real,
+        // and sleep-set theory says only its *continuation* was
+        // redundant.
+        for i in plen..exec.decisions.len() {
+            let d = &exec.decisions[i];
+            let fate = d.enabled[0] >= msg::MSG_BASE;
+            levels.push(Level {
+                enabled: d.enabled.clone(),
+                prev: d.prev,
+                cum_before: if i == 0 {
+                    0
+                } else {
+                    exec.decisions[i - 1].cum_preempt
+                },
+                nevents: d.nevents,
+                fate,
+                entry_sleep: d.alive_sleep.iter().map(|&ix| sleep[ix].clone()).collect(),
+                done: Vec::new(),
+                backtrack: if fate {
+                    d.enabled.clone()
+                } else {
+                    vec![d.chosen]
+                },
+                chosen: d.chosen,
+            });
+        }
+        // Mark the chosen choice explored at every level of the path,
+        // with the footprint of the event its grant created.
+        for lvl in levels.iter_mut().take(exec.decisions.len()) {
+            if !lvl.done.iter().any(|e| e.choice == lvl.chosen) {
+                let footprint = if lvl.fate {
+                    Vec::new()
+                } else {
+                    exec.events
+                        .get(lvl.nevents)
+                        .map(|e| e.accesses.clone())
+                        .unwrap_or_default()
+                };
+                lvl.done.push(sched::SleepEntry {
+                    choice: lvl.chosen,
+                    footprint,
+                });
+            }
+        }
+        // Race-directed backtrack insertion. The analysed log is the
+        // executed events plus one *phantom* write event per flush
+        // action still enabled at termination (a run legally ends with
+        // unflushed stores — that is the stale-publication execution —
+        // so the flush-early schedules are only reachable if the
+        // unexecuted flush still participates in the race sweep).
+        let mut ana_events = exec.events.clone();
+        for (unit, tokens) in &exec.pending_flush {
+            ana_events.push(sched::Event {
+                unit: *unit,
+                accesses: tokens.iter().map(|&t| (t, true)).collect(),
+            });
+        }
+        if !ana_events.is_empty() {
+            // Controlling level of each event: the deepest non-fate
+            // decision at or before the event's grant (events between
+            // decisions were forced — no divergence is possible there).
+            let mut ctrl: Vec<Option<usize>> = vec![None; ana_events.len()];
+            for (li, lvl) in levels.iter().enumerate().take(exec.decisions.len()) {
+                if lvl.fate {
+                    continue;
+                }
+                for c in ctrl.iter_mut().skip(lvl.nevents) {
+                    *c = Some(li);
+                }
+            }
+            for (i_ev, j_ev) in find_races(&ana_events, exec.nthreads) {
+                let Some(li) = ctrl[i_ev] else { continue };
+                let cand = ana_events[j_ev].unit;
+                let lvl = &mut levels[li];
+                let primary_ok = if lvl.enabled.contains(&cand) {
+                    if lvl.cum_before + preempt_delta(lvl.prev, &lvl.enabled, cand) <= bound {
+                        if !lvl.backtrack.contains(&cand) {
+                            lvl.backtrack.push(cand);
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    // The racing unit is not schedulable here: fall back
+                    // to every affordable alternative.
+                    for i in 0..lvl.enabled.len() {
+                        let c = lvl.enabled[i];
+                        if lvl.cum_before + preempt_delta(lvl.prev, &lvl.enabled, c) <= bound
+                            && !lvl.backtrack.contains(&c)
+                        {
+                            lvl.backtrack.push(c);
+                        }
+                    }
+                    false
+                };
+                if !primary_ok {
+                    // Bounded-POR safety net: also try the racing unit
+                    // at the closest earlier point where scheduling it
+                    // is free.
+                    for k in (0..=li).rev() {
+                        let lvl = &mut levels[k];
+                        if !lvl.fate
+                            && lvl.enabled.contains(&cand)
+                            && preempt_delta(lvl.prev, &lvl.enabled, cand) == 0
+                        {
+                            if !lvl.backtrack.contains(&cand) {
+                                lvl.backtrack.push(cand);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Backtrack: deepest level with an unexplored, affordable,
+        // non-sleeping backtrack choice.
+        while let Some(k) = levels.len().checked_sub(1) {
+            let pick = {
+                let lvl = &levels[k];
+                lvl.backtrack.iter().copied().find(|&c| {
+                    !lvl.done.iter().any(|e| e.choice == c)
+                        && !lvl.entry_sleep.iter().any(|e| e.choice == c)
+                        && lvl.cum_before + preempt_delta(lvl.prev, &lvl.enabled, c) <= bound
+                })
+            };
+            match pick {
+                Some(c) => {
+                    let child = {
+                        let lvl = &levels[k];
+                        let delta_c = preempt_delta(lvl.prev, &lvl.enabled, c);
+                        let mut child: Vec<sched::SleepEntry> = Vec::new();
+                        for e in &lvl.entry_sleep {
+                            if e.choice != c && e.choice < msg::MSG_BASE {
+                                child.push(e.clone());
+                            }
+                        }
+                        for e in &lvl.done {
+                            if e.choice != c
+                                && e.choice < msg::MSG_BASE
+                                && preempt_delta(lvl.prev, &lvl.enabled, e.choice) <= delta_c
+                                && !child.iter().any(|s| s.choice == e.choice)
+                            {
+                                child.push(e.clone());
+                            }
+                        }
+                        child
+                    };
+                    levels[k].chosen = c;
+                    let prefix: Vec<usize> = levels.iter().map(|l| l.chosen).collect();
+                    next = Some((prefix, child));
+                    break;
+                }
+                None => {
+                    levels.pop();
+                }
+            }
+        }
+    }
+    Report {
+        model: model.to_string(),
+        schedules,
+        blocked,
         exhausted: !truncated,
         failure: None,
     }
@@ -314,6 +658,7 @@ pub fn explore_random(
             Some(iter_seed),
             cfg.weak,
             cfg.msg_budget,
+            Vec::new(),
             &setup,
         );
         schedules += 1;
@@ -321,6 +666,7 @@ pub fn explore_random(
             return Report {
                 model: model.to_string(),
                 schedules,
+                blocked: 0,
                 exhausted: false,
                 failure: Some(Failure {
                     trace: render_trace(model, cfg, &exec.decisions),
@@ -332,6 +678,7 @@ pub fn explore_random(
     Report {
         model: model.to_string(),
         schedules,
+        blocked: 0,
         exhausted: false,
         failure: None,
     }
@@ -342,12 +689,15 @@ pub fn explore_random(
 /// follow the deterministic default policy, so the same trace always
 /// produces the same execution. `cfg` must carry the memory mode,
 /// bound, and message fault budget the trace was recorded under (see
-/// [`parse_trace`]).
+/// [`parse_trace`]). Replay bypasses reduction entirely: the sleep set
+/// is empty and no pruning can occur, so a recorded trace re-executes
+/// byte-for-byte regardless of how it was found.
 pub fn replay(model: &str, cfg: &Config, prefix: Vec<usize>, setup: impl Fn(&mut Env)) -> Report {
-    let exec = sched::run_one(prefix, None, cfg.weak, cfg.msg_budget, &setup);
+    let exec = sched::run_one(prefix, None, cfg.weak, cfg.msg_budget, Vec::new(), &setup);
     Report {
         model: model.to_string(),
         schedules: 1,
+        blocked: 0,
         exhausted: false,
         failure: exec.failure.map(|message| Failure {
             trace: render_trace(model, cfg, &exec.decisions),

@@ -13,6 +13,17 @@
 //! decision; forced moves (one thread enabled) replay identically for
 //! free and keep single-threaded stretches such as per-schedule cluster
 //! construction from exploding the schedule space.
+//!
+//! For dynamic partial-order reduction the scheduler additionally keeps
+//! an **event log**: every grant (thread turn or flush pseudo-action)
+//! opens an [`Event`], and the instrumented primitives running inside
+//! that turn declare their shared-state accesses onto it. The explorer
+//! analyses the log after each run to find conflicting concurrent
+//! events and insert backtrack points; it passes a **sleep set** into
+//! the next run, which the scheduler honours by steering the default
+//! policy away from sleeping choices, waking entries whose footprint an
+//! executed access conflicts with, and pruning the run outright when a
+//! sleeping choice becomes the only way forward.
 
 use crate::msg::{MsgFate, MSG_BASE};
 use crate::weak::{self, Cell, Pending, RmwOp, FLUSH_BASE};
@@ -138,6 +149,56 @@ pub struct Decision {
     pub prev: Option<usize>,
     /// Cumulative preemption count *including* this decision.
     pub cum_preempt: usize,
+    /// Number of events executed before this decision; the event a
+    /// thread/flush grant here creates has exactly this index, and the
+    /// pre-state of event `i` is the last decision with `nevents <= i`.
+    pub(crate) nevents: usize,
+    /// Indices (into the run's initial sleep set) still asleep when the
+    /// decision was taken — the entry sleep set of the child state.
+    pub(crate) alive_sleep: Vec<usize>,
+}
+
+/// One shared-state access of an executed event: `(location, is_write)`.
+/// Locations are sync tokens widened to `u64`; coarse footprint keys
+/// (state invisible to the instrumentation, declared via
+/// [`crate::sync::footprint_write`]) and the message-fate channel use
+/// the two top bits as disjoint namespaces.
+pub(crate) type Access = (u64, bool);
+
+/// The single pseudo-location all message-fate assignments conflict on:
+/// fates are positional (the k-th decided send gets the k-th fate), so
+/// two racing sends may not be commuted by the reduction.
+pub(crate) const NET_TOKEN: u64 = 1 << 62;
+
+/// Namespace bit for coarse footprint keys (see [`Access`]).
+pub(crate) const FOOT_BIT: u64 = 1 << 63;
+
+/// One executed scheduler grant: a thread turn running to its next
+/// yield point, or one flush pseudo-action. `unit` is the choice code
+/// (`tid` or `FLUSH_BASE + tid`); `accesses` are declared by the
+/// instrumented primitives while the turn runs — execution is fully
+/// serialized, so the open event is always the last one in the log.
+#[derive(Clone, Debug)]
+pub(crate) struct Event {
+    pub unit: usize,
+    pub accesses: Vec<Access>,
+}
+
+/// A sleep-set entry the explorer passes into a run: taking `choice` at
+/// the branch state was already covered by an explored sibling, so the
+/// run must not execute it until some access conflicting with the
+/// sibling's `footprint` wakes it (empty footprints never wake — the
+/// sibling's event commuted with everything).
+#[derive(Clone, Debug)]
+pub(crate) struct SleepEntry {
+    pub choice: usize,
+    pub footprint: Vec<Access>,
+}
+
+/// Do an access and a footprint conflict (same location, at least one
+/// side writing)?
+fn conflicts(token: u64, write: bool, footprint: &[Access]) -> bool {
+    footprint.iter().any(|&(t, w)| t == token && (w || write))
 }
 
 /// Was choosing `chosen` at a point where `prev` was still enabled a
@@ -181,6 +242,50 @@ struct State {
     /// Session-side atomic state: happens-before metadata plus — in
     /// weak mode — the authoritative globally-visible value.
     cells: BTreeMap<usize, Cell>,
+    /// Event log for partial-order reduction: one entry per grant.
+    events: Vec<Event>,
+    /// Sleep set handed in by the explorer (empty for replay/random).
+    initial_sleep: Vec<SleepEntry>,
+    /// Liveness of each `initial_sleep` entry; entries wake (die) when a
+    /// conflicting access executes, and only shrink within one run.
+    sleep_alive: Vec<bool>,
+    /// Set when the run was abandoned because a sleeping choice became
+    /// the only way forward — the continuation is Mazurkiewicz-
+    /// equivalent to an already-explored schedule.
+    pruned: bool,
+}
+
+impl State {
+    /// Sleep sets apply only past the forced branch prefix: the entries
+    /// describe siblings of the *last* forced decision.
+    fn sleep_active(&self) -> bool {
+        self.cursor >= self.prefix.len() && self.sleep_alive.iter().any(|&a| a)
+    }
+
+    /// Is `choice` a still-sleeping entry?
+    fn sleeping(&self, choice: usize) -> bool {
+        self.sleep_active()
+            && self
+                .initial_sleep
+                .iter()
+                .zip(&self.sleep_alive)
+                .any(|(e, &alive)| alive && e.choice == choice)
+    }
+
+    /// Record an access of the currently open event; wake conflicting
+    /// sleep entries and (for threads) append to the event footprint.
+    fn declare(&mut self, token: u64, write: bool) {
+        if self.cursor >= self.prefix.len() {
+            for (i, e) in self.initial_sleep.iter().enumerate() {
+                if self.sleep_alive[i] && conflicts(token, write, &e.footprint) {
+                    self.sleep_alive[i] = false;
+                }
+            }
+        }
+        if let Some(ev) = self.events.last_mut() {
+            ev.accesses.push((token, write));
+        }
+    }
 }
 
 /// One schedule execution: owns the turn-taking state shared by the
@@ -200,6 +305,22 @@ pub(crate) struct Session {
 pub(crate) struct ExecOutcome {
     pub failure: Option<String>,
     pub decisions: Vec<Decision>,
+    /// The executed event log (for the explorer's race analysis).
+    pub events: Vec<Event>,
+    /// Number of virtual threads the model spawned (event units are
+    /// threads `0..nthreads` plus flush units `FLUSH_BASE + tid`).
+    pub nthreads: usize,
+    /// Flush actions still enabled when the run ended: per thread with a
+    /// non-empty store buffer, the flush unit and the buffered tokens in
+    /// FIFO order. A run legally terminates with unflushed stores (that
+    /// IS the stale-publication execution), so these pending flushes
+    /// never become events — the explorer analyses them as *phantom*
+    /// write events, or their conflicts would never insert the
+    /// flush-early backtrack points.
+    pub pending_flush: Vec<(usize, Vec<u64>)>,
+    /// True when the run was abandoned by the sleep set: no failure, no
+    /// after-hook — the continuation was already covered.
+    pub pruned: bool,
 }
 
 fn lk(m: &Mutex<State>) -> MutexGuard<'_, State> {
@@ -213,7 +334,9 @@ impl Session {
         rng: Option<u64>,
         weak: bool,
         msg_budget: usize,
+        initial_sleep: Vec<SleepEntry>,
     ) -> Arc<Self> {
+        let sleep_alive = vec![true; initial_sleep.len()];
         Arc::new(Session {
             epoch: SESSION_EPOCH.fetch_add(1, Ordering::Relaxed),
             weak,
@@ -236,9 +359,20 @@ impl Session {
                 msg_faults_used: 0,
                 buffers: (0..nthreads).map(|_| VecDeque::new()).collect(),
                 cells: BTreeMap::new(),
+                events: Vec::new(),
+                initial_sleep,
+                sleep_alive,
+                pruned: false,
             }),
             cv: Condvar::new(),
         })
+    }
+
+    /// Record a shared-state access of the running turn's event. Safe to
+    /// call from the granted thread only (execution is serialized, so
+    /// the open event is always the last one in the log).
+    pub(crate) fn declare_access(&self, token: u64, write: bool) {
+        lk(&self.state).declare(token, write);
     }
 
     /// Is this session running under the store-buffer semantics?
@@ -261,6 +395,11 @@ impl Session {
         }
         self.yield_op(tid, Op::Step);
         let mut st = lk(&self.state);
+        // Fates are assigned positionally (the k-th decided send gets
+        // the k-th trace entry), so every decided send is a write on one
+        // shared pseudo-location: the reduction may never commute two
+        // racing senders past each other.
+        st.declare(NET_TOKEN, true);
         let enabled: Vec<usize> = if st.msg_faults_used < self.msg_budget {
             MsgFate::ALL.iter().map(|f| MSG_BASE + f.code()).collect()
         } else {
@@ -269,7 +408,9 @@ impl Session {
         let chosen = if enabled.len() == 1 {
             enabled[0]
         } else {
-            Self::choose(&mut st, &enabled)
+            // Fate decisions are data nondeterminism: never slept, never
+            // steered, so `choose` cannot prune here.
+            Self::choose(&mut st, &enabled).expect("fate decisions are never slept")
         };
         let fate = MsgFate::from_code(chosen - MSG_BASE).unwrap_or(MsgFate::Deliver);
         if fate.is_fault() {
@@ -333,9 +474,11 @@ impl Session {
     }
 
     /// The granted thread acquired mutex `token`: record the holder and
-    /// join the clock the last unlock released into the mutex.
+    /// join the clock the last unlock released into the mutex. Acquires
+    /// of the same mutex are mutually dependent — a write access.
     pub(crate) fn lock_acquired(&self, tid: usize, token: usize) {
         let mut st = lk(&self.state);
+        st.declare(token as u64, true);
         st.holders.insert(token, tid);
         if let Some(c) = st.mutex_clocks.get(&token).cloned() {
             st.clocks[tid].join(&c);
@@ -351,6 +494,10 @@ impl Session {
     /// the mutex and wake the controller to recompute enabledness.
     pub(crate) fn lock_released(&self, tid: usize, token: usize) {
         let mut st = lk(&self.state);
+        // The release is not a yield point, so it charges the releasing
+        // thread's still-open turn: a release enables blocked lockers,
+        // which is a dependence the reduction must see.
+        st.declare(token as u64, true);
         st.holders.remove(&token);
         let clock = st.clocks[tid].clone();
         match st.mutex_clocks.get_mut(&token) {
@@ -381,6 +528,7 @@ impl Session {
     pub(crate) fn weak_load(&self, tid: usize, token: usize, acquire: bool, init: u64) -> u64 {
         let mut st = lk(&self.state);
         let st = &mut *st;
+        st.declare(token as u64, false);
         let cell = st
             .cells
             .entry(token)
@@ -418,6 +566,8 @@ impl Session {
             .entry(token)
             .or_insert_with(|| Cell::with_value(init));
         if relaxed {
+            // A buffered store is globally invisible: the *flush* is the
+            // write event, so the buffering turn declares nothing.
             st.buffers[tid].push_back(Pending {
                 token,
                 value,
@@ -425,7 +575,10 @@ impl Session {
             });
             return false;
         }
-        weak::drain(&mut st.cells, &mut st.buffers, tid);
+        for tok in weak::drain(&mut st.cells, &mut st.buffers, tid) {
+            st.declare(tok as u64, true);
+        }
+        st.declare(token as u64, true);
         let cell = st.cells.entry(token).or_default();
         cell.value = value;
         cell.last_write = Some((tid, clock.clone()));
@@ -454,7 +607,10 @@ impl Session {
         let mut st = lk(&self.state);
         let st = &mut *st;
         let clock = st.clocks[tid].clone();
-        weak::drain(&mut st.cells, &mut st.buffers, tid);
+        for tok in weak::drain(&mut st.cells, &mut st.buffers, tid) {
+            st.declare(tok as u64, true);
+        }
+        st.declare(token as u64, true);
         let cell = st
             .cells
             .entry(token)
@@ -575,16 +731,44 @@ impl Session {
                 continue;
             }
             let chosen = if enabled.len() == 1 {
+                // Forced moves are unrecorded, but a sleeping forced
+                // choice still prunes: everything since the branch was
+                // independent of it, so the sibling that took it first
+                // already covered every continuation from here.
+                if st.sleeping(enabled[0]) {
+                    st.pruned = true;
+                    st.bail = true;
+                    continue;
+                }
                 enabled[0]
             } else {
-                Self::choose(&mut st, &enabled)
+                match Self::choose(&mut st, &enabled) {
+                    Some(c) => c,
+                    None => {
+                        // Every enabled choice is asleep: the whole
+                        // continuation is equivalent to explored ones.
+                        st.pruned = true;
+                        st.bail = true;
+                        continue;
+                    }
+                }
             };
+            st.events.push(Event {
+                unit: chosen,
+                accesses: Vec::new(),
+            });
             if chosen >= FLUSH_BASE {
                 // Memory-system step: apply the oldest buffered store of
                 // that thread; no thread is granted and `last_granted`
-                // is untouched (a flush is not a context switch).
+                // is untouched (a flush is not a context switch). The
+                // flush is the moment the store becomes visible — it is
+                // the write event on the flushed location.
                 let stm = &mut *st;
-                weak::flush_one(&mut stm.cells, &mut stm.buffers, chosen - FLUSH_BASE);
+                if let Some(tok) =
+                    weak::flush_one(&mut stm.cells, &mut stm.buffers, chosen - FLUSH_BASE)
+                {
+                    stm.declare(tok as u64, true);
+                }
                 continue;
             }
             st.threads[chosen] = TStatus::Running;
@@ -595,8 +779,11 @@ impl Session {
 
     /// Pick among several enabled threads: forced prefix first, then the
     /// seeded RNG (random mode) or the deterministic continue-last
-    /// policy. Records the decision.
-    fn choose(st: &mut State, enabled: &[usize]) -> usize {
+    /// policy — steered away from sleeping choices. Records the
+    /// decision. Returns `None` (prune) when every enabled choice is
+    /// asleep; with an empty sleep set the policy is byte-identical to
+    /// the pre-reduction scheduler.
+    fn choose(st: &mut State, enabled: &[usize]) -> Option<usize> {
         let forced = if st.cursor < st.prefix.len() {
             let c = st.prefix[st.cursor];
             st.cursor += 1;
@@ -604,26 +791,56 @@ impl Session {
         } else {
             None
         };
-        let chosen = forced.unwrap_or_else(|| match &mut st.rng {
-            Some(seed) => {
-                *seed = splitmix64(*seed);
-                enabled[(*seed % enabled.len() as u64) as usize]
-            }
-            None => match st.last_granted {
-                Some(l) if enabled.contains(&l) => l,
-                _ => enabled[0],
+        let chosen = match forced {
+            Some(c) => c,
+            None => match &mut st.rng {
+                Some(seed) => {
+                    *seed = splitmix64(*seed);
+                    enabled[(*seed % enabled.len() as u64) as usize]
+                }
+                None => {
+                    // Fate decisions (all choices >= MSG_BASE) are data
+                    // nondeterminism, never slept; thread/flush
+                    // decisions skip sleeping choices.
+                    let fate = enabled[0] >= MSG_BASE;
+                    let awake: Vec<usize> = if fate {
+                        enabled.to_vec()
+                    } else {
+                        enabled
+                            .iter()
+                            .copied()
+                            .filter(|&c| !st.sleeping(c))
+                            .collect()
+                    };
+                    if awake.is_empty() {
+                        return None;
+                    }
+                    match st.last_granted {
+                        Some(l) if awake.contains(&l) => l,
+                        _ => awake[0],
+                    }
+                }
             },
-        });
+        };
         let prev = st.last_granted;
         let cum =
             st.decisions.last().map_or(0, |d| d.cum_preempt) + preempt_delta(prev, enabled, chosen);
+        let nevents = st.events.len();
+        let alive_sleep: Vec<usize> = st
+            .sleep_alive
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect();
         st.decisions.push(Decision {
             enabled: enabled.to_vec(),
             chosen,
             prev,
             cum_preempt: cum,
+            nevents,
+            alive_sleep,
         });
-        chosen
+        Some(chosen)
     }
 }
 
@@ -670,18 +887,21 @@ fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
 /// Execute one schedule: run `setup` on the controller (pass-through
 /// ops), spawn its threads under the scheduler with the given forced
 /// decision `prefix`, drive to completion, then run the after-hook.
+/// `initial_sleep` is the explorer's sleep set for this branch (empty
+/// on replay and in random mode — reduction never touches those paths).
 pub(crate) fn run_one(
     prefix: Vec<usize>,
     rng: Option<u64>,
     weak: bool,
     msg_budget: usize,
+    initial_sleep: Vec<SleepEntry>,
     setup: &dyn Fn(&mut Env),
 ) -> ExecOutcome {
     install_quiet_hook();
     // Build the model under a provisional session so that primitives
     // created during setup bind to this session's epoch.
     let mut env = Env::default();
-    let sess = Session::new(0, prefix, rng, weak, msg_budget);
+    let sess = Session::new(0, prefix, rng, weak, msg_budget, initial_sleep);
     set_current(Some(Ctx {
         sess: Arc::clone(&sess),
         tid: None,
@@ -692,6 +912,10 @@ pub(crate) fn run_one(
         return ExecOutcome {
             failure: Some(format!("model setup panicked: {}", panic_message(e))),
             decisions: Vec::new(),
+            events: Vec::new(),
+            nthreads: 0,
+            pruned: false,
+            pending_flush: Vec::new(),
         };
     }
     let n = env.threads.len();
@@ -735,8 +959,14 @@ pub(crate) fn run_one(
     for h in handles {
         let _ = h.join();
     }
-    let mut failure = lk(&sess.state).failure.clone();
-    if failure.is_none() {
+    let (mut failure, pruned) = {
+        let st = lk(&sess.state);
+        (st.failure.clone(), st.pruned)
+    };
+    // A pruned run was abandoned mid-execution: its state is incomplete
+    // by construction, so the after-hook must not judge it (the
+    // equivalent completed schedule already ran the hook).
+    if failure.is_none() && !pruned {
         if let Some(after) = env.after {
             if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(after)) {
                 failure = Some(format!("post-state check failed: {}", panic_message(e)));
@@ -744,8 +974,29 @@ pub(crate) fn run_one(
         }
     }
     set_current(None);
-    let decisions = std::mem::take(&mut lk(&sess.state).decisions);
-    ExecOutcome { failure, decisions }
+    let (decisions, events, pending_flush) = {
+        let mut st = lk(&sess.state);
+        let pending: Vec<(usize, Vec<u64>)> = st
+            .buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(t, b)| (FLUSH_BASE + t, b.iter().map(|p| p.token as u64).collect()))
+            .collect();
+        (
+            std::mem::take(&mut st.decisions),
+            std::mem::take(&mut st.events),
+            pending,
+        )
+    };
+    ExecOutcome {
+        failure,
+        decisions,
+        events,
+        nthreads: n,
+        pruned,
+        pending_flush,
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,26 @@ pub fn on_model_thread() -> bool {
     vthread().is_some()
 }
 
+/// Declare a *read* of coarse shared state the instrumentation cannot
+/// see (raw-locked maps, pass-through counters feeding control flow)
+/// under the caller-chosen footprint key. Not a yield point; no-op off
+/// a scheduled virtual thread. Keys live in their own namespace — they
+/// can never collide with sync-object tokens — and exist purely so the
+/// partial-order reduction knows two turns touching the same invisible
+/// state do not commute. The non-modelcheck facades ship empty shims.
+pub fn footprint_read(key: u64) {
+    if let Some((sess, _tid)) = vthread() {
+        sess.declare_access(sched::FOOT_BIT | key, false);
+    }
+}
+
+/// Declare a *write* of coarse shared state; see [`footprint_read`].
+pub fn footprint_write(key: u64) {
+    if let Some((sess, _tid)) = vthread() {
+        sess.declare_access(sched::FOOT_BIT | key, true);
+    }
+}
+
 pub use crate::msg::MsgFate;
 
 /// The instrumented network facade (`MNet`), alongside `MAtomic*` /
@@ -311,12 +331,18 @@ fn instrumented_load(
     }
     sess.yield_op(tid, Op::Step);
     if kind == Kind::CounterObserved {
+        // Observed counters take part in modelled protocols (their
+        // values are asserted on), so their accesses are dependence
+        // edges for the reduction even without happens-before checks.
+        let token = meta_token(meta, &sess);
+        sess.declare_access(token as u64, false);
         return ReadPath::Through;
     }
     if sess.weak_active() {
         let token = meta_token(meta, &sess);
         return ReadPath::Value(sess.weak_load(tid, token, is_acquire(ord), init()));
     }
+    sess.declare_access(meta_token(meta, &sess) as u64, false);
     seq_access(&sess, tid, label, meta, ord, true, false, "load");
     ReadPath::Through
 }
@@ -347,9 +373,12 @@ fn instrumented_store(
     }
     sess.yield_op(tid, Op::Step);
     if kind == Kind::CounterObserved {
+        sess.declare_access(meta_token(meta, &sess) as u64, true);
         return true;
     }
     if sess.weak_active() {
+        // The weak path declares for itself: a buffered store is not a
+        // visible write (its flush is), a write-through is.
         let token = meta_token(meta, &sess);
         return sess.weak_store(
             tid,
@@ -360,6 +389,7 @@ fn instrumented_store(
             init(),
         );
     }
+    sess.declare_access(meta_token(meta, &sess) as u64, true);
     seq_access(&sess, tid, label, meta, ord, false, true, "store");
     true
 }
@@ -392,6 +422,7 @@ fn instrumented_rmw(
     }
     sess.yield_op(tid, Op::Step);
     if kind == Kind::CounterObserved {
+        sess.declare_access(meta_token(meta, &sess) as u64, true);
         return RmwOut::Through;
     }
     if sess.weak_active() {
@@ -399,6 +430,7 @@ fn instrumented_rmw(
         let (prev, store) = sess.weak_rmw(tid, token, is_acquire(ord), is_release(ord), op, init());
         return RmwOut::Weak { prev, store };
     }
+    sess.declare_access(meta_token(meta, &sess) as u64, true);
     seq_access(&sess, tid, label, meta, ord, true, true, op_name);
     RmwOut::Through
 }
@@ -767,6 +799,9 @@ impl<T: ?Sized> MMutex<T> {
         let token = self.token(&sess);
         sess.yield_op(tid, Op::TryLock(token));
         if !sess.mutex_free(token) {
+            // A failed attempt observed the holder state: a read access
+            // (a release by the holder would change the outcome).
+            sess.declare_access(token as u64, false);
             return None;
         }
         sess.lock_acquired(tid, token);
@@ -820,6 +855,10 @@ impl<T: ?Sized> Drop for MMutexGuard<'_, T> {
 /// Happens-before metadata for one [`MData`] cell.
 struct DataMeta {
     epoch: u64,
+    /// Session-scoped identity token (allocated lazily per epoch) so
+    /// accesses can be declared to the partial-order-reduction event
+    /// log.
+    token: Option<usize>,
     last_write: Option<(usize, VClock)>,
     /// Last read event per thread (tid, clock).
     reads: Vec<(usize, VClock)>,
@@ -840,6 +879,7 @@ impl<T: Clone> MData<T> {
             inner: StdMutex::new(value),
             meta: StdMutex::new(DataMeta {
                 epoch: 0,
+                token: None,
                 last_write: None,
                 reads: Vec::new(),
             }),
@@ -850,6 +890,7 @@ impl<T: Clone> MData<T> {
         let mut g = self.meta.lock().unwrap_or_else(|e| e.into_inner());
         if g.epoch != epoch {
             g.epoch = epoch;
+            g.token = None;
             g.last_write = None;
             g.reads = Vec::new();
         }
@@ -862,6 +903,8 @@ impl<T: Clone> MData<T> {
             sess.yield_op(tid, Op::Step);
             let clock = sess.clock_of(tid);
             let mut g = self.meta(sess.epoch);
+            let token = *g.token.get_or_insert_with(|| sess.alloc_token());
+            sess.declare_access(token as u64, false);
             if let Some((wtid, wclock)) = &g.last_write {
                 if *wtid != tid && !wclock.event_before(*wtid, &clock) {
                     let msg = format!("data race: read concurrent with write by t{wtid}");
@@ -882,6 +925,8 @@ impl<T: Clone> MData<T> {
             sess.yield_op(tid, Op::Step);
             let clock = sess.clock_of(tid);
             let mut g = self.meta(sess.epoch);
+            let token = *g.token.get_or_insert_with(|| sess.alloc_token());
+            sess.declare_access(token as u64, true);
             if let Some((wtid, wclock)) = &g.last_write {
                 if *wtid != tid && !wclock.event_before(*wtid, &clock) {
                     let msg = format!("data race: write concurrent with write by t{wtid}");

@@ -136,15 +136,17 @@ pub(crate) fn own_buffered(buffers: &[VecDeque<Pending>], tid: usize, token: usi
 }
 
 /// Apply the oldest pending store of `tid` to global memory. Returns
-/// false when the buffer is already empty.
+/// the token of the flushed store, or `None` when the buffer is already
+/// empty. The token is what lets the scheduler record the flush as a
+/// *write event* on that location for partial-order reduction — a flush
+/// is the moment a buffered store becomes globally visible, so it is
+/// the point that conflicts with other units' accesses.
 pub(crate) fn flush_one(
     cells: &mut BTreeMap<usize, Cell>,
     buffers: &mut [VecDeque<Pending>],
     tid: usize,
-) -> bool {
-    let Some(p) = buffers[tid].pop_front() else {
-        return false;
-    };
+) -> Option<usize> {
+    let p = buffers[tid].pop_front()?;
     // The cell was created when the store was buffered, but an explicit
     // default keeps the flush total under any drain order.
     let cell = cells.entry(p.token).or_default();
@@ -153,17 +155,23 @@ pub(crate) fn flush_one(
     // the value but gain no happens-before edge — exactly the stale
     // publication hazard the weak mode exists to exhibit.
     cell.last_write = Some((tid, p.clock));
-    true
+    Some(p.token)
 }
 
 /// Drain `tid`'s whole buffer in FIFO order (write-through stores and
-/// RMW operations do this before applying themselves).
+/// RMW operations do this before applying themselves). Returns the
+/// drained tokens so the caller can charge them as writes of the
+/// draining event.
 pub(crate) fn drain(
     cells: &mut BTreeMap<usize, Cell>,
     buffers: &mut [VecDeque<Pending>],
     tid: usize,
-) {
-    while flush_one(cells, buffers, tid) {}
+) -> Vec<usize> {
+    let mut drained = Vec::new();
+    while let Some(tok) = flush_one(cells, buffers, tid) {
+        drained.push(tok);
+    }
+    drained
 }
 
 #[cfg(test)]
@@ -185,10 +193,10 @@ mod tests {
             clock: VClock::default(),
         });
         assert_eq!(own_buffered(&buffers, 0, 7), Some(2));
-        assert!(flush_one(&mut cells, &mut buffers, 0));
+        assert_eq!(flush_one(&mut cells, &mut buffers, 0), Some(7));
         assert_eq!(cells.get(&7).map(|c| c.value), Some(1));
-        drain(&mut cells, &mut buffers, 0);
+        assert_eq!(drain(&mut cells, &mut buffers, 0), vec![7]);
         assert_eq!(cells.get(&7).map(|c| c.value), Some(2));
-        assert!(!flush_one(&mut cells, &mut buffers, 0));
+        assert_eq!(flush_one(&mut cells, &mut buffers, 0), None);
     }
 }
