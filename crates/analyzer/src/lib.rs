@@ -1,7 +1,7 @@
 //! `ech-analyzer`: a dependency-free static analyzer for this
 //! workspace's invariants.
 //!
-//! Eight rule families (see `DESIGN.md` §9):
+//! Nine rule families (see `DESIGN.md` §9):
 //!
 //! - **D1 determinism** — no wall clocks, OS entropy or order-sensitive
 //!   hash iteration in seed-deterministic code (placement, sim, trace
@@ -32,6 +32,11 @@
 //!   `op_deadline()`); deadline-free retry runners and fresh
 //!   `Deadline::unbounded()` constructions are banned wherever rpc is
 //!   reachable.
+//! - **D9 model/mutant pairing** — every entry in the model-checker's
+//!   scenario table (`mc_models.rs`) names its role-opposed `pair`
+//!   (correct protocol ↔ seeded mutant), the pairing resolves and
+//!   crosses roles, and every mutant is quoted elsewhere in the CLI
+//!   sources by the replay regression test pinning its counterexample.
 //!
 //! Findings carry stable line-number-free keys; a checked-in baseline
 //! (`analyzer-baseline.txt`) records accepted debt and `--deny-new`
@@ -114,6 +119,7 @@ pub fn run_cli(args: &[String]) -> i32 {
     let mut baseline_path: Option<PathBuf> = None;
     let mut deny_new = false;
     let mut write_baseline = false;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -127,6 +133,10 @@ pub fn run_cli(args: &[String]) -> i32 {
             }
             "--deny-new" => {
                 deny_new = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
                 i += 1;
             }
             "--write-baseline" => {
@@ -172,26 +182,58 @@ pub fn run_cli(args: &[String]) -> i32 {
         .map(|t| baseline::parse(&t))
         .unwrap_or_default();
     let delta = baseline::diff(&findings, &known);
-    for f in &findings {
-        let status = if known.contains(&f.key) {
-            "warning"
-        } else {
-            "error"
-        };
-        println!("{status}[{}]: {}", f.rule, f.message);
-        println!("  --> {}:{}", f.file, f.line);
-        println!("  key: {}", f.key);
+    if json {
+        // Machine-readable report: same findings, same exit-code
+        // semantics, one JSON object on stdout (hand-rendered — the
+        // analyzer stays dependency-free).
+        let rows: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"key\": \"{}\", \
+                     \"baselined\": {}, \"message\": \"{}\"}}",
+                    f.rule,
+                    json_escape(&f.file),
+                    f.line,
+                    json_escape(&f.key),
+                    known.contains(&f.key),
+                    json_escape(&f.message)
+                )
+            })
+            .collect();
+        let stale: Vec<String> = delta
+            .stale
+            .iter()
+            .map(|k| format!("\"{}\"", json_escape(k)))
+            .collect();
+        println!(
+            "{{\n  \"findings\": [\n{}\n  ],\n  \"new\": {},\n  \"stale\": [{}]\n}}",
+            rows.join(",\n"),
+            delta.new.len(),
+            stale.join(", ")
+        );
+    } else {
+        for f in &findings {
+            let status = if known.contains(&f.key) {
+                "warning"
+            } else {
+                "error"
+            };
+            println!("{status}[{}]: {}", f.rule, f.message);
+            println!("  --> {}:{}", f.file, f.line);
+            println!("  key: {}", f.key);
+        }
+        for k in &delta.stale {
+            println!("note: baseline entry no longer produced (stale): {k}");
+        }
+        println!(
+            "{} finding(s): {} baselined, {} new, {} stale baseline entr(ies)",
+            findings.len(),
+            findings.len() - delta.new.len(),
+            delta.new.len(),
+            delta.stale.len()
+        );
     }
-    for k in &delta.stale {
-        println!("note: baseline entry no longer produced (stale): {k}");
-    }
-    println!(
-        "{} finding(s): {} baselined, {} new, {} stale baseline entr(ies)",
-        findings.len(),
-        findings.len() - delta.new.len(),
-        delta.new.len(),
-        delta.stale.len()
-    );
     if deny_new && (!delta.new.is_empty() || !delta.stale.is_empty()) {
         if !delta.new.is_empty() {
             eprintln!(
@@ -214,15 +256,32 @@ pub fn run_cli(args: &[String]) -> i32 {
     0
 }
 
+/// Minimal JSON string escaping for the `--json` report.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn print_help() {
     println!(
-        "ech-analyzer: workspace invariant linter (rules D1-D8)\n\n\
-         USAGE: ech-analyzer [--root DIR] [--baseline FILE] [--deny-new] [--write-baseline]\n\n\
+        "ech-analyzer: workspace invariant linter (rules D1-D9)\n\n\
+         USAGE: ech-analyzer [--root DIR] [--baseline FILE] [--deny-new] [--write-baseline] [--json]\n\n\
          OPTIONS:\n  \
          --root DIR         workspace root (default: .)\n  \
          --baseline FILE    baseline file (default: <root>/analyzer-baseline.txt)\n  \
          --deny-new         exit 1 on findings absent from the baseline or stale entries\n  \
          --write-baseline   rewrite the baseline from current findings\n  \
+         --json             render the report as one JSON object on stdout\n  \
          -h, --help         show this help"
     );
 }

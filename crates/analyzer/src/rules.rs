@@ -1,4 +1,4 @@
-//! The eight rule families (D1–D8) over parsed source files.
+//! The nine rule families (D1–D9) over parsed source files.
 //!
 //! Each rule produces [`Finding`]s with a stable, line-number-free
 //! `key` so the baseline survives unrelated edits, plus a 1-based line
@@ -13,7 +13,7 @@ use crate::SourceFile;
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
-    /// Rule id (`"D1"`..`"D8"`).
+    /// Rule id (`"D1"`..`"D9"`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -33,6 +33,10 @@ pub struct Unit {
     pub lexed: Lexed,
     /// Item structure.
     pub parsed: ParsedFile,
+    /// Raw file text. The lexer erases string-literal contents, so
+    /// rules that key on literal values (D9 reads model names out of
+    /// `Model { name: "…" }` tables) scan this instead.
+    pub text: String,
 }
 
 /// Lex and parse every source file.
@@ -46,6 +50,7 @@ pub fn build_units(files: &[SourceFile]) -> Vec<Unit> {
                 path: f.path.clone(),
                 lexed,
                 parsed,
+                text: f.text.clone(),
             }
         })
         .collect()
@@ -85,6 +90,7 @@ pub fn run_all(units: &[Unit]) -> Vec<Finding> {
     d6_publish_order(units, &mut findings);
     d7_rpc_choke_point(units, &mut findings);
     d8_deadline_propagation(units, &mut findings);
+    d9_model_pairing(units, &mut findings);
     findings.retain(|f| {
         let unit = units.iter().find(|u| u.path == f.file);
         !unit.is_some_and(|u| suppressed(u, f.rule, f.line))
@@ -1771,4 +1777,165 @@ fn matching_paren(t: &[Token], open: usize) -> usize {
         }
     }
     t.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------- D9
+
+/// The model-checker's scenario table: the one file D9 scans.
+const D9_MODELS: &str = "crates/cli/src/mc_models.rs";
+
+/// One `Model { .. }` literal lifted out of the table's raw text.
+struct D9Model {
+    name: String,
+    pair: Option<String>,
+    /// Any `expect_failure*` flag set — the entry is a seeded mutant.
+    mutant: bool,
+    /// 1-based line of the literal's `name:` field.
+    line: u32,
+}
+
+/// Extract the string value of `field: "…"` from a model-literal
+/// block, plus the byte offset of the opening quote.
+fn d9_field<'a>(block: &'a str, field: &str) -> Option<(&'a str, usize)> {
+    let needle = format!("{field}: \"");
+    let at = block.find(&needle)?;
+    let start = at + needle.len();
+    let len = block[start..].find('"')?;
+    Some((&block[start..start + len], start))
+}
+
+/// Parse every `Model { .. }` literal out of the table's raw text.
+/// Blocks are delimited by successive `Model {` occurrences; anything
+/// without a `name: "…"` field (the struct declaration, doc prose) is
+/// skipped.
+fn d9_parse_models(text: &str) -> Vec<D9Model> {
+    let starts: Vec<usize> = {
+        let mut v = Vec::new();
+        let mut from = 0usize;
+        while let Some(i) = text[from..].find("Model {") {
+            v.push(from + i);
+            from += i + 1;
+        }
+        v
+    };
+    let mut models = Vec::new();
+    for (k, &s) in starts.iter().enumerate() {
+        let end = starts.get(k + 1).copied().unwrap_or(text.len());
+        let block = &text[s..end];
+        let Some((name, name_off)) = d9_field(block, "name") else {
+            continue;
+        };
+        let mutant = ["", "_weak", "_msg", "_lincheck"]
+            .iter()
+            .any(|sfx| block.contains(&format!("expect_failure{sfx}: true")));
+        let line = 1 + text[..s + name_off].matches('\n').count() as u32;
+        models.push(D9Model {
+            name: name.to_string(),
+            pair: d9_field(block, "pair").map(|(p, _)| p.to_string()),
+            mutant,
+            line,
+        });
+    }
+    models
+}
+
+/// D9: model/mutant pairing discipline.
+///
+/// Every entry in the scenario table must carry a `pair` naming its
+/// role-opposed counterpart: a correct-protocol model points at the
+/// seeded mutant that proves its property is *checkable* (delete the
+/// assertion's teeth and the mutant's expected-caught run goes red),
+/// and a mutant points back at the protocol it corrupts. Pairings need
+/// not be unique — several models may share one mutant — but they must
+/// resolve, must not be reflexive, and must cross roles. Additionally,
+/// every mutant's name must be quoted somewhere else in the CLI
+/// sources: that quote is the replay regression test pinning the
+/// mutant's counterexample (a mutant nothing references is a seeded
+/// bug nobody would notice going un-caught).
+fn d9_model_pairing(units: &[Unit], out: &mut Vec<Finding>) {
+    let Some(mu) = units.iter().find(|u| u.path == D9_MODELS) else {
+        return;
+    };
+    let models = d9_parse_models(&mu.text);
+    let roles: BTreeMap<&str, bool> = models.iter().map(|m| (m.name.as_str(), m.mutant)).collect();
+    for m in &models {
+        let role = if m.mutant { "mutant" } else { "model" };
+        match m.pair.as_deref() {
+            None => out.push(Finding {
+                rule: "D9",
+                file: mu.path.clone(),
+                line: m.line,
+                key: format!("D9 {} {} missing-pair", mu.path, m.name),
+                message: format!(
+                    "{role} `{}` declares no `pair` — every scenario names the \
+                     role-opposed entry that keeps it honest (a model cites the \
+                     mutant proving its property checkable; a mutant cites the \
+                     protocol it corrupts)",
+                    m.name
+                ),
+            }),
+            Some(p) if p == m.name => out.push(Finding {
+                rule: "D9",
+                file: mu.path.clone(),
+                line: m.line,
+                key: format!("D9 {} {} self-pair", mu.path, m.name),
+                message: format!(
+                    "{role} `{}` pairs with itself — the pairing must cross roles \
+                     to witness anything",
+                    m.name
+                ),
+            }),
+            Some(p) => match roles.get(p) {
+                None => out.push(Finding {
+                    rule: "D9",
+                    file: mu.path.clone(),
+                    line: m.line,
+                    key: format!("D9 {} {} unknown-pair", mu.path, m.name),
+                    message: format!(
+                        "{role} `{}` pairs with `{p}`, which names no entry in the \
+                         scenario table",
+                        m.name
+                    ),
+                }),
+                Some(&pm) if pm == m.mutant => out.push(Finding {
+                    rule: "D9",
+                    file: mu.path.clone(),
+                    line: m.line,
+                    key: format!("D9 {} {} role-mismatch", mu.path, m.name),
+                    message: format!(
+                        "{role} `{}` pairs with `{p}`, but both are {role}s — a \
+                         pairing only proves something when a correct protocol \
+                         faces the mutant that would break it",
+                        m.name
+                    ),
+                }),
+                Some(_) => {}
+            },
+        }
+        if m.mutant {
+            // The name may sit inside a larger literal (a scripted
+            // `modelcheck --model <name>` command line), so this is a
+            // substring scan; dash-separated names cannot collide with
+            // identifiers.
+            let referenced = units.iter().any(|u| {
+                u.path != D9_MODELS
+                    && u.path.starts_with("crates/cli/src/")
+                    && u.text.contains(m.name.as_str())
+            });
+            if !referenced {
+                out.push(Finding {
+                    rule: "D9",
+                    file: mu.path.clone(),
+                    line: m.line,
+                    key: format!("D9 {} {} unreferenced-mutant", mu.path, m.name),
+                    message: format!(
+                        "mutant `{}` is quoted nowhere else in crates/cli/src — \
+                         add the expected-caught replay regression test that pins \
+                         its counterexample",
+                        m.name
+                    ),
+                });
+            }
+        }
+    }
 }

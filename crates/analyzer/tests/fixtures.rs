@@ -796,6 +796,71 @@ fn d8_accepts_threaded_and_minted_budgets_and_ignores_non_rpc_code() {
     assert!(analyze(&files).is_empty(), "{:?}", analyze(&files));
 }
 
+// ---------------------------------------------------------------- D9
+
+#[test]
+fn d9_flags_missing_unknown_self_and_same_role_pairs_and_orphan_mutants() {
+    let files = vec![
+        file(
+            "crates/cli/src/mc_models.rs",
+            "pub static MODELS: &[Model] = &[\n\
+             Model {\n name: \"good-protocol\",\n expect_failure: false,\n },\n\
+             Model {\n name: \"orphan-bug\",\n expect_failure: true,\n pair: \"no-such-model\",\n },\n\
+             Model {\n name: \"navel-bug\",\n expect_failure: true,\n pair: \"navel-bug\",\n },\n\
+             Model {\n name: \"buddy-bug\",\n expect_failure_lincheck: true,\n pair: \"orphan-bug\",\n },\n\
+             ];\n",
+        ),
+        // Only two of the three mutants have replay-test evidence.
+        file(
+            "crates/cli/src/commands.rs",
+            "fn t() { run(\"modelcheck --model orphan-bug\"); run(\"modelcheck --model navel-bug\"); }\n",
+        ),
+    ];
+    let hits: Vec<String> = analyze(&files)
+        .into_iter()
+        .map(|f| {
+            assert_eq!(f.rule, "D9");
+            f.key
+        })
+        .collect();
+    let expect = [
+        "missing-pair#0",        // good-protocol has no pair field
+        "unknown-pair#0",        // orphan-bug names a ghost
+        "self-pair#0",           // navel-bug pairs with itself
+        "role-mismatch#0",       // buddy-bug pairs mutant-to-mutant
+        "unreferenced-mutant#0", // buddy-bug is quoted nowhere
+    ];
+    assert_eq!(hits.len(), expect.len(), "{hits:?}");
+    for want in expect {
+        assert!(
+            hits.iter().any(|k| k.ends_with(want)),
+            "missing a {want} finding: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn d9_accepts_resolved_cross_role_pairs_with_replay_evidence() {
+    // Pairings may share a mutant (both protocols cite good-bug); the
+    // mutant's own back-pointer picks one of them.
+    let files = vec![
+        file(
+            "crates/cli/src/mc_models.rs",
+            "pub struct Model {\n pub name: &'static str,\n pub pair: &'static str,\n }\n\
+             pub static MODELS: &[Model] = &[\n\
+             Model {\n name: \"good-protocol\",\n expect_failure: false,\n pair: \"good-bug\",\n },\n\
+             Model {\n name: \"other-protocol\",\n expect_failure: false,\n pair: \"good-bug\",\n },\n\
+             Model {\n name: \"good-bug\",\n expect_failure_msg: true,\n pair: \"good-protocol\",\n },\n\
+             ];\n",
+        ),
+        file(
+            "crates/cli/src/commands.rs",
+            "fn t() { run(\"modelcheck --model good-bug --msg true\"); }\n",
+        ),
+    ];
+    assert!(analyze(&files).is_empty(), "{:?}", analyze(&files));
+}
+
 // ------------------------------------------------------ suppressions
 
 #[test]

@@ -29,6 +29,7 @@ pub fn run(args: &Args) -> Result<String, ParseError> {
         "bench" => bench_cmd(args),
         "lint" => lint_cmd(args),
         "modelcheck" => modelcheck_cmd(args),
+        "lincheck" => lincheck_cmd(args),
         other => Err(ParseError(format!(
             "unknown subcommand `{other}`; try `ech help`"
         ))),
@@ -72,17 +73,18 @@ COMMANDS:
                   model with reduction on and off at its declared bound
                   and reports schedules explored/pruned — counts are
                   deterministic, so --check-against compares exactly)
-  lint            run the workspace invariant analyzer (rules D1-D8)
+  lint            run the workspace invariant analyzer (rules D1-D9)
                   [--root DIR] [--baseline FILE] [--deny-new true]
-                  [--write-baseline true]
+                  [--write-baseline true] [--json true]
   modelcheck      explore thread interleavings of the cluster's
                   publish/read/reintegrate protocols and report
                   violations with a replayable trace
-                  [--model NAME] [--weak true] [--bound P]
-                  [--msg true] [--msg-budget N]
+                  [--model NAME | --models GLOB] [--weak true] [--bound P]
+                  [--msg true] [--msg-budget N] [--lincheck true]
                   [--random true --seed S --iters N]
                   [--replay TRACE] [--max-preemptions P]
                   [--max-schedules B] [--no-reduce true] [--stats true]
+                  [--stats-json FILE]
                   (partial-order reduction is on by default: sleep sets
                   plus dynamically inserted backtrack points prune
                   schedules equivalent up to reordering of independent
@@ -97,6 +99,21 @@ COMMANDS:
                   budget; --bound is an alias for --max-preemptions;
                   traces are v3 and carry the memory mode, preemption
                   bound and message budget they were recorded under)
+                  (--models GLOB selects the subset matching a `*`
+                  wildcard pattern; --lincheck records every schedule's
+                  operation history at the Cluster API boundary and
+                  rejects schedules whose history admits no
+                  linearization order — witnesses are replayable `l1:`
+                  lines the lincheck command re-verifies; --stats-json
+                  also writes per-model verdicts and schedule counts to
+                  FILE without changing the text report)
+  lincheck        record a seeded deterministic stress history against a
+                  live cluster on a virtual clock and check it with the
+                  Wing–Gong linearizability checker
+                  [--seed S] [--ops N] [--keys K]
+                  [--witness L1LINE]  instead re-verify a rendered `l1:`
+                  witness line: it must parse, stay non-linearizable,
+                  and re-render byte-identically (minimal + canonical)
   help            this text
 "
     .to_owned()
@@ -175,7 +192,7 @@ fn bench_cmd(args: &Args) -> Result<String, ParseError> {
 /// diagnostics directly and reports failure through the exit code, so
 /// this returns an empty output string on success.
 fn lint_cmd(args: &Args) -> Result<String, ParseError> {
-    args.allow_only(&["root", "baseline", "deny-new", "write-baseline"])?;
+    args.allow_only(&["root", "baseline", "deny-new", "write-baseline", "json"])?;
     let mut argv: Vec<String> = vec!["--root".into(), args.str_or("root", ".").to_owned()];
     if let Some(b) = args.options.get("baseline") {
         argv.push("--baseline".into());
@@ -186,6 +203,9 @@ fn lint_cmd(args: &Args) -> Result<String, ParseError> {
     }
     if args.get_or("write-baseline", false)? {
         argv.push("--write-baseline".into());
+    }
+    if args.get_or("json", false)? {
+        argv.push("--json".into());
     }
     let code = ech_analyzer::run_cli(&argv);
     if code != 0 {
@@ -202,9 +222,11 @@ fn lint_cmd(args: &Args) -> Result<String, ParseError> {
 fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
     args.allow_only(&[
         "model",
+        "models",
         "weak",
         "msg",
         "msg-budget",
+        "lincheck",
         "bound",
         "random",
         "seed",
@@ -214,9 +236,11 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
         "max-schedules",
         "no-reduce",
         "stats",
+        "stats-json",
     ])?;
     let weak: bool = args.get_or("weak", false)?;
     let msg: bool = args.get_or("msg", false)?;
+    let lincheck: bool = args.get_or("lincheck", false)?;
     let no_reduce: bool = args.get_or("no-reduce", false)?;
     let stats: bool = args.get_or("stats", false)?;
     // `--bound` is the short alias for `--max-preemptions`; without
@@ -239,26 +263,51 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
     let max_schedules: usize = args.get_or("max-schedules", 20_000)?;
     if let Some(trace) = args.options.get("replay") {
         // A v3 trace carries its own memory mode; an explicit `--weak`
-        // is only accepted when it agrees.
+        // is only accepted when it agrees. `--lincheck` is not recorded
+        // in traces (recording adds no scheduling decisions), so a
+        // history violation replays under the same flag that found it.
         let explicit_weak = args.options.contains_key("weak").then_some(weak);
-        return modelcheck_replay(trace, explicit_weak);
+        return modelcheck_replay(trace, explicit_weak, lincheck);
     }
     let random: bool = args.get_or("random", false)?;
     let seed: u64 = args.get_or("seed", 0xec11)?;
     let iters: usize = args.get_or("iters", 400)?;
-    let selected: Vec<&crate::mc_models::Model> = match args.options.get("model") {
-        Some(name) => vec![crate::mc_models::find(name).ok_or_else(|| {
-            ParseError(format!(
-                "unknown model `{name}`; available models:\n{}",
-                crate::mc_models::MODELS
+    let selected: Vec<&'static crate::mc_models::Model> =
+        match (args.options.get("model"), args.options.get("models")) {
+            (Some(_), Some(_)) => {
+                return Err(ParseError(
+                    "--model and --models are mutually exclusive".into(),
+                ))
+            }
+            (Some(name), None) => vec![crate::mc_models::find(name).ok_or_else(|| {
+                ParseError(format!(
+                    "unknown model `{name}`; available models:\n{}",
+                    crate::mc_models::MODELS
+                        .iter()
+                        .map(|m| format!("  {} — {}", m.name, m.about))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                ))
+            })?],
+            (None, Some(pat)) => {
+                let hits: Vec<&'static crate::mc_models::Model> = crate::mc_models::MODELS
                     .iter()
-                    .map(|m| format!("  {} — {}", m.name, m.about))
-                    .collect::<Vec<_>>()
-                    .join("\n")
-            ))
-        })?],
-        None => crate::mc_models::MODELS.iter().collect(),
-    };
+                    .filter(|m| glob_match(pat, m.name))
+                    .collect();
+                if hits.is_empty() {
+                    return Err(ParseError(format!(
+                        "--models `{pat}` matches no model; available models:\n{}",
+                        crate::mc_models::MODELS
+                            .iter()
+                            .map(|m| format!("  {} — {}", m.name, m.about))
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    )));
+                }
+                hits
+            }
+            (None, None) => crate::mc_models::MODELS.iter().collect(),
+        };
     let mode = if weak {
         "store-buffer weak memory"
     } else {
@@ -266,6 +315,11 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
     };
     let fates = if msg {
         ", message fates enumerated"
+    } else {
+        ""
+    };
+    let histories = if lincheck {
+        ", histories lincheck-verified"
     } else {
         ""
     };
@@ -282,17 +336,18 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
     if random {
         writeln!(
             out,
-            "modelcheck: seeded random exploration (seed {seed}, {iters} schedules per model, {mode}{fates})"
+            "modelcheck: seeded random exploration (seed {seed}, {iters} schedules per model, {mode}{fates}{histories})"
         )
         .expect("write to string");
     } else {
         writeln!(
             out,
-            "modelcheck: bounded exhaustive exploration ({bound_desc}, {mode}{fates}{reduction})"
+            "modelcheck: bounded exhaustive exploration ({bound_desc}, {mode}{fates}{reduction}{histories})"
         )
         .expect("write to string");
     }
     let mut problems: Vec<String> = Vec::new();
+    let mut stats_rows: Vec<String> = Vec::new();
     for m in selected {
         let msg_budget = if msg {
             budget_override.unwrap_or(m.msg_budget)
@@ -306,16 +361,33 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
             msg_budget,
             reduce: !no_reduce,
         };
-        let expect = m.expects_failure_in(weak, msg_budget > 0);
+        let expect = m.expects_failure_with(weak, msg_budget > 0, lincheck);
         // Expected-failure models always run the deterministic DFS: its
         // point is *finding* the planted violation, and the DFS both
         // finds it within a handful of schedules and reports the same
         // trace every run.
-        let report = if random && !expect {
-            ech_modelcheck::explore_random(m.name, &cfg, seed, iters, m.setup)
-        } else {
-            ech_modelcheck::explore(m.name, &cfg, m.setup)
+        let report = match (lincheck, random && !expect) {
+            (true, true) => {
+                ech_modelcheck::explore_random(m.name, &cfg, seed, iters, lincheck_wrapped(m))
+            }
+            (true, false) => ech_modelcheck::explore(m.name, &cfg, lincheck_wrapped(m)),
+            (false, true) => ech_modelcheck::explore_random(m.name, &cfg, seed, iters, m.setup),
+            (false, false) => ech_modelcheck::explore(m.name, &cfg, m.setup),
         };
+        stats_rows.push(format!(
+            "    {{\"model\": \"{}\", \"pair\": \"{}\", \"verdict\": \"{}\", \"schedules\": {}, \"blocked\": {}, \"exhausted\": {}}}",
+            m.name,
+            m.pair,
+            match (&report.failure, expect) {
+                (None, false) => "pass",
+                (Some(_), true) => "caught",
+                (Some(_), false) => "fail",
+                (None, true) => "missed",
+            },
+            report.schedules,
+            report.blocked,
+            report.exhausted
+        ));
         match (&report.failure, expect) {
             (None, false) => {
                 let coverage = if report.exhausted {
@@ -336,6 +408,8 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
                     " [weak-only mutant: stale publication needs --weak]"
                 } else if m.msg_only() && msg_budget == 0 {
                     " [message-only mutant: fault enumeration needs --msg]"
+                } else if m.lincheck_only() && !lincheck {
+                    " [history mutant: order violation needs --lincheck]"
                 } else {
                     ""
                 };
@@ -386,6 +460,17 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
             .expect("write to string");
         }
     }
+    // The JSON stats sidecar is written on failing runs too: a sweep
+    // that died half-green is exactly when CI wants the per-model
+    // verdicts machine-readable.
+    if let Some(path) = args.options.get("stats-json") {
+        let json = format!(
+            "{{\n  \"mode\": {{\"weak\": {weak}, \"msg\": {msg}, \"lincheck\": {lincheck}, \"random\": {random}}},\n  \"models\": [\n{}\n  ]\n}}\n",
+            stats_rows.join(",\n")
+        );
+        std::fs::write(path, json)
+            .map_err(|e| ParseError(format!("cannot write --stats-json {path}: {e}")))?;
+    }
     if problems.is_empty() {
         writeln!(out, "modelcheck: ok").expect("write to string");
         Ok(out)
@@ -397,6 +482,164 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
     }
 }
 
+/// `*`/`?` wildcard match for `--models` (no character classes; model
+/// names are flat kebab-case, so this is all a sweep filter needs).
+fn glob_match(pat: &str, name: &str) -> bool {
+    let (p, n) = (pat.as_bytes(), name.as_bytes());
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if let Some((sp, sn)) = star {
+            // Backtrack: let the last `*` swallow one more byte.
+            pi = sp + 1;
+            ni = sn + 1;
+            star = Some((sp, sn + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Wrap a model's setup for `--lincheck`: install a fresh history
+/// recording before the scenario builds (setup writes become the
+/// sequential prefix of every schedule's history) and append an
+/// after-hook — behind the model's own post-state checks — that takes
+/// the recording and fails the schedule when the Wing–Gong checker
+/// finds no linearization order. The panic message carries the
+/// replayable `l1:` witness, so the violation rides the same trace
+/// plumbing as every other counterexample.
+fn lincheck_wrapped(m: &'static crate::mc_models::Model) -> impl Fn(&mut ech_modelcheck::Env) {
+    move |env: &mut ech_modelcheck::Env| {
+        ech_lincheck::recorder::install();
+        (m.setup)(env);
+        let name = m.name;
+        env.after(move || {
+            let rec = ech_lincheck::recorder::take().expect("lincheck recording installed");
+            match ech_lincheck::check_kv(&rec.events, ech_lincheck::DEFAULT_BUDGET) {
+                ech_lincheck::Outcome::Linearizable { .. } => {}
+                ech_lincheck::Outcome::NonLinearizable { key, witness } => panic!(
+                    "recorded history is not linearizable (key {key}); witness: {}",
+                    ech_lincheck::render_witness(name, &witness)
+                ),
+                ech_lincheck::Outcome::BudgetExceeded { key, budget } => panic!(
+                    "lincheck search overran its node budget on key {key} ({budget} configurations)"
+                ),
+            }
+        });
+    }
+}
+
+/// `ech lincheck`: record a seeded, deterministic stress history against
+/// a live cluster on a virtual clock and check it with the Wing–Gong
+/// linearizability checker — the offline smoke for the recording +
+/// checking pipeline (CI runs it twice and compares the reports
+/// byte-identically). With `--witness` it instead re-verifies a rendered
+/// `l1:` witness line, the artifact `--lincheck` model runs and the
+/// replay regression tests carry.
+fn lincheck_cmd(args: &Args) -> Result<String, ParseError> {
+    use bytes::Bytes;
+    use ech_cluster::fault::{splitmix64, FaultPlan, VirtualClock};
+    use ech_cluster::{Cluster, ClusterConfig};
+    use std::sync::Arc;
+    args.allow_only(&["witness", "seed", "ops", "keys"])?;
+    if let Some(line) = args.options.get("witness") {
+        return match ech_lincheck::verify_witness(line) {
+            Ok(()) => Ok("witness verified: minimal, canonical, and non-linearizable\n".to_owned()),
+            Err(e) => Err(ParseError(format!("witness rejected: {e}"))),
+        };
+    }
+    let seed: u64 = args.get_or("seed", 0x11C)?;
+    let ops: usize = args.get_or("ops", 120)?;
+    let keys: u64 = args.get_or("keys", 4)?;
+    if ops == 0 {
+        return Err(ParseError("--ops must be at least 1".into()));
+    }
+    if keys == 0 {
+        return Err(ParseError("--keys must be at least 1".into()));
+    }
+    let mut cfg = ClusterConfig::paper();
+    cfg.servers = 3;
+    cfg.replicas = 2;
+    let c =
+        Cluster::with_faults_and_clock(cfg, FaultPlan::default(), Arc::new(VirtualClock::new()));
+    ech_lincheck::recorder::install();
+    // A seeded op mix over a handful of keys: overwrites (so the
+    // last-write-wins register has history to get wrong), reads, power
+    // resizes (degraded-write windows), and heal/drain passes. Scripted
+    // single-threaded: the point is the recording and checking
+    // pipeline, not schedule exploration — `modelcheck --lincheck`
+    // covers the concurrent side.
+    let mut active = 3usize;
+    for i in 0..ops {
+        let r = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let oid = ObjectId(1 + r % keys);
+        match (r >> 8) % 10 {
+            0..=4 => {
+                let _ = c.put(oid, Bytes::from(format!("lincheck-{i}")));
+            }
+            5..=7 => {
+                let _ = c.get(oid);
+            }
+            8 => {
+                active = if active == 3 { 2 } else { 3 };
+                c.resize(active);
+            }
+            _ => {
+                if r & 1 == 0 {
+                    c.heal_dirty();
+                } else {
+                    c.reintegrate_all();
+                }
+            }
+        }
+    }
+    let rec = ech_lincheck::recorder::take().expect("recording installed above");
+    let recorded_ops = rec
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, ech_lincheck::EventKind::Invoke(_)))
+        .count();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "lincheck: seed {seed}, {ops} ops scripted over {keys} keys (3 servers, 2 replicas)"
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "lincheck: recorded {} events ({recorded_ops} operations)",
+        rec.events.len()
+    )
+    .expect("write to string");
+    match ech_lincheck::check_kv(&rec.events, ech_lincheck::DEFAULT_BUDGET) {
+        ech_lincheck::Outcome::Linearizable { keys, ops, states } => {
+            writeln!(
+                out,
+                "lincheck: linearizable ({keys} keys, {ops} keyed ops, {states} configurations)"
+            )
+            .expect("write to string");
+            Ok(out)
+        }
+        ech_lincheck::Outcome::NonLinearizable { key, witness } => Err(ParseError(format!(
+            "lincheck: history NOT linearizable (key {key})\n  witness: {}\n{out}",
+            ech_lincheck::render_witness("stress", &witness)
+        ))),
+        ech_lincheck::Outcome::BudgetExceeded { key, budget } => Err(ParseError(format!(
+            "lincheck: node budget exceeded on key {key} ({budget} configurations)\n{out}"
+        ))),
+    }
+}
+
 /// `ech modelcheck --replay TRACE`: re-execute one recorded schedule.
 /// The v3 trace names its model *and* the memory mode, preemption bound
 /// and message-fault budget it was recorded under; the scheduler forces
@@ -405,7 +648,11 @@ fn modelcheck_cmd(args: &Args) -> Result<String, ParseError> {
 /// tests run this twice and compare outputs). v1/v2 traces are
 /// rejected: they do not record everything the schedule depends on, so
 /// a replay could silently diverge.
-fn modelcheck_replay(trace: &str, explicit_weak: Option<bool>) -> Result<String, ParseError> {
+fn modelcheck_replay(
+    trace: &str,
+    explicit_weak: Option<bool>,
+    lincheck: bool,
+) -> Result<String, ParseError> {
     let parsed = ech_modelcheck::parse_trace(trace).map_err(ParseError)?;
     if let Some(w) = explicit_weak {
         if w != parsed.weak {
@@ -447,7 +694,14 @@ fn modelcheck_replay(trace: &str, explicit_weak: Option<bool>) -> Result<String,
         // consult.
         reduce: false,
     };
-    let report = ech_modelcheck::replay(model.name, &cfg, parsed.prefix, model.setup);
+    // History recording adds no scheduling decisions, so a `--lincheck`
+    // replay forces the identical prefix — only the post-state check
+    // differs, which is exactly what reproduces a history violation.
+    let report = if lincheck {
+        ech_modelcheck::replay(model.name, &cfg, parsed.prefix, lincheck_wrapped(model))
+    } else {
+        ech_modelcheck::replay(model.name, &cfg, parsed.prefix, model.setup)
+    };
     let mut out = String::new();
     match &report.failure {
         Some(f) => {
@@ -943,6 +1197,7 @@ mod tests {
             "bench",
             "lint",
             "modelcheck",
+            "lincheck",
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
@@ -1226,6 +1481,230 @@ mod tests {
                 "{model} --msg truncated:\n{out}"
             );
         }
+    }
+
+    /// The linearizability acceptance case: the three history mutants
+    /// pass *exhaustively* under plain exploration (their corruption is
+    /// invisible to state assertions — only the caller-visible order of
+    /// invocations and responses is wrong, and every schedule was
+    /// checked to prove it) and are caught under `--lincheck` with a
+    /// minimal witness that verifies standalone and a trace that
+    /// replays byte-identically.
+    #[test]
+    fn modelcheck_lincheck_mode_catches_what_state_asserts_provably_miss() {
+        for model in [
+            "lin-ack-before-log-bug",
+            "lin-stale-read-bug",
+            "lin-heal-restamp-bug",
+        ] {
+            let plain = run_line(&format!("modelcheck --model {model}")).unwrap();
+            assert!(
+                plain.contains("pass"),
+                "{model} should pass without --lincheck:\n{plain}"
+            );
+            assert!(
+                plain.contains("(exhaustive)"),
+                "{model} plain pass must be exhaustive to prove the miss:\n{plain}"
+            );
+            assert!(
+                plain.contains("history mutant"),
+                "{model} report lacks the history-mutant annotation:\n{plain}"
+            );
+
+            let out = run_line(&format!("modelcheck --model {model} --lincheck true")).unwrap();
+            assert!(
+                out.contains("caught"),
+                "{model} --lincheck not caught:\n{out}"
+            );
+            assert!(
+                out.contains("not linearizable"),
+                "{model} counterexample is not a linearizability violation:\n{out}"
+            );
+
+            // The witness is self-contained evidence: `ech lincheck
+            // --witness` re-checks minimality, canonical form, and
+            // non-linearizability without re-running the schedule.
+            let witness = out
+                .lines()
+                .find_map(|l| l.split("witness: ").nth(1))
+                .expect("report carries an l1 witness");
+            assert!(
+                witness.starts_with(&format!("l1:{model}:")),
+                "witness is not in the l1 schema: {witness}"
+            );
+            let verified = run_line(&format!("lincheck --witness {witness}")).unwrap();
+            assert!(
+                verified.contains("witness verified"),
+                "{model} witness did not verify:\n{verified}"
+            );
+
+            // The trace replays the violation byte-identically, twice.
+            // Replay needs `--lincheck true`: the trace pins the
+            // schedule, the flag re-arms the history check on it.
+            let trace_line = out
+                .lines()
+                .find(|l| l.trim_start().starts_with("trace: "))
+                .expect("report carries a trace");
+            let trace = trace_line.trim_start().trim_start_matches("trace: ");
+            let replay_cmd = format!("modelcheck --replay {trace} --lincheck true");
+            let first = run_line(&replay_cmd).unwrap();
+            let second = run_line(&replay_cmd).unwrap();
+            assert!(
+                first.contains("violation reproduced"),
+                "{model} replay lost the violation:\n{first}"
+            );
+            assert!(
+                first.contains("not linearizable"),
+                "{model} replay reproduced a different failure:\n{first}"
+            );
+            assert_eq!(first, second, "{model} replay is not deterministic");
+
+            // Without the flag the same schedule is silent — the
+            // violation lives in the history, not the state.
+            let unarmed = run_line(&format!("modelcheck --replay {trace}")).unwrap();
+            assert!(
+                unarmed.contains("no violation"),
+                "{model} replay without --lincheck should be silent:\n{unarmed}"
+            );
+        }
+    }
+
+    /// Histories recorded from the correct-protocol models are
+    /// linearizable on every schedule: `--lincheck` adds the check
+    /// without flipping a single verdict. (CI sweeps all models; this
+    /// spot-checks one model per API family to keep the test fast.)
+    #[test]
+    fn modelcheck_lincheck_passes_on_correct_models() {
+        for (model, extra) in [
+            ("publish-vs-read", ""),
+            ("quorum-write-faults", ""),
+            ("reintegrate-vs-resize", ""),
+            ("msg-dup-idempotence", " --msg true"),
+        ] {
+            let out = run_line(&format!(
+                "modelcheck --model {model}{extra} --lincheck true"
+            ))
+            .unwrap();
+            assert!(
+                out.contains("pass"),
+                "{model} --lincheck did not pass:\n{out}"
+            );
+            assert!(
+                out.contains("(exhaustive)"),
+                "{model} --lincheck truncated:\n{out}"
+            );
+            assert!(
+                out.contains("histories lincheck-verified"),
+                "{model} report does not state histories were checked:\n{out}"
+            );
+        }
+    }
+
+    /// `--models` selects by wildcard, errors when nothing matches, and
+    /// refuses to combine with `--model`.
+    #[test]
+    fn modelcheck_models_glob_selects_and_rejects() {
+        let out = run_line("modelcheck --models lin-*-bug --lincheck true").unwrap();
+        for model in [
+            "lin-ack-before-log-bug",
+            "lin-stale-read-bug",
+            "lin-heal-restamp-bug",
+        ] {
+            assert!(out.contains(model), "glob missed {model}:\n{out}");
+        }
+        assert!(
+            !out.contains("publish-vs-read"),
+            "glob over-matched:\n{out}"
+        );
+
+        let err = run_line("modelcheck --models zzz-*").unwrap_err();
+        assert!(
+            err.0.contains("matches no model"),
+            "empty glob match does not explain itself: {}",
+            err.0
+        );
+        let err = run_line("modelcheck --model cache-counters --models cache-*").unwrap_err();
+        assert!(
+            err.0.contains("--model") && err.0.contains("--models"),
+            "flag conflict does not name both flags: {}",
+            err.0
+        );
+    }
+
+    /// `--stats-json` writes a machine-readable sidecar (one row per
+    /// model with its D9 pair and verdict) without changing a byte of
+    /// the text report.
+    #[test]
+    fn modelcheck_stats_json_sidecar_leaves_text_unchanged() {
+        let path = std::env::temp_dir().join(format!("ech-stats-{}.json", std::process::id()));
+        let path_s = path.to_str().expect("temp path is utf-8");
+        let plain = run_line("modelcheck --model cache-counters").unwrap();
+        let with = run_line(&format!(
+            "modelcheck --model cache-counters --stats-json {path_s}"
+        ))
+        .unwrap();
+        assert_eq!(plain, with, "--stats-json changed the text report");
+        let json = std::fs::read_to_string(&path).expect("sidecar written");
+        std::fs::remove_file(&path).ok();
+        assert!(
+            json.contains("\"model\": \"cache-counters\""),
+            "sidecar lacks the model row:\n{json}"
+        );
+        assert!(
+            json.contains("\"verdict\": \"pass\""),
+            "sidecar lacks the verdict:\n{json}"
+        );
+        assert!(
+            json.contains("\"pair\": \"weak-view-publish-relaxed\""),
+            "sidecar lacks the D9 pair:\n{json}"
+        );
+        #[derive(serde::Deserialize)]
+        struct Sidecar {
+            mode: Mode,
+            models: Vec<Row>,
+        }
+        #[derive(serde::Deserialize)]
+        struct Mode {
+            lincheck: bool,
+        }
+        #[derive(serde::Deserialize)]
+        struct Row {
+            model: String,
+        }
+        let parsed: Sidecar = serde_json::from_str(&json).expect("sidecar is well-formed JSON");
+        assert!(!parsed.mode.lincheck);
+        assert_eq!(parsed.models.len(), 1);
+        assert_eq!(parsed.models[0].model, "cache-counters");
+    }
+
+    /// The standalone history harness is a pure function of its seed:
+    /// identical invocations render identical linearizable reports, and
+    /// parameters reshape the scripted workload.
+    #[test]
+    fn lincheck_smoke_is_deterministic_and_linearizable() {
+        let a = run_line("lincheck").unwrap();
+        let b = run_line("lincheck").unwrap();
+        assert_eq!(a, b, "lincheck smoke is not deterministic");
+        assert!(a.contains("linearizable"), "smoke not linearizable:\n{a}");
+        let wide = run_line("lincheck --seed 99 --ops 300 --keys 6").unwrap();
+        assert!(wide.contains("6 keys"), "params ignored:\n{wide}");
+        assert!(wide.contains("linearizable"), "not linearizable:\n{wide}");
+        assert!(run_line("lincheck --ops 0").is_err());
+        assert!(run_line("lincheck --keys 0").is_err());
+    }
+
+    /// Witness verification is a real gate: corrupted or padded
+    /// witnesses are rejected with a reason, not waved through.
+    #[test]
+    fn lincheck_witness_rejects_corruption() {
+        assert!(run_line("lincheck --witness not-a-witness").is_err());
+        // A linearizable history is not a witness of anything.
+        let err = run_line("lincheck --witness l1:demo:i0.p1=v0/r0.ok/i1.g1/r1.v0").unwrap_err();
+        assert!(
+            err.0.contains("witness rejected"),
+            "linearizable 'witness' accepted: {}",
+            err.0
+        );
     }
 
     #[test]

@@ -68,6 +68,18 @@ pub struct Model {
     /// retransmission or a lost message that thread-only exploration
     /// cannot produce, so they pass exhaustively without `--msg`.
     pub expect_failure_msg: bool,
+    /// Additional expectation under the linearizability-history mode
+    /// (`--lincheck`). Lincheck-only mutants set this alone: their bug
+    /// corrupts no state an in-model assertion could observe — only the
+    /// caller-visible *order* of operations — so every other mode
+    /// passes them exhaustively and only the recorded history convicts
+    /// them.
+    pub expect_failure_lincheck: bool,
+    /// Rule D9 pairing: every correct protocol names the seeded mutant
+    /// that proves its failure mode is detectable, and every mutant
+    /// names the correct twin it was derived from. Pairs are
+    /// role-opposed (safe ↔ mutant), not necessarily unique.
+    pub pair: &'static str,
     /// Preemption bound the sweep explores this model at (the `--bound`
     /// flag overrides it for the whole run).
     pub bound: usize,
@@ -104,9 +116,25 @@ impl Model {
         self.expect_failure_weak && !self.expect_failure
     }
 
+    /// The expectation that applies under the given memory, message and
+    /// lincheck modes. A lincheck violation is an operation-order bug,
+    /// not a memory-model bug, so its expectation is mode-independent:
+    /// a history mutant stays caught under `--weak` and `--msg` too.
+    pub fn expects_failure_with(&self, weak: bool, msg: bool, lincheck: bool) -> bool {
+        self.expects_failure_in(weak, msg) || (lincheck && self.expect_failure_lincheck)
+    }
+
     /// A mutant only the message-scheduler mode can catch.
     pub fn msg_only(&self) -> bool {
         self.expect_failure_msg && !self.expect_failure && !self.expect_failure_weak
+    }
+
+    /// A mutant only the lincheck history checker can catch.
+    pub fn lincheck_only(&self) -> bool {
+        self.expect_failure_lincheck
+            && !self.expect_failure
+            && !self.expect_failure_weak
+            && !self.expect_failure_msg
     }
 }
 
@@ -120,6 +148,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "seeded-stamp-bug",
         // Bounds 4 (up from 2 pre-reduction): the partial-order
         // reduction prunes enough equivalent schedules that the deeper
         // sweep stays cheaper than the old bound-2 brute force.
@@ -133,6 +163,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "weak-view-publish-relaxed",
         // Raised 2 → 4 alongside publish-vs-read; see that model.
         bound: 4,
         msg_budget: 0,
@@ -144,6 +176,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "reintegration-lost-replica-bug",
         bound: 2,
         msg_budget: 0,
         setup: reintegrate_vs_resize,
@@ -154,6 +188,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "weak-view-publish-relaxed",
         bound: 2,
         msg_budget: 0,
         setup: cache_counters,
@@ -164,6 +200,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "quorum-dirty-bug",
         bound: 2,
         msg_budget: 0,
         setup: quorum_write_faults,
@@ -174,6 +212,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "partition-quorum-bug",
         bound: 2,
         msg_budget: 0,
         setup: partition_quorum,
@@ -184,6 +224,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "hedged-stale-bug",
         bound: 2,
         msg_budget: 0,
         setup: hedged_read_crash,
@@ -194,6 +236,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "weak-stop-flag-relaxed",
         bound: 2,
         msg_budget: 0,
         setup: worker_stop_flag,
@@ -204,6 +248,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "reintegration-lost-replica-bug",
         bound: 2,
         msg_budget: 0,
         setup: reintegration_pool,
@@ -214,6 +260,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "lin-stale-read-bug",
         bound: 2,
         msg_budget: 0,
         setup: engine_swap_vs_read,
@@ -224,6 +272,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "lin-ack-before-log-bug",
         bound: 2,
         msg_budget: 0,
         setup: batched_drain_vs_put,
@@ -234,6 +284,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: true,
         expect_failure_weak: true,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "publish-vs-read",
         bound: 2,
         msg_budget: 0,
         setup: seeded_stamp_bug,
@@ -244,6 +296,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: true,
         expect_failure_weak: true,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "quorum-write-faults",
         bound: 2,
         msg_budget: 0,
         setup: quorum_dirty_bug,
@@ -254,6 +308,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: true,
         expect_failure_weak: true,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "partition-quorum",
         bound: 2,
         msg_budget: 0,
         setup: partition_quorum_bug,
@@ -264,6 +320,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: true,
         expect_failure_weak: true,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "hedged-read-crash",
         bound: 2,
         msg_budget: 0,
         setup: hedged_stale_bug,
@@ -274,6 +332,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: true,
         expect_failure_weak: true,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "reintegrate-vs-resize",
         bound: 2,
         msg_budget: 0,
         setup: reintegration_lost_replica_bug,
@@ -284,6 +344,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: true,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "worker-stop-flag",
         bound: 2,
         msg_budget: 0,
         setup: weak_stop_flag_relaxed,
@@ -294,6 +356,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: true,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "cache-coherence",
         bound: 2,
         msg_budget: 0,
         setup: weak_view_publish_relaxed,
@@ -304,6 +368,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "msg-quorum-ack-loss-bug",
         bound: 1,
         msg_budget: 1,
         setup: msg_quorum_ack_loss,
@@ -314,6 +380,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "msg-breaker-notfound-bug",
         bound: 1,
         // Stays at 2 post-reduction, deliberately: the partial-order
         // reduction prunes *order* nondeterminism, and this model is a
@@ -332,6 +400,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: false,
+        expect_failure_lincheck: false,
+        pair: "msg-dup-append-bug",
         bound: 1,
         msg_budget: 1,
         setup: msg_dup_idempotence,
@@ -342,6 +412,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: true,
+        expect_failure_lincheck: false,
+        pair: "msg-quorum-ack-loss",
         bound: 1,
         msg_budget: 1,
         setup: msg_quorum_ack_loss_bug,
@@ -352,6 +424,8 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: true,
+        expect_failure_lincheck: false,
+        pair: "msg-breaker-probe",
         bound: 1,
         msg_budget: 1,
         setup: msg_breaker_notfound_bug,
@@ -362,9 +436,47 @@ pub const MODELS: &[Model] = &[
         expect_failure: false,
         expect_failure_weak: false,
         expect_failure_msg: true,
+        expect_failure_lincheck: false,
+        pair: "msg-dup-idempotence",
         bound: 1,
         msg_budget: 1,
         setup: msg_dup_append_bug,
+    },
+    Model {
+        name: "lin-ack-before-log-bug",
+        about: "seeded ack-before-durable-write (caught only under --lincheck)",
+        expect_failure: false,
+        expect_failure_weak: false,
+        expect_failure_msg: false,
+        expect_failure_lincheck: true,
+        pair: "quorum-write-faults",
+        bound: 2,
+        msg_budget: 0,
+        setup: lin_ack_before_log_bug,
+    },
+    Model {
+        name: "lin-stale-read-bug",
+        about: "seeded acceptance bypass serves a superseded replica (caught only under --lincheck)",
+        expect_failure: false,
+        expect_failure_weak: false,
+        expect_failure_msg: false,
+        expect_failure_lincheck: true,
+        pair: "hedged-read-crash",
+        bound: 2,
+        msg_budget: 0,
+        setup: lin_stale_read_bug,
+    },
+    Model {
+        name: "lin-heal-restamp-bug",
+        about: "seeded heal-pass header downgrade re-admits a stale copy (caught only under --lincheck)",
+        expect_failure: false,
+        expect_failure_weak: false,
+        expect_failure_msg: false,
+        expect_failure_lincheck: true,
+        pair: "partition-quorum",
+        bound: 2,
+        msg_budget: 0,
+        setup: lin_heal_restamp_bug,
     },
 ];
 
@@ -1321,5 +1433,91 @@ fn msg_dup_append_bug(env: &mut Env) {
                 "retransmitted write corrupted the payload"
             );
         }
+    });
+}
+
+/// Seeded history mutant: the write path acknowledges the client
+/// *before* the write body runs
+/// ([`Cluster::put_acking_before_log_for_modelcheck`]). The cluster's
+/// final state is perfect — the write always lands — so no in-model or
+/// post-state assertion can see anything wrong, and the model carries
+/// none. But in any schedule that preempts the writer between its
+/// (premature) ack and the write landing, a whole `get` fits into the
+/// gap and returns the *old* payload: a read that began after the new
+/// write's acknowledgement observing the superseded value. Only the
+/// recorded history shows it, so only `--lincheck` catches this model.
+fn lin_ack_before_log_bug(env: &mut Env) {
+    let c = tiny_cluster();
+    c.put(OID, Bytes::copy_from_slice(PAYLOAD))
+        .expect("setup write at full power");
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            let _ = c.put_acking_before_log_for_modelcheck(OID, Bytes::copy_from_slice(PAYLOAD2));
+        });
+    }
+    env.spawn(move || {
+        let _ = c.get(OID);
+    });
+}
+
+/// Seeded history mutant: the version-acceptance check is bypassed
+/// ([`Cluster::get_accepting_stale_for_modelcheck`]) in the
+/// [`stale_copy_setup`] geometry, where the *current* placement holds a
+/// copy a past resize superseded. Unlike `hedged-stale-bug` — the same
+/// seeded read path convicted by an in-model byte assertion — this
+/// model asserts nothing: the stale read is only wrong *relative to the
+/// earlier acknowledged rewrite*, which is exactly the caller-visible
+/// order the recorded history captures. The racing crash of the fresh
+/// replica makes no schedule correct: every interleaving serves the
+/// superseded payload from the current placement.
+fn lin_stale_read_bug(env: &mut Env) {
+    let c = tiny_cluster_with(
+        3,
+        1,
+        Strategy::Original,
+        WriteQuorum::All,
+        FaultPlan::default(),
+    );
+    let (oid, fresh) = stale_copy_setup(&c);
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            c.nodes()[fresh].crash();
+        });
+    }
+    env.spawn(move || {
+        let _ = c.get_accepting_stale_for_modelcheck(oid, ReadPolicy::FirstReplica);
+    });
+}
+
+/// Seeded history mutant: a plausible-looking reconciliation pass after
+/// the heal restamps each dirty object's header down to the oldest
+/// surviving replica stamp
+/// ([`Cluster::heal_dirty_restamping_for_modelcheck`]). Every replica
+/// is intact and every membership invariant holds — state assertions
+/// have nothing to object to — but the downgraded header re-admits the
+/// superseded copy the resize left at the current placement (acceptance
+/// is `stamp >= header`), so a reader scheduled after the heal serves
+/// the old payload for an object whose newer write was acknowledged
+/// long before. Schedules that read first pass; only the recorded
+/// history of the heal-then-read interleavings convicts the bug.
+fn lin_heal_restamp_bug(env: &mut Env) {
+    let c = tiny_cluster_with(
+        3,
+        1,
+        Strategy::Original,
+        WriteQuorum::All,
+        FaultPlan::default(),
+    );
+    let (oid, _fresh) = stale_copy_setup(&c);
+    {
+        let c = Arc::clone(&c);
+        env.spawn(move || {
+            let _ = c.heal_dirty_restamping_for_modelcheck();
+        });
+    }
+    env.spawn(move || {
+        let _ = c.get(oid);
     });
 }

@@ -741,6 +741,15 @@ impl Cluster {
     /// exactly like power-offloaded writes — so [`Cluster::heal_dirty`]
     /// and repair converge the object back to full replication.
     pub fn put(&self, oid: ObjectId, data: Bytes) -> Result<Placement, ClusterError> {
+        let span = crate::lincheck::inv_put(oid, &data, &*self.clock);
+        let result = self.put_epochs(oid, data);
+        crate::lincheck::ret_put(span, &result, &*self.clock);
+        result
+    }
+
+    /// [`Cluster::put`]'s body, bracketed by the lincheck facade above
+    /// so recorded histories see the ack exactly when the caller does.
+    fn put_epochs(&self, oid: ObjectId, data: Bytes) -> Result<Placement, ClusterError> {
         // A resize can race this write between the placement snapshot and
         // the node I/O, powering a targeted node off mid-flight. That
         // failure is an artifact of the stale snapshot, not of cluster
@@ -885,6 +894,18 @@ impl Cluster {
         oid: ObjectId,
         data: Bytes,
     ) -> Result<Placement, ClusterError> {
+        let span = crate::lincheck::inv_put(oid, &data, &*self.clock);
+        let result = self.put_unlogged_body_for_modelcheck(oid, data);
+        crate::lincheck::ret_put(span, &result, &*self.clock);
+        result
+    }
+
+    #[cfg(feature = "modelcheck")]
+    fn put_unlogged_body_for_modelcheck(
+        &self,
+        oid: ObjectId,
+        data: Bytes,
+    ) -> Result<Placement, ClusterError> {
         let (placement, version, power_dirty) = {
             let view = self.view.load();
             let p = view.place_current(oid)?;
@@ -915,6 +936,18 @@ impl Cluster {
         oid: ObjectId,
         data: Bytes,
     ) -> Result<(), ClusterError> {
+        let span = crate::lincheck::inv_put(oid, &data, &*self.clock);
+        let result = self.put_appending_body_for_modelcheck(oid, data);
+        crate::lincheck::ret_put(span, &result, &*self.clock);
+        result
+    }
+
+    #[cfg(feature = "modelcheck")]
+    fn put_appending_body_for_modelcheck(
+        &self,
+        oid: ObjectId,
+        data: Bytes,
+    ) -> Result<(), ClusterError> {
         let (placement, version, power_dirty) = {
             let view = self.view.load();
             let p = view.place_current(oid)?;
@@ -941,6 +974,30 @@ impl Cluster {
         Ok(())
     }
 
+    /// **Deliberately seeded ack-ordering bug** (modelcheck builds
+    /// only): [`Cluster::put`] with the acknowledgement surfaced
+    /// *before* any replica I/O or header bookkeeping runs. Every
+    /// state-based invariant still holds once the body completes — the
+    /// final cluster state is byte-identical to a correct put, so
+    /// assertion-style models pass exhaustively. Only a recorded
+    /// history shows the violation: a reader scheduled into the window
+    /// observes the old value *after* the ack, and the linearizability
+    /// checker rejects the history. The `lin-ack-before-log-bug` model
+    /// catches it under `--lincheck`.
+    #[cfg(feature = "modelcheck")]
+    pub fn put_acking_before_log_for_modelcheck(
+        &self,
+        oid: ObjectId,
+        data: Bytes,
+    ) -> Result<Placement, ClusterError> {
+        let span = crate::lincheck::inv_put(oid, &data, &*self.clock);
+        // BUG under test: the ack belongs after the write body; recording
+        // it first is the caller-visible analogue of replying to the
+        // client before the log write is durable.
+        crate::lincheck::ret_put_premature(span, &*self.clock);
+        self.put_epochs(oid, data)
+    }
+
     /// Read an object from any live replica.
     ///
     /// First tries the current placement; if the object has not been
@@ -949,9 +1006,11 @@ impl Cluster {
     /// known, it is able to accurately find the servers that contain the
     /// latest replicas" (§III-E1).
     pub fn get(&self, oid: ObjectId) -> Result<Bytes, ClusterError> {
+        let span = crate::lincheck::inv_get(oid, &*self.clock);
         // One budget spans the whole read, retries included.
         let deadline = self.op_deadline();
-        self.cfg
+        let result = self
+            .cfg
             .retry
             .run_counted_deadline(
                 &*self.clock,
@@ -960,7 +1019,9 @@ impl Cluster {
                 ClusterError::is_retryable,
                 || self.get_with_acceptance(oid, ReadPolicy::FirstReplica, true, deadline),
             )
-            .0
+            .0;
+        crate::lincheck::ret_get(span, &result, &*self.clock);
+        result
     }
 
     /// Read an object, choosing the starting replica per `policy`.
@@ -972,7 +1033,10 @@ impl Cluster {
     /// the authoritative header (§III-E2: the header lets the system
     /// "identify the latest data version and avoid stale data").
     pub fn get_with(&self, oid: ObjectId, policy: ReadPolicy) -> Result<Bytes, ClusterError> {
-        self.get_with_acceptance(oid, policy, true, self.op_deadline())
+        let span = crate::lincheck::inv_get(oid, &*self.clock);
+        let result = self.get_with_acceptance(oid, policy, true, self.op_deadline());
+        crate::lincheck::ret_get(span, &result, &*self.clock);
+        result
     }
 
     /// **Deliberately seeded staleness bug** (modelcheck builds only):
@@ -987,7 +1051,10 @@ impl Cluster {
         oid: ObjectId,
         policy: ReadPolicy,
     ) -> Result<Bytes, ClusterError> {
-        self.get_with_acceptance(oid, policy, false, self.op_deadline())
+        let span = crate::lincheck::inv_get(oid, &*self.clock);
+        let result = self.get_with_acceptance(oid, policy, false, self.op_deadline());
+        crate::lincheck::ret_get(span, &result, &*self.clock);
+        result
     }
 
     /// **Deliberately seeded breaker-misclassification bug** (modelcheck
@@ -1004,13 +1071,16 @@ impl Cluster {
         &self,
         oid: ObjectId,
     ) -> Result<Bytes, ClusterError> {
-        self.get_with_acceptance_opts(
+        let span = crate::lincheck::inv_get(oid, &*self.clock);
+        let result = self.get_with_acceptance_opts(
             oid,
             ReadPolicy::FirstReplica,
             true,
             self.op_deadline(),
             false,
-        )
+        );
+        crate::lincheck::ret_get(span, &result, &*self.clock);
+        result
     }
 
     /// [`Cluster::get_with`] with the version-acceptance check made
@@ -1187,6 +1257,13 @@ impl Cluster {
     /// # Panics
     /// Panics if `active` is outside `1..=n`.
     pub fn resize(&self, active: usize) -> VersionId {
+        let span = crate::lincheck::inv_resize(active, &*self.clock);
+        let version = self.resize_views(active);
+        crate::lincheck::ret_resize(span, version, &*self.clock);
+        version
+    }
+
+    fn resize_views(&self, active: usize) -> VersionId {
         let _writer = self.view_write.lock();
         let mut next = ClusterView::clone(&self.view.load());
         let version = next.resize(active);
@@ -1331,6 +1408,18 @@ impl Cluster {
         oid: ObjectId,
         active: usize,
     ) -> Result<VersionId, ClusterError> {
+        let span = crate::lincheck::inv_resize(active, &*self.clock);
+        let result = self.resize_with_seeded_stamp_bug_body(oid, active);
+        crate::lincheck::ret_resize_result(span, &result, &*self.clock);
+        result
+    }
+
+    #[cfg(feature = "modelcheck")]
+    fn resize_with_seeded_stamp_bug_body(
+        &self,
+        oid: ObjectId,
+        active: usize,
+    ) -> Result<VersionId, ClusterError> {
         let _writer = self.view_write.lock();
         let mut next = ClusterView::clone(&self.view.load());
         let version = next.resize(active);
@@ -1380,6 +1469,14 @@ impl Cluster {
     /// old membership version after the resize "completed".
     #[cfg(feature = "modelcheck")]
     pub fn resize_with_relaxed_publish_for_modelcheck(&self, active: usize) -> VersionId {
+        let span = crate::lincheck::inv_resize(active, &*self.clock);
+        let version = self.resize_with_relaxed_publish_body(active);
+        crate::lincheck::ret_resize(span, version, &*self.clock);
+        version
+    }
+
+    #[cfg(feature = "modelcheck")]
+    fn resize_with_relaxed_publish_body(&self, active: usize) -> VersionId {
         let _writer = self.view_write.lock();
         let mut next = ClusterView::clone(&self.view.load());
         let version = next.resize(active);
@@ -1417,8 +1514,12 @@ impl Cluster {
     /// model finds that interleaving.
     #[cfg(feature = "modelcheck")]
     pub fn reintegrate_step_remove_first_for_modelcheck(&self) -> Result<ReintegrationStats, Idle> {
-        let task = self.plan_task()?;
-        Ok(self.execute_task_opts(&task, true))
+        let span = crate::lincheck::inv_reintegrate(&*self.clock);
+        let result = self
+            .plan_task()
+            .map(|task| self.execute_task_opts(&task, true));
+        crate::lincheck::ret_reintegrate(span, &result, &*self.clock);
+        result
     }
 
     /// Plan one migration task against the current snapshot. The engine
@@ -1446,6 +1547,13 @@ impl Cluster {
     /// behaves identically: after the first task's header restamp the
     /// later entries no longer qualify and pop without planning work.
     pub fn reintegrate_batch(&self, max_tasks: usize) -> Result<ReintegrationStats, Idle> {
+        let span = crate::lincheck::inv_reintegrate(&*self.clock);
+        let result = self.reintegrate_batch_body(max_tasks);
+        crate::lincheck::ret_reintegrate(span, &result, &*self.clock);
+        result
+    }
+
+    fn reintegrate_batch_body(&self, max_tasks: usize) -> Result<ReintegrationStats, Idle> {
         let max_tasks = max_tasks.max(1);
         let workers_cap = std::thread::available_parallelism()
             .map(std::num::NonZero::get)
@@ -1707,6 +1815,13 @@ impl Cluster {
     /// the same active count as the current one) — the missed replicas
     /// must be re-created before the table drains.
     pub fn reintegrate_all(&self) -> ReintegrationStats {
+        let span = crate::lincheck::inv_reintegrate(&*self.clock);
+        let stats = self.reintegrate_all_body();
+        crate::lincheck::ret_reintegrate_all(span, &stats, &*self.clock);
+        stats
+    }
+
+    fn reintegrate_all_body(&self) -> ReintegrationStats {
         self.heal_dirty();
         let batch = self.cfg.reintegration_batch.max(1);
         let mut total = ReintegrationStats::default();
@@ -1789,6 +1904,13 @@ impl Cluster {
     /// duplicates the engine's migration work. At full power, objects
     /// that end up fully placed get their dirty bit cleared.
     pub fn heal_dirty(&self) -> RepairStats {
+        let span = crate::lincheck::inv_heal(&*self.clock);
+        let stats = self.heal_dirty_body();
+        crate::lincheck::ret_heal(span, &stats, &*self.clock);
+        stats
+    }
+
+    fn heal_dirty_body(&self) -> RepairStats {
         // One batched LRANGE instead of a per-index LINDEX each: the
         // kv-backed table locks a shard per call, so reading the scan's
         // worth of entries in one op is what keeps a large backlog from
@@ -1895,6 +2017,57 @@ impl Cluster {
                         // ech-allow(D7): header restamps are reconciliation messages the coordinator repeats at will; they ride the reliable queue and bypass the fabric (DESIGN §8)
                         node.restamp(oid, h.version, false);
                     }
+                }
+            }
+        }
+        stats
+    }
+
+    /// **Deliberately seeded reconciliation bug** (modelcheck builds
+    /// only): [`Cluster::heal_dirty`] followed by a plausible-looking
+    /// "reconcile the header with what the disks actually hold" pass
+    /// that restamps each dirty object's header *down* to the oldest
+    /// surviving replica stamp. Every replica the heal created is
+    /// intact and every membership invariant holds, so state assertions
+    /// pass — but the downgraded header re-admits the superseded copy a
+    /// past resize left at the *current* placement (acceptance is
+    /// `stamp >= header`), and the next read serves it. Only a recorded
+    /// history convicts the bug: a get that *began after* the newer
+    /// write's ack returns the old value, and the `--lincheck` checker
+    /// rejects the history (`lin-heal-restamp-bug` model).
+    #[cfg(feature = "modelcheck")]
+    pub fn heal_dirty_restamping_for_modelcheck(&self) -> RepairStats {
+        let span = crate::lincheck::inv_heal(&*self.clock);
+        let stats = self.heal_dirty_restamping_body();
+        crate::lincheck::ret_heal(span, &stats, &*self.clock);
+        stats
+    }
+
+    #[cfg(feature = "modelcheck")]
+    fn heal_dirty_restamping_body(&self) -> RepairStats {
+        let entries: Vec<DirtyEntry> = self.dirty.get_range(0, self.dirty.len());
+        let stats = self.heal_dirty_body();
+        let mut seen = std::collections::HashSet::new();
+        for entry in entries {
+            if !seen.insert(entry.oid) {
+                continue;
+            }
+            let Some(h) = self.headers.header(entry.oid) else {
+                continue;
+            };
+            // BUG under test: the oldest surviving stamp is where a
+            // *superseded* copy lives, not where the object's latest
+            // write landed — "reconciling" the header down to it
+            // un-publishes every newer write to the object.
+            let oldest = self
+                .nodes
+                .iter()
+                .filter_map(|n| n.get(entry.oid).ok())
+                .map(|o| o.header.version)
+                .min();
+            if let Some(v) = oldest {
+                if v < h.version {
+                    self.headers.record_write(entry.oid, v, h.dirty);
                 }
             }
         }

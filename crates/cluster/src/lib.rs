@@ -27,6 +27,7 @@
 pub mod cluster;
 pub mod dirty_store;
 pub mod fault;
+pub mod lincheck;
 pub mod net;
 pub mod node;
 pub mod repair;

@@ -1,0 +1,239 @@
+//! Linearizability-recording facade over the `Cluster` public API.
+//!
+//! Mirrors the [`crate::sync`] facade's cfg discipline: with the
+//! `lincheck` feature the hooks feed `ech-lincheck`'s process-global
+//! recorder; without it every hook is an empty `#[inline]` shim and
+//! the data path compiles to exactly the un-instrumented code (CI
+//! grep-gates that this module is the only place in the crate that
+//! names `ech_lincheck`).
+//!
+//! Hooks deliberately do **not** touch the instrumented sync
+//! primitives: recording must not add yield points or footprint
+//! accesses, or installing a recorder would perturb the schedule
+//! spaces the model checker explores (and break byte-identical trace
+//! regressions). Timestamps come from the cluster's own clock, so
+//! recorded histories line up with the VirtualClock the suites run on.
+
+#[cfg(feature = "lincheck")]
+mod armed {
+    use crate::cluster::{ClusterError, ReintegrationStats};
+    use crate::fault::Clock;
+    use crate::repair::RepairStats;
+    use bytes::Bytes;
+    use ech_core::ids::{ObjectId, VersionId};
+    pub use ech_lincheck::recorder::Span;
+    use ech_lincheck::{Op, Ret};
+
+    fn now(clock: &dyn Clock) -> u64 {
+        clock.now().as_nanos() as u64
+    }
+
+    /// Record a `put` invocation (any write entry point).
+    pub fn inv_put(oid: ObjectId, data: &Bytes, clock: &dyn Clock) -> Span {
+        if !ech_lincheck::recorder::active() {
+            return Span::disarmed();
+        }
+        let val = ech_lincheck::recorder::intern(data);
+        ech_lincheck::recorder::invoke(
+            Op::Put {
+                key: oid.raw(),
+                val,
+            },
+            now(clock),
+        )
+    }
+
+    /// Record a `put` response. An error leaves the write's effect
+    /// uncertain — the checker branches both ways — so every failure
+    /// maps to [`Ret::Err`]; only an ack is a commitment.
+    pub fn ret_put<T>(span: Span, result: &Result<T, ClusterError>, clock: &dyn Clock) {
+        let r = match result {
+            Ok(_) => Ret::Ok,
+            Err(_) => Ret::Err,
+        };
+        ech_lincheck::recorder::ret(span, r, now(clock));
+    }
+
+    /// Record an ack *now*, before the write body runs — only seeded
+    /// mutants call this; it is the ack-before-log bug made explicit.
+    pub fn ret_put_premature(span: Span, clock: &dyn Clock) {
+        ech_lincheck::recorder::ret(span, Ret::Ok, now(clock));
+    }
+
+    /// Record a `get` invocation (any read entry point).
+    pub fn inv_get(oid: ObjectId, clock: &dyn Clock) -> Span {
+        if !ech_lincheck::recorder::active() {
+            return Span::disarmed();
+        }
+        ech_lincheck::recorder::invoke(Op::Get { key: oid.raw() }, now(clock))
+    }
+
+    /// Record a `get` response. `ClusterError::NotFound` is the
+    /// cluster's *authoritative* miss and is recorded as such — every
+    /// other failure (transient faults, quorum shortfalls, spent
+    /// deadlines, placement races) is information-free.
+    pub fn ret_get(span: Span, result: &Result<Bytes, ClusterError>, clock: &dyn Clock) {
+        let r = match result {
+            Ok(data) => Ret::Val(ech_lincheck::recorder::intern(data)),
+            Err(ClusterError::NotFound) => Ret::NotFound,
+            Err(_) => Ret::Unavailable,
+        };
+        ech_lincheck::recorder::ret(span, r, now(clock));
+    }
+
+    /// Record a `resize` invocation (an atomic view transition).
+    pub fn inv_resize(active: usize, clock: &dyn Clock) -> Span {
+        if !ech_lincheck::recorder::active() {
+            return Span::disarmed();
+        }
+        ech_lincheck::recorder::invoke(
+            Op::Resize {
+                active: active as u32,
+            },
+            now(clock),
+        )
+    }
+
+    /// Record a `resize` response.
+    pub fn ret_resize(span: Span, _version: VersionId, clock: &dyn Clock) {
+        ech_lincheck::recorder::ret(span, Ret::Ok, now(clock));
+    }
+
+    /// Record a fallible `resize` response (seeded mutants).
+    pub fn ret_resize_result<T>(span: Span, result: &Result<T, ClusterError>, clock: &dyn Clock) {
+        let r = match result {
+            Ok(_) => Ret::Ok,
+            Err(_) => Ret::Err,
+        };
+        ech_lincheck::recorder::ret(span, r, now(clock));
+    }
+
+    /// Record a `heal_dirty` invocation (spec-level no-op).
+    pub fn inv_heal(clock: &dyn Clock) -> Span {
+        if !ech_lincheck::recorder::active() {
+            return Span::disarmed();
+        }
+        ech_lincheck::recorder::invoke(Op::Heal, now(clock))
+    }
+
+    /// Record a `heal_dirty` response.
+    pub fn ret_heal(span: Span, _stats: &RepairStats, clock: &dyn Clock) {
+        ech_lincheck::recorder::ret(span, Ret::Ok, now(clock));
+    }
+
+    /// Record a re-integration invocation (step, batch or full drain —
+    /// all spec-level no-ops).
+    pub fn inv_reintegrate(clock: &dyn Clock) -> Span {
+        if !ech_lincheck::recorder::active() {
+            return Span::disarmed();
+        }
+        ech_lincheck::recorder::invoke(Op::Reintegrate, now(clock))
+    }
+
+    /// Record a re-integration response (idle is still an ack: the
+    /// no-op happened, observably nothing changed).
+    pub fn ret_reintegrate<E>(
+        span: Span,
+        _result: &Result<ReintegrationStats, E>,
+        clock: &dyn Clock,
+    ) {
+        ech_lincheck::recorder::ret(span, Ret::Ok, now(clock));
+    }
+
+    /// Record a full-drain response.
+    pub fn ret_reintegrate_all(span: Span, _stats: &ReintegrationStats, clock: &dyn Clock) {
+        ech_lincheck::recorder::ret(span, Ret::Ok, now(clock));
+    }
+}
+
+#[cfg(feature = "lincheck")]
+pub use armed::*;
+
+#[cfg(not(feature = "lincheck"))]
+mod disarmed {
+    use crate::cluster::{ClusterError, ReintegrationStats};
+    use crate::fault::Clock;
+    use crate::repair::RepairStats;
+    use bytes::Bytes;
+    use ech_core::ids::{ObjectId, VersionId};
+
+    /// Zero-sized stand-in for the recorder span; every hook below is
+    /// an empty inline shim the optimiser erases.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Span;
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn inv_put(_oid: ObjectId, _data: &Bytes, _clock: &dyn Clock) -> Span {
+        Span
+    }
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn ret_put<T>(_span: Span, _result: &Result<T, ClusterError>, _clock: &dyn Clock) {}
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn ret_put_premature(_span: Span, _clock: &dyn Clock) {}
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn inv_get(_oid: ObjectId, _clock: &dyn Clock) -> Span {
+        Span
+    }
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn ret_get(_span: Span, _result: &Result<Bytes, ClusterError>, _clock: &dyn Clock) {}
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn inv_resize(_active: usize, _clock: &dyn Clock) -> Span {
+        Span
+    }
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn ret_resize(_span: Span, _version: VersionId, _clock: &dyn Clock) {}
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn ret_resize_result<T>(
+        _span: Span,
+        _result: &Result<T, ClusterError>,
+        _clock: &dyn Clock,
+    ) {
+    }
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn inv_heal(_clock: &dyn Clock) -> Span {
+        Span
+    }
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn ret_heal(_span: Span, _stats: &RepairStats, _clock: &dyn Clock) {}
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn inv_reintegrate(_clock: &dyn Clock) -> Span {
+        Span
+    }
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn ret_reintegrate<E>(
+        _span: Span,
+        _result: &Result<ReintegrationStats, E>,
+        _clock: &dyn Clock,
+    ) {
+    }
+
+    /// No-op (production build).
+    #[inline(always)]
+    pub fn ret_reintegrate_all(_span: Span, _stats: &ReintegrationStats, _clock: &dyn Clock) {}
+}
+
+#[cfg(not(feature = "lincheck"))]
+pub use disarmed::*;

@@ -32,6 +32,22 @@ fn value(oid: u64) -> Bytes {
     Bytes::from(format!("partition-object-{oid}"))
 }
 
+/// The history-recording test feeds a process-global recorder, so with
+/// `--features lincheck` every test in this binary serialises against
+/// it: concurrent cluster traffic from a sibling test would interleave
+/// same-oid operations from a *different* cluster into the recording
+/// and fabricate violations. Without the feature this is a unit.
+#[cfg(feature = "lincheck")]
+static RECORDER_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(feature = "lincheck")]
+fn recorder_exclusive() -> std::sync::MutexGuard<'static, ()> {
+    RECORDER_GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(not(feature = "lincheck"))]
+fn recorder_exclusive() {}
+
 fn direction(pick: u8) -> PartitionDirection {
     match pick % 3 {
         0 => PartitionDirection::Both,
@@ -81,6 +97,7 @@ proptest! {
         dir_pick in 0u8..3,
         objects in 20u64..60,
     ) {
+        let _gate = recorder_exclusive();
         let isolated: Vec<u32> = (0..3).map(|k| ((iso_start as u32) + k) % 10).collect();
         let net = NetPlan {
             seed,
@@ -159,6 +176,7 @@ proptest! {
 #[test]
 fn partitioned_primary_fails_within_deadline_budget() {
     use ech_cluster::ClusterError;
+    let _gate = recorder_exclusive();
     // Find object 7's primary under the 10-node/3-replica geometry by
     // asking a fault-free twin first.
     let probe = {
@@ -210,6 +228,7 @@ fn partitioned_primary_fails_within_deadline_budget() {
 /// cluster must converge with zero acked-write loss.
 #[test]
 fn seeded_partition_and_resize_stress_converges() {
+    let _gate = recorder_exclusive();
     let net = NetPlan {
         seed: 0xEC0_5EED,
         default_link: LinkFaultSpec {
@@ -302,4 +321,70 @@ fn seeded_partition_and_resize_stress_converges() {
         breakers.trips > 0,
         "sustained cuts must have tripped at least one breaker"
     );
+}
+
+/// History-level acceptance for the acceptance drill: record writes
+/// into a held partition, mid-cut read-backs, the heal, convergence,
+/// and a full post-heal read sweep — then check the history offline.
+/// This is where the spec's fault vocabulary earns its keep: a failed
+/// put is ambiguous (the checker branches on whether it applied), a
+/// mid-cut read error is information-free `Unavailable`, and only the
+/// authoritative `NotFound` constrains the order.
+#[cfg(feature = "lincheck")]
+#[test]
+fn recorded_partition_history_is_linearizable() {
+    use ech_lincheck::{check_kv, Outcome, DEFAULT_BUDGET};
+
+    let _gate = recorder_exclusive();
+    const OBJECTS: u64 = 24;
+    let net = NetPlan {
+        seed: 0x11C_5EED,
+        partitions: vec![PartitionWindow {
+            from: Duration::ZERO,
+            until: Duration::MAX, // holds until the explicit heal
+            isolated: vec![1, 4, 7],
+            direction: PartitionDirection::Both,
+        }],
+        rpc_timeout: Duration::from_millis(2),
+        ..NetPlan::default()
+    };
+    let (c, clock) = partitioned_cluster(net);
+    ech_lincheck::recorder::install();
+
+    let mut acked = 0u64;
+    let mut failed = 0u64;
+    for i in 0..OBJECTS {
+        match c.put(ObjectId(i), value(i)) {
+            Ok(_) => {
+                acked += 1;
+                // Mid-cut read-back: whatever comes back is recorded.
+                let _ = c.get(ObjectId(i));
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    c.net_fabric().expect("fabric installed").heal_partitions();
+    clock.advance(Duration::from_millis(20));
+    converge(&c);
+    // Post-heal sweep over *every* key: an acked write must read back
+    // as written, a failed one as either applied or never-happened —
+    // and the checker, not this test, decides which outcomes cohere.
+    for i in 0..OBJECTS {
+        let _ = c.get(ObjectId(i));
+    }
+
+    let rec = ech_lincheck::recorder::take().expect("recording installed");
+    match check_kv(&rec.events, DEFAULT_BUDGET) {
+        Outcome::Linearizable { keys, ops, .. } => {
+            assert_eq!(keys as u64, OBJECTS, "every key reaches the checker");
+            assert_eq!(
+                ops as u64,
+                OBJECTS + acked + OBJECTS,
+                "every keyed operation reaches the checker"
+            );
+        }
+        other => panic!(
+            "recorded partition history rejected ({acked} acked, {failed} failed): {other:?}"
+        ),
+    }
 }

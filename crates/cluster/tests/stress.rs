@@ -33,6 +33,22 @@ fn value(oid: u64) -> Bytes {
     Bytes::from(format!("stress-object-{oid}"))
 }
 
+/// The history-recording test feeds a process-global recorder, so with
+/// `--features lincheck` every test in this binary serialises against
+/// it: concurrent cluster traffic from a sibling test would interleave
+/// same-oid operations from a *different* cluster into the recording
+/// and fabricate violations. Without the feature this is a unit.
+#[cfg(feature = "lincheck")]
+static RECORDER_GATE: Mutex<()> = Mutex::new(());
+
+#[cfg(feature = "lincheck")]
+fn recorder_exclusive() -> std::sync::MutexGuard<'static, ()> {
+    RECORDER_GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(not(feature = "lincheck"))]
+fn recorder_exclusive() {}
+
 /// Placement invariants under one pinned snapshot.
 fn check_snapshot_invariants(c: &Cluster, oid: u64) {
     let view = c.view_snapshot();
@@ -80,6 +96,7 @@ fn drain_fault_windows(c: &Cluster) {
 
 #[test]
 fn concurrent_writers_readers_and_resizes_keep_invariants() {
+    let _gate = recorder_exclusive();
     let mut plan = FaultPlan::uniform_io_errors(10, 0x57E5_5EED, 0.05);
     for spec in &mut plan.node_faults {
         spec.io_error_until_op = IO_WINDOW;
@@ -203,4 +220,75 @@ fn concurrent_writers_readers_and_resizes_keep_invariants() {
         cache.hits + cache.misses > 0,
         "readers must exercise the placement cache: {cache:?}"
     );
+}
+
+/// History-level acceptance for the stress mix: record every
+/// public-API call of a scaled-down run (3 writers and 2 readers
+/// racing in-load resizes) through the lincheck facade, then check
+/// the recorded history against the sequential spec offline.
+/// Fault-free on purpose — an errored put is ambiguous (the checker
+/// must branch on whether it applied), so keeping faults out keeps
+/// the per-key searches tight and makes any violation purely an
+/// ordering bug in the concurrent read/write/resize protocols.
+#[cfg(feature = "lincheck")]
+#[test]
+fn recorded_stress_history_is_linearizable() {
+    use ech_lincheck::{check_kv, Outcome, DEFAULT_BUDGET};
+
+    let _gate = recorder_exclusive();
+    let mut cfg = ClusterConfig::paper();
+    cfg.replicas = 3;
+    let c = Arc::new(Cluster::new(cfg));
+    ech_lincheck::recorder::install();
+
+    // Few keys on purpose: contention is what gives the checker real
+    // reordering work; per-key op counts stay far under the budget.
+    const KEYS: u64 = 4;
+    const PUTS: u64 = 10;
+    const GETS: u64 = 12;
+    std::thread::scope(|s| {
+        for w in 0..3u64 {
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for i in 0..PUTS {
+                    let oid = 1 + (w.wrapping_mul(7).wrapping_add(i)) % KEYS;
+                    c.put(ObjectId(oid), Bytes::from(format!("h-{w}-{i}")))
+                        .expect("fault-free put");
+                    // Epoch transitions overlap the recorded traffic.
+                    if i == PUTS / 2 {
+                        c.resize(SIZES[w as usize % SIZES.len()]);
+                    }
+                }
+            });
+        }
+        for r in 0..2u64 {
+            let c = Arc::clone(&c);
+            s.spawn(move || {
+                for i in 0..GETS {
+                    let oid = 1 + r.wrapping_add(i) % KEYS;
+                    // Any verdict is recorded; a pre-first-put read
+                    // legitimately sees the authoritative NotFound.
+                    let _ = c.get(ObjectId(oid));
+                }
+            });
+        }
+    });
+    // Spec-level no-ops close the run: they must not confuse the
+    // checker (they never reach the per-key partitions).
+    c.resize(10);
+    c.heal_dirty();
+    c.reintegrate_all();
+
+    let rec = ech_lincheck::recorder::take().expect("recording installed");
+    match check_kv(&rec.events, DEFAULT_BUDGET) {
+        Outcome::Linearizable { keys, ops, .. } => {
+            assert_eq!(keys as u64, KEYS, "every key reaches the checker");
+            assert_eq!(
+                ops as u64,
+                3 * PUTS + 2 * GETS,
+                "every keyed operation reaches the checker"
+            );
+        }
+        other => panic!("recorded stress history rejected: {other:?}"),
+    }
 }

@@ -1,0 +1,538 @@
+//! The Wing–Gong–Lowe linearizability checker.
+//!
+//! Classic Wing–Gong search: repeatedly pick an operation that is
+//! *minimal* in the real-time order (no other un-linearized operation
+//! returned before it was invoked), apply it to the sequential spec,
+//! and backtrack when the spec rejects the observed response. Two of
+//! Lowe's refinements keep it tractable:
+//!
+//! - **P-compositionality / per-key partitioning** ([`check_kv`]):
+//!   linearizability is compositional, so a KV history is checked one
+//!   key at a time. Cost drops from exponential in total ops to
+//!   exponential in the per-key maximum — the difference between
+//!   checking a stress run and timing out on it.
+//! - **Memoized state caching**: a visited (linearized-set, state)
+//!   configuration can never lead to a different outcome, so it is
+//!   pruned. States and sets live in `BTreeSet`s — iteration order and
+//!   therefore every reported number is deterministic.
+//!
+//! Operations whose effect is uncertain — errored writes (the ack was
+//! lost but the write may have landed) and operations still pending at
+//! a history cut — are explored both ways: taking effect silently at
+//! any point after invocation, or never. Failed reads are information-
+//! free and dropped before the search.
+//!
+//! The search is allocation-bounded: a node budget caps the explored
+//! configurations and overruns surface as an explicit
+//! [`Verdict::BudgetExceeded`] rather than an unbounded burn. Minimal
+//! witnesses come from prefix minimization: the shortest event prefix
+//! that is already non-linearizable, re-rendered in the `l1` schema.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::history::{Event, EventKind, Op, Ret};
+use crate::spec::{KvSpec, Spec};
+
+/// Default node budget for one partition's search.
+pub const DEFAULT_BUDGET: u64 = 500_000;
+
+/// Result of checking one (sub-)history against a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every completed operation is explainable by the spec.
+    Linearizable {
+        /// Distinct (linearized-set, state) configurations visited.
+        states: u64,
+    },
+    /// No linearization order exists.
+    NonLinearizable,
+    /// The node budget ran out before the search concluded.
+    BudgetExceeded {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+/// Result of checking a full KV history per key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every per-key partition linearizes.
+    Linearizable {
+        /// Keys checked.
+        keys: usize,
+        /// Operations checked across all partitions.
+        ops: usize,
+        /// Total memoized configurations visited.
+        states: u64,
+    },
+    /// A partition failed; `witness` is the shortest prefix of that
+    /// key's sub-history that is already non-linearizable.
+    NonLinearizable {
+        /// The violating key.
+        key: u64,
+        /// Minimal witness events (a prefix of the key's sub-history).
+        witness: Vec<Event>,
+    },
+    /// A partition's search overran the node budget.
+    BudgetExceeded {
+        /// The key whose partition overran.
+        key: u64,
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+/// One extracted operation: invocation index, response index (when the
+/// response lies inside the checked slice) and the observed pair.
+#[derive(Debug, Clone, Copy)]
+struct OpRec {
+    inv: usize,
+    ret_idx: Option<usize>,
+    op: Op,
+    ret: Option<Ret>,
+}
+
+/// Pair invocations with responses (per thread, in order) over one
+/// event slice. Slices are always history prefixes, so a response's
+/// invocation is always present.
+fn extract_ops(events: &[Event]) -> Vec<OpRec> {
+    let mut ops: Vec<OpRec> = Vec::new();
+    let mut open: BTreeMap<u32, usize> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.kind {
+            EventKind::Invoke(op) => {
+                let idx = ops.len();
+                ops.push(OpRec {
+                    inv: i,
+                    ret_idx: None,
+                    op,
+                    ret: None,
+                });
+                open.insert(e.tid, idx);
+            }
+            EventKind::Return(ret) => {
+                if let Some(idx) = open.remove(&e.tid) {
+                    ops[idx].ret_idx = Some(i);
+                    ops[idx].ret = Some(ret);
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// How the search treats one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Must linearize between its invocation and response with the
+    /// observed response.
+    Certain(Ret),
+    /// May take effect silently at any point after invocation — or
+    /// never (errored write / pending op).
+    Maybe,
+    /// Carries no information; removed before the search.
+    Dropped,
+}
+
+fn classify<S: Spec>(spec: &S, init: &S::State, rec: &OpRec) -> Mode {
+    match rec.ret {
+        Some(r @ (Ret::Ok | Ret::Deg | Ret::Val(_) | Ret::NotFound)) => Mode::Certain(r),
+        // A transiently failed, errored or still-pending op constrains
+        // the history only through its possible silent effect; ops with
+        // none (reads, spec no-ops) carry no information at all.
+        Some(Ret::Unavailable | Ret::Err) | None => {
+            if spec.step_silent(init, &rec.op).is_some() {
+                Mode::Maybe
+            } else {
+                Mode::Dropped
+            }
+        }
+    }
+}
+
+/// Wing–Gong search over one event slice against `spec`.
+pub fn check<S: Spec>(spec: &S, events: &[Event], budget: u64) -> Verdict {
+    let all = extract_ops(events);
+    let init = spec.init();
+    // Keep certain and maybe ops; dropped ops vanish entirely.
+    let mut ops: Vec<(OpRec, Mode)> = Vec::new();
+    for rec in all {
+        match classify(spec, &init, &rec) {
+            Mode::Dropped => {}
+            m => ops.push((rec, m)),
+        }
+    }
+    let n = ops.len();
+    if n == 0 {
+        return Verdict::Linearizable { states: 1 };
+    }
+    let words = n.div_ceil(64);
+    let full: Vec<u64> = {
+        let mut v = vec![u64::MAX; words];
+        let spare = words * 64 - n;
+        if spare > 0 {
+            v[words - 1] = u64::MAX >> spare;
+        }
+        v
+    };
+    let mut seen: BTreeSet<(Vec<u64>, S::State)> = BTreeSet::new();
+    let mut stack: Vec<(Vec<u64>, S::State)> = vec![(vec![0u64; words], init)];
+    let mut visited: u64 = 0;
+    while let Some((lin, state)) = stack.pop() {
+        if lin == full {
+            return Verdict::Linearizable { states: visited };
+        }
+        if !seen.insert((lin.clone(), state.clone())) {
+            continue;
+        }
+        visited += 1;
+        if visited > budget {
+            return Verdict::BudgetExceeded { budget };
+        }
+        // Real-time frontier: no op may linearize after one that
+        // returned before it was invoked.
+        let mut min_ret = usize::MAX;
+        for (k, (rec, mode)) in ops.iter().enumerate() {
+            if lin[k / 64] >> (k % 64) & 1 == 1 {
+                continue;
+            }
+            if matches!(mode, Mode::Certain(_)) {
+                if let Some(r) = rec.ret_idx {
+                    min_ret = min_ret.min(r);
+                }
+            }
+        }
+        for (k, (rec, mode)) in ops.iter().enumerate() {
+            if lin[k / 64] >> (k % 64) & 1 == 1 || rec.inv >= min_ret {
+                continue;
+            }
+            let mut next_lin = lin.clone();
+            next_lin[k / 64] |= 1 << (k % 64);
+            match mode {
+                Mode::Certain(ret) => {
+                    if let Some(next) = spec.step(&state, &rec.op, ret) {
+                        stack.push((next_lin, next));
+                    }
+                }
+                Mode::Maybe => {
+                    // Takes effect here…
+                    if let Some(next) = spec.step_silent(&state, &rec.op) {
+                        stack.push((next_lin.clone(), next));
+                    }
+                    // …or never (observationally: effect-free).
+                    stack.push((next_lin, state.clone()));
+                }
+                Mode::Dropped => unreachable!("dropped ops are filtered"),
+            }
+        }
+    }
+    Verdict::NonLinearizable
+}
+
+/// Partition a KV history by key, dropping keyless (spec-no-op) events.
+fn partition(events: &[Event]) -> BTreeMap<u64, Vec<Event>> {
+    let mut parts: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+    // The key each thread's open op belongs to (None = keyless op).
+    let mut open_key: BTreeMap<u32, Option<u64>> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Invoke(op) => {
+                let key = op.key();
+                open_key.insert(e.tid, key);
+                if let Some(k) = key {
+                    parts.entry(k).or_default().push(*e);
+                }
+            }
+            EventKind::Return(_) => {
+                if let Some(Some(k)) = open_key.remove(&e.tid) {
+                    parts.entry(k).or_default().push(*e);
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// Check a KV history per key (Lowe's P-compositionality), returning
+/// the first violating key's minimal witness. Deterministic: keys are
+/// visited in order and the witness is the shortest failing prefix of
+/// that key's sub-history.
+pub fn check_kv(events: &[Event], budget: u64) -> Outcome {
+    let spec = KvSpec;
+    let parts = partition(events);
+    let mut keys = 0usize;
+    let mut ops = 0usize;
+    let mut states = 0u64;
+    for (key, part) in &parts {
+        keys += 1;
+        ops += part
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Invoke(_)))
+            .count();
+        match check(&spec, part, budget) {
+            Verdict::Linearizable { states: s } => states += s,
+            Verdict::BudgetExceeded { budget } => {
+                return Outcome::BudgetExceeded { key: *key, budget }
+            }
+            Verdict::NonLinearizable => {
+                // Prefix minimization: the full sub-history fails, so
+                // the scan below always terminates with a witness.
+                for len in 1..=part.len() {
+                    if check(&spec, &part[..len], budget) == Verdict::NonLinearizable {
+                        return Outcome::NonLinearizable {
+                            key: *key,
+                            witness: part[..len].to_vec(),
+                        };
+                    }
+                }
+                return Outcome::NonLinearizable {
+                    key: *key,
+                    witness: part.clone(),
+                };
+            }
+        }
+    }
+    Outcome::Linearizable { keys, ops, states }
+}
+
+/// Re-verify a rendered `l1:` witness: it must parse, its events must
+/// be non-linearizable under the KV spec, and re-rendering its minimal
+/// witness must reproduce the input byte-identically (proving the
+/// recorded witness was minimal and the verdict is stable).
+pub fn verify_witness(line: &str) -> Result<(), String> {
+    let (model, events) = crate::history::parse_witness(line)?;
+    match check_kv(&events, DEFAULT_BUDGET) {
+        Outcome::NonLinearizable { witness, .. } => {
+            let rendered = crate::history::render_witness(&model, &witness);
+            if rendered == line {
+                Ok(())
+            } else {
+                Err(format!(
+                    "witness is not minimal or not canonical: re-check produced `{rendered}`"
+                ))
+            }
+        }
+        Outcome::Linearizable { .. } => {
+            Err("witness events are linearizable — not a violation".into())
+        }
+        Outcome::BudgetExceeded { budget, .. } => Err(format!(
+            "witness re-check overran the node budget ({budget})"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::render_witness;
+
+    fn ev(tid: u32, kind: EventKind) -> Event {
+        Event {
+            tid,
+            kind,
+            at_ns: 0,
+        }
+    }
+
+    fn inv(tid: u32, op: Op) -> Event {
+        ev(tid, EventKind::Invoke(op))
+    }
+
+    fn ret(tid: u32, r: Ret) -> Event {
+        ev(tid, EventKind::Return(r))
+    }
+
+    #[test]
+    fn sequential_write_then_read_linearizes() {
+        let h = vec![
+            inv(0, Op::Put { key: 1, val: 0 }),
+            ret(0, Ret::Ok),
+            inv(0, Op::Get { key: 1 }),
+            ret(0, Ret::Val(0)),
+        ];
+        assert!(matches!(
+            check_kv(&h, DEFAULT_BUDGET),
+            Outcome::Linearizable {
+                keys: 1,
+                ops: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stale_read_after_ack_is_caught_with_minimal_witness() {
+        let h = vec![
+            inv(0, Op::Put { key: 1, val: 0 }),
+            ret(0, Ret::Ok),
+            inv(0, Op::Put { key: 1, val: 1 }),
+            ret(0, Ret::Ok),
+            inv(1, Op::Get { key: 1 }),
+            ret(1, Ret::Val(0)),
+            inv(1, Op::Get { key: 1 }),
+            ret(1, Ret::Val(1)),
+        ];
+        match check_kv(&h, DEFAULT_BUDGET) {
+            Outcome::NonLinearizable { key, witness } => {
+                assert_eq!(key, 1);
+                // Minimal: the trailing correct read is not included.
+                assert_eq!(witness.len(), 6);
+                let line = render_witness("m", &witness);
+                verify_witness(&line).unwrap();
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_may_split_around_a_write() {
+        // Both a pre-write and post-write read overlap the write; each
+        // may linearize on either side.
+        let h = vec![
+            inv(0, Op::Put { key: 9, val: 0 }),
+            ret(0, Ret::Ok),
+            inv(0, Op::Put { key: 9, val: 1 }),
+            inv(1, Op::Get { key: 9 }),
+            ret(1, Ret::Val(0)),
+            inv(2, Op::Get { key: 9 }),
+            ret(2, Ret::Val(1)),
+            ret(0, Ret::Ok),
+        ];
+        assert!(matches!(
+            check_kv(&h, DEFAULT_BUDGET),
+            Outcome::Linearizable { .. }
+        ));
+    }
+
+    #[test]
+    fn errored_write_branches_both_ways() {
+        // The errored put may have taken effect (read sees 1)…
+        let took = vec![
+            inv(0, Op::Put { key: 4, val: 0 }),
+            ret(0, Ret::Ok),
+            inv(0, Op::Put { key: 4, val: 1 }),
+            ret(0, Ret::Err),
+            inv(1, Op::Get { key: 4 }),
+            ret(1, Ret::Val(1)),
+        ];
+        assert!(matches!(
+            check_kv(&took, DEFAULT_BUDGET),
+            Outcome::Linearizable { .. }
+        ));
+        // …or not (read sees 0) — both legal.
+        let skipped = vec![
+            inv(0, Op::Put { key: 4, val: 0 }),
+            ret(0, Ret::Ok),
+            inv(0, Op::Put { key: 4, val: 1 }),
+            ret(0, Ret::Err),
+            inv(1, Op::Get { key: 4 }),
+            ret(1, Ret::Val(0)),
+        ];
+        assert!(matches!(
+            check_kv(&skipped, DEFAULT_BUDGET),
+            Outcome::Linearizable { .. }
+        ));
+        // But it cannot half-happen: seen as 1 then 0 again is illegal.
+        let flip = vec![
+            inv(0, Op::Put { key: 4, val: 0 }),
+            ret(0, Ret::Ok),
+            inv(0, Op::Put { key: 4, val: 1 }),
+            ret(0, Ret::Err),
+            inv(1, Op::Get { key: 4 }),
+            ret(1, Ret::Val(1)),
+            inv(1, Op::Get { key: 4 }),
+            ret(1, Ret::Val(0)),
+        ];
+        assert!(matches!(
+            check_kv(&flip, DEFAULT_BUDGET),
+            Outcome::NonLinearizable { .. }
+        ));
+    }
+
+    #[test]
+    fn notfound_after_acked_write_is_a_violation() {
+        let h = vec![
+            inv(0, Op::Put { key: 2, val: 0 }),
+            ret(0, Ret::Deg),
+            inv(1, Op::Get { key: 2 }),
+            ret(1, Ret::NotFound),
+        ];
+        assert!(matches!(
+            check_kv(&h, DEFAULT_BUDGET),
+            Outcome::NonLinearizable { .. }
+        ));
+    }
+
+    #[test]
+    fn unavailable_reads_are_information_free() {
+        let h = vec![
+            inv(0, Op::Put { key: 2, val: 0 }),
+            ret(0, Ret::Ok),
+            inv(1, Op::Get { key: 2 }),
+            ret(1, Ret::Unavailable),
+            inv(1, Op::Get { key: 2 }),
+            ret(1, Ret::Val(0)),
+        ];
+        assert!(matches!(
+            check_kv(&h, DEFAULT_BUDGET),
+            Outcome::Linearizable { .. }
+        ));
+    }
+
+    #[test]
+    fn resize_heal_reintegrate_are_spec_noops() {
+        let h = vec![
+            inv(0, Op::Put { key: 3, val: 0 }),
+            ret(0, Ret::Ok),
+            inv(1, Op::Resize { active: 2 }),
+            ret(1, Ret::Ok),
+            inv(1, Op::Heal),
+            ret(1, Ret::Ok),
+            inv(1, Op::Reintegrate),
+            ret(1, Ret::Ok),
+            inv(2, Op::Get { key: 3 }),
+            ret(2, Ret::Val(0)),
+        ];
+        match check_kv(&h, DEFAULT_BUDGET) {
+            Outcome::Linearizable { keys, ops, .. } => {
+                assert_eq!(keys, 1);
+                assert_eq!(ops, 2, "no-ops must not reach the partitions");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_write_may_or_may_not_be_visible() {
+        // Invocation with no response (history cut): both read values
+        // are explainable.
+        for seen in [0u32, 1u32] {
+            let h = vec![
+                inv(0, Op::Put { key: 5, val: 0 }),
+                ret(0, Ret::Ok),
+                inv(0, Op::Put { key: 5, val: 1 }),
+                inv(1, Op::Get { key: 5 }),
+                ret(1, Ret::Val(seen)),
+            ];
+            assert!(matches!(
+                check_kv(&h, DEFAULT_BUDGET),
+                Outcome::Linearizable { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn budget_overrun_is_explicit() {
+        let mut h = Vec::new();
+        for i in 0..24u32 {
+            h.push(inv(i, Op::Put { key: 1, val: i }));
+        }
+        for i in 0..24u32 {
+            h.push(ret(i, Ret::Ok));
+        }
+        assert!(matches!(
+            check_kv(&h, 10),
+            Outcome::BudgetExceeded { key: 1, budget: 10 }
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! The global history recorder behind the `Cluster` lincheck facade.
+//!
+//! One process-wide slot holds the active recording. Installing a
+//! fresh recording resets it; taking it returns the events (plus the
+//! payload intern table) and disarms recording. With no recording
+//! installed every hook is a cheap check-and-return — and without the
+//! `lincheck` feature the cluster facade compiles the hooks away
+//! entirely, so the production data path never reaches this module.
+//!
+//! Correctness notes:
+//!
+//! - **Thread ids** are recorder-assigned dense indices in
+//!   first-record order, not OS thread ids. Under the model checker's
+//!   serialized scheduler the assignment is deterministic per
+//!   schedule, which is what makes witnesses byte-identical on replay.
+//! - **Re-entrancy**: nested public API calls (`reintegrate_all` runs
+//!   `heal_dirty` and `reintegrate_batch` internally) must record one
+//!   operation, not three. A per-thread depth counter suppresses the
+//!   inner spans.
+//! - **Payload interning**: values are mapped to dense ids in
+//!   first-seen order so histories and witnesses stay compact and
+//!   deterministic.
+//!
+//! The recorder deliberately uses `std::sync::Mutex`, not the
+//! instrumented sync facade: recording must not add yield points or
+//! footprint accesses, or installing a recorder would change the very
+//! schedule spaces it observes (and break existing byte-identical
+//! trace regressions).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+use crate::history::{Event, EventKind, Op, Ret, Val};
+
+/// A completed recording: the event stream plus the payload intern
+/// table (`vals[id]` = payload bytes for `Val` id).
+#[derive(Debug, Default)]
+pub struct Recording {
+    /// Events in record order.
+    pub events: Vec<Event>,
+    /// Interned payloads in id order.
+    pub vals: Vec<Vec<u8>>,
+}
+
+#[derive(Default)]
+struct Active {
+    events: Vec<Event>,
+    threads: Vec<ThreadId>,
+    interned: BTreeMap<Vec<u8>, Val>,
+    vals: Vec<Vec<u8>>,
+}
+
+impl Active {
+    fn tid(&mut self) -> u32 {
+        let me = std::thread::current().id();
+        if let Some(i) = self.threads.iter().position(|t| *t == me) {
+            return i as u32;
+        }
+        self.threads.push(me);
+        (self.threads.len() - 1) as u32
+    }
+
+    fn intern(&mut self, payload: &[u8]) -> Val {
+        if let Some(&v) = self.interned.get(payload) {
+            return v;
+        }
+        let v = self.vals.len() as Val;
+        self.interned.insert(payload.to_vec(), v);
+        self.vals.push(payload.to_vec());
+        v
+    }
+}
+
+static ACTIVE: Mutex<Option<Active>> = Mutex::new(None);
+
+thread_local! {
+    /// Open-span depth on this thread; inner spans are suppressed.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn lk() -> std::sync::MutexGuard<'static, Option<Active>> {
+    // A panicked hook holds no broken invariant worth poisoning over.
+    match ACTIVE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Install a fresh empty recording, discarding any previous one.
+pub fn install() {
+    *lk() = Some(Active::default());
+}
+
+/// Take the active recording and disarm the recorder. `None` when no
+/// recording was installed.
+pub fn take() -> Option<Recording> {
+    lk().take().map(|a| Recording {
+        events: a.events,
+        vals: a.vals,
+    })
+}
+
+/// Is a recording currently installed?
+pub fn active() -> bool {
+    lk().is_some()
+}
+
+/// Intern a payload in the active recording. Returns 0 when disarmed
+/// (the id is only meaningful alongside a recorded event).
+pub fn intern(payload: &[u8]) -> Val {
+    lk().as_mut().map_or(0, |a| a.intern(payload))
+}
+
+/// An open operation span returned by [`invoke`]; close it with
+/// [`ret`]. `recorded == false` spans (disarmed recorder or nested
+/// call) only maintain the depth counter.
+#[derive(Debug)]
+#[must_use = "a span left open unbalances the thread's depth counter"]
+pub struct Span {
+    recorded: bool,
+    counted: bool,
+}
+
+impl Span {
+    /// A span that records nothing and counts nothing — what the
+    /// cluster facade hands out when the feature is off.
+    pub fn disarmed() -> Self {
+        Span {
+            recorded: false,
+            counted: false,
+        }
+    }
+}
+
+/// Record an operation invocation at `now_ns`, returning the span to
+/// close with [`ret`]. Nested invocations on the same thread (public
+/// API methods calling each other) are suppressed: only the outermost
+/// span records.
+pub fn invoke(op: Op, now_ns: u64) -> Span {
+    let mut g = lk();
+    let Some(a) = g.as_mut() else {
+        return Span::disarmed();
+    };
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    if depth > 0 {
+        return Span {
+            recorded: false,
+            counted: true,
+        };
+    }
+    let tid = a.tid();
+    a.events.push(Event {
+        tid,
+        kind: EventKind::Invoke(op),
+        at_ns: now_ns,
+    });
+    Span {
+        recorded: true,
+        counted: true,
+    }
+}
+
+/// Record the response for `span` at `now_ns`.
+pub fn ret(span: Span, r: Ret, now_ns: u64) {
+    if span.counted {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+    if !span.recorded {
+        return;
+    }
+    let mut g = lk();
+    let Some(a) = g.as_mut() else {
+        return;
+    };
+    let tid = a.tid();
+    a.events.push(Event {
+        tid,
+        kind: EventKind::Return(r),
+        at_ns: now_ns,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_interns_and_suppresses_nesting() {
+        install();
+        let v0 = intern(b"hello");
+        let v1 = intern(b"world");
+        let v0b = intern(b"hello");
+        assert_eq!((v0, v1, v0b), (0, 1, 0));
+        let outer = invoke(Op::Put { key: 5, val: v0 }, 10);
+        // A nested public-API call inside the outer op records nothing.
+        let inner = invoke(Op::Heal, 11);
+        ret(inner, Ret::Ok, 12);
+        ret(outer, Ret::Ok, 13);
+        let rec = take().expect("installed");
+        assert!(take().is_none(), "take disarms");
+        assert_eq!(rec.vals, vec![b"hello".to_vec(), b"world".to_vec()]);
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(
+            rec.events[0].kind,
+            EventKind::Invoke(Op::Put { key: 5, val: 0 })
+        );
+        assert_eq!(rec.events[1].kind, EventKind::Return(Ret::Ok));
+        assert_eq!(rec.events[0].at_ns, 10);
+        assert_eq!(rec.events[1].at_ns, 13);
+        // Disarmed hooks are inert.
+        let s = invoke(Op::Heal, 1);
+        ret(s, Ret::Ok, 2);
+        assert!(take().is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Sequential specifications the checker linearizes histories against.
+//!
+//! The paper's KV semantics reduce, per key, to a last-write-wins
+//! register with two read outcomes beyond the value itself:
+//!
+//! - **`NotFound` is authoritative** — legal only when no write has
+//!   taken effect at the read's linearization point. The cluster works
+//!   hard to keep this honest (transient failures surface as
+//!   `Unavailable`, an open breaker is a routing verdict, not a miss),
+//!   and the spec is where that promise is cashed in.
+//! - **`Unavailable` is information-free** — a transiently failed read
+//!   says nothing about the state and is dropped from the history
+//!   before checking.
+//! - **Degraded quorum writes are visible-after-ack** — an ack with
+//!   missed replicas (`Ret::Deg`) transitions the register exactly
+//!   like a full-strength ack; the dirty-table entry that makes it
+//!   self-healing is bookkeeping below the spec.
+//! - **Resize, heal and re-integration are spec-level no-ops** — a
+//!   resize is an atomic view transition and repair moves replicas,
+//!   but none of them may change what a read returns. They drop out of
+//!   the per-key partitions entirely; any effect they *do* have on
+//!   observed values is exactly the kind of bug the checker exists to
+//!   catch.
+//!
+//! [`Spec`] is deliberately generic so the checker core can be
+//! validated against literature-classic object types (the queue
+//! histories of Herlihy & Wing) independently of the cluster.
+
+use crate::history::{Op, Ret, Val};
+
+/// A sequential object specification: a deterministic transition
+/// relation over explicit states. `step` returns the successor state
+/// when `(op, ret)` is a legal sequential step from `state`, or `None`
+/// when that response could not have been produced.
+pub trait Spec {
+    /// Object state. `Ord + Clone` so the checker can memoize visited
+    /// (linearized-set, state) configurations in a `BTreeSet`.
+    type State: Clone + Ord;
+
+    /// The initial state.
+    fn init(&self) -> Self::State;
+
+    /// Apply one operation with its observed response.
+    fn step(&self, state: &Self::State, op: &Op, ret: &Ret) -> Option<Self::State>;
+
+    /// The successor state when `op` takes effect *without an observed
+    /// response* — the branch the checker explores for operations whose
+    /// ack was lost ([`Ret::Err`]) or that were still pending when the
+    /// history was cut. `None` means the op never takes effect silently
+    /// (reads are effect-free, so silently linearizing them is
+    /// pointless and they return `None`).
+    fn step_silent(&self, state: &Self::State, op: &Op) -> Option<Self::State>;
+}
+
+/// The per-key last-write-wins register of the cluster's KV semantics.
+/// Used on per-key partitions, so `Op` keys are ignored here: the
+/// partitioning driver guarantees every op in a partition shares one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KvSpec;
+
+impl Spec for KvSpec {
+    /// `None` = never written (or removed); `Some(v)` = last write.
+    type State = Option<Val>;
+
+    fn init(&self) -> Self::State {
+        None
+    }
+
+    fn step(&self, state: &Self::State, op: &Op, ret: &Ret) -> Option<Self::State> {
+        match (op, ret) {
+            // Acked writes (full or degraded) set the register.
+            (Op::Put { val, .. }, Ret::Ok | Ret::Deg) => Some(Some(*val)),
+            // A read returns exactly the last written value…
+            (Op::Get { .. }, Ret::Val(v)) => (*state == Some(*v)).then_some(*state),
+            // …and an authoritative miss only from the empty register.
+            (Op::Get { .. }, Ret::NotFound) => state.is_none().then_some(None),
+            // Acked deletes clear it; delete-miss is legal only when
+            // already empty.
+            (Op::Remove { .. }, Ret::Ok | Ret::Deg) => Some(None),
+            (Op::Remove { .. }, Ret::NotFound) => state.is_none().then_some(None),
+            // The keyless no-ops accept any response without effect
+            // (the partitioning driver drops them; accepting here keeps
+            // the spec total for flat single-partition checks).
+            (Op::Resize { .. } | Op::Heal | Op::Reintegrate, _) => Some(*state),
+            _ => None,
+        }
+    }
+
+    fn step_silent(&self, state: &Self::State, op: &Op) -> Option<Self::State> {
+        match op {
+            Op::Put { val, .. } => Some(Some(*val)),
+            Op::Remove { .. } => Some(None),
+            // Reads and no-ops have no silent effect worth branching on.
+            Op::Get { .. } | Op::Resize { .. } | Op::Heal | Op::Reintegrate => {
+                let _ = state;
+                None
+            }
+        }
+    }
+}
+
+/// A FIFO queue, for validating the checker core against the classic
+/// Herlihy & Wing histories. `Put` enqueues its value, `Get` dequeues
+/// (`Ret::Val` = dequeued value, `Ret::NotFound` = empty). Keys are
+/// ignored — queue histories are checked flat, not partitioned.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueSpec;
+
+impl Spec for QueueSpec {
+    type State = Vec<Val>;
+
+    fn init(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn step(&self, state: &Self::State, op: &Op, ret: &Ret) -> Option<Self::State> {
+        match (op, ret) {
+            (Op::Put { val, .. }, Ret::Ok | Ret::Deg) => {
+                let mut next = state.clone();
+                next.push(*val);
+                Some(next)
+            }
+            (Op::Get { .. }, Ret::Val(v)) => {
+                let (&front, rest) = state.split_first()?;
+                (front == *v).then(|| rest.to_vec())
+            }
+            (Op::Get { .. }, Ret::NotFound) => state.is_empty().then(Vec::new),
+            _ => None,
+        }
+    }
+
+    fn step_silent(&self, state: &Self::State, op: &Op) -> Option<Self::State> {
+        match op {
+            Op::Put { val, .. } => {
+                let mut next = state.clone();
+                next.push(*val);
+                Some(next)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_register_semantics() {
+        let s = KvSpec;
+        let empty = s.init();
+        assert!(s
+            .step(&empty, &Op::Get { key: 1 }, &Ret::NotFound)
+            .is_some());
+        assert!(s.step(&empty, &Op::Get { key: 1 }, &Ret::Val(0)).is_none());
+        let one = s
+            .step(&empty, &Op::Put { key: 1, val: 7 }, &Ret::Deg)
+            .unwrap();
+        assert_eq!(one, Some(7));
+        assert!(s.step(&one, &Op::Get { key: 1 }, &Ret::Val(7)).is_some());
+        assert!(s.step(&one, &Op::Get { key: 1 }, &Ret::NotFound).is_none());
+        let gone = s.step(&one, &Op::Remove { key: 1 }, &Ret::Ok).unwrap();
+        assert_eq!(gone, None);
+        assert_eq!(
+            s.step_silent(&gone, &Op::Put { key: 1, val: 9 }),
+            Some(Some(9))
+        );
+        assert_eq!(s.step_silent(&gone, &Op::Get { key: 1 }), None);
+    }
+
+    #[test]
+    fn queue_fifo_semantics() {
+        let s = QueueSpec;
+        let q0 = s.init();
+        let q1 = s.step(&q0, &Op::Put { key: 0, val: 1 }, &Ret::Ok).unwrap();
+        let q2 = s.step(&q1, &Op::Put { key: 0, val: 2 }, &Ret::Ok).unwrap();
+        assert!(s.step(&q2, &Op::Get { key: 0 }, &Ret::Val(2)).is_none());
+        let q3 = s.step(&q2, &Op::Get { key: 0 }, &Ret::Val(1)).unwrap();
+        assert_eq!(q3, vec![2]);
+        assert!(s.step(&q3, &Op::Get { key: 0 }, &Ret::NotFound).is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! Literature-classic histories: the checker must accept the known
+//! linearizable register/queue histories and reject the known
+//! non-linearizable ones, and every verdict must be deterministic —
+//! each check runs twice and the rendered outputs are compared
+//! byte-identically.
+
+use ech_lincheck::check::{check, check_kv, verify_witness, Outcome, Verdict, DEFAULT_BUDGET};
+use ech_lincheck::history::{render_witness, Event, EventKind, Op, Ret};
+use ech_lincheck::spec::QueueSpec;
+
+fn inv(tid: u32, op: Op) -> Event {
+    Event {
+        tid,
+        kind: EventKind::Invoke(op),
+        at_ns: 0,
+    }
+}
+
+fn ret(tid: u32, r: Ret) -> Event {
+    Event {
+        tid,
+        kind: EventKind::Return(r),
+        at_ns: 0,
+    }
+}
+
+fn enq(val: u32) -> Op {
+    Op::Put { key: 0, val }
+}
+
+fn deq() -> Op {
+    Op::Get { key: 0 }
+}
+
+/// Run a KV verdict twice; the rendered outcomes must be
+/// byte-identical (checker determinism).
+fn kv_verdict_twice(h: &[Event]) -> Outcome {
+    let a = check_kv(h, DEFAULT_BUDGET);
+    let b = check_kv(h, DEFAULT_BUDGET);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "verdict must be deterministic"
+    );
+    a
+}
+
+/// Same for a flat queue check.
+fn queue_verdict_twice(h: &[Event]) -> Verdict {
+    let a = check(&QueueSpec, h, DEFAULT_BUDGET);
+    let b = check(&QueueSpec, h, DEFAULT_BUDGET);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "verdict must be deterministic"
+    );
+    a
+}
+
+// ---------------------------------------------------------- registers
+
+/// Herlihy & Wing's register history H1 (fig. 4 shape): a read
+/// overlapping a write may return either the old or the new value.
+#[test]
+fn hw_register_overlapping_read_both_values_accepted() {
+    for seen in [Ret::NotFound, Ret::Val(0)] {
+        let h = vec![
+            inv(0, Op::Put { key: 1, val: 0 }),
+            inv(1, Op::Get { key: 1 }),
+            ret(1, seen),
+            ret(0, Ret::Ok),
+        ];
+        assert!(
+            matches!(kv_verdict_twice(&h), Outcome::Linearizable { .. }),
+            "read overlapping the first write may see either side ({seen:?})"
+        );
+    }
+}
+
+/// The canonical non-linearizable register history: a read that
+/// *begins after* a write's acknowledgement returns the old value.
+#[test]
+fn hw_register_stale_read_after_ack_rejected() {
+    let h = vec![
+        inv(0, Op::Put { key: 1, val: 0 }),
+        ret(0, Ret::Ok),
+        inv(0, Op::Put { key: 1, val: 1 }),
+        ret(0, Ret::Ok),
+        inv(1, Op::Get { key: 1 }),
+        ret(1, Ret::Val(0)),
+    ];
+    match kv_verdict_twice(&h) {
+        Outcome::NonLinearizable { key: 1, witness } => {
+            let line = render_witness("classic", &witness);
+            verify_witness(&line).expect("witness must re-verify");
+            // And the witness itself is stable across renders.
+            assert_eq!(line, render_witness("classic", &witness));
+        }
+        other => panic!("expected violation, got {other:?}"),
+    }
+}
+
+/// Attiya–Welch style new/old inversion: two sequential reads that
+/// straddle a write must not observe new-then-old.
+#[test]
+fn register_new_old_inversion_rejected() {
+    let h = vec![
+        inv(0, Op::Put { key: 3, val: 0 }),
+        ret(0, Ret::Ok),
+        inv(0, Op::Put { key: 3, val: 1 }),
+        inv(1, Op::Get { key: 3 }),
+        ret(1, Ret::Val(1)),
+        inv(1, Op::Get { key: 3 }),
+        ret(1, Ret::Val(0)),
+        ret(0, Ret::Ok),
+    ];
+    assert!(matches!(
+        kv_verdict_twice(&h),
+        Outcome::NonLinearizable { .. }
+    ));
+}
+
+/// Linearizability is compositional (Herlihy & Wing theorem 1): a
+/// history that is legal per key is legal, even when the interleaved
+/// whole looks busy.
+#[test]
+fn per_key_composition_accepts_interleaved_keys() {
+    let h = vec![
+        inv(0, Op::Put { key: 1, val: 0 }),
+        inv(1, Op::Put { key: 2, val: 1 }),
+        ret(0, Ret::Ok),
+        inv(2, Op::Get { key: 2 }),
+        ret(1, Ret::Ok),
+        ret(2, Ret::Val(1)),
+        inv(2, Op::Get { key: 1 }),
+        ret(2, Ret::Val(0)),
+    ];
+    match kv_verdict_twice(&h) {
+        Outcome::Linearizable { keys, ops, .. } => {
+            assert_eq!(keys, 2);
+            assert_eq!(ops, 4);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// ------------------------------------------------------------- queues
+
+/// Herlihy & Wing's queue history H6 (their fig. 1, the motivating
+/// example): E(x) overlaps E(y); x is dequeued first by one thread
+/// while the other dequeues y — legal, the overlapping enqueues may
+/// linearize in either order.
+#[test]
+fn hw_queue_overlapping_enqueues_accepted() {
+    let h = vec![
+        inv(0, enq(0)),
+        inv(1, enq(1)),
+        ret(1, Ret::Ok),
+        ret(0, Ret::Ok),
+        inv(0, deq()),
+        ret(0, Ret::Val(0)),
+        inv(1, deq()),
+        ret(1, Ret::Val(1)),
+    ];
+    assert!(matches!(
+        queue_verdict_twice(&h),
+        Verdict::Linearizable { .. }
+    ));
+}
+
+/// FIFO violation: two *sequential* enqueues dequeued in inverted
+/// order (Herlihy & Wing's H3 shape).
+#[test]
+fn hw_queue_fifo_inversion_rejected() {
+    let h = vec![
+        inv(0, enq(0)),
+        ret(0, Ret::Ok),
+        inv(0, enq(1)),
+        ret(0, Ret::Ok),
+        inv(1, deq()),
+        ret(1, Ret::Val(1)),
+        inv(1, deq()),
+        ret(1, Ret::Val(0)),
+    ];
+    assert!(matches!(queue_verdict_twice(&h), Verdict::NonLinearizable));
+}
+
+/// A dequeue that reports empty while an *acknowledged* enqueue is in
+/// the queue is illegal…
+#[test]
+fn queue_lost_enqueue_rejected() {
+    let h = vec![
+        inv(0, enq(7)),
+        ret(0, Ret::Ok),
+        inv(1, deq()),
+        ret(1, Ret::NotFound),
+    ];
+    assert!(matches!(queue_verdict_twice(&h), Verdict::NonLinearizable));
+}
+
+/// …but legal when the enqueue was still in flight.
+#[test]
+fn queue_empty_deq_overlapping_enqueue_accepted() {
+    let h = vec![
+        inv(0, enq(7)),
+        inv(1, deq()),
+        ret(1, Ret::NotFound),
+        ret(0, Ret::Ok),
+        inv(1, deq()),
+        ret(1, Ret::Val(7)),
+    ];
+    assert!(matches!(
+        queue_verdict_twice(&h),
+        Verdict::Linearizable { .. }
+    ));
+}
+
+/// An element may be dequeued at most once: duplicating delivery is
+/// non-linearizable even though each read individually looks fine.
+#[test]
+fn queue_duplicate_delivery_rejected() {
+    let h = vec![
+        inv(0, enq(4)),
+        ret(0, Ret::Ok),
+        inv(1, deq()),
+        ret(1, Ret::Val(4)),
+        inv(2, deq()),
+        ret(2, Ret::Val(4)),
+    ];
+    assert!(matches!(queue_verdict_twice(&h), Verdict::NonLinearizable));
+}
+
+// ------------------------------------------------- witness durability
+
+/// A rendered witness is a standalone artifact: parsing and
+/// re-checking it twice yields byte-identical lines.
+#[test]
+fn witnesses_reverify_byte_identically() {
+    let h = vec![
+        inv(0, Op::Put { key: 9, val: 0 }),
+        ret(0, Ret::Deg),
+        inv(1, Op::Get { key: 9 }),
+        ret(1, Ret::NotFound),
+    ];
+    let Outcome::NonLinearizable { witness, .. } = kv_verdict_twice(&h) else {
+        panic!("expected violation");
+    };
+    let line1 = render_witness("classic", &witness);
+    let Outcome::NonLinearizable { witness: w2, .. } = check_kv(&h, DEFAULT_BUDGET) else {
+        panic!("expected violation");
+    };
+    let line2 = render_witness("classic", &w2);
+    assert_eq!(line1, line2);
+    verify_witness(&line1).unwrap();
+    verify_witness(&line2).unwrap();
+}

@@ -857,7 +857,7 @@ pub(crate) fn splitmix64(x: u64) -> u64 {
 #[derive(Default)]
 pub struct Env {
     threads: Vec<Box<dyn FnOnce() + Send>>,
-    after: Option<Box<dyn FnOnce()>>,
+    after: Vec<Box<dyn FnOnce()>>,
 }
 
 impl Env {
@@ -868,9 +868,12 @@ impl Env {
     }
 
     /// Register a closure run by the controller after every virtual
-    /// thread finished — the place for post-state assertions.
+    /// thread finished — the place for post-state assertions. Hooks
+    /// chain in registration order and the first panic wins, so a
+    /// harness (e.g. the `--lincheck` wrapper) can append its own check
+    /// after the model's.
     pub fn after(&mut self, f: impl FnOnce() + 'static) {
-        self.after = Some(Box::new(f));
+        self.after.push(Box::new(f));
     }
 }
 
@@ -967,9 +970,10 @@ pub(crate) fn run_one(
     // by construction, so the after-hook must not judge it (the
     // equivalent completed schedule already ran the hook).
     if failure.is_none() && !pruned {
-        if let Some(after) = env.after {
+        for after in env.after {
             if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(after)) {
                 failure = Some(format!("post-state check failed: {}", panic_message(e)));
+                break;
             }
         }
     }
